@@ -1,0 +1,19 @@
+//! Regenerates Fig. 5 and the Sysbench prime check (Section 3.1) of the paper.
+
+use bench::{bench_config, print_figure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{figures, ExperimentId};
+
+fn benches(c: &mut Criterion) {
+    let cfg = bench_config();
+    print_figure(ExperimentId::Fig05Ffmpeg);
+    print_figure(ExperimentId::SysbenchPrime);
+    let mut group = c.benchmark_group("fig05_compute");
+    group.sample_size(10);
+    group.bench_function("fig05_ffmpeg", |b| b.iter(|| figures::run(ExperimentId::Fig05Ffmpeg, &cfg)));
+    group.bench_function("sysbench_prime", |b| b.iter(|| figures::run(ExperimentId::SysbenchPrime, &cfg)));
+    group.finish();
+}
+
+criterion_group!(paper, benches);
+criterion_main!(paper);

@@ -1,0 +1,21 @@
+//! Regenerates Figs. 6-8 (tinymembench latency/bandwidth, STREAM) of the paper.
+
+use bench::{bench_config, print_figure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{figures, ExperimentId};
+
+fn benches(c: &mut Criterion) {
+    let cfg = bench_config();
+    print_figure(ExperimentId::Fig06MemLatency);
+    print_figure(ExperimentId::Fig07MemBandwidth);
+    print_figure(ExperimentId::Fig08Stream);
+    let mut group = c.benchmark_group("fig06_08_memory");
+    group.sample_size(10);
+    group.bench_function("fig06_mem_latency", |b| b.iter(|| figures::run(ExperimentId::Fig06MemLatency, &cfg)));
+    group.bench_function("fig07_mem_bandwidth", |b| b.iter(|| figures::run(ExperimentId::Fig07MemBandwidth, &cfg)));
+    group.bench_function("fig08_stream", |b| b.iter(|| figures::run(ExperimentId::Fig08Stream, &cfg)));
+    group.finish();
+}
+
+criterion_group!(paper, benches);
+criterion_main!(paper);

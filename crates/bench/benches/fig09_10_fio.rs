@@ -1,0 +1,19 @@
+//! Regenerates Figs. 9-10 (fio throughput and latency) of the paper.
+
+use bench::{bench_config, print_figure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{figures, ExperimentId};
+
+fn benches(c: &mut Criterion) {
+    let cfg = bench_config();
+    print_figure(ExperimentId::Fig09FioThroughput);
+    print_figure(ExperimentId::Fig10FioLatency);
+    let mut group = c.benchmark_group("fig09_10_fio");
+    group.sample_size(10);
+    group.bench_function("fig09_fio_throughput", |b| b.iter(|| figures::run(ExperimentId::Fig09FioThroughput, &cfg)));
+    group.bench_function("fig10_fio_latency", |b| b.iter(|| figures::run(ExperimentId::Fig10FioLatency, &cfg)));
+    group.finish();
+}
+
+criterion_group!(paper, benches);
+criterion_main!(paper);

@@ -1,0 +1,19 @@
+//! Regenerates Figs. 11-12 (iperf3 and netperf) of the paper.
+
+use bench::{bench_config, print_figure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{figures, ExperimentId};
+
+fn benches(c: &mut Criterion) {
+    let cfg = bench_config();
+    print_figure(ExperimentId::Fig11Iperf);
+    print_figure(ExperimentId::Fig12Netperf);
+    let mut group = c.benchmark_group("fig11_12_network");
+    group.sample_size(10);
+    group.bench_function("fig11_iperf", |b| b.iter(|| figures::run(ExperimentId::Fig11Iperf, &cfg)));
+    group.bench_function("fig12_netperf", |b| b.iter(|| figures::run(ExperimentId::Fig12Netperf, &cfg)));
+    group.finish();
+}
+
+criterion_group!(paper, benches);
+criterion_main!(paper);

@@ -1,0 +1,21 @@
+//! Regenerates Figs. 13-15 (boot-time CDFs) of the paper.
+
+use bench::{bench_config, print_figure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{figures, ExperimentId};
+
+fn benches(c: &mut Criterion) {
+    let cfg = bench_config();
+    print_figure(ExperimentId::Fig13BootContainers);
+    print_figure(ExperimentId::Fig14BootHypervisors);
+    print_figure(ExperimentId::Fig15BootOsv);
+    let mut group = c.benchmark_group("fig13_15_startup");
+    group.sample_size(10);
+    group.bench_function("fig13_boot_containers", |b| b.iter(|| figures::run(ExperimentId::Fig13BootContainers, &cfg)));
+    group.bench_function("fig14_boot_hypervisors", |b| b.iter(|| figures::run(ExperimentId::Fig14BootHypervisors, &cfg)));
+    group.bench_function("fig15_boot_osv", |b| b.iter(|| figures::run(ExperimentId::Fig15BootOsv, &cfg)));
+    group.finish();
+}
+
+criterion_group!(paper, benches);
+criterion_main!(paper);

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 16 (Memcached YCSB workload A) of the paper.
+
+use bench::{bench_config, print_figure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{figures, ExperimentId};
+
+fn benches(c: &mut Criterion) {
+    let cfg = bench_config();
+    print_figure(ExperimentId::Fig16Memcached);
+    let mut group = c.benchmark_group("fig16_memcached");
+    group.sample_size(10);
+    group.bench_function("fig16_memcached", |b| b.iter(|| figures::run(ExperimentId::Fig16Memcached, &cfg)));
+    group.finish();
+}
+
+criterion_group!(paper, benches);
+criterion_main!(paper);

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 17 (MySQL sysbench oltp_read_write) of the paper.
+
+use bench::{bench_config, print_figure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{figures, ExperimentId};
+
+fn benches(c: &mut Criterion) {
+    let cfg = bench_config();
+    print_figure(ExperimentId::Fig17Mysql);
+    let mut group = c.benchmark_group("fig17_mysql");
+    group.sample_size(10);
+    group.bench_function("fig17_mysql", |b| b.iter(|| figures::run(ExperimentId::Fig17Mysql, &cfg)));
+    group.finish();
+}
+
+criterion_group!(paper, benches);
+criterion_main!(paper);

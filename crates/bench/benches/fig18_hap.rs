@@ -1,0 +1,17 @@
+//! Regenerates Fig. 18 (extended HAP metric) of the paper.
+
+use bench::{bench_config, print_figure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{figures, ExperimentId};
+
+fn benches(c: &mut Criterion) {
+    let cfg = bench_config();
+    print_figure(ExperimentId::Fig18Hap);
+    let mut group = c.benchmark_group("fig18_hap");
+    group.sample_size(10);
+    group.bench_function("fig18_hap", |b| b.iter(|| figures::run(ExperimentId::Fig18Hap, &cfg)));
+    group.finish();
+}
+
+criterion_group!(paper, benches);
+criterion_main!(paper);

@@ -1,0 +1,35 @@
+//! Shared helpers for the Criterion benchmark targets.
+//!
+//! Each bench target regenerates one (or a small group of) paper figures
+//! and prints the resulting table, so `cargo bench` both measures the
+//! harness and emits the reproduced rows/series.
+
+#![warn(missing_docs)]
+
+use harness::{figures, report, ExperimentId, RunConfig};
+
+/// The configuration the bench targets use: quick mode with a fixed seed so
+/// the printed tables are stable across runs.
+pub fn bench_config() -> RunConfig {
+    let mut cfg = RunConfig::quick(2021);
+    cfg.runs = 2;
+    cfg.startups = 40;
+    cfg
+}
+
+/// Regenerates a figure and prints its markdown table once.
+pub fn print_figure(experiment: ExperimentId) {
+    let fig = figures::run(experiment, &bench_config());
+    println!("\n{}", report::to_markdown(&fig));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_small() {
+        assert!(bench_config().quick);
+        assert!(bench_config().runs <= 3);
+    }
+}

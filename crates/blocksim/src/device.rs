@@ -1,0 +1,92 @@
+//! The physical block device at the bottom of every storage stack.
+
+use serde::{Deserialize, Serialize};
+use simcore::{Bandwidth, Nanos};
+
+/// A physical block device (the paper's dedicated fast NVMe SSD).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockDevice {
+    /// Sustained sequential read bandwidth.
+    pub seq_read_bandwidth: Bandwidth,
+    /// Sustained sequential write bandwidth.
+    pub seq_write_bandwidth: Bandwidth,
+    /// 4 KiB random read latency (device service time, no queueing).
+    pub rand_read_latency: Nanos,
+    /// 4 KiB random write latency (into the device write cache).
+    pub rand_write_latency: Nanos,
+    /// Maximum sustainable 4 KiB IOPS.
+    pub max_iops: u64,
+}
+
+impl BlockDevice {
+    /// The dedicated NVMe SSD of the paper's testbed.
+    pub fn nvme_testbed() -> Self {
+        BlockDevice {
+            seq_read_bandwidth: Bandwidth::from_mib_per_sec(3_200.0),
+            seq_write_bandwidth: Bandwidth::from_mib_per_sec(2_900.0),
+            rand_read_latency: Nanos::from_micros(85),
+            rand_write_latency: Nanos::from_micros(25),
+            max_iops: 600_000,
+        }
+    }
+
+    /// Sequential bandwidth for the given direction.
+    pub fn seq_bandwidth(&self, write: bool) -> Bandwidth {
+        if write {
+            self.seq_write_bandwidth
+        } else {
+            self.seq_read_bandwidth
+        }
+    }
+
+    /// Device service latency for one small random request.
+    pub fn random_latency(&self, write: bool) -> Nanos {
+        if write {
+            self.rand_write_latency
+        } else {
+            self.rand_read_latency
+        }
+    }
+
+    /// Time for the device to transfer one request of `bytes` sequentially.
+    pub fn transfer_time(&self, bytes: u64, write: bool) -> Nanos {
+        self.seq_bandwidth(write).transfer_time(bytes)
+    }
+}
+
+impl Default for BlockDevice {
+    fn default() -> Self {
+        Self::nvme_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_is_a_fast_nvme() {
+        let d = BlockDevice::nvme_testbed();
+        assert!(d.seq_read_bandwidth.mib_per_sec() >= 3_000.0);
+        assert!(d.rand_read_latency.as_micros_f64() < 150.0);
+        assert!(d.max_iops >= 500_000);
+    }
+
+    #[test]
+    fn writes_are_slower_sequentially_but_faster_randomly() {
+        let d = BlockDevice::nvme_testbed();
+        assert!(d.seq_bandwidth(true).bytes_per_sec() < d.seq_bandwidth(false).bytes_per_sec());
+        // Random writes land in the device cache and complete faster than
+        // random reads, as on real NVMe hardware.
+        assert!(d.random_latency(true) < d.random_latency(false));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let d = BlockDevice::nvme_testbed();
+        let small = d.transfer_time(128 * 1024, false);
+        let large = d.transfer_time(1024 * 1024, false);
+        assert!(large > small * 7);
+        assert!(large < small * 9);
+    }
+}

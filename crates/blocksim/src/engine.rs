@@ -1,0 +1,69 @@
+//! I/O submission engines.
+//!
+//! The paper uses fio's `libaio` engine for all block benchmarks and notes
+//! that OSv has no working libaio implementation (one of the reasons it is
+//! excluded from the I/O figures). The engine determines how many requests
+//! can be in flight and the per-request submission cost.
+
+use serde::{Deserialize, Serialize};
+use simcore::Nanos;
+
+/// An I/O submission engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoEngine {
+    /// Linux native AIO (`io_submit`/`io_getevents`).
+    Libaio,
+    /// Synchronous positional reads/writes (`pread`/`pwrite`).
+    Psync,
+}
+
+impl IoEngine {
+    /// Per-request submission/completion CPU cost (syscalls, ring
+    /// management), excluding the device time.
+    pub fn per_request_overhead(self) -> Nanos {
+        match self {
+            IoEngine::Libaio => Nanos::from_micros(2),
+            IoEngine::Psync => Nanos::from_nanos(1_200),
+        }
+    }
+
+    /// Effective number of requests the engine keeps in flight given the
+    /// requested queue depth.
+    pub fn effective_depth(self, requested: u32) -> u32 {
+        match self {
+            IoEngine::Libaio => requested.max(1),
+            IoEngine::Psync => 1,
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoEngine::Libaio => "libaio",
+            IoEngine::Psync => "psync",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn libaio_honours_queue_depth_psync_does_not() {
+        assert_eq!(IoEngine::Libaio.effective_depth(32), 32);
+        assert_eq!(IoEngine::Psync.effective_depth(32), 1);
+        assert_eq!(IoEngine::Libaio.effective_depth(0), 1);
+    }
+
+    #[test]
+    fn psync_has_lower_per_request_cost() {
+        assert!(IoEngine::Psync.per_request_overhead() < IoEngine::Libaio.per_request_overhead());
+    }
+
+    #[test]
+    fn labels_match() {
+        assert_eq!(IoEngine::Libaio.label(), "libaio");
+        assert_eq!(IoEngine::Psync.label(), "psync");
+    }
+}

@@ -1,0 +1,204 @@
+//! Storage layers a request traverses between the guest and the device.
+//!
+//! Each isolation platform attaches its storage differently: Docker passes
+//! a bind mount, LXC recreates its container in a ZFS pool, hypervisors
+//! attach the target medium as an extra virtio-blk drive, Kata shares the
+//! host directory over 9p (or virtio-fs), and gVisor routes every I/O
+//! syscall through the Sentry to the Gofer process over 9p. Each layer
+//! contributes per-request latency, a bandwidth efficiency factor, and a
+//! set of host kernel functions for the HAP trace.
+
+use serde::{Deserialize, Serialize};
+use simcore::Nanos;
+
+/// One layer in a platform's storage path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageLayer {
+    /// A plain bind mount into the container (Docker `--volume`).
+    BindMount,
+    /// Docker's layered overlay filesystem (for the root filesystem).
+    OverlayFs,
+    /// The ZFS filesystem LXC uses for its storage pools.
+    Zfs,
+    /// A loop device exposing a host file as a guest block device.
+    LoopDevice,
+    /// A paravirtual virtio-blk queue between guest and VMM.
+    VirtioBlk,
+    /// The 9p shared filesystem (Kata's default shared rootfs transport,
+    /// and the protocol between gVisor's Sentry and Gofer).
+    NineP,
+    /// virtio-fs: FUSE over virtio with DAX, the faster replacement for 9p.
+    VirtioFs,
+    /// The gVisor Gofer process boundary (Sentry → Gofer IPC on top of 9p).
+    GoferBoundary,
+    /// The gVisor Sentry syscall interception layer for I/O system calls.
+    SentryIntercept,
+}
+
+impl StorageLayer {
+    /// Per-request latency added by this layer.
+    pub fn per_request_latency(self) -> Nanos {
+        match self {
+            StorageLayer::BindMount => Nanos::from_nanos(150),
+            StorageLayer::OverlayFs => Nanos::from_nanos(700),
+            StorageLayer::Zfs => Nanos::from_micros(3),
+            StorageLayer::LoopDevice => Nanos::from_micros(4),
+            StorageLayer::VirtioBlk => Nanos::from_micros(10),
+            StorageLayer::NineP => Nanos::from_micros(120),
+            StorageLayer::VirtioFs => Nanos::from_micros(18),
+            StorageLayer::GoferBoundary => Nanos::from_micros(70),
+            StorageLayer::SentryIntercept => Nanos::from_micros(12),
+        }
+    }
+
+    /// Multiplicative throughput efficiency of the layer for large
+    /// streaming transfers (1.0 = transparent).
+    pub fn throughput_efficiency(self) -> f64 {
+        match self {
+            StorageLayer::BindMount => 1.0,
+            StorageLayer::OverlayFs => 0.97,
+            StorageLayer::Zfs => 0.93,
+            StorageLayer::LoopDevice => 0.95,
+            StorageLayer::VirtioBlk => 0.96,
+            StorageLayer::NineP => 0.55,
+            StorageLayer::VirtioFs => 0.92,
+            StorageLayer::GoferBoundary => 0.80,
+            StorageLayer::SentryIntercept => 0.90,
+        }
+    }
+
+    /// Whether the layer swallows the `O_DIRECT` flag so that it no longer
+    /// reaches the host block layer (the Section 3.3 caching pitfall:
+    /// loop-device-backed guest images do not propagate `direct`).
+    pub fn swallows_direct_flag(self) -> bool {
+        matches!(
+            self,
+            StorageLayer::LoopDevice | StorageLayer::NineP | StorageLayer::GoferBoundary
+        )
+    }
+
+    /// Host kernel functions this layer causes to run per request batch.
+    pub fn host_functions(self) -> &'static [&'static str] {
+        match self {
+            StorageLayer::BindMount => &["vfs_read", "vfs_write", "lookup_fast"],
+            StorageLayer::OverlayFs => &["ovl_open", "ovl_read_iter", "ovl_write_iter", "ovl_lookup"],
+            StorageLayer::Zfs => &["zpl_read", "zpl_write", "zfs_read", "zfs_write"],
+            StorageLayer::LoopDevice => &["loop_queue_rq", "lo_rw_aio", "submit_bio"],
+            StorageLayer::VirtioBlk => &[
+                "ioeventfd_write",
+                "eventfd_signal",
+                "irqfd_wakeup",
+                "submit_bio",
+                "blk_mq_submit_bio",
+                "nvme_queue_rq",
+            ],
+            StorageLayer::NineP => &[
+                "p9_client_rpc",
+                "p9_client_read",
+                "p9_client_write",
+                "v9fs_vfs_lookup",
+                "v9fs_file_read_iter",
+                "v9fs_file_write_iter",
+                "unix_stream_sendmsg",
+                "unix_stream_recvmsg",
+            ],
+            StorageLayer::VirtioFs => &[
+                "fuse_simple_request",
+                "fuse_file_read_iter",
+                "fuse_file_write_iter",
+                "fuse_do_getattr",
+            ],
+            StorageLayer::GoferBoundary => &[
+                "unix_stream_sendmsg",
+                "unix_stream_recvmsg",
+                "vfs_read",
+                "vfs_write",
+                "do_sys_openat2",
+            ],
+            StorageLayer::SentryIntercept => &["seccomp_filter", "__seccomp_filter", "seccomp_run_filters"],
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageLayer::BindMount => "bind-mount",
+            StorageLayer::OverlayFs => "overlayfs",
+            StorageLayer::Zfs => "zfs",
+            StorageLayer::LoopDevice => "loop",
+            StorageLayer::VirtioBlk => "virtio-blk",
+            StorageLayer::NineP => "9p",
+            StorageLayer::VirtioFs => "virtio-fs",
+            StorageLayer::GoferBoundary => "gofer",
+            StorageLayer::SentryIntercept => "sentry",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oskern::kernel_fn::KernelFunctionRegistry;
+
+    const ALL: &[StorageLayer] = &[
+        StorageLayer::BindMount,
+        StorageLayer::OverlayFs,
+        StorageLayer::Zfs,
+        StorageLayer::LoopDevice,
+        StorageLayer::VirtioBlk,
+        StorageLayer::NineP,
+        StorageLayer::VirtioFs,
+        StorageLayer::GoferBoundary,
+        StorageLayer::SentryIntercept,
+    ];
+
+    #[test]
+    fn nine_p_is_the_least_efficient_shared_fs() {
+        assert!(
+            StorageLayer::NineP.throughput_efficiency()
+                < StorageLayer::VirtioFs.throughput_efficiency()
+        );
+        assert!(
+            StorageLayer::NineP.per_request_latency() > StorageLayer::VirtioFs.per_request_latency()
+        );
+    }
+
+    #[test]
+    fn bind_mount_is_nearly_transparent() {
+        assert!(StorageLayer::BindMount.throughput_efficiency() > 0.99);
+        assert!(StorageLayer::BindMount.per_request_latency().as_micros_f64() < 1.0);
+    }
+
+    #[test]
+    fn direct_flag_propagation_matches_architecture() {
+        assert!(StorageLayer::LoopDevice.swallows_direct_flag());
+        assert!(StorageLayer::NineP.swallows_direct_flag());
+        assert!(!StorageLayer::VirtioBlk.swallows_direct_flag());
+        assert!(!StorageLayer::BindMount.swallows_direct_flag());
+    }
+
+    #[test]
+    fn all_host_functions_are_registered() {
+        let reg = KernelFunctionRegistry::standard();
+        for layer in ALL {
+            assert!(!layer.host_functions().is_empty());
+            for f in layer.host_functions() {
+                assert!(reg.contains(f), "{layer:?} references unknown {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn efficiencies_are_valid_fractions() {
+        for layer in ALL {
+            let e = layer.throughput_efficiency();
+            assert!(e > 0.0 && e <= 1.0, "{layer:?} efficiency {e}");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::BTreeSet<_> = ALL.iter().map(|l| l.label()).collect();
+        assert_eq!(labels.len(), ALL.len());
+    }
+}

@@ -1,0 +1,33 @@
+//! # blocksim
+//!
+//! Block-I/O path simulation behind the fio experiments (Figs. 9 and 10)
+//! and the storage component of the MySQL experiment.
+//!
+//! A platform's storage path is modeled as a [`StorageStack`]: the physical
+//! NVMe [`device::BlockDevice`] at the bottom, a host page cache, zero or
+//! more [`layers::StorageLayer`]s a request traverses (overlayfs, ZFS, loop
+//! devices, virtio-blk, 9p, virtio-fs, the gVisor Gofer), and optionally a
+//! guest page cache when a second kernel is present. This structure
+//! reproduces the paper's two key I/O observations:
+//!
+//! * secure containers (gVisor, Kata with 9p) lose half or more of the
+//!   native throughput to their shared-filesystem layers, while
+//!   `virtio-fs` recovers it (Findings 6–8);
+//! * with two kernels, `direct=1` only bypasses the *guest* cache, so fio
+//!   results are inflated unless the host cache is dropped before each run
+//!   (the caching pitfall of Section 3.3).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod device;
+pub mod engine;
+pub mod layers;
+pub mod request;
+pub mod stack;
+
+pub use device::BlockDevice;
+pub use engine::IoEngine;
+pub use layers::StorageLayer;
+pub use request::{IoPattern, IoProfile};
+pub use stack::{IoOutcome, StorageStack};

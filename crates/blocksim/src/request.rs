@@ -1,0 +1,136 @@
+//! I/O access patterns and benchmark profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// The access pattern of an I/O benchmark phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoPattern {
+    /// Sequential reads.
+    SeqRead,
+    /// Sequential writes.
+    SeqWrite,
+    /// Random reads.
+    RandRead,
+    /// Random writes.
+    RandWrite,
+}
+
+impl IoPattern {
+    /// Whether the pattern writes data.
+    pub fn is_write(self) -> bool {
+        matches!(self, IoPattern::SeqWrite | IoPattern::RandWrite)
+    }
+
+    /// Whether the pattern is sequential.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, IoPattern::SeqRead | IoPattern::SeqWrite)
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoPattern::SeqRead => "seq_read",
+            IoPattern::SeqWrite => "seq_write",
+            IoPattern::RandRead => "rand_read",
+            IoPattern::RandWrite => "rand_write",
+        }
+    }
+}
+
+/// A description of one fio-style benchmark phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoProfile {
+    /// Access pattern.
+    pub pattern: IoPattern,
+    /// Block size per request in bytes.
+    pub block_size: u64,
+    /// Total bytes transferred by the phase.
+    pub total_bytes: u64,
+    /// Whether `direct=1` (O_DIRECT) is requested.
+    pub direct: bool,
+    /// I/O depth (outstanding requests) of the submitting engine.
+    pub queue_depth: u32,
+}
+
+impl IoProfile {
+    /// The paper's throughput phase: 128 KiB blocks, direct, libaio-style
+    /// queue depth, over a file twice the guest memory size.
+    pub fn paper_throughput(pattern: IoPattern, guest_memory_bytes: u64) -> Self {
+        IoProfile {
+            pattern,
+            block_size: 128 * 1024,
+            total_bytes: guest_memory_bytes.saturating_mul(2),
+            direct: true,
+            queue_depth: 32,
+        }
+    }
+
+    /// The paper's latency phase: 4 KiB random reads, direct, shallow queue.
+    pub fn paper_randread_latency(guest_memory_bytes: u64) -> Self {
+        IoProfile {
+            pattern: IoPattern::RandRead,
+            block_size: 4 * 1024,
+            total_bytes: guest_memory_bytes,
+            direct: true,
+            queue_depth: 1,
+        }
+    }
+
+    /// Number of requests issued by the phase.
+    pub fn request_count(&self) -> u64 {
+        if self.block_size == 0 {
+            0
+        } else {
+            self.total_bytes / self.block_size
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_classification() {
+        assert!(IoPattern::SeqWrite.is_write());
+        assert!(!IoPattern::RandRead.is_write());
+        assert!(IoPattern::SeqRead.is_sequential());
+        assert!(!IoPattern::RandWrite.is_sequential());
+    }
+
+    #[test]
+    fn paper_profiles_match_description() {
+        let t = IoProfile::paper_throughput(IoPattern::SeqRead, 4 << 30);
+        assert_eq!(t.block_size, 128 * 1024);
+        assert_eq!(t.total_bytes, 8 << 30);
+        assert!(t.direct);
+        let l = IoProfile::paper_randread_latency(4 << 30);
+        assert_eq!(l.block_size, 4096);
+        assert_eq!(l.queue_depth, 1);
+    }
+
+    #[test]
+    fn request_count_divides_total() {
+        let t = IoProfile::paper_throughput(IoPattern::SeqRead, 1 << 30);
+        assert_eq!(t.request_count(), (2 << 30) / (128 * 1024));
+        let zero = IoProfile {
+            block_size: 0,
+            ..t
+        };
+        assert_eq!(zero.request_count(), 0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::BTreeSet<_> = [
+            IoPattern::SeqRead,
+            IoPattern::SeqWrite,
+            IoPattern::RandRead,
+            IoPattern::RandWrite,
+        ]
+        .iter()
+        .map(|p| p.label())
+        .collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

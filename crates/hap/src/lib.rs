@@ -1,0 +1,33 @@
+//! # hap
+//!
+//! The extended Horizontal Attack Profile (HAP) metric of Section 4.
+//!
+//! The HAP approximates the degree of isolation by counting how many host
+//! kernel functions a platform causes to execute while running a workload
+//! suite (Sysbench CPU/memory/I/O, iperf3, and a start/stop cycle). The
+//! paper extends the metric by weighting each function with an
+//! EPSS-style exploitability score, so that touching an exploit-prone
+//! subsystem counts for more than touching a well-hardened one.
+//!
+//! ```
+//! use hap::{HapSuite, EpssModel};
+//! use platforms::PlatformId;
+//!
+//! let suite = HapSuite::quick();
+//! let osv = suite.profile(&PlatformId::OsvQemu.build());
+//! let firecracker = suite.profile(&PlatformId::Firecracker.build());
+//! assert!(osv.distinct_functions < firecracker.distinct_functions);
+//! let epss = EpssModel::default();
+//! assert!(epss.score("tcp_sendmsg") > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod epss;
+pub mod score;
+pub mod suite;
+
+pub use epss::EpssModel;
+pub use score::HapProfile;
+pub use suite::HapSuite;

@@ -1,0 +1,71 @@
+//! The HAP profile computed from a kernel trace.
+
+use std::collections::BTreeMap;
+
+use oskern::ftrace::KernelTrace;
+use oskern::kernel_fn::{KernelFunctionRegistry, KernelSubsystem};
+use serde::{Deserialize, Serialize};
+
+use crate::epss::EpssModel;
+
+/// The (extended) HAP of one platform under the tracing workload suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HapProfile {
+    /// Platform label.
+    pub platform: String,
+    /// The classic HAP quantity: number of distinct host kernel functions
+    /// invoked.
+    pub distinct_functions: usize,
+    /// Total number of invocations (not part of the HAP, but reported).
+    pub total_invocations: u64,
+    /// The extended HAP: sum of EPSS scores over the distinct functions.
+    pub weighted_score: f64,
+    /// Distinct functions per kernel subsystem.
+    pub by_subsystem: BTreeMap<KernelSubsystem, usize>,
+}
+
+impl HapProfile {
+    /// Computes the profile from a trace.
+    pub fn from_trace(platform: &str, trace: &KernelTrace, epss: &EpssModel) -> Self {
+        let registry = KernelFunctionRegistry::standard();
+        let weighted_score = trace.iter().map(|(name, _)| epss.score(name)).sum();
+        HapProfile {
+            platform: platform.to_string(),
+            distinct_functions: trace.distinct_functions(),
+            total_invocations: trace.total_invocations(),
+            weighted_score,
+            by_subsystem: trace.distinct_by_subsystem(&registry),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_counts_and_weights_follow_the_trace() {
+        let mut trace = KernelTrace::new();
+        trace.hit("tcp_sendmsg", 100);
+        trace.hit("tcp_recvmsg", 50);
+        trace.hit("schedule", 1);
+        let profile = HapProfile::from_trace("demo", &trace, &EpssModel::default());
+        assert_eq!(profile.distinct_functions, 3);
+        assert_eq!(profile.total_invocations, 151);
+        assert!(profile.weighted_score > 0.0);
+        assert_eq!(profile.by_subsystem.get(&KernelSubsystem::Network), Some(&2));
+    }
+
+    #[test]
+    fn more_functions_means_a_larger_weighted_score() {
+        let epss = EpssModel::default();
+        let mut small = KernelTrace::new();
+        small.hit("schedule", 10);
+        let mut big = small.clone();
+        big.hit("tcp_sendmsg", 1);
+        big.hit("handle_mm_fault", 1);
+        let s = HapProfile::from_trace("small", &small, &epss);
+        let b = HapProfile::from_trace("big", &big, &epss);
+        assert!(b.weighted_score > s.weighted_score);
+    }
+}

@@ -1,0 +1,65 @@
+//! Run configuration shared by every experiment.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one harness invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Root seed; every platform/run derives its stream from it.
+    pub seed: u64,
+    /// Repetitions for the figures the paper repeats 10 times.
+    pub runs: usize,
+    /// Startups per platform for the boot-time CDFs (paper: 300).
+    pub startups: usize,
+    /// Whether macro-benchmarks (YCSB, OLTP) use their scaled-down quick
+    /// configurations.
+    pub quick: bool,
+}
+
+impl RunConfig {
+    /// The paper-faithful configuration (10 runs, 300 startups).
+    pub fn paper(seed: u64) -> Self {
+        RunConfig {
+            seed,
+            runs: 10,
+            startups: 300,
+            quick: false,
+        }
+    }
+
+    /// A fast configuration for tests, examples and CI.
+    pub fn quick(seed: u64) -> Self {
+        RunConfig {
+            seed,
+            runs: 3,
+            startups: 60,
+            quick: true,
+        }
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig::quick(2021)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_the_methodology() {
+        let cfg = RunConfig::paper(1);
+        assert_eq!(cfg.runs, 10);
+        assert_eq!(cfg.startups, 300);
+        assert!(!cfg.quick);
+    }
+
+    #[test]
+    fn quick_config_is_smaller() {
+        let cfg = RunConfig::quick(1);
+        assert!(cfg.runs < RunConfig::paper(1).runs);
+        assert!(cfg.startups < RunConfig::paper(1).startups);
+    }
+}

@@ -1,0 +1,244 @@
+//! Machine-checkable versions of the paper's key findings.
+//!
+//! Each check re-derives one of the paper's numbered findings (or
+//! conclusions) from freshly generated figure data, so `cargo test` (and
+//! the `findings_check` example) verifies that the reproduction still
+//! exhibits the published behaviour.
+
+use crate::config::RunConfig;
+use crate::experiment::ExperimentId;
+use crate::figures;
+
+/// The outcome of one finding check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FindingCheck {
+    /// Identifier, e.g. "finding-01".
+    pub id: &'static str,
+    /// What the paper claims.
+    pub claim: &'static str,
+    /// Whether the regenerated data supports the claim.
+    pub passed: bool,
+    /// A short explanation with the relevant numbers.
+    pub detail: String,
+}
+
+fn check(id: &'static str, claim: &'static str, passed: bool, detail: String) -> FindingCheck {
+    FindingCheck {
+        id,
+        claim,
+        passed,
+        detail,
+    }
+}
+
+/// Runs all implemented finding checks using the given configuration.
+pub fn check_findings(cfg: &RunConfig) -> Vec<FindingCheck> {
+    let mut out = Vec::new();
+
+    // Finding 1 / 2: prime benchmark equal everywhere, ffmpeg penalises
+    // custom schedulers.
+    let prime = figures::run(ExperimentId::SysbenchPrime, cfg);
+    let ffmpeg = figures::run(ExperimentId::Fig05Ffmpeg, cfg);
+    {
+        let s = &prime.series[0];
+        let native = s.mean_of("native").unwrap_or(0.0);
+        let spread = s
+            .points
+            .iter()
+            .map(|p| (p.mean - native).abs() / native)
+            .fold(0.0f64, f64::max);
+        out.push(check(
+            "finding-01",
+            "basic CPU-bound work shows no overhead on any platform",
+            spread < 0.1,
+            format!("max deviation from native {:.1}%", spread * 100.0),
+        ));
+        let f = &ffmpeg.series[0];
+        let native_ms = f.mean_of("native").unwrap_or(0.0);
+        let osv_ms = f.mean_of("osv").unwrap_or(0.0);
+        out.push(check(
+            "finding-01b",
+            "complex SIMD/thread-heavy encoding penalises custom schedulers (OSv)",
+            osv_ms > native_ms * 1.4,
+            format!("osv {osv_ms:.0} ms vs native {native_ms:.0} ms"),
+        ));
+    }
+
+    // Finding 3/4: Kata memory not impaired; Firecracker is the outlier.
+    let latency = figures::run(ExperimentId::Fig06MemLatency, cfg);
+    {
+        let last = |label: &str| {
+            latency
+                .series_named(label)
+                .and_then(|s| s.points.last())
+                .map(|p| p.mean)
+                .unwrap_or(0.0)
+        };
+        let native = last("native");
+        out.push(check(
+            "finding-03",
+            "Kata (QEMU NVDIMM) memory latency is not significantly impaired",
+            last("kata") < native * 1.15,
+            format!("kata {:.0} ns vs native {:.0} ns", last("kata"), native),
+        ));
+        out.push(check(
+            "finding-04",
+            "Firecracker is the memory latency outlier, ahead of Cloud Hypervisor",
+            last("firecracker") > last("cloud-hypervisor")
+                && last("cloud-hypervisor") > native,
+            format!(
+                "fc {:.0} ns, chv {:.0} ns, native {:.0} ns",
+                last("firecracker"),
+                last("cloud-hypervisor"),
+                native
+            ),
+        ));
+    }
+
+    // Findings 6/7: I/O of secure containers suffers; virtio-fs fixes Kata.
+    let fio_lat = figures::run(ExperimentId::Fig10FioLatency, cfg);
+    {
+        let s = &fio_lat.series[0];
+        let kata = s.mean_of("kata").unwrap_or(0.0);
+        let kata_vfs = s.mean_of("kata-virtiofs").unwrap_or(f64::MAX);
+        let qemu = s.mean_of("qemu").unwrap_or(0.0);
+        out.push(check(
+            "finding-06",
+            "Kata (9p) random-read latency is exceptionally poor",
+            kata > qemu * 1.5,
+            format!("kata {kata:.0} us vs qemu {qemu:.0} us"),
+        ));
+        out.push(check(
+            "finding-07",
+            "virtio-fs significantly outperforms 9p for Kata",
+            kata_vfs < kata * 0.7,
+            format!("kata-virtiofs {kata_vfs:.0} us vs kata {kata:.0} us"),
+        ));
+    }
+
+    // Findings 10-12 / network: bridges ~10%, hypervisors ~25%, gVisor outlier.
+    let iperf = figures::run(ExperimentId::Fig11Iperf, cfg);
+    {
+        let s = &iperf.series[0];
+        let native = s.mean_of("native").unwrap_or(0.0);
+        let docker = s.mean_of("docker").unwrap_or(0.0);
+        let qemu = s.mean_of("qemu").unwrap_or(0.0);
+        let osv = s.mean_of("osv").unwrap_or(0.0);
+        let gvisor = s.mean_of("gvisor").unwrap_or(0.0);
+        out.push(check(
+            "network-bridge",
+            "bridge-based containers lose roughly 10% of native throughput",
+            (0.05..0.15).contains(&(1.0 - docker / native)),
+            format!("docker {docker:.1} vs native {native:.1} Gbit/s"),
+        ));
+        out.push(check(
+            "network-hypervisor",
+            "TAP+virtio hypervisors lose roughly 25%, while OSv under QEMU is ~25% above QEMU",
+            (0.18..0.32).contains(&(1.0 - qemu / native)) && osv / qemu > 1.18,
+            format!("qemu {qemu:.1}, osv {osv:.1}, native {native:.1} Gbit/s"),
+        ));
+        out.push(check(
+            "finding-12",
+            "gVisor is an extreme network outlier",
+            gvisor < native * 0.25,
+            format!("gvisor {gvisor:.1} vs native {native:.1} Gbit/s"),
+        ));
+    }
+
+    // Findings 13-15: boot times.
+    let containers = figures::run(ExperimentId::Fig13BootContainers, cfg);
+    let hypervisors = figures::run(ExperimentId::Fig14BootHypervisors, cfg);
+    let osv_boot = figures::run(ExperimentId::Fig15BootOsv, cfg);
+    {
+        let median = |fig: &crate::experiment::FigureData, label: &str| {
+            fig.series_named(label)
+                .and_then(|s| s.points.iter().find(|p| p.x_value == 50.0))
+                .map(|p| p.mean)
+                .unwrap_or(0.0)
+        };
+        let docker = median(&containers, "runc (oci)");
+        let kata = median(&containers, "kata (oci)");
+        let lxc = median(&containers, "lxc");
+        out.push(check(
+            "finding-13",
+            "containers boot fast except Kata and LXC (>600 ms)",
+            docker < 200.0 && kata > 500.0 && lxc > 600.0,
+            format!("docker {docker:.0} ms, kata {kata:.0} ms, lxc {lxc:.0} ms"),
+        ));
+        let fc = median(&hypervisors, "firecracker");
+        let chv = median(&hypervisors, "cloud-hypervisor");
+        let microvm = median(&hypervisors, "qemu-microvm");
+        out.push(check(
+            "finding-14",
+            "Firecracker boots slowest of the three hypervisors; Cloud Hypervisor fastest; QEMU-microvm slowest overall",
+            chv < fc && fc < microvm,
+            format!("chv {chv:.0} ms, fc {fc:.0} ms, microvm {microvm:.0} ms"),
+        ));
+        let osv_fc = median(&osv_boot, "osv-fc (e2e)");
+        let osv_qemu = median(&osv_boot, "osv-qemu (e2e)");
+        out.push(check(
+            "finding-15",
+            "OSv boots as fast as containers and its boot time depends on the hypervisor",
+            osv_fc < 250.0 && osv_fc < osv_qemu,
+            format!("osv-fc {osv_fc:.0} ms vs osv-qemu {osv_qemu:.0} ms"),
+        ));
+    }
+
+    // Findings 24-27 / conclusions 8-9: the HAP ordering.
+    let hap = figures::run(ExperimentId::Fig18Hap, cfg);
+    {
+        let s = hap.series_named("distinct host kernel functions").unwrap();
+        let get = |label: &str| s.mean_of(label).unwrap_or(0.0);
+        let fc = get("firecracker");
+        let max_other = s
+            .points
+            .iter()
+            .filter(|p| p.x != "firecracker")
+            .map(|p| p.mean)
+            .fold(0.0f64, f64::max);
+        out.push(check(
+            "finding-24",
+            "Firecracker calls into the host kernel most often of all platforms",
+            fc > max_other,
+            format!("firecracker {fc:.0} vs next {max_other:.0}"),
+        ));
+        out.push(check(
+            "finding-25",
+            "Cloud Hypervisor invokes far fewer host functions than the other hypervisors",
+            get("cloud-hypervisor") < get("qemu") && get("cloud-hypervisor") < fc,
+            format!("chv {:.0}, qemu {:.0}, fc {fc:.0}", get("cloud-hypervisor"), get("qemu")),
+        ));
+        out.push(check(
+            "finding-26",
+            "secure containers have higher HAP than regular containers",
+            get("kata") > get("docker") && get("gvisor") > get("docker"),
+            format!("kata {:.0}, gvisor {:.0}, docker {:.0}", get("kata"), get("gvisor"), get("docker")),
+        ));
+        out.push(check(
+            "finding-27",
+            "OSv executes the fewest host kernel functions",
+            s.points.iter().all(|p| p.x == "osv" || p.x == "osv-fc" || p.mean > get("osv")),
+            format!("osv {:.0}", get("osv")),
+        ));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_finding_checks_pass_on_the_quick_configuration() {
+        let cfg = RunConfig::quick(2021);
+        let results = check_findings(&cfg);
+        assert!(results.len() >= 12);
+        let failed: Vec<_> = results.iter().filter(|c| !c.passed).collect();
+        assert!(
+            failed.is_empty(),
+            "failed findings: {:#?}",
+            failed
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! # harness
+//!
+//! The cross-platform isolation benchmark harness — the paper's primary
+//! artifact. It wires the workloads to the platform models and regenerates
+//! every figure of the evaluation section (Figs. 5–18), producing labelled
+//! data series, markdown/CSV reports, and machine-checkable versions of
+//! the paper's findings.
+//!
+//! ```
+//! use harness::{ExperimentId, RunConfig};
+//!
+//! let cfg = RunConfig::quick(42);
+//! let fig = harness::figures::run(ExperimentId::Fig11Iperf, &cfg);
+//! assert_eq!(fig.experiment, ExperimentId::Fig11Iperf);
+//! assert!(!fig.series.is_empty());
+//! println!("{}", harness::report::to_markdown(&fig));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod experiment;
+pub mod figures;
+pub mod findings;
+pub mod report;
+
+pub use config::RunConfig;
+pub use experiment::{DataPoint, ExperimentId, FigureData, Series};
+pub use findings::{check_findings, FindingCheck};

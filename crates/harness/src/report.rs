@@ -1,0 +1,90 @@
+//! Rendering figure data as markdown tables and CSV.
+
+use std::fmt::Write as _;
+
+use crate::experiment::FigureData;
+
+/// Renders a figure as a GitHub-flavoured markdown table (one row per x
+/// value, one mean/std column pair per series).
+pub fn to_markdown(fig: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {}", fig.title);
+    let _ = writeln!(out);
+    let mut header = String::from("| x |");
+    let mut rule = String::from("|---|");
+    for s in &fig.series {
+        let _ = write!(header, " {} (mean) | {} (std) |", s.label, s.label);
+        rule.push_str("---|---|");
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{rule}");
+    let xs: Vec<String> = fig
+        .series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.x.clone()).collect())
+        .unwrap_or_default();
+    for x in xs {
+        let mut row = format!("| {x} |");
+        for s in &fig.series {
+            match s.points.iter().find(|p| p.x == x) {
+                Some(p) => {
+                    let _ = write!(row, " {:.2} | {:.2} |", p.mean, p.std_dev);
+                }
+                None => row.push_str(" - | - |"),
+            }
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    out
+}
+
+/// Renders a figure as CSV (`series,x,x_value,mean,std_dev`).
+pub fn to_csv(fig: &FigureData) -> String {
+    let mut out = String::from("series,x,x_value,mean,std_dev\n");
+    for s in &fig.series {
+        for p in &s.points {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{}",
+                s.label.replace(',', ";"),
+                p.x.replace(',', ";"),
+                p.x_value,
+                p.mean,
+                p.std_dev
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{DataPoint, ExperimentId, Series};
+
+    fn sample_fig() -> FigureData {
+        let mut fig = FigureData::new(ExperimentId::Fig11Iperf);
+        let mut s = Series::new("throughput");
+        s.points.push(DataPoint::categorical("native", 37.28, 0.2));
+        s.points.push(DataPoint::categorical("gvisor", 5.1, 0.4));
+        fig.series.push(s);
+        fig
+    }
+
+    #[test]
+    fn markdown_contains_title_rows_and_values() {
+        let md = to_markdown(&sample_fig());
+        assert!(md.contains("### Fig. 11"));
+        assert!(md.contains("| native | 37.28 | 0.20 |"));
+        assert!(md.contains("| gvisor | 5.10 | 0.40 |"));
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_point() {
+        let csv = to_csv(&sample_fig());
+        let lines: Vec<_> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("series,"));
+        assert!(lines[1].contains("native"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # kvstore
+//!
+//! A Memcached-like in-memory key-value store.
+//!
+//! The paper benchmarks Memcached with YCSB "workload a" (50/50 reads and
+//! updates) on every isolation platform. The store here is the workload's
+//! server side: a sharded hash map with per-shard LRU eviction and a small
+//! text protocol, so the YCSB driver in the `workloads` crate exercises a
+//! real data structure (hashing, eviction, contention across shards)
+//! rather than a stub.
+//!
+//! ```
+//! use kvstore::{Store, StoreConfig};
+//!
+//! let store = Store::new(StoreConfig::default());
+//! store.set(b"user:1", b"alice".to_vec());
+//! assert_eq!(store.get(b"user:1").as_deref(), Some(&b"alice"[..]));
+//! assert!(store.delete(b"user:1"));
+//! assert!(store.get(b"user:1").is_none());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod protocol;
+pub mod shard;
+pub mod store;
+
+pub use protocol::{Command, ParseError, Response};
+pub use shard::Shard;
+pub use store::{Store, StoreConfig, StoreStats};

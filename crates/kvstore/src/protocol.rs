@@ -1,0 +1,215 @@
+//! A minimal Memcached-style text protocol.
+//!
+//! Only the three verbs the YCSB driver needs are implemented (`get`,
+//! `set`, `delete`), plus `stats`. The parser exists so the benchmark
+//! exercises a realistic request-handling path (parse → dispatch →
+//! serialize) rather than calling the store directly.
+
+use std::fmt;
+
+use crate::store::Store;
+
+/// A parsed client command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `get <key>`
+    Get {
+        /// Key to read.
+        key: Vec<u8>,
+    },
+    /// `set <key> <bytes>` followed by the value.
+    Set {
+        /// Key to write.
+        key: Vec<u8>,
+        /// Value to store.
+        value: Vec<u8>,
+    },
+    /// `delete <key>`
+    Delete {
+        /// Key to remove.
+        key: Vec<u8>,
+    },
+    /// `stats`
+    Stats,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Value found.
+    Value(Vec<u8>),
+    /// Key not found.
+    NotFound,
+    /// Mutation stored.
+    Stored,
+    /// Key deleted.
+    Deleted,
+    /// Stats summary line.
+    Stats(String),
+}
+
+/// Errors produced when parsing a request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The request line was empty.
+    Empty,
+    /// The verb is not one of `get`, `set`, `delete`, `stats`.
+    UnknownVerb(String),
+    /// The verb was recognized but its arguments are malformed.
+    BadArguments(&'static str),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty request"),
+            ParseError::UnknownVerb(v) => write!(f, "unknown verb: {v}"),
+            ParseError::BadArguments(msg) => write!(f, "bad arguments: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Command {
+    /// Parses a request. `set` requests carry their value on the line after
+    /// the header, mirroring the memcached text protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] when the request is empty, the verb is
+    /// unknown, or the arguments do not match the verb.
+    pub fn parse(request: &str) -> Result<Command, ParseError> {
+        let mut lines = request.lines();
+        let header = lines.next().ok_or(ParseError::Empty)?.trim();
+        if header.is_empty() {
+            return Err(ParseError::Empty);
+        }
+        let mut parts = header.split_whitespace();
+        let verb = parts.next().ok_or(ParseError::Empty)?;
+        match verb {
+            "get" => {
+                let key = parts.next().ok_or(ParseError::BadArguments("get needs a key"))?;
+                Ok(Command::Get {
+                    key: key.as_bytes().to_vec(),
+                })
+            }
+            "delete" => {
+                let key = parts
+                    .next()
+                    .ok_or(ParseError::BadArguments("delete needs a key"))?;
+                Ok(Command::Delete {
+                    key: key.as_bytes().to_vec(),
+                })
+            }
+            "set" => {
+                let key = parts.next().ok_or(ParseError::BadArguments("set needs a key"))?;
+                let len: usize = parts
+                    .next()
+                    .ok_or(ParseError::BadArguments("set needs a byte count"))?
+                    .parse()
+                    .map_err(|_| ParseError::BadArguments("byte count must be a number"))?;
+                let value = lines.next().unwrap_or("").as_bytes().to_vec();
+                if value.len() != len {
+                    return Err(ParseError::BadArguments("value length mismatch"));
+                }
+                Ok(Command::Set {
+                    key: key.as_bytes().to_vec(),
+                    value,
+                })
+            }
+            "stats" => Ok(Command::Stats),
+            other => Err(ParseError::UnknownVerb(other.to_string())),
+        }
+    }
+
+    /// Executes the command against a store.
+    pub fn execute(self, store: &Store) -> Response {
+        match self {
+            Command::Get { key } => match store.get(&key) {
+                Some(v) => Response::Value(v),
+                None => Response::NotFound,
+            },
+            Command::Set { key, value } => {
+                store.set(&key, value);
+                Response::Stored
+            }
+            Command::Delete { key } => {
+                if store.delete(&key) {
+                    Response::Deleted
+                } else {
+                    Response::NotFound
+                }
+            }
+            Command::Stats => {
+                let s = store.stats();
+                Response::Stats(format!(
+                    "entries={} bytes={} gets={} hits={} sets={} evictions={}",
+                    s.entries, s.bytes, s.gets, s.hits, s.sets, s.evictions
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+
+    #[test]
+    fn parse_and_execute_roundtrip() {
+        let store = Store::new(StoreConfig::default());
+        let set = Command::parse("set user:1 5\nalice").unwrap();
+        assert_eq!(set.execute(&store), Response::Stored);
+        let get = Command::parse("get user:1").unwrap();
+        assert_eq!(get.execute(&store), Response::Value(b"alice".to_vec()));
+        let del = Command::parse("delete user:1").unwrap();
+        assert_eq!(del.execute(&store), Response::Deleted);
+        assert_eq!(
+            Command::parse("get user:1").unwrap().execute(&store),
+            Response::NotFound
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_requests() {
+        assert_eq!(Command::parse(""), Err(ParseError::Empty));
+        assert!(matches!(
+            Command::parse("frobnicate x"),
+            Err(ParseError::UnknownVerb(_))
+        ));
+        assert!(matches!(
+            Command::parse("get"),
+            Err(ParseError::BadArguments(_))
+        ));
+        assert!(matches!(
+            Command::parse("set k notanumber\nv"),
+            Err(ParseError::BadArguments(_))
+        ));
+        assert!(matches!(
+            Command::parse("set k 10\nshort"),
+            Err(ParseError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn stats_command_reports_counters() {
+        let store = Store::new(StoreConfig::default());
+        store.set(b"a", b"1".to_vec());
+        store.get(b"a");
+        match Command::Stats.execute(&store) {
+            Response::Stats(s) => {
+                assert!(s.contains("entries=1"));
+                assert!(s.contains("hits=1"));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_error_display_is_informative() {
+        let err = Command::parse("bogus").unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+}

@@ -1,0 +1,173 @@
+//! A single store shard: hash map plus LRU eviction.
+
+use std::collections::{HashMap, VecDeque};
+
+/// One shard of the store. Shards are independently locked by the parent
+/// [`crate::Store`], so the shard itself is a plain single-threaded
+/// structure.
+#[derive(Debug, Default)]
+pub struct Shard {
+    map: HashMap<Vec<u8>, Entry>,
+    /// Approximate LRU order: keys are pushed on access; stale entries are
+    /// skipped during eviction (the classic "second chance" shortcut used
+    /// instead of a doubly linked list to keep the code simple).
+    lru: VecDeque<Vec<u8>>,
+    bytes: usize,
+    max_bytes: usize,
+    evictions: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    value: Vec<u8>,
+    touched: u64,
+}
+
+impl Shard {
+    /// Creates a shard bounded to `max_bytes` of value data.
+    pub fn new(max_bytes: usize) -> Self {
+        Shard {
+            map: HashMap::new(),
+            lru: VecDeque::new(),
+            bytes: 0,
+            max_bytes,
+            evictions: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the shard holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes of key+value data currently stored.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of entries evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks a key up, refreshing its LRU position.
+    pub fn get(&mut self, key: &[u8], tick: u64) -> Option<Vec<u8>> {
+        let entry = self.map.get_mut(key)?;
+        entry.touched = tick;
+        self.lru.push_back(key.to_vec());
+        Some(entry.value.clone())
+    }
+
+    /// Inserts or replaces a value; evicts least-recently-used entries if
+    /// the shard would exceed its byte budget. Returns `true` if the key
+    /// already existed.
+    pub fn set(&mut self, key: &[u8], value: Vec<u8>, tick: u64) -> bool {
+        let add = key.len() + value.len();
+        let existed = if let Some(old) = self.map.get(key) {
+            self.bytes -= key.len() + old.value.len();
+            true
+        } else {
+            false
+        };
+        self.bytes += add;
+        self.map.insert(
+            key.to_vec(),
+            Entry {
+                value,
+                touched: tick,
+            },
+        );
+        self.lru.push_back(key.to_vec());
+        self.evict_if_needed(tick);
+        existed
+    }
+
+    /// Removes a key; returns whether it existed.
+    pub fn delete(&mut self, key: &[u8]) -> bool {
+        if let Some(old) = self.map.remove(key) {
+            self.bytes -= key.len() + old.value.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn evict_if_needed(&mut self, _tick: u64) {
+        while self.bytes > self.max_bytes {
+            let Some(candidate) = self.lru.pop_front() else {
+                break;
+            };
+            if !self.map.contains_key(&candidate) {
+                // Key already deleted; drop the stale queue entry.
+                continue;
+            }
+            // If the key appears again later in the queue it was accessed
+            // after this queue entry was pushed — give it a second chance.
+            if self.lru.iter().any(|k| k == &candidate) {
+                continue;
+            }
+            if let Some(old) = self.map.remove(&candidate) {
+                self.bytes -= candidate.len() + old.value.len();
+                self.evictions += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_delete_roundtrip() {
+        let mut s = Shard::new(1 << 20);
+        assert!(!s.set(b"k", b"v1".to_vec(), 1));
+        assert!(s.set(b"k", b"v2".to_vec(), 2));
+        assert_eq!(s.get(b"k", 3), Some(b"v2".to_vec()));
+        assert!(s.delete(b"k"));
+        assert!(!s.delete(b"k"));
+        assert!(s.get(b"k", 4).is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn byte_accounting_tracks_replacements() {
+        let mut s = Shard::new(1 << 20);
+        s.set(b"key", vec![0u8; 100], 1);
+        assert_eq!(s.bytes(), 103);
+        s.set(b"key", vec![0u8; 10], 2);
+        assert_eq!(s.bytes(), 13);
+        s.delete(b"key");
+        assert_eq!(s.bytes(), 0);
+    }
+
+    #[test]
+    fn eviction_keeps_shard_within_budget() {
+        let mut s = Shard::new(1_000);
+        for i in 0..100u32 {
+            let key = format!("key-{i}");
+            s.set(key.as_bytes(), vec![0u8; 50], u64::from(i));
+        }
+        assert!(s.bytes() <= 1_000, "bytes {} exceed budget", s.bytes());
+        assert!(s.evictions() > 0);
+        assert!(s.len() < 100);
+    }
+
+    #[test]
+    fn recently_used_keys_survive_eviction() {
+        let mut s = Shard::new(500);
+        s.set(b"hot", vec![0u8; 50], 0);
+        for i in 0..50u32 {
+            // Keep touching the hot key while inserting cold ones.
+            let key = format!("cold-{i}");
+            s.set(key.as_bytes(), vec![0u8; 50], u64::from(i) + 1);
+            s.get(b"hot", u64::from(i) + 1);
+        }
+        assert!(s.get(b"hot", 1000).is_some(), "hot key was evicted");
+    }
+}

@@ -1,0 +1,127 @@
+//! Sequential copy bandwidth (tinymembench "bandwidth" mode and STREAM).
+//!
+//! Figures 7 and 8 report bytes copied per second with regular and SSE2
+//! instructions (tinymembench) and the STREAM COPY kernel. Sequential
+//! access is bandwidth-bound rather than latency-bound because the
+//! hardware prefetchers hide the latency; virtualization still shows up as
+//! a mild efficiency loss which the platform models configure.
+
+use serde::{Deserialize, Serialize};
+use simcore::{Bandwidth, SimRng};
+
+use crate::config::MemoryHierarchy;
+
+/// The instruction sequence used by the copy loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CopyMethod {
+    /// Plain integer loads/stores (`memcpy`-style, no SIMD).
+    Regular,
+    /// SSE2 16-byte vector copies.
+    Sse2,
+    /// The STREAM COPY kernel (`a[i] = b[i]`, 16 bytes moved per
+    /// iteration counting both streams).
+    StreamCopy,
+}
+
+impl CopyMethod {
+    /// Fraction of the theoretical DRAM bandwidth a single-threaded copy
+    /// loop of this kind achieves on the bare host.
+    pub fn efficiency(self) -> f64 {
+        match self {
+            CopyMethod::Regular => 0.28,
+            CopyMethod::Sse2 => 0.42,
+            CopyMethod::StreamCopy => 0.38,
+        }
+    }
+}
+
+/// Sequential copy bandwidth model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequentialCopyModel {
+    hierarchy: MemoryHierarchy,
+    /// Multiplicative efficiency of the platform's memory path
+    /// (1.0 = native; hypervisors configure < 1.0).
+    pub platform_efficiency: f64,
+    /// Relative run-to-run noise.
+    pub jitter: f64,
+}
+
+impl SequentialCopyModel {
+    /// Creates a native-efficiency model over the hierarchy.
+    pub fn new(hierarchy: MemoryHierarchy) -> Self {
+        SequentialCopyModel {
+            hierarchy,
+            platform_efficiency: 1.0,
+            jitter: 0.015,
+        }
+    }
+
+    /// Sets the platform efficiency factor.
+    pub fn with_platform_efficiency(mut self, eff: f64) -> Self {
+        self.platform_efficiency = eff.clamp(0.0, 1.5);
+        self
+    }
+
+    /// Sets the relative run-to-run noise.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.max(0.0);
+        self
+    }
+
+    /// Mean achievable copy bandwidth for the given method.
+    pub fn mean_bandwidth(&self, method: CopyMethod) -> Bandwidth {
+        self.hierarchy
+            .dram_bandwidth
+            .scale(method.efficiency() * self.platform_efficiency)
+    }
+
+    /// Samples one measured bandwidth value.
+    pub fn sample_bandwidth(&self, method: CopyMethod, rng: &mut SimRng) -> Bandwidth {
+        let mean = self.mean_bandwidth(method).bytes_per_sec();
+        Bandwidth::from_bytes_per_sec(rng.normal_pos(mean, mean * self.jitter))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemoryHierarchy;
+
+    #[test]
+    fn sse2_beats_regular_copies() {
+        let m = SequentialCopyModel::new(MemoryHierarchy::epyc2());
+        assert!(
+            m.mean_bandwidth(CopyMethod::Sse2).bytes_per_sec()
+                > m.mean_bandwidth(CopyMethod::Regular).bytes_per_sec()
+        );
+    }
+
+    #[test]
+    fn platform_efficiency_scales_results() {
+        let native = SequentialCopyModel::new(MemoryHierarchy::epyc2());
+        let fc = SequentialCopyModel::new(MemoryHierarchy::epyc2()).with_platform_efficiency(0.8);
+        let ratio = fc.mean_bandwidth(CopyMethod::StreamCopy).bytes_per_sec()
+            / native.mean_bandwidth(CopyMethod::StreamCopy).bytes_per_sec();
+        assert!((ratio - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_bandwidth_is_near_mean() {
+        let m = SequentialCopyModel::new(MemoryHierarchy::epyc2());
+        let mut rng = SimRng::seed_from(3);
+        let mean = m.mean_bandwidth(CopyMethod::Regular).bytes_per_sec();
+        for _ in 0..100 {
+            let s = m.sample_bandwidth(CopyMethod::Regular, &mut rng).bytes_per_sec();
+            assert!((s - mean).abs() / mean < 0.1);
+        }
+    }
+
+    #[test]
+    fn bandwidth_is_single_digit_gib_range() {
+        // Single-threaded copy bandwidth on the testbed lands in the tens
+        // of GiB/s region, consistent with tinymembench output.
+        let m = SequentialCopyModel::new(MemoryHierarchy::epyc2());
+        let gib = m.mean_bandwidth(CopyMethod::Sse2).mib_per_sec() / 1024.0;
+        assert!(gib > 10.0 && gib < 60.0, "bandwidth {gib} GiB/s");
+    }
+}

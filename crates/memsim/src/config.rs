@@ -1,0 +1,99 @@
+//! Cache and memory hierarchy description.
+
+use serde::{Deserialize, Serialize};
+use simcore::{Bandwidth, Nanos};
+
+use crate::tlb::TlbConfig;
+
+/// One level of the data-cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheLevel {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Load-to-use latency of a hit in this level.
+    pub latency: Nanos,
+}
+
+impl CacheLevel {
+    /// Creates a cache level.
+    pub fn new(size_bytes: u64, latency: Nanos) -> Self {
+        CacheLevel {
+            size_bytes,
+            latency,
+        }
+    }
+}
+
+/// The full memory hierarchy of the host (per socket).
+///
+/// # Example
+///
+/// ```
+/// use memsim::MemoryHierarchy;
+///
+/// let h = MemoryHierarchy::epyc2();
+/// assert!(h.l1.size_bytes < h.l2.size_bytes);
+/// assert!(h.l2.size_bytes < h.l3.size_bytes);
+/// assert!(h.dram_latency > h.l3.latency);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryHierarchy {
+    /// L1 data cache (per core).
+    pub l1: CacheLevel,
+    /// L2 cache (per core).
+    pub l2: CacheLevel,
+    /// L3 cache visible to one core (per-CCX slice on EPYC2).
+    pub l3: CacheLevel,
+    /// DRAM random access latency (on top of the cache lookup path).
+    pub dram_latency: Nanos,
+    /// Peak DRAM bandwidth for a single NUMA node.
+    pub dram_bandwidth: Bandwidth,
+    /// TLB configuration.
+    pub tlb: TlbConfig,
+}
+
+impl MemoryHierarchy {
+    /// The AMD EPYC2 7542 ("Rome") hierarchy used in the paper's testbed.
+    pub fn epyc2() -> Self {
+        MemoryHierarchy {
+            l1: CacheLevel::new(32 * 1024, Nanos::from_nanos(1)),
+            l2: CacheLevel::new(512 * 1024, Nanos::from_nanos(4)),
+            l3: CacheLevel::new(16 * 1024 * 1024, Nanos::from_nanos(12)),
+            dram_latency: Nanos::from_nanos(95),
+            dram_bandwidth: Bandwidth::from_mib_per_sec(85_000.0),
+            tlb: TlbConfig::epyc2(),
+        }
+    }
+}
+
+impl Default for MemoryHierarchy {
+    fn default() -> Self {
+        Self::epyc2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epyc2_levels_are_ordered() {
+        let h = MemoryHierarchy::epyc2();
+        assert!(h.l1.latency < h.l2.latency);
+        assert!(h.l2.latency < h.l3.latency);
+        assert!(h.l3.latency < h.dram_latency);
+        assert!(h.l1.size_bytes < h.l2.size_bytes);
+        assert!(h.l2.size_bytes < h.l3.size_bytes);
+    }
+
+    #[test]
+    fn default_is_epyc2() {
+        assert_eq!(MemoryHierarchy::default(), MemoryHierarchy::epyc2());
+    }
+
+    #[test]
+    fn bandwidth_is_server_class() {
+        let h = MemoryHierarchy::epyc2();
+        assert!(h.dram_bandwidth.mib_per_sec() > 50_000.0);
+    }
+}

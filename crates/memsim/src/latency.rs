@@ -1,0 +1,186 @@
+//! Random-access latency model (tinymembench "latency" mode, Fig. 6).
+//!
+//! Tinymembench reports, for buffers of increasing size, the *extra* time a
+//! random access needs on top of an L1 hit. The model composes:
+//!
+//! * the probability of hitting L1/L2/L3/DRAM, derived from the buffer size
+//!   relative to the cache capacities;
+//! * the probability of a TLB miss and the cost of the resulting page walk
+//!   under the platform's [`PagingMode`];
+//! * measurement noise, proportional to the platform's inherent jitter.
+
+use serde::{Deserialize, Serialize};
+use simcore::{Nanos, SimRng};
+
+use crate::config::MemoryHierarchy;
+use crate::paging::PagingMode;
+use crate::tlb::PageSize;
+
+/// A model answering "what is the average extra latency of a random access
+/// in a buffer of N bytes" for one translation mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomAccessModel {
+    hierarchy: MemoryHierarchy,
+    paging: PagingMode,
+    /// Relative measurement noise (standard deviation as a fraction of the
+    /// mean); hypervisor memory paths show visibly larger error bars in
+    /// the paper (Firecracker especially).
+    pub jitter: f64,
+}
+
+impl RandomAccessModel {
+    /// Creates a model over the given hierarchy and paging mode.
+    pub fn new(hierarchy: MemoryHierarchy, paging: PagingMode) -> Self {
+        RandomAccessModel {
+            hierarchy,
+            paging,
+            jitter: 0.02,
+        }
+    }
+
+    /// Sets the relative measurement noise.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.max(0.0);
+        self
+    }
+
+    /// The paging mode of this model.
+    pub fn paging(&self) -> PagingMode {
+        self.paging
+    }
+
+    /// Expected extra latency (on top of an L1 hit) of one random access
+    /// within a buffer of `buffer_bytes`, using `page`-sized mappings.
+    pub fn mean_extra_latency(&self, buffer_bytes: u64, page: PageSize) -> Nanos {
+        let h = &self.hierarchy;
+        let b = buffer_bytes as f64;
+
+        // Probability that a random access falls outside each cache level.
+        let p_past_l1 = past(b, h.l1.size_bytes);
+        let p_past_l2 = past(b, h.l2.size_bytes);
+        let p_past_l3 = past(b, h.l3.size_bytes);
+
+        // Extra latency contributed by each level beyond L1.
+        let l2_extra = (h.l2.latency - h.l1.latency).as_secs_f64();
+        let l3_extra = (h.l3.latency - h.l1.latency).as_secs_f64();
+        let dram_extra = (h.dram_latency - h.l1.latency).as_secs_f64();
+
+        let cache_component = (p_past_l1 - p_past_l2) * l2_extra
+            + (p_past_l2 - p_past_l3) * l3_extra
+            + p_past_l3 * dram_extra;
+
+        // TLB component: L1-TLB misses that hit the L2 TLB, plus full
+        // misses that need a (possibly nested) page walk.
+        let l1_miss = h.tlb.l1_miss_ratio(buffer_bytes, page);
+        let full_miss = h.tlb.full_miss_ratio(buffer_bytes, page);
+        let stlb_hit = (l1_miss - full_miss).max(0.0);
+        let walk = self.paging.walk_latency(&h.tlb, page).as_secs_f64();
+        let tlb_component = stlb_hit * h.tlb.l2_hit_latency.as_secs_f64() + full_miss * walk;
+
+        Nanos::from_secs_f64(cache_component + tlb_component)
+    }
+
+    /// Samples a measured latency for one benchmark run (mean plus noise).
+    pub fn sample_extra_latency(
+        &self,
+        buffer_bytes: u64,
+        page: PageSize,
+        rng: &mut SimRng,
+    ) -> Nanos {
+        let mean = self.mean_extra_latency(buffer_bytes, page).as_secs_f64();
+        Nanos::from_secs_f64(rng.normal_pos(mean, mean * self.jitter))
+    }
+
+    /// The buffer sizes the paper sweeps: 2^16 through 2^26 bytes.
+    pub fn paper_buffer_sizes() -> Vec<u64> {
+        (16..=26).map(|e| 1u64 << e).collect()
+    }
+}
+
+/// Probability that a random access within a buffer of `b` bytes falls
+/// outside a cache of `capacity` bytes.
+fn past(b: f64, capacity: u64) -> f64 {
+    let c = capacity as f64;
+    if b <= c {
+        0.0
+    } else {
+        1.0 - c / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemoryHierarchy;
+
+    fn native_model() -> RandomAccessModel {
+        RandomAccessModel::new(MemoryHierarchy::epyc2(), PagingMode::Native)
+    }
+
+    #[test]
+    fn latency_grows_with_buffer_size() {
+        let m = native_model();
+        let mut last = Nanos::ZERO;
+        for size in RandomAccessModel::paper_buffer_sizes() {
+            let lat = m.mean_extra_latency(size, PageSize::Small4K);
+            assert!(lat >= last, "latency decreased at {size}");
+            last = lat;
+        }
+        assert!(last.as_nanos() > 20, "64 MiB buffer latency {last}");
+    }
+
+    #[test]
+    fn tiny_buffer_has_negligible_extra_latency() {
+        let m = native_model();
+        let lat = m.mean_extra_latency(16 * 1024, PageSize::Small4K);
+        assert!(lat.as_nanos() <= 2, "16 KiB buffer latency {lat}");
+    }
+
+    #[test]
+    fn huge_pages_reduce_large_buffer_latency() {
+        let m = native_model();
+        let small = m.mean_extra_latency(1 << 26, PageSize::Small4K);
+        let huge = m.mean_extra_latency(1 << 26, PageSize::Huge2M);
+        let reduction = 1.0 - huge.as_secs_f64() / small.as_secs_f64();
+        assert!(
+            reduction > 0.15 && reduction < 0.6,
+            "huge-page reduction was {reduction:.2}"
+        );
+    }
+
+    #[test]
+    fn nested_paging_is_slower_than_native() {
+        let native = native_model();
+        let nested = RandomAccessModel::new(MemoryHierarchy::epyc2(), PagingMode::nested_hardware());
+        let vm_mem = RandomAccessModel::new(
+            MemoryHierarchy::epyc2(),
+            PagingMode::nested_with_vmm_overhead(Nanos::from_nanos(80)),
+        );
+        let size = 1 << 26;
+        let a = native.mean_extra_latency(size, PageSize::Small4K);
+        let b = nested.mean_extra_latency(size, PageSize::Small4K);
+        let c = vm_mem.mean_extra_latency(size, PageSize::Small4K);
+        assert!(b > a);
+        assert!(c > b);
+    }
+
+    #[test]
+    fn sampling_tracks_the_mean() {
+        let m = native_model().with_jitter(0.05);
+        let mut rng = SimRng::seed_from(7);
+        let size = 1 << 24;
+        let mean = m.mean_extra_latency(size, PageSize::Small4K).as_secs_f64();
+        let n = 500;
+        let avg: f64 = (0..n)
+            .map(|_| m.sample_extra_latency(size, PageSize::Small4K, &mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((avg - mean).abs() / mean < 0.05);
+    }
+
+    #[test]
+    fn paper_sweep_has_eleven_points() {
+        assert_eq!(RandomAccessModel::paper_buffer_sizes().len(), 11);
+        assert_eq!(RandomAccessModel::paper_buffer_sizes()[0], 65536);
+    }
+}

@@ -1,0 +1,37 @@
+//! # memsim
+//!
+//! Memory-hierarchy simulation used by the tinymembench and STREAM
+//! experiments (Figs. 6–8 of the paper) and, indirectly, by every workload
+//! whose cost model includes memory accesses (Memcached, MySQL).
+//!
+//! The model reproduces the mechanisms the paper names as the sources of
+//! memory overhead:
+//!
+//! * growing random-access latency with buffer size, caused by an
+//!   increasing proportion of TLB and cache misses ([`latency`]);
+//! * the extra cost of nested (EPT) page walks and of the `vm-memory`
+//!   software translation layer used by Firecracker and Cloud Hypervisor
+//!   ([`paging`]);
+//! * the ~30 % latency reduction from huge pages on large buffers
+//!   ([`tlb`]);
+//! * sequential copy bandwidth with regular and SSE2 instructions
+//!   ([`bandwidth`]);
+//! * direct-mapping features (QEMU NVDIMM, KSM) that let Kata bypass the
+//!   virtualization penalty ([`features`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bandwidth;
+pub mod config;
+pub mod features;
+pub mod latency;
+pub mod paging;
+pub mod tlb;
+
+pub use bandwidth::{CopyMethod, SequentialCopyModel};
+pub use config::{CacheLevel, MemoryHierarchy};
+pub use features::DirectMapFeatures;
+pub use latency::RandomAccessModel;
+pub use paging::PagingMode;
+pub use tlb::{PageSize, TlbConfig};

@@ -1,0 +1,162 @@
+//! TLB model and page sizes.
+//!
+//! The latency growth in Fig. 6 comes from "an increasing proportion of
+//! accesses that miss the TLB cache"; the huge-page result in Section 3.2
+//! (≈30 % lower access latency for large buffers) comes from the much
+//! larger reach of a TLB entry covering 2 MiB instead of 4 KiB.
+
+use serde::{Deserialize, Serialize};
+use simcore::Nanos;
+
+/// The page size backing a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageSize {
+    /// Regular 4 KiB pages.
+    Small4K,
+    /// 2 MiB huge pages.
+    Huge2M,
+}
+
+impl PageSize {
+    /// Page size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            PageSize::Small4K => 4 * 1024,
+            PageSize::Huge2M => 2 * 1024 * 1024,
+        }
+    }
+}
+
+/// Two-level TLB configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// L1 data TLB entries (4 KiB pages).
+    pub l1_entries: u64,
+    /// L2 (unified) TLB entries.
+    pub l2_entries: u64,
+    /// Entries available for huge pages in the L1 TLB.
+    pub l1_huge_entries: u64,
+    /// Latency of an L2 TLB hit (on top of an L1 TLB miss).
+    pub l2_hit_latency: Nanos,
+    /// Cost of one level of a hardware page-table walk (one memory
+    /// reference that typically hits the page-walk caches / L2).
+    pub walk_step_latency: Nanos,
+}
+
+impl TlbConfig {
+    /// AMD EPYC2 ("Rome") TLB configuration.
+    pub fn epyc2() -> Self {
+        TlbConfig {
+            l1_entries: 64,
+            l2_entries: 2048,
+            l1_huge_entries: 64,
+            l2_hit_latency: Nanos::from_nanos(7),
+            walk_step_latency: Nanos::from_nanos(20),
+        }
+    }
+
+    /// Bytes of address space covered ("reach") by the L2 TLB at the given
+    /// page size.
+    pub fn l2_reach(&self, page: PageSize) -> u64 {
+        self.l2_entries * page.bytes()
+    }
+
+    /// Bytes covered by the L1 TLB at the given page size.
+    pub fn l1_reach(&self, page: PageSize) -> u64 {
+        match page {
+            PageSize::Small4K => self.l1_entries * page.bytes(),
+            PageSize::Huge2M => self.l1_huge_entries * page.bytes(),
+        }
+    }
+
+    /// Probability that a uniformly random access over `buffer_bytes`
+    /// misses the L1 TLB.
+    pub fn l1_miss_ratio(&self, buffer_bytes: u64, page: PageSize) -> f64 {
+        miss_ratio(buffer_bytes, self.l1_reach(page))
+    }
+
+    /// Probability that a uniformly random access misses both TLB levels
+    /// and needs a page-table walk.
+    pub fn full_miss_ratio(&self, buffer_bytes: u64, page: PageSize) -> f64 {
+        miss_ratio(buffer_bytes, self.l2_reach(page))
+    }
+
+    /// Number of memory references needed for one page-table walk of a
+    /// `levels`-level table (4 for 4 KiB pages, 3 for 2 MiB pages).
+    pub fn walk_levels(page: PageSize) -> u64 {
+        match page {
+            PageSize::Small4K => 4,
+            PageSize::Huge2M => 3,
+        }
+    }
+
+    /// Latency of one native page-table walk.
+    pub fn native_walk_latency(&self, page: PageSize) -> Nanos {
+        self.walk_step_latency * Self::walk_levels(page)
+    }
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        Self::epyc2()
+    }
+}
+
+/// Fraction of random accesses over `buffer` bytes that fall outside a
+/// structure covering `reach` bytes.
+fn miss_ratio(buffer: u64, reach: u64) -> f64 {
+    if buffer == 0 {
+        return 0.0;
+    }
+    if reach >= buffer {
+        0.0
+    } else {
+        1.0 - reach as f64 / buffer as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reach_scales_with_page_size() {
+        let tlb = TlbConfig::epyc2();
+        assert!(tlb.l2_reach(PageSize::Huge2M) > tlb.l2_reach(PageSize::Small4K));
+        assert_eq!(tlb.l2_reach(PageSize::Small4K), 2048 * 4096);
+    }
+
+    #[test]
+    fn small_buffers_never_miss() {
+        let tlb = TlbConfig::epyc2();
+        assert_eq!(tlb.full_miss_ratio(1 << 16, PageSize::Small4K), 0.0);
+        assert_eq!(tlb.l1_miss_ratio(64 * 1024, PageSize::Small4K), 0.0);
+    }
+
+    #[test]
+    fn large_buffers_miss_often_with_small_pages() {
+        let tlb = TlbConfig::epyc2();
+        let miss_small = tlb.full_miss_ratio(1 << 26, PageSize::Small4K);
+        let miss_huge = tlb.full_miss_ratio(1 << 26, PageSize::Huge2M);
+        assert!(miss_small > 0.8, "small-page miss ratio {miss_small}");
+        assert_eq!(miss_huge, 0.0, "64 MiB fits the huge-page TLB reach");
+    }
+
+    #[test]
+    fn miss_ratio_is_monotonic_in_buffer_size() {
+        let tlb = TlbConfig::epyc2();
+        let mut last = 0.0;
+        for exp in 16..=26 {
+            let r = tlb.full_miss_ratio(1u64 << exp, PageSize::Small4K);
+            assert!(r >= last, "ratio decreased at 2^{exp}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn huge_pages_walk_fewer_levels() {
+        assert!(TlbConfig::walk_levels(PageSize::Huge2M) < TlbConfig::walk_levels(PageSize::Small4K));
+        let tlb = TlbConfig::epyc2();
+        assert!(tlb.native_walk_latency(PageSize::Huge2M) < tlb.native_walk_latency(PageSize::Small4K));
+    }
+}

@@ -1,0 +1,225 @@
+//! Network data-path components.
+
+use serde::{Deserialize, Serialize};
+use simcore::Nanos;
+
+/// One component on the path between a guest socket and the host NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NetComponent {
+    /// The host kernel TCP/IP stack and NIC driver (always present; also
+    /// the only component for native execution).
+    HostStack,
+    /// A Linux bridge plus veth pair (Docker, LXC, and the host side of
+    /// Kata's network).
+    Bridge,
+    /// A TAP device feeding a VMM.
+    Tap,
+    /// A virtio-net queue serviced by vhost-net (QEMU's setup).
+    VirtioNetVhost,
+    /// A virtio-net queue serviced in the VMM process itself
+    /// (Firecracker).
+    VirtioNetVmm {
+        /// Efficiency of the VMM's virtio implementation (1.0 = as good as
+        /// vhost-net); the paper finds the newer VMMs less efficient.
+        efficiency: f64,
+    },
+    /// A full Linux guest network stack inside the VM.
+    GuestLinuxStack,
+    /// OSv's library-OS network stack: socket calls are plain function
+    /// calls, freeing guest CPU for packet processing. `throughput_bonus`
+    /// captures how much of that freed CPU translates into goodput for the
+    /// given hypervisor (large under QEMU, small under Firecracker).
+    OsvGuestStack {
+        /// Multiplicative throughput gain relative to a Linux guest.
+        throughput_bonus: f64,
+    },
+    /// gVisor's user-space Netstack inside the Sentry.
+    Netstack,
+}
+
+impl NetComponent {
+    /// Multiplicative throughput efficiency of this component (relative to
+    /// the traffic the layer above it could deliver).
+    pub fn throughput_efficiency(self) -> f64 {
+        match self {
+            NetComponent::HostStack => 0.932,
+            NetComponent::Bridge => 0.902,
+            NetComponent::Tap => 0.96,
+            NetComponent::VirtioNetVhost => 0.81,
+            NetComponent::VirtioNetVmm { efficiency } => 0.81 * efficiency.clamp(0.05, 1.2),
+            NetComponent::GuestLinuxStack => 1.0,
+            NetComponent::OsvGuestStack { throughput_bonus } => throughput_bonus.clamp(0.5, 1.5),
+            NetComponent::Netstack => 0.15,
+        }
+    }
+
+    /// Latency this component adds to one request/response round trip.
+    pub fn round_trip_latency(self) -> Nanos {
+        match self {
+            NetComponent::HostStack => Nanos::from_micros(26),
+            NetComponent::Bridge => Nanos::from_micros(4),
+            NetComponent::Tap => Nanos::from_micros(9),
+            NetComponent::VirtioNetVhost => Nanos::from_micros(16),
+            NetComponent::VirtioNetVmm { efficiency } => {
+                Nanos::from_micros_f64(16.0 / efficiency.clamp(0.05, 1.2))
+            }
+            NetComponent::GuestLinuxStack => Nanos::from_micros(24),
+            NetComponent::OsvGuestStack { .. } => Nanos::from_micros(16),
+            NetComponent::Netstack => Nanos::from_micros(190),
+        }
+    }
+
+    /// Host kernel functions exercised per batch of segments.
+    pub fn host_functions(self) -> &'static [&'static str] {
+        match self {
+            NetComponent::HostStack => &[
+                "sock_sendmsg",
+                "sock_recvmsg",
+                "tcp_sendmsg",
+                "tcp_recvmsg",
+                "tcp_write_xmit",
+                "tcp_transmit_skb",
+                "tcp_rcv_established",
+                "tcp_ack",
+                "ip_queue_xmit",
+                "ip_output",
+                "ip_finish_output2",
+                "ip_rcv",
+                "ip_local_deliver",
+                "dev_queue_xmit",
+                "dev_hard_start_xmit",
+                "__netif_receive_skb_core",
+                "net_rx_action",
+                "napi_gro_receive",
+                "alloc_skb",
+                "consume_skb",
+                "mlx5e_xmit",
+            ],
+            NetComponent::Bridge => &[
+                "br_handle_frame",
+                "br_forward",
+                "br_dev_xmit",
+                "br_nf_pre_routing",
+                "nf_hook_slow",
+                "ipt_do_table",
+            ],
+            NetComponent::Tap => &[
+                "tun_net_xmit",
+                "tun_get_user",
+                "tun_put_user",
+                "tun_chr_read_iter",
+                "tun_chr_write_iter",
+            ],
+            NetComponent::VirtioNetVhost => &[
+                "vhost_worker",
+                "handle_tx_kick",
+                "handle_rx_kick",
+                "vhost_signal",
+                "eventfd_signal",
+                "irqfd_wakeup",
+            ],
+            NetComponent::VirtioNetVmm { .. } => &[
+                "tun_chr_read_iter",
+                "tun_chr_write_iter",
+                "eventfd_signal",
+                "ioeventfd_write",
+                "irqfd_wakeup",
+            ],
+            NetComponent::GuestLinuxStack | NetComponent::OsvGuestStack { .. } => &[],
+            NetComponent::Netstack => &[
+                "tun_get_user",
+                "tun_put_user",
+                "sock_sendmsg",
+                "sock_recvmsg",
+                "seccomp_run_filters",
+            ],
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetComponent::HostStack => "host-stack",
+            NetComponent::Bridge => "bridge",
+            NetComponent::Tap => "tap",
+            NetComponent::VirtioNetVhost => "virtio-net(vhost)",
+            NetComponent::VirtioNetVmm { .. } => "virtio-net(vmm)",
+            NetComponent::GuestLinuxStack => "guest-linux",
+            NetComponent::OsvGuestStack { .. } => "osv-stack",
+            NetComponent::Netstack => "netstack",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oskern::kernel_fn::KernelFunctionRegistry;
+
+    fn all() -> Vec<NetComponent> {
+        vec![
+            NetComponent::HostStack,
+            NetComponent::Bridge,
+            NetComponent::Tap,
+            NetComponent::VirtioNetVhost,
+            NetComponent::VirtioNetVmm { efficiency: 0.9 },
+            NetComponent::GuestLinuxStack,
+            NetComponent::OsvGuestStack {
+                throughput_bonus: 1.26,
+            },
+            NetComponent::Netstack,
+        ]
+    }
+
+    #[test]
+    fn netstack_is_by_far_the_least_efficient() {
+        for c in all() {
+            if !matches!(c, NetComponent::Netstack) {
+                assert!(c.throughput_efficiency() > NetComponent::Netstack.throughput_efficiency());
+            }
+        }
+        assert!(NetComponent::Netstack.round_trip_latency().as_micros_f64() > 100.0);
+    }
+
+    #[test]
+    fn vhost_beats_vmm_serviced_virtio() {
+        let vhost = NetComponent::VirtioNetVhost.throughput_efficiency();
+        let fc = NetComponent::VirtioNetVmm { efficiency: 0.9 }.throughput_efficiency();
+        let chv = NetComponent::VirtioNetVmm { efficiency: 0.75 }.throughput_efficiency();
+        assert!(vhost > fc);
+        assert!(fc > chv);
+    }
+
+    #[test]
+    fn osv_stack_can_exceed_unity_bonus() {
+        let osv = NetComponent::OsvGuestStack {
+            throughput_bonus: 1.26,
+        };
+        assert!(osv.throughput_efficiency() > 1.0);
+        // The bonus is clamped to a sane range.
+        let absurd = NetComponent::OsvGuestStack {
+            throughput_bonus: 10.0,
+        };
+        assert!(absurd.throughput_efficiency() <= 1.5);
+    }
+
+    #[test]
+    fn all_host_functions_are_registered() {
+        let reg = KernelFunctionRegistry::standard();
+        for c in all() {
+            for f in c.host_functions() {
+                assert!(reg.contains(f), "{c:?} references unknown {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn guest_stacks_touch_no_host_functions() {
+        assert!(NetComponent::GuestLinuxStack.host_functions().is_empty());
+        assert!(NetComponent::OsvGuestStack {
+            throughput_bonus: 1.0
+        }
+        .host_functions()
+        .is_empty());
+    }
+}

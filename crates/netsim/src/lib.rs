@@ -1,0 +1,27 @@
+//! # netsim
+//!
+//! Network-path simulation behind the iperf3 (Fig. 11) and netperf
+//! (Fig. 12) experiments and the network component of the Memcached and
+//! MySQL benchmarks.
+//!
+//! A platform's network data path is a [`NetworkPath`]: an ordered list of
+//! [`NetComponent`]s between the workload's socket and the host NIC. Each
+//! component contributes a throughput efficiency, request/response latency,
+//! and the host kernel functions it exercises. The paper's observations
+//! reproduce directly from the composition:
+//!
+//! * namespacing (bridge + veth) costs ~9–10 % of throughput;
+//! * TAP + virtio-net costs ~25 % and more for the less mature VMMs;
+//! * OSv's in-kernel-library stack leaves more CPU for packet processing
+//!   and nearly reaches native throughput under QEMU;
+//! * gVisor's user-space Netstack is an extreme outlier in both throughput
+//!   and 90th-percentile latency.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod component;
+pub mod path;
+
+pub use component::NetComponent;
+pub use path::{NetworkOutcome, NetworkPath};

@@ -1,0 +1,161 @@
+//! Init systems and their boot phases.
+//!
+//! The start-up experiments (Figs. 13–15) measure the end-to-end time from
+//! process creation to termination. A large part of the differences between
+//! platforms comes from the init system: Docker's `tini` is tiny, LXC boots
+//! a full `systemd`, Kata's guest runs systemd just to start the
+//! `kata-agent`, and the hypervisor measurements use an init patched to
+//! exit immediately.
+
+use serde::{Deserialize, Serialize};
+use simcore::{Nanos, SimRng};
+
+/// One phase of an init sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BootPhase {
+    /// Name of the phase (for reports and traces).
+    pub name: String,
+    /// Mean duration of the phase.
+    pub mean: Nanos,
+    /// Standard deviation of the phase duration.
+    pub std_dev: Nanos,
+}
+
+impl BootPhase {
+    /// Creates a phase with the given mean and standard deviation.
+    pub fn new(name: &str, mean: Nanos, std_dev: Nanos) -> Self {
+        BootPhase {
+            name: name.to_string(),
+            mean,
+            std_dev,
+        }
+    }
+
+    /// Samples a duration for this phase.
+    pub fn sample(&self, rng: &mut SimRng) -> Nanos {
+        Nanos::from_secs_f64(rng.normal_pos(self.mean.as_secs_f64(), self.std_dev.as_secs_f64()))
+    }
+}
+
+/// The init system running as PID 1 inside the isolated context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InitSystem {
+    /// Docker's default minimal init (`tini`): reap zombies, exec the
+    /// entrypoint, nothing else.
+    Tini,
+    /// A full `systemd` boot (LXC default).
+    Systemd,
+    /// systemd trimmed to only start the kata-agent (Kata's Clear Linux
+    /// mini-OS guest).
+    KataMiniOs,
+    /// An init patched to terminate immediately after starting — the
+    /// measurement harness used for hypervisors and LXC in the paper.
+    PatchedImmediateExit,
+    /// No init at all: OSv jumps straight into the application (or exits
+    /// immediately when invoked without a program).
+    OsvRuntime,
+}
+
+impl InitSystem {
+    /// The boot phases executed by this init system, in order.
+    pub fn phases(self) -> Vec<BootPhase> {
+        match self {
+            InitSystem::Tini => vec![
+                BootPhase::new("tini-start", Nanos::from_millis(2), Nanos::from_micros(300)),
+                BootPhase::new("entrypoint-exec", Nanos::from_millis(3), Nanos::from_micros(500)),
+            ],
+            InitSystem::Systemd => vec![
+                BootPhase::new("systemd-init", Nanos::from_millis(120), Nanos::from_millis(15)),
+                BootPhase::new("unit-graph", Nanos::from_millis(260), Nanos::from_millis(30)),
+                BootPhase::new("basic-target", Nanos::from_millis(180), Nanos::from_millis(25)),
+                BootPhase::new("multi-user-target", Nanos::from_millis(90), Nanos::from_millis(15)),
+            ],
+            InitSystem::KataMiniOs => vec![
+                BootPhase::new("systemd-init", Nanos::from_millis(35), Nanos::from_millis(6)),
+                BootPhase::new("kata-agent-start", Nanos::from_millis(55), Nanos::from_millis(8)),
+                BootPhase::new("ttrpc-ready", Nanos::from_millis(18), Nanos::from_millis(4)),
+            ],
+            InitSystem::PatchedImmediateExit => vec![BootPhase::new(
+                "patched-init-exit",
+                Nanos::from_millis(1),
+                Nanos::from_micros(200),
+            )],
+            InitSystem::OsvRuntime => vec![BootPhase::new(
+                "osv-app-start",
+                Nanos::from_millis(2),
+                Nanos::from_micros(400),
+            )],
+        }
+    }
+
+    /// Samples the total init duration.
+    pub fn sample_total(self, rng: &mut SimRng) -> Nanos {
+        self.phases().iter().map(|p| p.sample(rng)).sum()
+    }
+
+    /// Mean total init duration.
+    pub fn mean_total(self) -> Nanos {
+        self.phases().iter().map(|p| p.mean).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn systemd_is_much_slower_than_tini() {
+        let systemd = InitSystem::Systemd.mean_total();
+        let tini = InitSystem::Tini.mean_total();
+        assert!(
+            systemd.as_millis_f64() > 10.0 * tini.as_millis_f64(),
+            "systemd {systemd} vs tini {tini}"
+        );
+        assert!(systemd.as_millis_f64() > 500.0);
+    }
+
+    #[test]
+    fn patched_init_is_nearly_free() {
+        assert!(InitSystem::PatchedImmediateExit.mean_total().as_millis_f64() < 2.0);
+    }
+
+    #[test]
+    fn kata_mini_os_faster_than_full_systemd() {
+        assert!(InitSystem::KataMiniOs.mean_total() < InitSystem::Systemd.mean_total());
+    }
+
+    #[test]
+    fn sampling_is_reproducible_and_positive() {
+        let mut a = SimRng::seed_from(11);
+        let mut b = SimRng::seed_from(11);
+        for init in [
+            InitSystem::Tini,
+            InitSystem::Systemd,
+            InitSystem::KataMiniOs,
+            InitSystem::PatchedImmediateExit,
+            InitSystem::OsvRuntime,
+        ] {
+            let x = init.sample_total(&mut a);
+            let y = init.sample_total(&mut b);
+            assert_eq!(x, y);
+            assert!(x > Nanos::ZERO);
+        }
+    }
+
+    #[test]
+    fn phases_are_nonempty_and_named() {
+        for init in [
+            InitSystem::Tini,
+            InitSystem::Systemd,
+            InitSystem::KataMiniOs,
+            InitSystem::PatchedImmediateExit,
+            InitSystem::OsvRuntime,
+        ] {
+            let phases = init.phases();
+            assert!(!phases.is_empty());
+            for p in &phases {
+                assert!(!p.name.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # oskern
+//!
+//! A behavioural model of the *host* Linux kernel as seen by the isolation
+//! platforms studied in the paper.
+//!
+//! The crate does not execute real kernel code; it models the pieces of the
+//! kernel whose behaviour the paper's experiments depend on:
+//!
+//! * [`kernel_fn`] — a registry of host kernel functions grouped by
+//!   subsystem. The Horizontal Attack Profile (HAP) metric counts how many
+//!   of these functions a platform touches while running a workload.
+//! * [`ftrace`] — an `ftrace`/`trace-cmd`-like tracer that components call
+//!   into whenever they would cause the host kernel to execute a function.
+//! * [`syscall`] — the syscall classes issued by guests and the host kernel
+//!   functions / dispatch costs behind each class.
+//! * [`namespaces`] and [`cgroups`] — the container isolation primitives
+//!   (clone flags, cgroup controllers) with their setup costs.
+//! * [`sched`] — thread scheduling models: the host CFS scheduler, and the
+//!   custom schedulers used by OSv and gVisor which the paper identifies as
+//!   a source of overhead for multi-threaded workloads.
+//! * [`pagecache`] — the host/guest page-cache model behind the fio caching
+//!   pitfall discussed in Section 3.3 of the paper.
+//! * [`init`] — init systems (tini, systemd, patched immediate-exit init)
+//!   whose boot phases dominate the start-up time experiments.
+//! * [`host`] — the description of the testbed machine (dual-socket AMD
+//!   EPYC2 7542, 256 GiB RAM, NVMe, fast NIC).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cgroups;
+pub mod ftrace;
+pub mod host;
+pub mod init;
+pub mod kernel_fn;
+pub mod namespaces;
+pub mod pagecache;
+pub mod sched;
+pub mod syscall;
+
+pub use cgroups::{CgroupConfig, CgroupController, CgroupVersion};
+pub use ftrace::{FtraceSession, KernelTrace};
+pub use host::HostConfig;
+pub use init::{BootPhase, InitSystem};
+pub use kernel_fn::{KernelFunction, KernelFunctionRegistry, KernelSubsystem};
+pub use namespaces::{NamespaceKind, NamespaceSet};
+pub use pagecache::PageCache;
+pub use sched::{CfsScheduler, OsvScheduler, SchedulerModel, SentryScheduler, ThreadScheduler};
+pub use syscall::{SyscallClass, SyscallCost, SyscallTable};

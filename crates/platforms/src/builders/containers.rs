@@ -1,0 +1,158 @@
+//! The container platforms: Docker (runc) and LXC.
+
+use oskern::host::HostConfig;
+use oskern::init::{BootPhase, InitSystem};
+use oskern::sched::SchedulerModel;
+use simcore::Nanos;
+
+use blocksim::layers::StorageLayer;
+use netsim::component::NetComponent;
+use netsim::path::NetworkPath;
+
+use crate::isolation::IsolationAttributes;
+use crate::platform::Platform;
+use crate::registry::PlatformId;
+use crate::subsystems::cpu::CpuSubsystem;
+use crate::subsystems::memory::MemorySubsystem;
+use crate::subsystems::network::NetworkSubsystem;
+use crate::subsystems::startup::StartupSubsystem;
+use crate::subsystems::storage::StorageSubsystem;
+use crate::syscall_path::SyscallPath;
+
+use super::GUEST_CORES;
+
+/// Docker with the default runc runtime, overlay rootfs, bridge network
+/// and a bind-mounted benchmark volume.
+pub fn docker() -> Platform {
+    let startup_phases = vec![
+        BootPhase::new("containerd-shim", Nanos::from_millis(18), Nanos::from_millis(3)),
+        BootPhase::new("namespaces-cgroups", Nanos::from_millis(9), Nanos::from_millis(2)),
+        BootPhase::new("overlayfs-prepare", Nanos::from_millis(14), Nanos::from_millis(3)),
+        BootPhase::new("runc-create-start", Nanos::from_millis(46), Nanos::from_millis(6)),
+        BootPhase::new("tini-entrypoint", InitSystem::Tini.mean_total(), Nanos::from_millis(1)),
+    ];
+    Platform {
+        id: PlatformId::Docker,
+        host: HostConfig::epyc2_testbed(),
+        cpu: CpuSubsystem::new(SchedulerModel::Cfs, GUEST_CORES),
+        memory: MemorySubsystem::native(),
+        storage: StorageSubsystem::new(vec![StorageLayer::BindMount], None).with_jitter(0.05),
+        network: NetworkSubsystem::new(NetworkPath::new(vec![NetComponent::Bridge])),
+        startup: StartupSubsystem::new(
+            startup_phases,
+            Nanos::from_millis(250),
+            Nanos::from_millis(8),
+            true,
+        ),
+        syscalls: SyscallPath::Direct {
+            filter_overhead: Nanos::from_nanos(60),
+        },
+        isolation: IsolationAttributes {
+            namespaces: true,
+            cgroups: true,
+            hardware_virtualization: false,
+            userspace_kernel: false,
+            seccomp: true,
+            shares_memory_with_host: true,
+        },
+    }
+}
+
+/// LXC with a ZFS storage pool, bridge networking and a full systemd init
+/// ("an environment as close as possible to a standard Linux
+/// installation").
+pub fn lxc() -> Platform {
+    let mut startup_phases = vec![
+        BootPhase::new("lxc-start", Nanos::from_millis(34), Nanos::from_millis(5)),
+        BootPhase::new("namespaces-cgroups", Nanos::from_millis(11), Nanos::from_millis(2)),
+        BootPhase::new("zfs-clone", Nanos::from_millis(58), Nanos::from_millis(9)),
+    ];
+    startup_phases.extend(InitSystem::Systemd.phases());
+    startup_phases.push(BootPhase::new(
+        "patched-exit-unit",
+        Nanos::from_millis(40),
+        Nanos::from_millis(6),
+    ));
+    Platform {
+        id: PlatformId::Lxc,
+        host: HostConfig::epyc2_testbed(),
+        cpu: CpuSubsystem::new(SchedulerModel::Cfs, GUEST_CORES),
+        memory: MemorySubsystem::native(),
+        storage: StorageSubsystem::new(vec![StorageLayer::Zfs], None).with_jitter(0.05),
+        network: NetworkSubsystem::new(NetworkPath::new(vec![NetComponent::Bridge])),
+        startup: StartupSubsystem::new(
+            startup_phases,
+            Nanos::ZERO,
+            Nanos::from_millis(8),
+            false,
+        ),
+        syscalls: SyscallPath::Direct {
+            filter_overhead: Nanos::from_nanos(40),
+        },
+        isolation: IsolationAttributes {
+            namespaces: true,
+            cgroups: true,
+            hardware_virtualization: false,
+            userspace_kernel: false,
+            seccomp: false,
+            shares_memory_with_host: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subsystems::startup::StartupVariant;
+    use memsim::tlb::PageSize;
+
+    #[test]
+    fn docker_oci_direct_boots_around_100ms() {
+        let p = docker();
+        let t = p.startup().mean_total(StartupVariant::OciDirect).as_millis_f64();
+        assert!((80.0..130.0).contains(&t), "docker OCI boot {t} ms");
+        let via_daemon = p.startup().mean_total(StartupVariant::Default).as_millis_f64();
+        assert!((via_daemon - t - 250.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn lxc_boots_around_800ms_because_of_systemd() {
+        let p = lxc();
+        let t = p.startup().mean_total(StartupVariant::Default).as_millis_f64();
+        assert!((700.0..900.0).contains(&t), "lxc boot {t} ms");
+        assert!(!p.startup().supports_oci_direct());
+    }
+
+    #[test]
+    fn containers_have_native_memory_behaviour() {
+        let native = crate::builders::native::native();
+        for p in [docker(), lxc()] {
+            assert_eq!(
+                p.memory().mean_access_latency(1 << 26, PageSize::Small4K),
+                native.memory().mean_access_latency(1 << 26, PageSize::Small4K),
+                "{} memory latency differs from native",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn containers_pay_about_ten_percent_network_penalty() {
+        let native = crate::builders::native::native();
+        let n = native.network().mean_throughput().gbit_per_sec();
+        for p in [docker(), lxc()] {
+            let t = p.network().mean_throughput().gbit_per_sec();
+            let penalty = 1.0 - t / n;
+            assert!((0.05..0.15).contains(&penalty), "{} penalty {penalty}", p.name());
+        }
+    }
+
+    #[test]
+    fn both_use_namespaces_and_cgroups_without_a_hypervisor() {
+        for p in [docker(), lxc()] {
+            assert!(p.isolation().namespaces);
+            assert!(p.isolation().cgroups);
+            assert!(!p.isolation().hardware_virtualization);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! The hypervisor platforms: QEMU/KVM (three machine variants),
+//! Firecracker and Cloud Hypervisor.
+
+use oskern::host::HostConfig;
+use oskern::init::InitSystem;
+use oskern::sched::SchedulerModel;
+
+use blocksim::layers::StorageLayer;
+use memsim::features::DirectMapFeatures;
+use netsim::component::NetComponent;
+use netsim::path::NetworkPath;
+use vmm::boot::GuestKind;
+use vmm::machine::MachineModel;
+
+use crate::isolation::IsolationAttributes;
+use crate::platform::Platform;
+use crate::registry::PlatformId;
+use crate::subsystems::cpu::CpuSubsystem;
+use crate::subsystems::memory::MemorySubsystem;
+use crate::subsystems::network::NetworkSubsystem;
+use crate::subsystems::storage::StorageSubsystem;
+use crate::syscall_path::SyscallPath;
+
+use super::{startup_from_timeline, GUEST_CORES, GUEST_MEMORY_BYTES};
+
+fn hypervisor_isolation(seccomp: bool) -> IsolationAttributes {
+    IsolationAttributes {
+        namespaces: false,
+        cgroups: false,
+        hardware_virtualization: true,
+        userspace_kernel: false,
+        seccomp,
+        shares_memory_with_host: false,
+    }
+}
+
+fn guest_network(machine: MachineModel) -> NetworkPath {
+    let mut components = machine.network_components();
+    components.push(NetComponent::GuestLinuxStack);
+    NetworkPath::new(components)
+}
+
+/// QEMU/KVM with the given machine variant (`pc`, qboot or microvm).
+pub fn qemu(machine: MachineModel, id: PlatformId) -> Platform {
+    let timeline = machine.boot_timeline(GuestKind::Linux, InitSystem::PatchedImmediateExit);
+    Platform {
+        id,
+        host: HostConfig::epyc2_testbed(),
+        cpu: CpuSubsystem::new(SchedulerModel::NestedCfs, GUEST_CORES),
+        memory: MemorySubsystem::new(
+            machine.paging_mode(),
+            DirectMapFeatures::none(),
+            machine.memory_bandwidth_efficiency(),
+            0.03,
+        ),
+        storage: StorageSubsystem::new(vec![StorageLayer::VirtioBlk], Some(GUEST_MEMORY_BYTES))
+            .with_block_efficiency(machine.block_efficiency())
+            .with_jitter(0.07),
+        network: NetworkSubsystem::new(guest_network(machine)),
+        startup: startup_from_timeline(&timeline),
+        syscalls: SyscallPath::GuestKernel {
+            exit_fraction: 0.04,
+            vmm_serviced: false,
+        },
+        isolation: hypervisor_isolation(false),
+    }
+}
+
+/// Firecracker: minimal device model, jailer sandbox, vm-memory guest
+/// memory layer, no support for attaching extra drives.
+pub fn firecracker() -> Platform {
+    let machine = MachineModel::Firecracker;
+    let timeline = machine.boot_timeline(GuestKind::Linux, InitSystem::PatchedImmediateExit);
+    Platform {
+        id: PlatformId::Firecracker,
+        host: HostConfig::epyc2_testbed(),
+        cpu: CpuSubsystem::new(SchedulerModel::NestedCfs, GUEST_CORES),
+        memory: MemorySubsystem::new(
+            machine.paging_mode(),
+            DirectMapFeatures::none(),
+            machine.memory_bandwidth_efficiency(),
+            0.09,
+        ),
+        storage: StorageSubsystem::excluded(
+            "firecracker does not support attaching extra storage devices",
+        ),
+        network: NetworkSubsystem::new(guest_network(machine)),
+        startup: startup_from_timeline(&timeline),
+        syscalls: SyscallPath::GuestKernel {
+            exit_fraction: 0.05,
+            vmm_serviced: true,
+        },
+        isolation: IsolationAttributes {
+            // The jailer wraps the VMM in namespaces, cgroups and seccomp.
+            namespaces: true,
+            cgroups: true,
+            hardware_virtualization: true,
+            userspace_kernel: false,
+            seccomp: true,
+            shares_memory_with_host: false,
+        },
+    }
+}
+
+/// Cloud Hypervisor: between Firecracker's minimalism and QEMU's
+/// completeness, with an immature virtio-blk path (Finding 9) and network
+/// stack (Finding 17).
+pub fn cloud_hypervisor() -> Platform {
+    let machine = MachineModel::CloudHypervisor;
+    let timeline = machine.boot_timeline(GuestKind::Linux, InitSystem::PatchedImmediateExit);
+    Platform {
+        id: PlatformId::CloudHypervisor,
+        host: HostConfig::epyc2_testbed(),
+        cpu: CpuSubsystem::new(SchedulerModel::NestedCfs, GUEST_CORES),
+        memory: MemorySubsystem::new(
+            machine.paging_mode(),
+            DirectMapFeatures::none(),
+            machine.memory_bandwidth_efficiency(),
+            0.05,
+        ),
+        storage: StorageSubsystem::new(vec![StorageLayer::VirtioBlk], Some(GUEST_MEMORY_BYTES))
+            .with_block_efficiency(machine.block_efficiency())
+            .with_jitter(0.10),
+        network: NetworkSubsystem::new(guest_network(machine)),
+        startup: startup_from_timeline(&timeline),
+        syscalls: SyscallPath::GuestKernel {
+            exit_fraction: 0.035,
+            vmm_serviced: true,
+        },
+        isolation: hypervisor_isolation(true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subsystems::startup::StartupVariant;
+    use memsim::bandwidth::CopyMethod;
+    use memsim::tlb::PageSize;
+
+    #[test]
+    fn firecracker_is_the_memory_latency_outlier() {
+        let native = crate::builders::native::native();
+        let q = qemu(MachineModel::QemuFull, PlatformId::Qemu);
+        let fc = firecracker();
+        let chv = cloud_hypervisor();
+        let size = 1 << 26;
+        let n = native.memory().mean_access_latency(size, PageSize::Small4K);
+        let ql = q.memory().mean_access_latency(size, PageSize::Small4K);
+        let fl = fc.memory().mean_access_latency(size, PageSize::Small4K);
+        let cl = chv.memory().mean_access_latency(size, PageSize::Small4K);
+        assert!(fl > cl, "firecracker {fl} should exceed cloud-hypervisor {cl}");
+        assert!(cl > ql, "cloud-hypervisor {cl} should exceed qemu {ql}");
+        assert!(ql > n, "qemu {ql} should exceed native {n}");
+    }
+
+    #[test]
+    fn hypervisors_lose_memory_bandwidth_relative_to_native() {
+        let native = crate::builders::native::native();
+        let n = native.memory().mean_copy_bandwidth(CopyMethod::StreamCopy).bytes_per_sec();
+        for p in [
+            qemu(MachineModel::QemuFull, PlatformId::Qemu),
+            firecracker(),
+            cloud_hypervisor(),
+        ] {
+            let b = p.memory().mean_copy_bandwidth(CopyMethod::StreamCopy).bytes_per_sec();
+            assert!(b < n, "{} bandwidth should be below native", p.name());
+        }
+    }
+
+    #[test]
+    fn firecracker_is_excluded_from_fio_but_others_are_not() {
+        assert!(firecracker().storage().is_excluded());
+        assert!(!qemu(MachineModel::QemuFull, PlatformId::Qemu).storage().is_excluded());
+        assert!(!cloud_hypervisor().storage().is_excluded());
+    }
+
+    #[test]
+    fn boot_times_match_figure_14_ordering() {
+        let ms = |p: &Platform| p.startup().mean_total(StartupVariant::Default).as_millis_f64();
+        let chv = ms(&cloud_hypervisor());
+        let q = ms(&qemu(MachineModel::QemuFull, PlatformId::Qemu));
+        let qboot = ms(&qemu(MachineModel::QemuQboot, PlatformId::QemuQboot));
+        let fc = ms(&firecracker());
+        let microvm = ms(&qemu(MachineModel::QemuMicrovm, PlatformId::QemuMicrovm));
+        assert!(chv < qboot && qboot < q && q < fc && fc < microvm,
+            "ordering violated: chv={chv} qboot={qboot} qemu={q} fc={fc} microvm={microvm}");
+    }
+
+    #[test]
+    fn network_penalty_is_around_a_quarter_for_qemu_and_worse_for_newer_vmms() {
+        let native = crate::builders::native::native().network().mean_throughput().gbit_per_sec();
+        let q = qemu(MachineModel::QemuFull, PlatformId::Qemu)
+            .network()
+            .mean_throughput()
+            .gbit_per_sec();
+        let fc = firecracker().network().mean_throughput().gbit_per_sec();
+        let chv = cloud_hypervisor().network().mean_throughput().gbit_per_sec();
+        assert!((0.18..0.32).contains(&(1.0 - q / native)), "qemu penalty {}", 1.0 - q / native);
+        assert!(fc < q, "firecracker {fc} should be below qemu {q}");
+        assert!(chv < fc, "cloud-hypervisor {chv} should be below firecracker {fc}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Constructors for each platform configuration.
+//!
+//! The calibration constants (efficiencies, jitters, exit fractions,
+//! start-up phase durations) live here, next to the architectural
+//! composition they belong to, so that every number in a figure can be
+//! traced back to one platform builder.
+
+pub mod containers;
+pub mod hypervisors;
+pub mod native;
+pub mod secure;
+pub mod unikernels;
+
+use oskern::init::BootPhase;
+use simcore::Nanos;
+use vmm::boot::BootTimeline;
+
+use crate::subsystems::startup::StartupSubsystem;
+
+/// Number of CPU cores assigned to every guest in the paper's experiments.
+pub const GUEST_CORES: usize = 16;
+
+/// Guest memory given to platforms that run a second kernel.
+pub const GUEST_MEMORY_BYTES: u64 = 16 << 30;
+
+/// Converts a hypervisor boot timeline into a start-up subsystem.
+pub(crate) fn startup_from_timeline(timeline: &BootTimeline) -> StartupSubsystem {
+    let mut phases = vec![
+        BootPhase::new("vmm-setup", timeline.vmm_setup, timeline.vmm_setup.scale(0.06)),
+        BootPhase::new("firmware", timeline.firmware, timeline.firmware.scale(0.05)),
+        BootPhase::new("kernel-load", timeline.kernel_load, timeline.kernel_load.scale(0.05)),
+        BootPhase::new(
+            "guest-kernel",
+            timeline.guest_kernel_boot,
+            timeline.guest_kernel_boot.scale(0.07),
+        ),
+    ];
+    for p in timeline.init.phases() {
+        phases.push(p);
+    }
+    StartupSubsystem::new(phases, Nanos::ZERO, timeline.termination, false)
+}

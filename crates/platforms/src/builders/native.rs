@@ -1,0 +1,61 @@
+//! The native (no isolation) baseline.
+
+use oskern::host::HostConfig;
+use oskern::init::BootPhase;
+use oskern::sched::SchedulerModel;
+use simcore::Nanos;
+
+use netsim::path::NetworkPath;
+
+use crate::isolation::IsolationAttributes;
+use crate::platform::Platform;
+use crate::registry::PlatformId;
+use crate::subsystems::cpu::CpuSubsystem;
+use crate::subsystems::memory::MemorySubsystem;
+use crate::subsystems::network::NetworkSubsystem;
+use crate::subsystems::startup::StartupSubsystem;
+use crate::subsystems::storage::StorageSubsystem;
+use crate::syscall_path::SyscallPath;
+
+use super::GUEST_CORES;
+
+/// Builds the native baseline platform.
+pub fn native() -> Platform {
+    Platform {
+        id: PlatformId::Native,
+        host: HostConfig::epyc2_testbed(),
+        cpu: CpuSubsystem::new(SchedulerModel::Cfs, GUEST_CORES),
+        memory: MemorySubsystem::native(),
+        storage: StorageSubsystem::new(vec![], None).with_jitter(0.03),
+        network: NetworkSubsystem::new(NetworkPath::new(vec![])),
+        startup: StartupSubsystem::new(
+            vec![
+                BootPhase::new("fork-exec", Nanos::from_millis(3), Nanos::from_micros(400)),
+                BootPhase::new("process-exit", Nanos::from_millis(2), Nanos::from_micros(300)),
+            ],
+            Nanos::ZERO,
+            Nanos::from_millis(1),
+            false,
+        ),
+        syscalls: SyscallPath::Direct {
+            filter_overhead: Nanos::ZERO,
+        },
+        isolation: IsolationAttributes::none(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subsystems::startup::StartupVariant;
+
+    #[test]
+    fn native_is_the_fastest_baseline() {
+        let p = native();
+        assert_eq!(p.name(), "native");
+        assert!(p.startup().mean_total(StartupVariant::Default).as_millis_f64() < 10.0);
+        assert!(!p.storage().is_excluded());
+        assert_eq!(p.isolation().defense_in_depth_layers(), 0);
+        assert!((p.network().mean_throughput().gbit_per_sec() - 37.28).abs() < 0.5);
+    }
+}

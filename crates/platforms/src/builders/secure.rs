@@ -1,0 +1,253 @@
+//! The secure-container platforms: Kata containers and gVisor.
+
+use oskern::host::HostConfig;
+use oskern::init::{BootPhase, InitSystem};
+use oskern::sched::SchedulerModel;
+use simcore::Nanos;
+
+use blocksim::layers::StorageLayer;
+use memsim::features::DirectMapFeatures;
+use netsim::component::NetComponent;
+use netsim::path::NetworkPath;
+use vmm::boot::GuestKind;
+use vmm::machine::MachineModel;
+use vmm::vsock::TtrpcChannel;
+
+use crate::isolation::IsolationAttributes;
+use crate::platform::Platform;
+use crate::registry::PlatformId;
+use crate::subsystems::cpu::CpuSubsystem;
+use crate::subsystems::memory::MemorySubsystem;
+use crate::subsystems::network::NetworkSubsystem;
+use crate::subsystems::startup::StartupSubsystem;
+use crate::subsystems::storage::StorageSubsystem;
+use crate::syscall_path::SyscallPath;
+
+use super::{GUEST_CORES, GUEST_MEMORY_BYTES};
+
+/// Kata containers: a namespaced container inside a QEMU-based VM with a
+/// stripped-down guest kernel, the kata-agent reached over vsock/ttRPC, and
+/// the host directory shared over 9p (default) or virtio-fs.
+pub fn kata(virtio_fs: bool) -> Platform {
+    let machine = MachineModel::QemuFull;
+    let shared_fs = if virtio_fs {
+        StorageLayer::VirtioFs
+    } else {
+        StorageLayer::NineP
+    };
+    // Kata's network joins a host-side bridge/veth leg with the QEMU
+    // TAP+virtio leg; the paper pins its throughput to the weaker leg.
+    let bridge_leg = NetworkPath::new(vec![NetComponent::Bridge]);
+    let mut qemu_components = machine.network_components();
+    qemu_components.push(NetComponent::GuestLinuxStack);
+    let qemu_leg = NetworkPath::new(qemu_components);
+    let network = NetworkPath::bottleneck_of(vec![bridge_leg, qemu_leg]);
+
+    let ttrpc = TtrpcChannel::kata_agent();
+    let guest_boot = machine.boot_timeline(GuestKind::KataMiniKernel, InitSystem::KataMiniOs);
+    let startup_phases = vec![
+        BootPhase::new("kata-runtime", Nanos::from_millis(40), Nanos::from_millis(6)),
+        BootPhase::new("namespaces-cgroups", Nanos::from_millis(10), Nanos::from_millis(2)),
+        BootPhase::new("vmm-setup", guest_boot.vmm_setup, guest_boot.vmm_setup.scale(0.06)),
+        BootPhase::new("firmware", guest_boot.firmware, guest_boot.firmware.scale(0.05)),
+        BootPhase::new("kernel-load", guest_boot.kernel_load, guest_boot.kernel_load.scale(0.05)),
+        BootPhase::new(
+            "guest-kernel",
+            guest_boot.guest_kernel_boot,
+            guest_boot.guest_kernel_boot.scale(0.07),
+        ),
+        BootPhase::new(
+            "mini-os-and-agent",
+            InitSystem::KataMiniOs.mean_total(),
+            Nanos::from_millis(10),
+        ),
+        BootPhase::new(
+            "ttrpc-container-create",
+            ttrpc.container_create_latency() + Nanos::from_millis(180),
+            Nanos::from_millis(20),
+        ),
+        BootPhase::new("shared-rootfs-mount", Nanos::from_millis(55), Nanos::from_millis(8)),
+    ];
+
+    Platform {
+        id: if virtio_fs {
+            PlatformId::KataVirtioFs
+        } else {
+            PlatformId::Kata
+        },
+        host: HostConfig::epyc2_testbed(),
+        cpu: CpuSubsystem::new(SchedulerModel::NestedCfs, GUEST_CORES),
+        // The QEMU NVDIMM direct map plus KSM sidestep the nested-paging
+        // penalty (Finding 3), at the cost of huge-page support.
+        memory: MemorySubsystem::new(
+            machine.paging_mode(),
+            DirectMapFeatures::kata(),
+            0.97,
+            0.03,
+        ),
+        storage: StorageSubsystem::new(
+            vec![StorageLayer::VirtioBlk, shared_fs],
+            Some(GUEST_MEMORY_BYTES),
+        )
+        .with_jitter(0.08),
+        network: NetworkSubsystem::new(network),
+        startup: StartupSubsystem::new(
+            startup_phases,
+            Nanos::from_millis(250),
+            Nanos::from_millis(10),
+            true,
+        ),
+        syscalls: SyscallPath::GuestKernel {
+            exit_fraction: 0.06,
+            vmm_serviced: false,
+        },
+        isolation: IsolationAttributes {
+            namespaces: true,
+            cgroups: true,
+            hardware_virtualization: true,
+            userspace_kernel: false,
+            seccomp: true,
+            shares_memory_with_host: true,
+        },
+    }
+}
+
+/// gVisor: the Sentry user-space kernel intercepts every syscall (via
+/// ptrace or KVM), I/O goes through the Gofer over 9p, and networking uses
+/// the user-space Netstack.
+pub fn gvisor(kvm_platform: bool) -> Platform {
+    let intercept_cost = if kvm_platform {
+        Nanos::from_micros(3)
+    } else {
+        Nanos::from_micros(9)
+    };
+    let startup_phases = vec![
+        BootPhase::new("runsc-setup", Nanos::from_millis(22), Nanos::from_millis(3)),
+        BootPhase::new("namespaces-cgroups", Nanos::from_millis(9), Nanos::from_millis(2)),
+        BootPhase::new("sentry-start", Nanos::from_millis(85), Nanos::from_millis(9)),
+        BootPhase::new("gofer-start", Nanos::from_millis(38), Nanos::from_millis(5)),
+        BootPhase::new("netstack-init", Nanos::from_millis(20), Nanos::from_millis(3)),
+        BootPhase::new("entrypoint", Nanos::from_millis(12), Nanos::from_millis(2)),
+    ];
+    Platform {
+        id: if kvm_platform {
+            PlatformId::GvisorKvm
+        } else {
+            PlatformId::GvisorPtrace
+        },
+        host: HostConfig::epyc2_testbed(),
+        cpu: CpuSubsystem::new(SchedulerModel::Sentry, GUEST_CORES),
+        memory: MemorySubsystem::new(
+            memsim::paging::PagingMode::Native,
+            DirectMapFeatures::none(),
+            0.97,
+            0.03,
+        ),
+        storage: StorageSubsystem::new(
+            vec![StorageLayer::SentryIntercept, StorageLayer::GoferBoundary, StorageLayer::NineP],
+            None,
+        )
+        .with_jitter(0.08),
+        network: NetworkSubsystem::new(
+            NetworkPath::new(vec![NetComponent::Bridge, NetComponent::Netstack])
+                .with_tail_factor(1.7),
+        ),
+        startup: StartupSubsystem::new(
+            startup_phases,
+            Nanos::from_millis(250),
+            Nanos::from_millis(8),
+            true,
+        ),
+        syscalls: SyscallPath::SentryIntercept {
+            intercept_cost,
+            gofer_for_io: true,
+        },
+        isolation: IsolationAttributes {
+            namespaces: true,
+            cgroups: true,
+            hardware_virtualization: kvm_platform,
+            userspace_kernel: true,
+            seccomp: true,
+            shares_memory_with_host: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subsystems::startup::StartupVariant;
+    use memsim::tlb::PageSize;
+    use simcore::SimRng;
+
+    #[test]
+    fn kata_memory_is_not_impaired_despite_the_hypervisor() {
+        let native = crate::builders::native::native();
+        let k = kata(false);
+        let size = 1 << 26;
+        assert_eq!(
+            k.memory().mean_access_latency(size, PageSize::Small4K),
+            native.memory().mean_access_latency(size, PageSize::Small4K)
+        );
+        assert!(!k.memory().huge_pages_supported());
+    }
+
+    #[test]
+    fn kata_9p_io_is_much_worse_than_kata_virtiofs() {
+        let mut rng = SimRng::seed_from(1);
+        let profile = blocksim::request::IoProfile::paper_throughput(
+            blocksim::request::IoPattern::SeqRead,
+            GUEST_MEMORY_BYTES,
+        );
+        let mut tp = |p: &Platform| {
+            p.storage()
+                .build_stack()
+                .run_phase(profile, blocksim::engine::IoEngine::Libaio, true, &mut rng)
+                .throughput
+                .mib_per_sec()
+        };
+        let nine_p = tp(&kata(false));
+        let vfs = tp(&kata(true));
+        assert!(vfs > nine_p * 1.4, "virtio-fs {vfs} vs 9p {nine_p}");
+    }
+
+    #[test]
+    fn kata_network_matches_its_weakest_leg() {
+        let k = kata(false).network().mean_throughput().gbit_per_sec();
+        let q = crate::builders::hypervisors::qemu(MachineModel::QemuFull, PlatformId::Qemu)
+            .network()
+            .mean_throughput()
+            .gbit_per_sec();
+        assert!((k - q).abs() < 1.0, "kata {k} vs qemu {q}");
+    }
+
+    #[test]
+    fn gvisor_network_is_an_extreme_outlier() {
+        let g = gvisor(false).network().mean_throughput().gbit_per_sec();
+        assert!(g < 8.0, "gvisor throughput {g}");
+    }
+
+    #[test]
+    fn boot_times_match_figure_13() {
+        let g = gvisor(false);
+        let k = kata(false);
+        let g_ms = g.startup().mean_total(StartupVariant::OciDirect).as_millis_f64();
+        let k_ms = k.startup().mean_total(StartupVariant::OciDirect).as_millis_f64();
+        assert!((150.0..250.0).contains(&g_ms), "gvisor boot {g_ms} ms");
+        assert!((500.0..750.0).contains(&k_ms), "kata boot {k_ms} ms");
+    }
+
+    #[test]
+    fn kvm_platform_intercept_is_cheaper_than_ptrace() {
+        let ptrace = gvisor(false);
+        let kvm = gvisor(true);
+        let class = oskern::syscall::SyscallClass::FileRead;
+        assert!(ptrace.syscalls().dispatch_cost(class) > kvm.syscalls().dispatch_cost(class));
+    }
+
+    #[test]
+    fn secure_containers_stack_the_most_defense_layers() {
+        assert!(kata(false).isolation().defense_in_depth_layers() >= 4);
+        assert!(gvisor(false).isolation().defense_in_depth_layers() >= 4);
+    }
+}

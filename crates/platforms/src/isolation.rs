@@ -1,0 +1,71 @@
+//! Qualitative isolation attributes of a platform.
+//!
+//! The HAP metric quantifies the *width* of the host interface; these
+//! attributes capture the *depth* — the defense-in-depth layers the paper
+//! argues the HAP cannot see (Finding 28).
+
+use serde::{Deserialize, Serialize};
+
+/// The isolation mechanisms a platform stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IsolationAttributes {
+    /// Uses Linux namespaces to reduce visibility.
+    pub namespaces: bool,
+    /// Uses cgroups to bound resources.
+    pub cgroups: bool,
+    /// Uses hardware virtualization (a second kernel behind VM exits).
+    pub hardware_virtualization: bool,
+    /// Re-implements the kernel interface in user space (gVisor's Sentry).
+    pub userspace_kernel: bool,
+    /// Applies seccomp filters to the host-facing process.
+    pub seccomp: bool,
+    /// Whether guest memory is shared/deduplicated with the host or other
+    /// guests (KSM / NVDIMM direct map), which weakens tenant separation.
+    pub shares_memory_with_host: bool,
+}
+
+impl IsolationAttributes {
+    /// No isolation (native).
+    pub fn none() -> Self {
+        IsolationAttributes {
+            namespaces: false,
+            cgroups: false,
+            hardware_virtualization: false,
+            userspace_kernel: false,
+            seccomp: false,
+            shares_memory_with_host: true,
+        }
+    }
+
+    /// Number of distinct defense layers stacked by the platform.
+    pub fn defense_in_depth_layers(&self) -> u32 {
+        u32::from(self.namespaces)
+            + u32::from(self.cgroups)
+            + u32::from(self.hardware_virtualization)
+            + u32::from(self.userspace_kernel)
+            + u32::from(self.seccomp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_has_no_defense_layers() {
+        assert_eq!(IsolationAttributes::none().defense_in_depth_layers(), 0);
+    }
+
+    #[test]
+    fn layers_count_each_mechanism_once() {
+        let kata = IsolationAttributes {
+            namespaces: true,
+            cgroups: true,
+            hardware_virtualization: true,
+            userspace_kernel: false,
+            seccomp: true,
+            shares_memory_with_host: true,
+        };
+        assert_eq!(kata.defense_in_depth_layers(), 4);
+    }
+}

@@ -1,0 +1,46 @@
+//! # platforms
+//!
+//! The nine isolation platforms studied in the paper, composed from the
+//! substrate crates (`oskern`, `memsim`, `blocksim`, `netsim`, `vmm`).
+//!
+//! Each [`Platform`] exposes the subsystem models a benchmark workload
+//! drives:
+//!
+//! * [`subsystems::cpu::CpuSubsystem`] — thread scheduling and SIMD
+//!   behaviour (ffmpeg, sysbench CPU);
+//! * [`subsystems::memory::MemorySubsystem`] — access latency and copy
+//!   bandwidth (tinymembench, STREAM);
+//! * [`subsystems::storage::StorageSubsystem`] — the block path (fio);
+//! * [`subsystems::network::NetworkSubsystem`] — the packet path (iperf3,
+//!   netperf);
+//! * [`subsystems::startup::StartupSubsystem`] — the boot sequence
+//!   (Figs. 13–15);
+//! * [`syscall_path::SyscallPath`] — how guest system calls reach (or do
+//!   not reach) the host kernel, which drives both the macro-benchmarks
+//!   and the HAP security metric.
+//!
+//! Platforms are built through [`registry::PlatformId`]:
+//!
+//! ```
+//! use platforms::PlatformId;
+//!
+//! let docker = PlatformId::Docker.build();
+//! let gvisor = PlatformId::GvisorPtrace.build();
+//! assert!(docker.network().mean_throughput().gbit_per_sec()
+//!         > gvisor.network().mean_throughput().gbit_per_sec());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod builders;
+pub mod isolation;
+pub mod platform;
+pub mod registry;
+pub mod subsystems;
+pub mod syscall_path;
+
+pub use isolation::IsolationAttributes;
+pub use platform::Platform;
+pub use registry::{PlatformFamily, PlatformId};
+pub use syscall_path::SyscallPath;

@@ -1,0 +1,196 @@
+//! Platform identifiers and the registry that builds them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::builders;
+use crate::platform::Platform;
+
+/// The four platform categories of Section 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PlatformFamily {
+    /// No isolation at all (the baseline).
+    Native,
+    /// Namespace/cgroup containers (Docker, LXC).
+    Container,
+    /// Hardware virtualization (QEMU, Firecracker, Cloud Hypervisor).
+    Hypervisor,
+    /// Hybrids combining container usability with stronger sandboxing
+    /// (Kata, gVisor).
+    SecureContainer,
+    /// Library operating systems (OSv).
+    Unikernel,
+}
+
+/// Identifier of one benchmarked platform configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PlatformId {
+    /// Bare-metal execution on the host.
+    Native,
+    /// Docker with the default runc runtime.
+    Docker,
+    /// LXC with a ZFS storage pool and systemd init.
+    Lxc,
+    /// QEMU/KVM with the default `pc` machine model.
+    Qemu,
+    /// QEMU with the minimal qboot firmware (start-up experiment variant).
+    QemuQboot,
+    /// QEMU with the `microvm` machine model (start-up experiment variant).
+    QemuMicrovm,
+    /// Firecracker.
+    Firecracker,
+    /// Cloud Hypervisor.
+    CloudHypervisor,
+    /// Kata containers with the default 9p shared filesystem.
+    Kata,
+    /// Kata containers with virtio-fs (the Finding 7 ablation).
+    KataVirtioFs,
+    /// gVisor with the ptrace platform.
+    GvisorPtrace,
+    /// gVisor with the KVM platform.
+    GvisorKvm,
+    /// OSv running under QEMU.
+    OsvQemu,
+    /// OSv running under Firecracker.
+    OsvFirecracker,
+}
+
+impl PlatformId {
+    /// The primary platform set used in the paper's performance figures
+    /// (one configuration per platform, matching the figure legends).
+    pub fn paper_set() -> &'static [PlatformId] {
+        &[
+            PlatformId::Native,
+            PlatformId::Docker,
+            PlatformId::Lxc,
+            PlatformId::Qemu,
+            PlatformId::Firecracker,
+            PlatformId::CloudHypervisor,
+            PlatformId::Kata,
+            PlatformId::GvisorPtrace,
+            PlatformId::OsvQemu,
+            PlatformId::OsvFirecracker,
+        ]
+    }
+
+    /// Every platform configuration the workspace can build.
+    pub fn all() -> &'static [PlatformId] {
+        &[
+            PlatformId::Native,
+            PlatformId::Docker,
+            PlatformId::Lxc,
+            PlatformId::Qemu,
+            PlatformId::QemuQboot,
+            PlatformId::QemuMicrovm,
+            PlatformId::Firecracker,
+            PlatformId::CloudHypervisor,
+            PlatformId::Kata,
+            PlatformId::KataVirtioFs,
+            PlatformId::GvisorPtrace,
+            PlatformId::GvisorKvm,
+            PlatformId::OsvQemu,
+            PlatformId::OsvFirecracker,
+        ]
+    }
+
+    /// The platform's category.
+    pub fn family(self) -> PlatformFamily {
+        match self {
+            PlatformId::Native => PlatformFamily::Native,
+            PlatformId::Docker | PlatformId::Lxc => PlatformFamily::Container,
+            PlatformId::Qemu
+            | PlatformId::QemuQboot
+            | PlatformId::QemuMicrovm
+            | PlatformId::Firecracker
+            | PlatformId::CloudHypervisor => PlatformFamily::Hypervisor,
+            PlatformId::Kata
+            | PlatformId::KataVirtioFs
+            | PlatformId::GvisorPtrace
+            | PlatformId::GvisorKvm => PlatformFamily::SecureContainer,
+            PlatformId::OsvQemu | PlatformId::OsvFirecracker => PlatformFamily::Unikernel,
+        }
+    }
+
+    /// The label the figures use for this platform.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlatformId::Native => "native",
+            PlatformId::Docker => "docker",
+            PlatformId::Lxc => "lxc",
+            PlatformId::Qemu => "qemu",
+            PlatformId::QemuQboot => "qemu-qboot",
+            PlatformId::QemuMicrovm => "qemu-microvm",
+            PlatformId::Firecracker => "firecracker",
+            PlatformId::CloudHypervisor => "cloud-hypervisor",
+            PlatformId::Kata => "kata",
+            PlatformId::KataVirtioFs => "kata-virtiofs",
+            PlatformId::GvisorPtrace => "gvisor",
+            PlatformId::GvisorKvm => "gvisor-kvm",
+            PlatformId::OsvQemu => "osv",
+            PlatformId::OsvFirecracker => "osv-fc",
+        }
+    }
+
+    /// Builds the full platform model for this identifier.
+    pub fn build(self) -> Platform {
+        match self {
+            PlatformId::Native => builders::native::native(),
+            PlatformId::Docker => builders::containers::docker(),
+            PlatformId::Lxc => builders::containers::lxc(),
+            PlatformId::Qemu => builders::hypervisors::qemu(vmm::MachineModel::QemuFull, self),
+            PlatformId::QemuQboot => {
+                builders::hypervisors::qemu(vmm::MachineModel::QemuQboot, self)
+            }
+            PlatformId::QemuMicrovm => {
+                builders::hypervisors::qemu(vmm::MachineModel::QemuMicrovm, self)
+            }
+            PlatformId::Firecracker => builders::hypervisors::firecracker(),
+            PlatformId::CloudHypervisor => builders::hypervisors::cloud_hypervisor(),
+            PlatformId::Kata => builders::secure::kata(false),
+            PlatformId::KataVirtioFs => builders::secure::kata(true),
+            PlatformId::GvisorPtrace => builders::secure::gvisor(false),
+            PlatformId::GvisorKvm => builders::secure::gvisor(true),
+            PlatformId::OsvQemu => builders::unikernels::osv(vmm::MachineModel::QemuFull),
+            PlatformId::OsvFirecracker => {
+                builders::unikernels::osv(vmm::MachineModel::Firecracker)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_platform_builds() {
+        for id in PlatformId::all() {
+            let platform = id.build();
+            assert_eq!(platform.id(), *id);
+            assert!(!platform.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_set_is_a_subset_of_all() {
+        for id in PlatformId::paper_set() {
+            assert!(PlatformId::all().contains(id));
+        }
+        assert_eq!(PlatformId::paper_set().len(), 10);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::BTreeSet<_> =
+            PlatformId::all().iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), PlatformId::all().len());
+    }
+
+    #[test]
+    fn families_match_section_2() {
+        assert_eq!(PlatformId::Docker.family(), PlatformFamily::Container);
+        assert_eq!(PlatformId::Firecracker.family(), PlatformFamily::Hypervisor);
+        assert_eq!(PlatformId::Kata.family(), PlatformFamily::SecureContainer);
+        assert_eq!(PlatformId::GvisorPtrace.family(), PlatformFamily::SecureContainer);
+        assert_eq!(PlatformId::OsvQemu.family(), PlatformFamily::Unikernel);
+    }
+}

@@ -1,0 +1,136 @@
+//! Memory subsystem.
+//!
+//! Drives the tinymembench latency/bandwidth and STREAM experiments
+//! (Figs. 6–8) and the memory component of the Memcached model.
+
+use simcore::{Bandwidth, Nanos, SimRng};
+
+use memsim::bandwidth::{CopyMethod, SequentialCopyModel};
+use memsim::config::MemoryHierarchy;
+use memsim::features::DirectMapFeatures;
+use memsim::latency::RandomAccessModel;
+use memsim::paging::PagingMode;
+use memsim::tlb::PageSize;
+
+/// The memory subsystem of one platform.
+#[derive(Debug, Clone)]
+pub struct MemorySubsystem {
+    latency_model: RandomAccessModel,
+    copy_model: SequentialCopyModel,
+    features: DirectMapFeatures,
+}
+
+impl MemorySubsystem {
+    /// Creates a memory subsystem.
+    ///
+    /// * `paging` — the base translation mode of the platform;
+    /// * `features` — direct-map features that may override it (Kata);
+    /// * `bandwidth_efficiency` — sequential copy efficiency vs native;
+    /// * `latency_jitter` — run-to-run noise of latency measurements
+    ///   (Firecracker shows visibly larger error bars in Fig. 6).
+    pub fn new(
+        paging: PagingMode,
+        features: DirectMapFeatures,
+        bandwidth_efficiency: f64,
+        latency_jitter: f64,
+    ) -> Self {
+        let hierarchy = MemoryHierarchy::epyc2();
+        let effective_paging = features.effective_paging(paging);
+        MemorySubsystem {
+            latency_model: RandomAccessModel::new(hierarchy.clone(), effective_paging)
+                .with_jitter(latency_jitter),
+            copy_model: SequentialCopyModel::new(hierarchy)
+                .with_platform_efficiency(bandwidth_efficiency),
+            features,
+        }
+    }
+
+    /// A native-equivalent memory subsystem.
+    pub fn native() -> Self {
+        Self::new(PagingMode::Native, DirectMapFeatures::none(), 1.0, 0.02)
+    }
+
+    /// Whether the platform supports huge pages (Kata does not).
+    pub fn huge_pages_supported(&self) -> bool {
+        self.features.huge_pages_supported
+    }
+
+    /// The effective paging mode after features are applied.
+    pub fn paging(&self) -> PagingMode {
+        self.latency_model.paging()
+    }
+
+    /// Mean random-access extra latency for a buffer of the given size.
+    pub fn mean_access_latency(&self, buffer_bytes: u64, page: PageSize) -> Nanos {
+        self.latency_model.mean_extra_latency(buffer_bytes, page)
+    }
+
+    /// Samples one measured random-access latency.
+    pub fn sample_access_latency(
+        &self,
+        buffer_bytes: u64,
+        page: PageSize,
+        rng: &mut SimRng,
+    ) -> Nanos {
+        self.latency_model.sample_extra_latency(buffer_bytes, page, rng)
+    }
+
+    /// Mean sequential copy bandwidth for the given method.
+    pub fn mean_copy_bandwidth(&self, method: CopyMethod) -> Bandwidth {
+        self.copy_model.mean_bandwidth(method)
+    }
+
+    /// Samples one measured copy bandwidth.
+    pub fn sample_copy_bandwidth(&self, method: CopyMethod, rng: &mut SimRng) -> Bandwidth {
+        self.copy_model.sample_bandwidth(method, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn firecracker_style_subsystem_has_higher_latency_than_native() {
+        let native = MemorySubsystem::native();
+        let fc = MemorySubsystem::new(
+            PagingMode::nested_with_vmm_overhead(Nanos::from_nanos(95)),
+            DirectMapFeatures::none(),
+            0.80,
+            0.06,
+        );
+        let size = 1 << 26;
+        assert!(
+            fc.mean_access_latency(size, PageSize::Small4K)
+                > native.mean_access_latency(size, PageSize::Small4K)
+        );
+        assert!(
+            fc.mean_copy_bandwidth(CopyMethod::StreamCopy).bytes_per_sec()
+                < native.mean_copy_bandwidth(CopyMethod::StreamCopy).bytes_per_sec()
+        );
+    }
+
+    #[test]
+    fn kata_direct_map_restores_native_latency() {
+        let native = MemorySubsystem::native();
+        let kata = MemorySubsystem::new(
+            PagingMode::nested_hardware(),
+            DirectMapFeatures::kata(),
+            0.97,
+            0.03,
+        );
+        let size = 1 << 26;
+        let native_lat = native.mean_access_latency(size, PageSize::Small4K);
+        let kata_lat = kata.mean_access_latency(size, PageSize::Small4K);
+        assert_eq!(native_lat, kata_lat);
+        assert!(!kata.huge_pages_supported());
+    }
+
+    #[test]
+    fn sampled_values_are_reproducible() {
+        let m = MemorySubsystem::native();
+        let a = m.sample_access_latency(1 << 24, PageSize::Small4K, &mut SimRng::seed_from(9));
+        let b = m.sample_access_latency(1 << 24, PageSize::Small4K, &mut SimRng::seed_from(9));
+        assert_eq!(a, b);
+    }
+}

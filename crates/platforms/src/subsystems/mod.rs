@@ -1,0 +1,13 @@
+//! Per-subsystem performance models exposed by every platform.
+
+pub mod cpu;
+pub mod memory;
+pub mod network;
+pub mod startup;
+pub mod storage;
+
+pub use cpu::{ComputeWork, CpuSubsystem};
+pub use memory::MemorySubsystem;
+pub use network::NetworkSubsystem;
+pub use startup::{StartupSubsystem, StartupVariant};
+pub use storage::StorageSubsystem;

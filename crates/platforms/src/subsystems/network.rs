@@ -1,0 +1,75 @@
+//! Network subsystem.
+//!
+//! Drives the iperf3 and netperf experiments (Figs. 11 and 12) and the
+//! network component of the Memcached and MySQL models.
+
+use simcore::{Bandwidth, Nanos, SimRng};
+
+use netsim::path::{NetworkOutcome, NetworkPath};
+use oskern::ftrace::FtraceSession;
+
+/// The network subsystem of one platform.
+#[derive(Debug, Clone)]
+pub struct NetworkSubsystem {
+    path: NetworkPath,
+}
+
+impl NetworkSubsystem {
+    /// Creates a network subsystem over the given path.
+    pub fn new(path: NetworkPath) -> Self {
+        NetworkSubsystem { path }
+    }
+
+    /// The underlying path.
+    pub fn path(&self) -> &NetworkPath {
+        &self.path
+    }
+
+    /// Mean streaming throughput.
+    pub fn mean_throughput(&self) -> Bandwidth {
+        self.path.mean_throughput()
+    }
+
+    /// Mean request/response round-trip latency.
+    pub fn mean_rtt(&self) -> Nanos {
+        self.path.mean_rtt()
+    }
+
+    /// Runs one iperf3-style measurement.
+    pub fn run_stream(&self, rng: &mut SimRng) -> NetworkOutcome {
+        self.path.run_stream(rng)
+    }
+
+    /// Runs one netperf-style request/response measurement.
+    pub fn run_request_response(&self, rng: &mut SimRng) -> NetworkOutcome {
+        self.path.run_request_response(rng)
+    }
+
+    /// Records the host kernel functions a streaming run touches.
+    pub fn trace_stream(&self, session: &mut FtraceSession, segments: u64) {
+        self.path.trace_stream(session, segments);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::component::NetComponent;
+
+    #[test]
+    fn subsystem_delegates_to_the_path() {
+        let sub = NetworkSubsystem::new(NetworkPath::new(vec![NetComponent::Bridge]));
+        assert!(sub.mean_throughput().gbit_per_sec() > 30.0);
+        assert!(sub.mean_rtt() > Nanos::ZERO);
+        let out = sub.run_stream(&mut SimRng::seed_from(1));
+        assert!(out.p90_rtt >= out.mean_rtt);
+    }
+
+    #[test]
+    fn traces_include_host_stack_functions() {
+        let sub = NetworkSubsystem::new(NetworkPath::new(vec![]));
+        let mut session = FtraceSession::start();
+        sub.trace_stream(&mut session, 10);
+        assert!(session.trace().touched("tcp_sendmsg"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Start-up subsystem.
+//!
+//! Drives the boot-time CDF experiments (Figs. 13–15). Every platform
+//! exposes its boot sequence as a list of phases; the containers
+//! additionally distinguish whether they are started through the Docker
+//! daemon or by invoking the OCI runtime directly (the ~250 ms difference
+//! the paper reports), and the hypervisor/unikernel platforms can report
+//! the alternative "grep stdout" measurement method of Fig. 15.
+
+use simcore::{Nanos, SimRng};
+
+use oskern::init::BootPhase;
+
+/// How the start-up time is measured / triggered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StartupVariant {
+    /// End-to-end, started the default way (Docker daemon for containers,
+    /// direct process invocation for hypervisors).
+    Default,
+    /// Containers only: invoke the OCI runtime directly, bypassing the
+    /// Docker daemon.
+    OciDirect,
+    /// Hypervisors/unikernels only: stop the clock when the guest prints
+    /// its ready line instead of at process termination.
+    StdoutMethod,
+}
+
+/// The start-up model of one platform.
+#[derive(Debug, Clone)]
+pub struct StartupSubsystem {
+    phases: Vec<BootPhase>,
+    /// Extra latency when the container is created through the Docker
+    /// daemon (zero for non-container platforms).
+    daemon_overhead: Nanos,
+    /// Process-termination overhead excluded by the stdout method.
+    termination: Nanos,
+    /// Whether the OCI-direct variant is meaningful for this platform.
+    supports_oci_direct: bool,
+}
+
+impl StartupSubsystem {
+    /// Creates a start-up model from explicit phases.
+    pub fn new(
+        phases: Vec<BootPhase>,
+        daemon_overhead: Nanos,
+        termination: Nanos,
+        supports_oci_direct: bool,
+    ) -> Self {
+        StartupSubsystem {
+            phases,
+            daemon_overhead,
+            termination,
+            supports_oci_direct,
+        }
+    }
+
+    /// The boot phases.
+    pub fn phases(&self) -> &[BootPhase] {
+        &self.phases
+    }
+
+    /// Whether the OCI-direct variant exists for this platform.
+    pub fn supports_oci_direct(&self) -> bool {
+        self.supports_oci_direct
+    }
+
+    /// Mean total boot time for the given variant.
+    pub fn mean_total(&self, variant: StartupVariant) -> Nanos {
+        let phases: Nanos = self.phases.iter().map(|p| p.mean).sum();
+        match variant {
+            StartupVariant::Default => phases + self.daemon_overhead + self.termination,
+            StartupVariant::OciDirect => phases + self.termination,
+            StartupVariant::StdoutMethod => phases + self.daemon_overhead,
+        }
+    }
+
+    /// Samples one boot measurement for the given variant.
+    pub fn sample(&self, variant: StartupVariant, rng: &mut SimRng) -> Nanos {
+        let mut total: Nanos = self.phases.iter().map(|p| p.sample(rng)).sum();
+        match variant {
+            StartupVariant::Default => {
+                total += self.jittered(self.daemon_overhead, rng);
+                total += self.jittered(self.termination, rng);
+            }
+            StartupVariant::OciDirect => {
+                total += self.jittered(self.termination, rng);
+            }
+            StartupVariant::StdoutMethod => {
+                total += self.jittered(self.daemon_overhead, rng);
+            }
+        }
+        total
+    }
+
+    fn jittered(&self, base: Nanos, rng: &mut SimRng) -> Nanos {
+        let mean = base.as_secs_f64();
+        Nanos::from_secs_f64(rng.normal_pos(mean, mean * 0.08))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docker_like() -> StartupSubsystem {
+        StartupSubsystem::new(
+            vec![
+                BootPhase::new("runtime", Nanos::from_millis(70), Nanos::from_millis(8)),
+                BootPhase::new("init", Nanos::from_millis(20), Nanos::from_millis(3)),
+            ],
+            Nanos::from_millis(250),
+            Nanos::from_millis(10),
+            true,
+        )
+    }
+
+    #[test]
+    fn oci_direct_is_faster_by_the_daemon_overhead() {
+        let s = docker_like();
+        let via_daemon = s.mean_total(StartupVariant::Default);
+        let direct = s.mean_total(StartupVariant::OciDirect);
+        assert_eq!(via_daemon - direct, Nanos::from_millis(250));
+    }
+
+    #[test]
+    fn stdout_method_excludes_termination() {
+        let s = docker_like();
+        let e2e = s.mean_total(StartupVariant::Default);
+        let stdout = s.mean_total(StartupVariant::StdoutMethod);
+        assert_eq!(e2e - stdout, Nanos::from_millis(10));
+    }
+
+    #[test]
+    fn samples_are_reproducible_and_near_the_mean() {
+        let s = docker_like();
+        let a = s.sample(StartupVariant::Default, &mut SimRng::seed_from(4));
+        let b = s.sample(StartupVariant::Default, &mut SimRng::seed_from(4));
+        assert_eq!(a, b);
+        let mean = s.mean_total(StartupVariant::Default).as_millis_f64();
+        assert!((a.as_millis_f64() - mean).abs() < mean * 0.3);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type for the relational engine.
+
+use std::fmt;
+
+/// Errors returned by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The requested table does not exist.
+    UnknownTable(String),
+    /// A row with the given primary key already exists.
+    DuplicateKey(u64),
+    /// No row with the given primary key exists.
+    RowNotFound(u64),
+    /// A lock could not be acquired (the engine uses no-wait locking, so
+    /// contention surfaces as retries rather than deadlocks).
+    LockContended(u64),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            StoreError::DuplicateKey(id) => write!(f, "duplicate primary key: {id}"),
+            StoreError::RowNotFound(id) => write!(f, "row not found: {id}"),
+            StoreError::LockContended(id) => write!(f, "lock contended on row {id}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_specific() {
+        assert!(StoreError::UnknownTable("t".into()).to_string().contains('t'));
+        assert!(StoreError::DuplicateKey(7).to_string().contains('7'));
+        assert!(StoreError::LockContended(9).to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<StoreError>();
+    }
+}

@@ -1,0 +1,40 @@
+//! # relstore
+//!
+//! A miniature relational storage engine standing in for MySQL 5.6 in the
+//! Sysbench `oltp_read_write` experiment (Fig. 17).
+//!
+//! The engine implements exactly the features that benchmark exercises:
+//! tables with an integer primary key and a secondary index, point
+//! SELECT / UPDATE / DELETE / INSERT, row-level locking, and transactions
+//! that group one of each statement ("a transaction" in the paper's
+//! terminology). The lock manager is what produces the thread-contention
+//! behaviour whose interaction with each platform's scheduler the paper
+//! measures.
+//!
+//! ```
+//! use relstore::{Database, Row};
+//!
+//! let db = Database::new();
+//! db.create_table("sbtest1");
+//! let table = db.table("sbtest1").unwrap();
+//! table.insert(Row::new(1, 42, "padding".into())).unwrap();
+//! let mut txn = db.begin();
+//! let row = txn.select(&table, 1).unwrap();
+//! assert_eq!(row.k, 42);
+//! txn.commit();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod database;
+pub mod error;
+pub mod lock;
+pub mod table;
+pub mod txn;
+
+pub use database::Database;
+pub use error::StoreError;
+pub use lock::LockManager;
+pub use table::{Row, Table};
+pub use txn::Transaction;

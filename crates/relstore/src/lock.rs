@@ -1,0 +1,122 @@
+//! Row-level lock manager.
+//!
+//! Sysbench's `oltp_read_write` issues point UPDATE/DELETE/INSERT
+//! statements from many client threads. The no-wait row lock manager here
+//! is what turns that concurrency into contention: when two threads target
+//! the same row, one of them fails to acquire the lock, retries, and
+//! throughput stops scaling — the effect behind the ~50-thread peak in
+//! Fig. 17.
+
+use std::collections::HashSet;
+
+use parking_lot::Mutex;
+
+/// A no-wait row-level lock manager.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    held: Mutex<HashSet<u64>>,
+    contended: Mutex<u64>,
+}
+
+impl LockManager {
+    /// Creates a lock manager with no held locks.
+    pub fn new() -> Self {
+        LockManager::default()
+    }
+
+    /// Tries to acquire the lock for `row_id`; returns `false` (and counts
+    /// a contention event) if another transaction holds it.
+    pub fn try_lock(&self, row_id: u64) -> bool {
+        let mut held = self.held.lock();
+        if held.contains(&row_id) {
+            *self.contended.lock() += 1;
+            false
+        } else {
+            held.insert(row_id);
+            true
+        }
+    }
+
+    /// Releases the lock for `row_id` (idempotent).
+    pub fn unlock(&self, row_id: u64) {
+        self.held.lock().remove(&row_id);
+    }
+
+    /// Releases a batch of locks.
+    pub fn unlock_all(&self, row_ids: &[u64]) {
+        let mut held = self.held.lock();
+        for id in row_ids {
+            held.remove(id);
+        }
+    }
+
+    /// Number of locks currently held.
+    pub fn held_count(&self) -> usize {
+        self.held.lock().len()
+    }
+
+    /// Number of contention events observed so far.
+    pub fn contention_events(&self) -> u64 {
+        *self.contended.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_unlock_cycle() {
+        let lm = LockManager::new();
+        assert!(lm.try_lock(1));
+        assert!(!lm.try_lock(1));
+        assert_eq!(lm.contention_events(), 1);
+        lm.unlock(1);
+        assert!(lm.try_lock(1));
+        assert_eq!(lm.held_count(), 1);
+    }
+
+    #[test]
+    fn unlock_all_releases_batch() {
+        let lm = LockManager::new();
+        for id in 0..10 {
+            assert!(lm.try_lock(id));
+        }
+        lm.unlock_all(&(0..10).collect::<Vec<_>>());
+        assert_eq!(lm.held_count(), 0);
+    }
+
+    #[test]
+    fn unlocking_unheld_lock_is_harmless() {
+        let lm = LockManager::new();
+        lm.unlock(99);
+        assert_eq!(lm.held_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_threads_never_both_hold_the_same_row() {
+        let lm = Arc::new(LockManager::new());
+        let mut handles = Vec::new();
+        let successes = Arc::new(Mutex::new(0u32));
+        for _ in 0..8 {
+            let lm = Arc::clone(&lm);
+            let successes = Arc::clone(&successes);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    if lm.try_lock(7) {
+                        *successes.lock() += 1;
+                        lm.unlock(7);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every successful acquisition was paired with a release, so the
+        // lock must be free at the end and at least one thread succeeded.
+        assert_eq!(lm.held_count(), 0);
+        assert!(*successes.lock() > 0);
+    }
+}

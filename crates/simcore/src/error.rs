@@ -1,0 +1,47 @@
+//! Error type shared by the simulation core.
+
+use std::fmt;
+
+/// Errors produced by the simulation core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A configuration value was outside its valid range.
+    InvalidConfig(String),
+    /// A resource was asked to perform an operation it cannot serve
+    /// (for example requesting more bandwidth than the link capacity).
+    ResourceExhausted(String),
+    /// An empty data set was given to a statistics routine that requires
+    /// at least one sample.
+    EmptyDataset(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::ResourceExhausted(msg) => write!(f, "resource exhausted: {msg}"),
+            SimError::EmptyDataset(msg) => write!(f, "empty dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = SimError::InvalidConfig("tlb entries must be non-zero".into());
+        let msg = err.to_string();
+        assert!(msg.starts_with("invalid configuration"));
+        assert!(msg.contains("tlb"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

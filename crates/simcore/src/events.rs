@@ -1,0 +1,311 @@
+//! A minimal discrete-event scheduler.
+//!
+//! The boot-sequence and queueing models advance a virtual clock through a
+//! priority queue of timestamped events. The scheduler is intentionally
+//! simple: events are closures over a shared mutable state value, executed
+//! in timestamp order (FIFO among equal timestamps).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Nanos;
+
+/// An event scheduled at a point in virtual time.
+struct Scheduled<S> {
+    at: Nanos,
+    seq: u64,
+    action: Box<dyn FnOnce(&mut Simulation<S>, &mut S)>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A plain timestamp-ordered event queue of values.
+///
+/// # Example
+///
+/// ```
+/// use simcore::{EventQueue, Nanos};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Nanos::from_millis(5), "late");
+/// q.push(Nanos::from_millis(1), "early");
+/// assert_eq!(q.pop(), Some((Nanos::from_millis(1), "early")));
+/// assert_eq!(q.pop(), Some((Nanos::from_millis(5), "late")));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<QueueEntry<T>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct QueueEntry<T> {
+    at: Nanos,
+    seq: u64,
+    value: T,
+}
+
+impl<T> PartialEq for QueueEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for QueueEntry<T> {}
+impl<T> PartialOrd for QueueEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for QueueEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `value` at virtual time `at`.
+    pub fn push(&mut self, at: Nanos, value: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(QueueEntry { at, seq, value });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Nanos, T)> {
+        self.heap.pop().map(|e| (e.at, e.value))
+    }
+
+    /// Returns the timestamp of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A discrete-event simulation over a user-provided state type.
+///
+/// # Example
+///
+/// ```
+/// use simcore::{Nanos, Simulation};
+///
+/// let mut sim = Simulation::new();
+/// sim.schedule_in(Nanos::from_millis(10), |sim, count: &mut u32| {
+///     *count += 1;
+///     sim.schedule_in(Nanos::from_millis(10), |_, count| *count += 1);
+/// });
+/// let mut count = 0;
+/// sim.run(&mut count);
+/// assert_eq!(count, 2);
+/// assert_eq!(sim.now(), Nanos::from_millis(20));
+/// ```
+pub struct Simulation<S> {
+    now: Nanos,
+    queue: BinaryHeap<Scheduled<S>>,
+    seq: u64,
+}
+
+impl<S> std::fmt::Debug for Simulation<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .finish()
+    }
+}
+
+impl<S> Simulation<S> {
+    /// Creates a simulation with the clock at zero.
+    pub fn new() -> Self {
+        Simulation {
+            now: Nanos::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Schedules an action at an absolute virtual time.
+    pub fn schedule_at<F>(&mut self, at: Nanos, action: F)
+    where
+        F: FnOnce(&mut Simulation<S>, &mut S) + 'static,
+    {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at: at.max(self.now),
+            seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Schedules an action `delay` after the current virtual time.
+    pub fn schedule_in<F>(&mut self, delay: Nanos, action: F)
+    where
+        F: FnOnce(&mut Simulation<S>, &mut S) + 'static,
+    {
+        let at = self.now + delay;
+        self.schedule_at(at, action);
+    }
+
+    /// Runs events until the queue drains; returns the final virtual time.
+    pub fn run(&mut self, state: &mut S) -> Nanos {
+        while let Some(event) = self.queue.pop() {
+            self.now = event.at;
+            (event.action)(self, state);
+        }
+        self.now
+    }
+
+    /// Runs events up to (and including) virtual time `until`.
+    pub fn run_until(&mut self, state: &mut S, until: Nanos) -> Nanos {
+        while let Some(top) = self.queue.peek() {
+            if top.at > until {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked event must pop");
+            self.now = event.at;
+            (event.action)(self, state);
+        }
+        self.now = self.now.max(until.min(self.now + (until - self.now)));
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl<S> Default for Simulation<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.push(Nanos::from_nanos(10), "a");
+        q.push(Nanos::from_nanos(10), "b");
+        q.push(Nanos::from_nanos(5), "c");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Nanos::from_micros(7), 1u32);
+        q.push(Nanos::from_micros(3), 2u32);
+        assert_eq!(q.peek_time(), Some(Nanos::from_micros(3)));
+    }
+
+    #[test]
+    fn simulation_advances_clock_in_order() {
+        let mut sim: Simulation<Vec<u64>> = Simulation::new();
+        sim.schedule_at(Nanos::from_millis(3), |sim, log| log.push(sim.now().as_nanos()));
+        sim.schedule_at(Nanos::from_millis(1), |sim, log| log.push(sim.now().as_nanos()));
+        let mut log = Vec::new();
+        let end = sim.run(&mut log);
+        assert_eq!(log, vec![1_000_000, 3_000_000]);
+        assert_eq!(end, Nanos::from_millis(3));
+    }
+
+    #[test]
+    fn chained_events_accumulate_time() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        sim.schedule_in(Nanos::from_micros(5), |sim, n| {
+            *n += 1;
+            sim.schedule_in(Nanos::from_micros(5), |sim, n| {
+                *n += 1;
+                sim.schedule_in(Nanos::from_micros(5), |_, n| *n += 1);
+            });
+        });
+        let mut n = 0;
+        let end = sim.run(&mut n);
+        assert_eq!(n, 3);
+        assert_eq!(end, Nanos::from_micros(15));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        sim.schedule_at(Nanos::from_millis(1), |_, n| *n += 1);
+        sim.schedule_at(Nanos::from_millis(100), |_, n| *n += 100);
+        let mut n = 0;
+        sim.run_until(&mut n, Nanos::from_millis(10));
+        assert_eq!(n, 1);
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut sim: Simulation<Vec<u64>> = Simulation::new();
+        sim.schedule_at(Nanos::from_millis(2), |sim, _log: &mut Vec<u64>| {
+            // Scheduling "at 0" after the clock reached 2ms must not rewind.
+            sim.schedule_at(Nanos::ZERO, |sim, log| log.push(sim.now().as_nanos()));
+        });
+        let mut log = Vec::new();
+        sim.run(&mut log);
+        assert_eq!(log, vec![2_000_000]);
+    }
+}

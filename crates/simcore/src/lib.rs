@@ -1,0 +1,56 @@
+//! # simcore
+//!
+//! Deterministic simulation core shared by every other crate in the
+//! `isolation-bench` workspace.
+//!
+//! The crate provides:
+//!
+//! * [`time`] — a nanosecond-precision virtual time type ([`Nanos`]) used as
+//!   the unit of simulated latency and duration everywhere in the workspace.
+//! * [`rng`] — a seeded, splittable random number generator ([`SimRng`]) so
+//!   that every experiment is reproducible from a single seed.
+//! * [`dist`] — parametric latency/cost distributions ([`Distribution`]).
+//! * [`stats`] — running statistics, percentiles, histograms and empirical
+//!   CDFs used by the benchmark harness to summarize repeated runs.
+//! * [`events`] — a small discrete-event scheduler used for boot-sequence
+//!   and queueing simulations.
+//! * [`resource`] — shared-resource models (token-bucket bandwidth,
+//!   M/M/1-style queueing latency) used by the device simulations.
+//!
+//! # Example
+//!
+//! ```
+//! use simcore::{Nanos, SimRng, stats::RunningStats};
+//!
+//! let mut rng = SimRng::seed_from(42);
+//! let mut stats = RunningStats::new();
+//! for _ in 0..100 {
+//!     let jitter = rng.normal(1_000.0, 50.0).max(0.0);
+//!     stats.record(jitter);
+//! }
+//! assert!((stats.mean() - 1_000.0).abs() < 50.0);
+//! let latency = Nanos::from_micros(3) + Nanos::from_nanos(250);
+//! assert_eq!(latency.as_nanos(), 3_250);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dist;
+pub mod error;
+pub mod events;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use dist::Distribution;
+pub use error::SimError;
+pub use events::{EventQueue, Simulation};
+pub use resource::{Bandwidth, QueueModel, TokenBucket};
+pub use rng::SimRng;
+pub use stats::{Cdf, Histogram, RunningStats, Summary};
+pub use time::Nanos;
+
+/// Result alias used across the simulation core.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,259 @@
+//! Shared-resource models used by the device simulations.
+//!
+//! Two small building blocks appear over and over in the platform models:
+//!
+//! * [`TokenBucket`] / [`Bandwidth`] — a byte-per-second capacity that turns
+//!   a transfer size into a transfer duration, optionally with a per-request
+//!   fixed overhead (used for NICs, NVMe devices and virtio queues).
+//! * [`QueueModel`] — an M/M/1-style waiting-time estimator used to model
+//!   latency inflation as a device approaches saturation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::time::Nanos;
+
+/// A bandwidth expressed in bytes per second.
+///
+/// # Example
+///
+/// ```
+/// use simcore::{Bandwidth, Nanos};
+///
+/// let gbe = Bandwidth::from_gbit_per_sec(10.0);
+/// let t = gbe.transfer_time(1_250_000_000); // 1.25 GB over 10 Gbit/s
+/// assert_eq!(t, Nanos::from_secs(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Bandwidth {
+    bytes_per_sec: f64,
+}
+
+impl Bandwidth {
+    /// Creates a bandwidth from bytes per second.
+    pub fn from_bytes_per_sec(bytes_per_sec: f64) -> Self {
+        Bandwidth {
+            bytes_per_sec: bytes_per_sec.max(0.0),
+        }
+    }
+
+    /// Creates a bandwidth from mebibytes per second.
+    pub fn from_mib_per_sec(mib: f64) -> Self {
+        Self::from_bytes_per_sec(mib * 1024.0 * 1024.0)
+    }
+
+    /// Creates a bandwidth from gigabits per second.
+    pub fn from_gbit_per_sec(gbit: f64) -> Self {
+        Self::from_bytes_per_sec(gbit * 1e9 / 8.0)
+    }
+
+    /// Bandwidth in bytes per second.
+    pub fn bytes_per_sec(self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Bandwidth in mebibytes per second.
+    pub fn mib_per_sec(self) -> f64 {
+        self.bytes_per_sec / (1024.0 * 1024.0)
+    }
+
+    /// Bandwidth in gigabits per second.
+    pub fn gbit_per_sec(self) -> f64 {
+        self.bytes_per_sec * 8.0 / 1e9
+    }
+
+    /// Time to transfer `bytes` at this bandwidth.
+    ///
+    /// A zero bandwidth yields an effectively infinite (saturated `u64`)
+    /// duration rather than panicking.
+    pub fn transfer_time(self, bytes: u64) -> Nanos {
+        if self.bytes_per_sec <= 0.0 {
+            return Nanos::from_nanos(u64::MAX);
+        }
+        Nanos::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Scales the bandwidth by `factor` (e.g. virtualization efficiency).
+    pub fn scale(self, factor: f64) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(self.bytes_per_sec * factor.max(0.0))
+    }
+
+    /// Returns the smaller of two bandwidths (the bottleneck).
+    pub fn bottleneck(self, other: Bandwidth) -> Bandwidth {
+        if self.bytes_per_sec <= other.bytes_per_sec {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+/// A token-bucket rate limiter operating in virtual time.
+///
+/// The bucket refills continuously at `rate` and holds at most `burst`
+/// bytes. [`TokenBucket::request`] returns how long a request of a given
+/// size must wait before it conforms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenBucket {
+    rate: Bandwidth,
+    burst_bytes: f64,
+    tokens: f64,
+    last_update: Nanos,
+}
+
+impl TokenBucket {
+    /// Creates a bucket with the given refill rate and burst capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `burst_bytes` is zero.
+    pub fn new(rate: Bandwidth, burst_bytes: u64) -> Result<Self, SimError> {
+        if burst_bytes == 0 {
+            return Err(SimError::InvalidConfig(
+                "token bucket burst must be non-zero".into(),
+            ));
+        }
+        Ok(TokenBucket {
+            rate,
+            burst_bytes: burst_bytes as f64,
+            tokens: burst_bytes as f64,
+            last_update: Nanos::ZERO,
+        })
+    }
+
+    /// Requests `bytes` at virtual time `now`; returns the delay before the
+    /// request conforms to the configured rate.
+    pub fn request(&mut self, now: Nanos, bytes: u64) -> Nanos {
+        self.refill(now);
+        let needed = bytes as f64;
+        if self.tokens >= needed {
+            self.tokens -= needed;
+            return Nanos::ZERO;
+        }
+        let deficit = needed - self.tokens;
+        self.tokens = 0.0;
+        if self.rate.bytes_per_sec() <= 0.0 {
+            return Nanos::from_nanos(u64::MAX);
+        }
+        Nanos::from_secs_f64(deficit / self.rate.bytes_per_sec())
+    }
+
+    fn refill(&mut self, now: Nanos) {
+        if now <= self.last_update {
+            return;
+        }
+        let elapsed = (now - self.last_update).as_secs_f64();
+        self.tokens = (self.tokens + elapsed * self.rate.bytes_per_sec()).min(self.burst_bytes);
+        self.last_update = now;
+    }
+}
+
+/// An M/M/1-style queueing model for latency inflation under load.
+///
+/// The device simulations use this to capture the "standard deviation grows
+/// as the platform approaches its throughput ceiling" effect visible in the
+/// paper's I/O and network figures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueModel {
+    /// Mean service time of a single request.
+    pub service_time: Nanos,
+}
+
+impl QueueModel {
+    /// Creates a queue model with the given per-request service time.
+    pub fn new(service_time: Nanos) -> Self {
+        QueueModel { service_time }
+    }
+
+    /// The maximum sustainable request rate (requests per second).
+    pub fn capacity_per_sec(&self) -> f64 {
+        let s = self.service_time.as_secs_f64();
+        if s <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / s
+        }
+    }
+
+    /// Utilization (`rho`) at the offered request rate, clamped to `[0, 1)`.
+    pub fn utilization(&self, offered_per_sec: f64) -> f64 {
+        let cap = self.capacity_per_sec();
+        if !cap.is_finite() || cap <= 0.0 {
+            return 0.0;
+        }
+        (offered_per_sec / cap).clamp(0.0, 0.999)
+    }
+
+    /// Expected sojourn time (waiting + service) at the offered rate using
+    /// the M/M/1 formula `W = S / (1 - rho)`.
+    pub fn sojourn_time(&self, offered_per_sec: f64) -> Nanos {
+        let rho = self.utilization(offered_per_sec);
+        self.service_time.scale(1.0 / (1.0 - rho))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_conversions() {
+        let b = Bandwidth::from_gbit_per_sec(8.0);
+        assert!((b.bytes_per_sec() - 1e9).abs() < 1.0);
+        assert!((b.gbit_per_sec() - 8.0).abs() < 1e-9);
+        let m = Bandwidth::from_mib_per_sec(1.0);
+        assert_eq!(m.bytes_per_sec(), 1_048_576.0);
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let b = Bandwidth::from_bytes_per_sec(1_000_000.0);
+        assert_eq!(b.transfer_time(1_000_000), Nanos::from_secs(1));
+        assert_eq!(b.transfer_time(500_000), Nanos::from_millis(500));
+    }
+
+    #[test]
+    fn zero_bandwidth_does_not_panic() {
+        let b = Bandwidth::from_bytes_per_sec(0.0);
+        assert_eq!(b.transfer_time(10).as_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn bottleneck_picks_smaller() {
+        let a = Bandwidth::from_gbit_per_sec(10.0);
+        let b = Bandwidth::from_gbit_per_sec(40.0);
+        assert_eq!(a.bottleneck(b), a);
+        assert_eq!(b.bottleneck(a), a);
+    }
+
+    #[test]
+    fn token_bucket_burst_then_throttle() {
+        let rate = Bandwidth::from_bytes_per_sec(1000.0);
+        let mut tb = TokenBucket::new(rate, 1000).unwrap();
+        // The first 1000 bytes conform immediately (burst).
+        assert_eq!(tb.request(Nanos::ZERO, 1000), Nanos::ZERO);
+        // The next 500 bytes must wait 0.5 s at 1000 B/s.
+        let wait = tb.request(Nanos::ZERO, 500);
+        assert_eq!(wait, Nanos::from_millis(500));
+        // After one second of refill the bucket has capacity again.
+        assert_eq!(tb.request(Nanos::from_secs(2), 800), Nanos::ZERO);
+    }
+
+    #[test]
+    fn token_bucket_rejects_zero_burst() {
+        assert!(TokenBucket::new(Bandwidth::from_bytes_per_sec(1.0), 0).is_err());
+    }
+
+    #[test]
+    fn queue_model_latency_inflates_near_saturation() {
+        let q = QueueModel::new(Nanos::from_micros(100));
+        assert!((q.capacity_per_sec() - 10_000.0).abs() < 1e-6);
+        let idle = q.sojourn_time(100.0);
+        let busy = q.sojourn_time(9_000.0);
+        assert!(busy > idle);
+        assert!(busy.as_micros_f64() > 900.0, "busy = {busy}");
+        // Offered load beyond capacity clamps instead of going negative.
+        let overloaded = q.sojourn_time(50_000.0);
+        assert!(overloaded > busy);
+    }
+}

@@ -1,0 +1,278 @@
+//! Seeded random number generation for reproducible experiments.
+//!
+//! Every experiment in the harness derives all of its stochastic behaviour
+//! from a single root seed, split per platform and per run, so two
+//! invocations with the same seed produce bit-identical figures.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded random number generator with the sampling helpers the cost
+/// models need (normal, log-normal, exponential, Pareto, Zipf).
+///
+/// `rand` 0.8 only ships uniform sampling without the `rand_distr`
+/// companion crate; the distributions implemented here are the standard
+/// textbook transforms (Box–Muller, inverse CDF) which is all the cost
+/// models require.
+///
+/// # Example
+///
+/// ```
+/// use simcore::SimRng;
+///
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator for a named sub-domain.
+    ///
+    /// The label is hashed into the child's seed so that, for example, the
+    /// "docker" and "gvisor" streams of the same experiment never share a
+    /// sequence even though they originate from the same root seed.
+    pub fn split(&mut self, label: &str) -> SimRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in label.as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        SimRng::seed_from(h ^ self.inner.gen::<u64>())
+    }
+
+    /// Returns the next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform01(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform sample in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn uniform(&mut self, low: f64, high: f64) -> f64 {
+        assert!(low <= high, "uniform bounds must be ordered");
+        if low == high {
+            return low;
+        }
+        self.inner.gen_range(low..high)
+    }
+
+    /// Uniform integer sample in `[0, n)`. Returns 0 when `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            self.inner.gen_range(0..n)
+        }
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.uniform01() < p
+    }
+
+    /// Normal (Gaussian) sample via the Box–Muller transform.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        if std_dev <= 0.0 {
+            return mean;
+        }
+        let u1 = self.uniform01().max(f64::MIN_POSITIVE);
+        let u2 = self.uniform01();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Normal sample truncated below at zero, convenient for latencies.
+    pub fn normal_pos(&mut self, mean: f64, std_dev: f64) -> f64 {
+        self.normal(mean, std_dev).max(0.0)
+    }
+
+    /// Log-normal sample parameterized by the mean and standard deviation of
+    /// the underlying normal.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Exponential sample with the given rate (`lambda`).
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        if lambda <= 0.0 {
+            return 0.0;
+        }
+        let u = self.uniform01().max(f64::MIN_POSITIVE);
+        -u.ln() / lambda
+    }
+
+    /// Pareto sample with scale `x_m` and shape `alpha`.
+    pub fn pareto(&mut self, x_m: f64, alpha: f64) -> f64 {
+        if alpha <= 0.0 {
+            return x_m;
+        }
+        let u = self.uniform01().max(f64::MIN_POSITIVE);
+        x_m / u.powf(1.0 / alpha)
+    }
+
+    /// Zipfian rank sample over `n` items with skew `theta` (0 = uniform).
+    ///
+    /// Uses the rejection-free approximation from Gray et al. that the YCSB
+    /// workload generator is also based on, so the key-popularity profile of
+    /// the Memcached experiment matches the original benchmark.
+    pub fn zipf(&mut self, n: usize, theta: f64) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        if theta <= 0.0 {
+            return self.index(n);
+        }
+        let n_f = n as f64;
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n_f).powf(1.0 - theta)) / (1.0 - zeta(2, theta) / zetan);
+        let u = self.uniform01();
+        let uz = u * zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5_f64.powf(theta) {
+            return 1;
+        }
+        let rank = (n_f * (eta * u - eta + 1.0).powf(alpha)) as usize;
+        rank.min(n - 1)
+    }
+}
+
+fn zeta(n: usize, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn split_streams_differ_by_label() {
+        let mut root_a = SimRng::seed_from(9);
+        let mut root_b = SimRng::seed_from(9);
+        let mut docker = root_a.split("docker");
+        let mut gvisor = root_b.split("gvisor");
+        let xs: Vec<u64> = (0..8).map(|_| docker.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| gvisor.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn normal_mean_is_close() {
+        let mut rng = SimRng::seed_from(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.normal(50.0, 5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() < 0.5, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_with_zero_sigma_is_deterministic() {
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(rng.normal(42.0, 0.0), 42.0);
+    }
+
+    #[test]
+    fn exponential_mean_is_close_to_inverse_rate() {
+        let mut rng = SimRng::seed_from(2);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(0.1)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean was {mean}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut rng = SimRng::seed_from(3);
+        let n = 10_000;
+        let mut low = 0usize;
+        for _ in 0..n {
+            if rng.zipf(1000, 0.99) < 100 {
+                low += 1;
+            }
+        }
+        // With theta=0.99 far more than 10% of samples land in the first 10%
+        // of the key space.
+        assert!(low > n / 2, "only {low} of {n} samples in hot range");
+    }
+
+    #[test]
+    fn zipf_zero_theta_is_roughly_uniform() {
+        let mut rng = SimRng::seed_from(4);
+        let n = 10_000;
+        let mut low = 0usize;
+        for _ in 0..n {
+            if rng.zipf(1000, 0.0) < 100 {
+                low += 1;
+            }
+        }
+        assert!(low < n / 5, "{low} of {n} samples in first decile");
+    }
+
+    #[test]
+    fn chance_handles_extremes() {
+        let mut rng = SimRng::seed_from(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn uniform_bounds_respected() {
+        let mut rng = SimRng::seed_from(6);
+        for _ in 0..1000 {
+            let x = rng.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+        }
+        assert_eq!(rng.uniform(5.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn pareto_never_below_scale() {
+        let mut rng = SimRng::seed_from(7);
+        for _ in 0..1000 {
+            assert!(rng.pareto(3.0, 2.0) >= 3.0);
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Statistics used by the benchmark harness.
+//!
+//! The paper reports "average over the runs with error bars showing the
+//! standard deviation", plus CDFs for the start-up experiments and a 90th
+//! percentile for the netperf latency figure. This module implements the
+//! corresponding estimators: [`RunningStats`] (Welford online mean /
+//! variance), [`Summary`], percentile queries over an empirical [`Cdf`],
+//! and fixed-width [`Histogram`]s.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use simcore::stats::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.std_dev(), 2.0);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (std-dev divided by mean).
+    pub fn cv(&self) -> f64 {
+        if self.mean().abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.std_dev() / self.mean()
+        }
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Produces an owned summary snapshot.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: self.min().unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+        }
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = RunningStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A point-in-time snapshot of a [`RunningStats`] accumulator.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// Empirical cumulative distribution function over a sample set.
+///
+/// Used by the boot-time experiments, which the paper presents as CDFs of
+/// 300 startups per platform.
+///
+/// # Example
+///
+/// ```
+/// use simcore::stats::Cdf;
+///
+/// let cdf = Cdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(cdf.percentile(50.0), 2.0);
+/// assert_eq!(cdf.percentile(100.0), 4.0);
+/// assert!((cdf.fraction_below(2.5) - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from raw samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyDataset`] when `samples` is empty.
+    pub fn from_samples(mut samples: Vec<f64>) -> Result<Self, SimError> {
+        if samples.is_empty() {
+            return Err(SimError::EmptyDataset("cdf requires at least one sample".into()));
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(Cdf { sorted: samples })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always `false`: construction rejects empty sample sets.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Returns the value at percentile `p` (0–100, nearest-rank).
+    pub fn percentile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 100.0);
+        if p == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = ((p / 100.0) * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Fraction of samples strictly below `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let below = self.sorted.partition_point(|v| *v < x);
+        below as f64 / self.sorted.len() as f64
+    }
+
+    /// Returns `(value, cumulative_fraction)` pairs suitable for plotting.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (*v, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// The underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+}
+
+/// Fixed-width histogram over a closed range.
+///
+/// # Example
+///
+/// ```
+/// use simcore::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// h.record(1.0);
+/// h.record(9.5);
+/// assert_eq!(h.total(), 2);
+/// assert_eq!(h.counts()[0], 1);
+/// assert_eq!(h.counts()[4], 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over `[low, high)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when `bins == 0` or `low >= high`.
+    pub fn new(low: f64, high: f64, bins: usize) -> Result<Self, SimError> {
+        if bins == 0 {
+            return Err(SimError::InvalidConfig("histogram needs at least one bin".into()));
+        }
+        if low >= high {
+            return Err(SimError::InvalidConfig(format!(
+                "histogram bounds must satisfy low < high, got {low} >= {high}"
+            )));
+        }
+        Ok(Histogram {
+            low,
+            high,
+            counts: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Records an observation; out-of-range values go to under/overflow.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.low {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.high {
+            self.overflow += 1;
+            self.counts.last_mut().map(|c| *c += 1);
+            return;
+        }
+        let width = (self.high - self.low) / self.counts.len() as f64;
+        let idx = ((x - self.low) / width) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Total number of observations (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// In-range bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of observations below the histogram range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Number of observations at or above the histogram range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_known_values() {
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.variance(), 4.0);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 50.0).collect();
+        let all: RunningStats = data.iter().copied().collect();
+        let mut a: RunningStats = data[..40].iter().copied().collect();
+        let b: RunningStats = data[40..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: RunningStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let before = a.clone();
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn cdf_percentiles() {
+        let cdf = Cdf::from_samples((1..=100).map(f64::from).collect()).unwrap();
+        assert_eq!(cdf.percentile(1.0), 1.0);
+        assert_eq!(cdf.percentile(50.0), 50.0);
+        assert_eq!(cdf.percentile(90.0), 90.0);
+        assert_eq!(cdf.percentile(100.0), 100.0);
+        assert_eq!(cdf.median(), 50.0);
+    }
+
+    #[test]
+    fn cdf_rejects_empty_input() {
+        assert!(matches!(
+            Cdf::from_samples(vec![]),
+            Err(SimError::EmptyDataset(_))
+        ));
+    }
+
+    #[test]
+    fn cdf_fraction_below_and_points() {
+        let cdf = Cdf::from_samples(vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(cdf.fraction_below(10.0), 0.0);
+        assert_eq!(cdf.fraction_below(25.0), 0.5);
+        assert_eq!(cdf.fraction_below(1000.0), 1.0);
+        let pts = cdf.points();
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[3], (40.0, 1.0));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(0.0, 100.0, 10).unwrap();
+        for x in [5.0, 15.0, 15.5, 99.9, 150.0, -3.0] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 2); // 99.9 plus clamped overflow 150.0
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_config() {
+        assert!(Histogram::new(0.0, 0.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! The `/dev/kvm` interface model.
+//!
+//! QEMU, Firecracker, Cloud Hypervisor and gVisor's KVM platform all drive
+//! virtualization through the same kernel interface: open `/dev/kvm`,
+//! create a VM, register guest memory regions, create vCPUs, and loop on
+//! `ioctl(KVM_RUN)`. The costs here feed the boot timeline; the traced
+//! functions feed the HAP metric.
+
+use serde::{Deserialize, Serialize};
+use simcore::Nanos;
+
+use oskern::ftrace::FtraceSession;
+
+/// Model of one VMM's use of the KVM API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvmInterface {
+    /// Number of vCPUs created.
+    pub vcpus: u32,
+    /// Number of guest memory regions registered (VMMs with more device
+    /// memory, firmware ROMs, etc. register more slots).
+    pub memory_regions: u32,
+}
+
+impl KvmInterface {
+    /// Creates an interface model.
+    pub fn new(vcpus: u32, memory_regions: u32) -> Self {
+        KvmInterface {
+            vcpus,
+            memory_regions,
+        }
+    }
+
+    /// Time to create the VM, register memory and create all vCPUs.
+    pub fn setup_cost(&self) -> Nanos {
+        let vm_create = Nanos::from_micros(350);
+        let per_region = Nanos::from_micros(90);
+        let per_vcpu = Nanos::from_micros(450);
+        vm_create + per_region * u64::from(self.memory_regions) + per_vcpu * u64::from(self.vcpus)
+    }
+
+    /// Records the host kernel functions touched during setup.
+    pub fn trace_setup(&self, session: &mut FtraceSession) {
+        session.invoke_all(
+            &["kvm_dev_ioctl", "kvm_vm_ioctl", "kvm_arch_vm_ioctl"],
+            1 + u64::from(self.memory_regions),
+        );
+        session.invoke_all(
+            &[
+                "kvm_vm_ioctl_set_memory_region",
+                "kvm_set_memory_region",
+                "__kvm_set_memory_region",
+            ],
+            u64::from(self.memory_regions),
+        );
+        session.invoke_all(
+            &["kvm_vm_ioctl_create_vcpu", "kvm_vcpu_ioctl"],
+            u64::from(self.vcpus),
+        );
+    }
+
+    /// Records the steady-state run-loop functions for a workload that
+    /// causes `exits` VM exits.
+    pub fn trace_run_loop(&self, session: &mut FtraceSession, exits: u64) {
+        session.invoke_all(
+            &[
+                "kvm_vcpu_ioctl",
+                "kvm_arch_vcpu_ioctl_run",
+                "vcpu_run",
+                "vcpu_enter_guest",
+                "vmx_vcpu_run",
+                "vmx_handle_exit",
+            ],
+            exits,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_cost_scales_with_vcpus_and_regions() {
+        let small = KvmInterface::new(1, 4).setup_cost();
+        let big = KvmInterface::new(16, 12).setup_cost();
+        assert!(big > small * 3);
+    }
+
+    #[test]
+    fn setup_trace_includes_memory_region_ioctls() {
+        let mut session = FtraceSession::start();
+        KvmInterface::new(2, 6).trace_setup(&mut session);
+        let trace = session.finish();
+        assert_eq!(trace.count("kvm_vm_ioctl_set_memory_region"), 6);
+        assert_eq!(trace.count("kvm_vm_ioctl_create_vcpu"), 2);
+    }
+
+    #[test]
+    fn run_loop_trace_scales_with_exits() {
+        let mut session = FtraceSession::start();
+        KvmInterface::new(1, 1).trace_run_loop(&mut session, 1000);
+        assert_eq!(session.trace().count("vcpu_enter_guest"), 1000);
+    }
+}

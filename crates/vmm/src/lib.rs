@@ -1,0 +1,35 @@
+//! # vmm
+//!
+//! Hypervisor substrate: everything the hypervisor-based platforms (QEMU,
+//! Firecracker, Cloud Hypervisor) and the hybrid platforms (Kata, gVisor's
+//! KVM mode, OSv images) are composed from.
+//!
+//! * [`vcpu`] — VM-exit reasons, their costs, and the host kernel (KVM)
+//!   functions each exit exercises.
+//! * [`kvm`] — the `/dev/kvm` interface model: VM/vCPU creation, memory
+//!   region registration, and the `ioctl(KVM_RUN)` loop.
+//! * [`devices`] — device model inventories; the paper contrasts QEMU's
+//!   40+ devices with Cloud Hypervisor's 16 and Firecracker's 7.
+//! * [`machine`] — the concrete machine models benchmarked in the paper
+//!   (QEMU, QEMU + qboot, QEMU µVM, Firecracker, Cloud Hypervisor).
+//! * [`boot`] — boot-protocol phases (BIOS vs qboot vs direct 64-bit
+//!   kernel load) and per-guest-kind kernel boot times, which drive the
+//!   hypervisor and OSv start-up figures (Figs. 14 and 15).
+//! * [`vsock`] — the vsock + ttRPC control plane used by Kata containers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod boot;
+pub mod devices;
+pub mod kvm;
+pub mod machine;
+pub mod vcpu;
+pub mod vsock;
+
+pub use boot::{BootProtocol, BootTimeline, GuestKind};
+pub use devices::{DeviceClass, DeviceModel};
+pub use kvm::KvmInterface;
+pub use machine::MachineModel;
+pub use vcpu::VmExit;
+pub use vsock::{TtrpcChannel, VsockTransport};

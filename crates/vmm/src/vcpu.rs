@@ -1,0 +1,149 @@
+//! VM exits and their costs.
+//!
+//! Hardware-assisted virtualization runs guest code natively until the
+//! guest performs an operation the hypervisor must emulate; the resulting
+//! VM exit (trap into KVM, possibly up into the VMM process) is the
+//! fundamental unit of hypervisor overhead (Section 2.1 of the paper).
+
+use serde::{Deserialize, Serialize};
+use simcore::Nanos;
+
+use oskern::ftrace::FtraceSession;
+
+/// Why a vCPU exited guest mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VmExit {
+    /// EPT violation handled entirely in the kernel (page fault on guest
+    /// memory that is not yet mapped).
+    EptViolation,
+    /// Port or MMIO access emulated by the in-kernel device (e.g. APIC).
+    InKernelEmulation,
+    /// MMIO/PIO access that must be bounced up to the user-space VMM
+    /// (virtio queue notification, serial port, ...).
+    UserspaceIo,
+    /// HLT — the guest is idle and the vCPU blocks in the host.
+    Halt,
+    /// MSR read/write emulation.
+    MsrAccess,
+    /// CPUID emulation.
+    Cpuid,
+    /// External interrupt delivered to the guest.
+    ExternalInterrupt,
+}
+
+impl VmExit {
+    /// All exit reasons.
+    pub fn all() -> &'static [VmExit] {
+        &[
+            VmExit::EptViolation,
+            VmExit::InKernelEmulation,
+            VmExit::UserspaceIo,
+            VmExit::Halt,
+            VmExit::MsrAccess,
+            VmExit::Cpuid,
+            VmExit::ExternalInterrupt,
+        ]
+    }
+
+    /// Round-trip cost of this exit (guest → host → guest).
+    pub fn cost(self) -> Nanos {
+        match self {
+            VmExit::EptViolation => Nanos::from_micros(3),
+            VmExit::InKernelEmulation => Nanos::from_nanos(1_500),
+            VmExit::UserspaceIo => Nanos::from_micros(8),
+            VmExit::Halt => Nanos::from_micros(4),
+            VmExit::MsrAccess => Nanos::from_nanos(1_200),
+            VmExit::Cpuid => Nanos::from_nanos(900),
+            VmExit::ExternalInterrupt => Nanos::from_nanos(1_800),
+        }
+    }
+
+    /// Host kernel (KVM) functions this exit exercises.
+    pub fn host_functions(self) -> &'static [&'static str] {
+        match self {
+            VmExit::EptViolation => &[
+                "vmx_handle_exit",
+                "handle_ept_violation",
+                "kvm_mmu_page_fault",
+                "kvm_tdp_page_fault",
+                "direct_page_fault",
+                "kvm_mmu_load",
+            ],
+            VmExit::InKernelEmulation => &[
+                "vmx_handle_exit",
+                "kvm_emulate_io",
+                "kvm_apic_send_ipi",
+                "kvm_lapic_reg_write",
+                "kvm_irq_delivery_to_apic",
+            ],
+            VmExit::UserspaceIo => &[
+                "vmx_handle_exit",
+                "handle_io",
+                "kvm_fast_pio",
+                "kvm_arch_vcpu_ioctl_run",
+                "kvm_vcpu_ioctl",
+                "ioeventfd_write",
+                "eventfd_signal",
+                "irqfd_wakeup",
+            ],
+            VmExit::Halt => &[
+                "vmx_handle_exit",
+                "kvm_vcpu_halt",
+                "kvm_vcpu_block",
+                "schedule",
+                "kvm_vcpu_kick",
+            ],
+            VmExit::MsrAccess => &["vmx_handle_exit", "kvm_set_msr_common", "kvm_get_msr_common"],
+            VmExit::Cpuid => &["vmx_handle_exit", "kvm_emulate_cpuid"],
+            VmExit::ExternalInterrupt => &[
+                "vmx_handle_exit",
+                "common_interrupt",
+                "kvm_irq_delivery_to_apic",
+            ],
+        }
+    }
+
+    /// Records `count` exits of this kind into the tracing session.
+    pub fn trace(self, session: &mut FtraceSession, count: u64) {
+        session.invoke_all(&["vcpu_enter_guest", "vmx_vcpu_run", "vcpu_run"], count);
+        session.invoke_all(self.host_functions(), count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oskern::kernel_fn::KernelFunctionRegistry;
+
+    #[test]
+    fn userspace_exits_are_the_most_expensive_io_path() {
+        assert!(VmExit::UserspaceIo.cost() > VmExit::InKernelEmulation.cost());
+        assert!(VmExit::UserspaceIo.cost() > VmExit::EptViolation.cost());
+    }
+
+    #[test]
+    fn all_functions_are_registered() {
+        let reg = KernelFunctionRegistry::standard();
+        for exit in VmExit::all() {
+            for f in exit.host_functions() {
+                assert!(reg.contains(f), "{exit:?} references unknown {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_records_run_loop_and_exit_handler() {
+        let mut session = FtraceSession::start();
+        VmExit::EptViolation.trace(&mut session, 10);
+        let trace = session.finish();
+        assert_eq!(trace.count("vcpu_enter_guest"), 10);
+        assert_eq!(trace.count("handle_ept_violation"), 10);
+    }
+
+    #[test]
+    fn costs_are_positive() {
+        for exit in VmExit::all() {
+            assert!(exit.cost() > Nanos::ZERO);
+        }
+    }
+}

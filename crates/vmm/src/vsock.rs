@@ -1,0 +1,108 @@
+//! vsock transport and ttRPC control plane.
+//!
+//! Kata containers expose the `kata-agent` running inside the guest to the
+//! host `kata-runtime` through a ttRPC server (a gRPC re-implementation for
+//! low-memory environments) carried over a vsock device. Every container
+//! lifecycle operation (create, start, exec) is at least one ttRPC round
+//! trip across the hypervisor boundary.
+
+use serde::{Deserialize, Serialize};
+use simcore::Nanos;
+
+use oskern::ftrace::FtraceSession;
+
+/// The vsock transport between host and guest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VsockTransport {
+    /// One-way message latency across the vsock device.
+    pub one_way_latency: Nanos,
+}
+
+impl VsockTransport {
+    /// The default virtio-vsock transport.
+    pub fn virtio_vsock() -> Self {
+        VsockTransport {
+            one_way_latency: Nanos::from_micros(35),
+        }
+    }
+
+    /// Round-trip latency.
+    pub fn round_trip(self) -> Nanos {
+        self.one_way_latency * 2
+    }
+
+    /// Records the host kernel functions one message exchange touches.
+    pub fn trace_exchange(self, session: &mut FtraceSession, messages: u64) {
+        session.invoke_all(
+            &[
+                "vsock_stream_sendmsg",
+                "vsock_stream_recvmsg",
+                "virtio_transport_send_pkt",
+                "eventfd_signal",
+                "irqfd_wakeup",
+            ],
+            messages,
+        );
+    }
+}
+
+/// A ttRPC channel layered over vsock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TtrpcChannel {
+    transport: VsockTransport,
+    /// Serialization + dispatch cost per call on top of the transport.
+    pub per_call_overhead: Nanos,
+}
+
+impl TtrpcChannel {
+    /// The kata-agent control channel.
+    pub fn kata_agent() -> Self {
+        TtrpcChannel {
+            transport: VsockTransport::virtio_vsock(),
+            per_call_overhead: Nanos::from_micros(60),
+        }
+    }
+
+    /// Latency of one ttRPC call (request + response).
+    pub fn call_latency(self) -> Nanos {
+        self.transport.round_trip() + self.per_call_overhead
+    }
+
+    /// Latency of a container-create exchange, which the Kata architecture
+    /// performs as several sequential agent calls (create sandbox, create
+    /// container, start container).
+    pub fn container_create_latency(self) -> Nanos {
+        self.call_latency() * 3
+    }
+
+    /// Records the functions touched by `calls` ttRPC calls.
+    pub fn trace_calls(self, session: &mut FtraceSession, calls: u64) {
+        self.transport.trace_exchange(session, calls * 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ttrpc_call_costs_more_than_raw_vsock_round_trip() {
+        let chan = TtrpcChannel::kata_agent();
+        assert!(chan.call_latency() > VsockTransport::virtio_vsock().round_trip());
+    }
+
+    #[test]
+    fn container_create_takes_multiple_calls() {
+        let chan = TtrpcChannel::kata_agent();
+        assert_eq!(chan.container_create_latency(), chan.call_latency() * 3);
+    }
+
+    #[test]
+    fn traces_report_vsock_functions() {
+        let mut session = FtraceSession::start();
+        TtrpcChannel::kata_agent().trace_calls(&mut session, 5);
+        let trace = session.finish();
+        assert_eq!(trace.count("vsock_stream_sendmsg"), 10);
+        assert!(trace.touched("virtio_transport_send_pkt"));
+    }
+}

@@ -1,0 +1,90 @@
+//! The ffmpeg video re-encoding benchmark (Fig. 5).
+//!
+//! The paper loads a 30 MB 1080p clip into memory and re-encodes it from
+//! H.264 to H.265 with the `slower` preset, on 16 guest cores with 16
+//! threads. The job is compute-bound and SIMD/thread-handoff heavy, which
+//! is exactly the combination that exposes custom thread schedulers.
+
+use platforms::subsystems::cpu::ComputeWork;
+use platforms::Platform;
+use simcore::{Nanos, SimRng};
+use simcore::stats::RunningStats;
+
+/// The ffmpeg re-encode benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct FfmpegBenchmark {
+    /// Number of repetitions (the paper uses at least 10).
+    pub runs: usize,
+}
+
+impl Default for FfmpegBenchmark {
+    fn default() -> Self {
+        FfmpegBenchmark { runs: 10 }
+    }
+}
+
+impl FfmpegBenchmark {
+    /// Creates a benchmark with the given repetition count.
+    pub fn new(runs: usize) -> Self {
+        FfmpegBenchmark { runs: runs.max(1) }
+    }
+
+    /// Runs the benchmark on one platform; returns per-run wall-clock times.
+    pub fn run(&self, platform: &Platform, rng: &mut SimRng) -> Vec<Nanos> {
+        let work = ComputeWork::ffmpeg_reencode();
+        (0..self.runs)
+            .map(|_| platform.cpu().sample_wall_clock(work, rng))
+            .collect()
+    }
+
+    /// Runs the benchmark and summarizes it in milliseconds.
+    pub fn run_summary_ms(&self, platform: &Platform, rng: &mut SimRng) -> RunningStats {
+        self.run(platform, rng)
+            .into_iter()
+            .map(|d| d.as_millis_f64())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platforms::PlatformId;
+
+    #[test]
+    fn most_platforms_land_near_65_seconds_and_osv_is_the_outlier() {
+        let bench = FfmpegBenchmark::new(5);
+        let mut rng = SimRng::seed_from(42);
+        let mut results = std::collections::BTreeMap::new();
+        for id in [
+            PlatformId::Native,
+            PlatformId::Docker,
+            PlatformId::Qemu,
+            PlatformId::GvisorPtrace,
+            PlatformId::OsvQemu,
+        ] {
+            let platform = id.build();
+            let stats = bench.run_summary_ms(&platform, &mut rng.split(id.label()));
+            results.insert(id, stats.mean());
+        }
+        let native = results[&PlatformId::Native];
+        assert!((55_000.0..75_000.0).contains(&native), "native {native} ms");
+        for id in [PlatformId::Docker, PlatformId::Qemu, PlatformId::GvisorPtrace] {
+            let v = results[&id];
+            assert!(v < native * 1.25, "{id:?} at {v} ms is too far from native");
+        }
+        assert!(
+            results[&PlatformId::OsvQemu] > native * 1.4,
+            "osv {} should be a clear outlier",
+            results[&PlatformId::OsvQemu]
+        );
+    }
+
+    #[test]
+    fn run_count_is_respected() {
+        let bench = FfmpegBenchmark::new(3);
+        let platform = PlatformId::Native.build();
+        let runs = bench.run(&platform, &mut SimRng::seed_from(1));
+        assert_eq!(runs.len(), 3);
+    }
+}

@@ -1,0 +1,186 @@
+//! The fio block-I/O benchmark (Figs. 9 and 10).
+//!
+//! The throughput phase reads/writes 128 KiB blocks with libaio and
+//! `direct=1` against a file twice the guest memory size on a separately
+//! attached drive; the latency phase issues 4 KiB random reads. The host
+//! page cache is dropped before each run, as the paper found necessary.
+
+use blocksim::engine::IoEngine;
+use blocksim::request::{IoPattern, IoProfile};
+use platforms::Platform;
+use simcore::stats::RunningStats;
+use simcore::SimRng;
+
+/// Result of one platform's fio throughput measurement.
+#[derive(Debug, Clone)]
+pub struct FioThroughput {
+    /// Sequential read throughput statistics (MiB/s).
+    pub read_mib_s: RunningStats,
+    /// Sequential write throughput statistics (MiB/s).
+    pub write_mib_s: RunningStats,
+}
+
+/// The fio benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct FioBenchmark {
+    /// Number of repetitions.
+    pub runs: usize,
+    /// Guest memory size (the test file is twice this).
+    pub guest_memory_bytes: u64,
+    /// Whether to drop the host page cache before each run (the paper's
+    /// remedy; turning this off reproduces the caching pitfall).
+    pub drop_host_cache: bool,
+}
+
+impl Default for FioBenchmark {
+    fn default() -> Self {
+        FioBenchmark {
+            runs: 10,
+            guest_memory_bytes: 16 << 30,
+            drop_host_cache: true,
+        }
+    }
+}
+
+impl FioBenchmark {
+    /// Creates a benchmark with the given repetition count.
+    pub fn new(runs: usize) -> Self {
+        FioBenchmark {
+            runs: runs.max(1),
+            ..FioBenchmark::default()
+        }
+    }
+
+    /// Disables the pre-run host cache drop (the Section 3.3 pitfall).
+    pub fn without_cache_drop(mut self) -> Self {
+        self.drop_host_cache = false;
+        self
+    }
+
+    /// Runs the 128 KiB throughput phase; returns `None` for platforms the
+    /// paper excludes (Firecracker, OSv).
+    pub fn run_throughput(&self, platform: &Platform, rng: &mut SimRng) -> Option<FioThroughput> {
+        if platform.storage().is_excluded() {
+            return None;
+        }
+        let mut read = RunningStats::new();
+        let mut write = RunningStats::new();
+        for _ in 0..self.runs {
+            let mut stack = platform.storage().build_stack();
+            let read_profile =
+                IoProfile::paper_throughput(IoPattern::SeqRead, self.guest_memory_bytes);
+            let write_profile =
+                IoProfile::paper_throughput(IoPattern::SeqWrite, self.guest_memory_bytes);
+            let w = stack.run_phase(write_profile, IoEngine::Libaio, self.drop_host_cache, rng);
+            let r = stack.run_phase(read_profile, IoEngine::Libaio, self.drop_host_cache, rng);
+            read.record(r.throughput.mib_per_sec());
+            write.record(w.throughput.mib_per_sec());
+        }
+        Some(FioThroughput {
+            read_mib_s: read,
+            write_mib_s: write,
+        })
+    }
+
+    /// Runs the 4 KiB random-read latency phase; returns microsecond
+    /// statistics, or `None` for excluded platforms (Firecracker, OSv and —
+    /// for this particular figure — gVisor, whose reads the paper could not
+    /// keep out of the cache).
+    pub fn run_randread_latency(
+        &self,
+        platform: &Platform,
+        rng: &mut SimRng,
+    ) -> Option<RunningStats> {
+        if platform.storage().is_excluded() {
+            return None;
+        }
+        if platform.id() == platforms::PlatformId::GvisorPtrace
+            || platform.id() == platforms::PlatformId::GvisorKvm
+        {
+            return None;
+        }
+        let mut stats = RunningStats::new();
+        for _ in 0..self.runs {
+            let mut stack = platform.storage().build_stack();
+            let profile = IoProfile::paper_randread_latency(self.guest_memory_bytes);
+            let outcome = stack.run_phase(profile, IoEngine::Libaio, self.drop_host_cache, rng);
+            stats.record(outcome.mean_latency.as_micros_f64());
+        }
+        Some(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platforms::PlatformId;
+
+    fn quick() -> FioBenchmark {
+        FioBenchmark {
+            runs: 3,
+            guest_memory_bytes: 2 << 30,
+            drop_host_cache: true,
+        }
+    }
+
+    #[test]
+    fn throughput_ordering_matches_figure_9() {
+        let bench = quick();
+        let mut rng = SimRng::seed_from(21);
+        let read = |id: PlatformId, rng: &mut SimRng| {
+            bench
+                .run_throughput(&id.build(), rng)
+                .map(|t| t.read_mib_s.mean())
+        };
+        let native = read(PlatformId::Native, &mut rng).unwrap();
+        let docker = read(PlatformId::Docker, &mut rng).unwrap();
+        let qemu = read(PlatformId::Qemu, &mut rng).unwrap();
+        let chv = read(PlatformId::CloudHypervisor, &mut rng).unwrap();
+        let kata = read(PlatformId::Kata, &mut rng).unwrap();
+        let gvisor = read(PlatformId::GvisorPtrace, &mut rng).unwrap();
+        assert!(docker > native * 0.9, "docker {docker} vs native {native}");
+        assert!(qemu > native * 0.85, "qemu {qemu} vs native {native}");
+        assert!(chv < native * 0.75, "cloud-hypervisor {chv} should lag");
+        assert!(kata < native * 0.65, "kata {kata} should be at most ~half");
+        assert!(gvisor < native * 0.85, "gvisor {gvisor} should suffer");
+        assert!(read(PlatformId::Firecracker, &mut rng).is_none());
+        assert!(read(PlatformId::OsvQemu, &mut rng).is_none());
+    }
+
+    #[test]
+    fn latency_ordering_matches_figure_10() {
+        let bench = quick();
+        let mut rng = SimRng::seed_from(22);
+        let lat = |id: PlatformId, rng: &mut SimRng| {
+            bench
+                .run_randread_latency(&id.build(), rng)
+                .map(|s| s.mean())
+        };
+        let native = lat(PlatformId::Native, &mut rng).unwrap();
+        let qemu = lat(PlatformId::Qemu, &mut rng).unwrap();
+        let kata = lat(PlatformId::Kata, &mut rng).unwrap();
+        let kata_vfs = lat(PlatformId::KataVirtioFs, &mut rng).unwrap();
+        assert!(qemu > native, "qemu {qemu} vs native {native}");
+        assert!(kata > qemu * 1.5, "kata {kata} must be exceptionally poor");
+        assert!(kata_vfs < kata, "virtio-fs {kata_vfs} must beat 9p {kata}");
+        assert!(lat(PlatformId::GvisorPtrace, &mut rng).is_none());
+    }
+
+    #[test]
+    fn skipping_the_cache_drop_inflates_hypervisor_results() {
+        let mut rng = SimRng::seed_from(23);
+        let dropped = quick();
+        let undropped = quick().without_cache_drop();
+        let platform = PlatformId::Kata.build();
+        // Warm-up run to populate the host cache, then measure.
+        let _ = undropped.run_throughput(&platform, &mut rng);
+        let warm = undropped.run_throughput(&platform, &mut rng).unwrap();
+        let cold = dropped.run_throughput(&platform, &mut rng).unwrap();
+        assert!(
+            warm.read_mib_s.mean() > cold.read_mib_s.mean(),
+            "warm {} vs cold {}",
+            warm.read_mib_s.mean(),
+            cold.read_mib_s.mean()
+        );
+    }
+}

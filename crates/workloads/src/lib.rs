@@ -1,0 +1,42 @@
+//! # workloads
+//!
+//! Rust re-implementations of every benchmark workload the paper runs,
+//! driving the platform models from the `platforms` crate:
+//!
+//! | Module | Paper benchmark | Figure |
+//! |---|---|---|
+//! | [`ffmpeg`] | ffmpeg H.264→H.265 re-encode | Fig. 5 |
+//! | [`sysbench_cpu`] | Sysbench CPU prime verification | §3.1 |
+//! | [`tinymembench`] | Tinymembench latency + bandwidth | Figs. 6–7 |
+//! | [`stream`] | STREAM COPY | Fig. 8 |
+//! | [`fio`] | fio 128 KiB throughput + 4 KiB randread latency | Figs. 9–10 |
+//! | [`iperf`] | iperf3 streaming throughput | Fig. 11 |
+//! | [`netperf`] | netperf request/response p90 latency | Fig. 12 |
+//! | [`startup`] | 300-startup boot-time CDFs | Figs. 13–15 |
+//! | [`ycsb`] | Memcached + YCSB workload A | Fig. 16 |
+//! | [`sysbench_oltp`] | MySQL + sysbench oltp_read_write | Fig. 17 |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ffmpeg;
+pub mod fio;
+pub mod iperf;
+pub mod netperf;
+pub mod startup;
+pub mod stream;
+pub mod sysbench_cpu;
+pub mod sysbench_oltp;
+pub mod tinymembench;
+pub mod ycsb;
+
+pub use ffmpeg::FfmpegBenchmark;
+pub use fio::FioBenchmark;
+pub use iperf::IperfBenchmark;
+pub use netperf::NetperfBenchmark;
+pub use startup::StartupBenchmark;
+pub use stream::StreamBenchmark;
+pub use sysbench_cpu::SysbenchCpuBenchmark;
+pub use sysbench_oltp::OltpBenchmark;
+pub use tinymembench::TinymembenchBenchmark;
+pub use ycsb::YcsbBenchmark;

@@ -1,0 +1,70 @@
+//! The netperf request/response latency benchmark (Fig. 12).
+//!
+//! The figure reports the 90th-percentile round-trip latency over 5 runs.
+
+use platforms::Platform;
+use simcore::stats::RunningStats;
+use simcore::SimRng;
+
+/// The netperf benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct NetperfBenchmark {
+    /// Number of runs.
+    pub runs: usize,
+}
+
+impl Default for NetperfBenchmark {
+    fn default() -> Self {
+        NetperfBenchmark { runs: 5 }
+    }
+}
+
+impl NetperfBenchmark {
+    /// Creates a benchmark with the given run count.
+    pub fn new(runs: usize) -> Self {
+        NetperfBenchmark { runs: runs.max(1) }
+    }
+
+    /// Runs the benchmark; returns 90th-percentile latency statistics in
+    /// microseconds.
+    pub fn run_p90_us(&self, platform: &Platform, rng: &mut SimRng) -> RunningStats {
+        (0..self.runs)
+            .map(|_| {
+                platform
+                    .network()
+                    .run_request_response(rng)
+                    .p90_rtt
+                    .as_micros_f64()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platforms::PlatformId;
+
+    #[test]
+    fn latency_ordering_matches_figure_12() {
+        let bench = NetperfBenchmark::default();
+        let mut rng = SimRng::seed_from(41);
+        let p90 = |id: PlatformId, rng: &mut SimRng| bench.run_p90_us(&id.build(), rng).mean();
+        let docker = p90(PlatformId::Docker, &mut rng);
+        let lxc = p90(PlatformId::Lxc, &mut rng);
+        let kata = p90(PlatformId::Kata, &mut rng);
+        let qemu = p90(PlatformId::Qemu, &mut rng);
+        let fc = p90(PlatformId::Firecracker, &mut rng);
+        let osv = p90(PlatformId::OsvQemu, &mut rng);
+        let gvisor = p90(PlatformId::GvisorPtrace, &mut rng);
+
+        // Bridge-based containers perform very well.
+        assert!(docker < qemu && lxc < qemu);
+        // OSv has slightly lower latencies than the hypervisors.
+        assert!(osv < qemu && osv < fc, "osv {osv} vs qemu {qemu} / fc {fc}");
+        // Kata uses bridges plus QEMU, so it is not better than Docker.
+        assert!(kata > docker);
+        // gVisor's p90 is 3–4x its competitors.
+        assert!(gvisor > qemu * 2.5, "gvisor {gvisor} vs qemu {qemu}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Start-up time benchmark (Figs. 13–15): 300 consecutive boots per
+//! platform, reported as a CDF.
+
+use platforms::subsystems::startup::StartupVariant;
+use platforms::Platform;
+use simcore::stats::Cdf;
+use simcore::SimRng;
+
+/// The start-up benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct StartupBenchmark {
+    /// Number of consecutive startups (the paper uses 300).
+    pub startups: usize,
+}
+
+impl Default for StartupBenchmark {
+    fn default() -> Self {
+        StartupBenchmark { startups: 300 }
+    }
+}
+
+impl StartupBenchmark {
+    /// Creates a benchmark with the given startup count.
+    pub fn new(startups: usize) -> Self {
+        StartupBenchmark {
+            startups: startups.max(1),
+        }
+    }
+
+    /// Boots the platform repeatedly and returns the CDF of boot times in
+    /// milliseconds.
+    pub fn run_cdf(&self, platform: &Platform, variant: StartupVariant, rng: &mut SimRng) -> Cdf {
+        let samples: Vec<f64> = (0..self.startups)
+            .map(|_| platform.startup().sample(variant, rng).as_millis_f64())
+            .collect();
+        Cdf::from_samples(samples).expect("startup benchmark always produces samples")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platforms::PlatformId;
+
+    fn median(id: PlatformId, variant: StartupVariant, rng: &mut SimRng) -> f64 {
+        StartupBenchmark::new(100).run_cdf(&id.build(), variant, rng).median()
+    }
+
+    #[test]
+    fn container_boot_times_match_figure_13() {
+        let mut rng = SimRng::seed_from(51);
+        let docker = median(PlatformId::Docker, StartupVariant::OciDirect, &mut rng);
+        let gvisor = median(PlatformId::GvisorPtrace, StartupVariant::OciDirect, &mut rng);
+        let kata = median(PlatformId::Kata, StartupVariant::OciDirect, &mut rng);
+        let lxc = median(PlatformId::Lxc, StartupVariant::Default, &mut rng);
+        assert!((70.0..140.0).contains(&docker), "docker {docker} ms");
+        assert!((150.0..250.0).contains(&gvisor), "gvisor {gvisor} ms");
+        assert!((480.0..750.0).contains(&kata), "kata {kata} ms");
+        assert!((680.0..920.0).contains(&lxc), "lxc {lxc} ms");
+        assert!(docker < gvisor && gvisor < kata && kata < lxc);
+    }
+
+    #[test]
+    fn docker_daemon_adds_about_250ms() {
+        let mut rng = SimRng::seed_from(52);
+        let direct = median(PlatformId::Docker, StartupVariant::OciDirect, &mut rng);
+        let daemon = median(PlatformId::Docker, StartupVariant::Default, &mut rng);
+        let delta = daemon - direct;
+        assert!((180.0..320.0).contains(&delta), "daemon overhead {delta} ms");
+    }
+
+    #[test]
+    fn hypervisor_boot_cdfs_match_figure_14() {
+        let mut rng = SimRng::seed_from(53);
+        let chv = median(PlatformId::CloudHypervisor, StartupVariant::Default, &mut rng);
+        let qemu = median(PlatformId::Qemu, StartupVariant::Default, &mut rng);
+        let fc = median(PlatformId::Firecracker, StartupVariant::Default, &mut rng);
+        let microvm = median(PlatformId::QemuMicrovm, StartupVariant::Default, &mut rng);
+        assert!(chv < qemu && qemu < fc && fc < microvm,
+            "ordering: chv={chv} qemu={qemu} fc={fc} microvm={microvm}");
+    }
+
+    #[test]
+    fn osv_boot_order_flips_and_measurement_methods_superimpose() {
+        let mut rng = SimRng::seed_from(54);
+        let osv_fc = median(PlatformId::OsvFirecracker, StartupVariant::Default, &mut rng);
+        let osv_qemu = median(PlatformId::OsvQemu, StartupVariant::Default, &mut rng);
+        assert!(osv_fc < osv_qemu, "osv-fc {osv_fc} vs osv-qemu {osv_qemu}");
+        let e2e = median(PlatformId::OsvQemu, StartupVariant::Default, &mut rng);
+        let stdout = median(PlatformId::OsvQemu, StartupVariant::StdoutMethod, &mut rng);
+        let rel = (e2e - stdout).abs() / e2e;
+        assert!(rel < 0.06, "methods differ by {rel}");
+    }
+}

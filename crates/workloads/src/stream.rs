@@ -1,0 +1,84 @@
+//! The STREAM COPY benchmark (Fig. 8).
+//!
+//! STREAM's COPY kernel executes `a[i] = b[i]` over vectors totalling
+//! 2.2 GiB and reports sustained bandwidth; the paper presents the average
+//! of the per-run maxima over 10 runs.
+
+use memsim::bandwidth::CopyMethod;
+use platforms::Platform;
+use simcore::stats::RunningStats;
+use simcore::SimRng;
+
+/// The STREAM COPY benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamBenchmark {
+    /// Number of outer repetitions (the paper uses 10).
+    pub runs: usize,
+    /// Inner iterations per run; the run's result is the maximum.
+    pub inner_iterations: usize,
+}
+
+impl Default for StreamBenchmark {
+    fn default() -> Self {
+        StreamBenchmark {
+            runs: 10,
+            inner_iterations: 10,
+        }
+    }
+}
+
+impl StreamBenchmark {
+    /// Creates a benchmark with the given repetition count.
+    pub fn new(runs: usize) -> Self {
+        StreamBenchmark {
+            runs: runs.max(1),
+            inner_iterations: 10,
+        }
+    }
+
+    /// Runs the benchmark; returns MiB/s statistics over the per-run maxima.
+    pub fn run(&self, platform: &Platform, rng: &mut SimRng) -> RunningStats {
+        (0..self.runs)
+            .map(|_| {
+                (0..self.inner_iterations)
+                    .map(|_| {
+                        platform
+                            .memory()
+                            .sample_copy_bandwidth(CopyMethod::StreamCopy, rng)
+                            .mib_per_sec()
+                    })
+                    .fold(0.0f64, f64::max)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platforms::PlatformId;
+
+    #[test]
+    fn hypervisors_underperform_but_kata_and_osv_qemu_do_not() {
+        let bench = StreamBenchmark::new(5);
+        let mut rng = SimRng::seed_from(11);
+        let value = |id: PlatformId, rng: &mut SimRng| bench.run(&id.build(), rng).mean();
+        let native = value(PlatformId::Native, &mut rng);
+        let qemu = value(PlatformId::Qemu, &mut rng);
+        let fc = value(PlatformId::Firecracker, &mut rng);
+        let kata = value(PlatformId::Kata, &mut rng);
+        let osv = value(PlatformId::OsvQemu, &mut rng);
+        assert!(qemu < native * 0.95, "qemu {qemu} vs native {native}");
+        assert!(fc < qemu, "firecracker {fc} should be the lowest hypervisor");
+        assert!(kata > native * 0.9, "kata {kata} is not impaired");
+        assert!(osv > native * 0.9, "osv-qemu {osv} is not impaired");
+    }
+
+    #[test]
+    fn maxima_are_at_least_the_mean_of_single_samples() {
+        let bench = StreamBenchmark::default();
+        let p = PlatformId::Native.build();
+        let stats = bench.run(&p, &mut SimRng::seed_from(2));
+        assert!(stats.mean() >= p.memory().mean_copy_bandwidth(CopyMethod::StreamCopy).mib_per_sec() * 0.98);
+    }
+}

@@ -1,0 +1,247 @@
+//! Sysbench `oltp_read_write` against the mini relational engine (Fig. 17).
+//!
+//! The benchmark loads rows into three tables and then, from an increasing
+//! number of client threads, executes transactions of one SELECT, UPDATE,
+//! DELETE and INSERT each. Reported metric: transactions per second.
+//!
+//! The per-transaction cost combines three ingredients:
+//!
+//! * real execution against [`relstore`] (locks, B-Tree maintenance),
+//!   which yields the intrinsic contention profile;
+//! * the platform's per-query network round trip and syscall costs;
+//! * the platform's scheduler-induced contention (Universal Scalability
+//!   Law parameters), which produces the ~50-thread peak on the isolation
+//!   platforms versus ~110 threads natively and the flat, low curves of
+//!   the custom-scheduler platforms (OSv, gVisor).
+
+use memsim::tlb::PageSize;
+use oskern::sched::UslParams;
+use oskern::syscall::SyscallClass;
+use platforms::Platform;
+use relstore::{Database, Row, StoreError};
+use simcore::{Nanos, SimRng};
+
+/// One point of the thread sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OltpPoint {
+    /// Number of client threads.
+    pub threads: usize,
+    /// Transactions per second (mean over the runs).
+    pub tps: f64,
+    /// Standard deviation over the runs.
+    pub tps_std: f64,
+}
+
+/// The OLTP benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct OltpBenchmark {
+    /// Rows per table (the paper loads 1 million; tests scale this down).
+    pub rows_per_table: u64,
+    /// Number of tables.
+    pub tables: usize,
+    /// Thread counts to sweep (the paper uses 10..160).
+    pub thread_counts: Vec<usize>,
+    /// Runs per thread count (the paper uses 3).
+    pub runs: usize,
+    /// Transactions executed against the real engine per run (to observe
+    /// lock contention).
+    pub sampled_transactions: usize,
+}
+
+impl Default for OltpBenchmark {
+    fn default() -> Self {
+        OltpBenchmark {
+            rows_per_table: 100_000,
+            tables: 3,
+            thread_counts: vec![10, 20, 40, 50, 80, 110, 160],
+            runs: 3,
+            sampled_transactions: 2_000,
+        }
+    }
+}
+
+/// The workload's intrinsic contention profile (row conflicts, B-Tree
+/// latching) expressed as USL parameters; combined with the scheduler's.
+const WORKLOAD_CONTENTION: UslParams = UslParams {
+    alpha: 0.015,
+    beta: 6.0e-5,
+};
+
+impl OltpBenchmark {
+    /// A scaled-down configuration for unit tests and quick runs.
+    pub fn quick() -> Self {
+        OltpBenchmark {
+            rows_per_table: 2_000,
+            tables: 1,
+            thread_counts: vec![10, 50, 110, 160],
+            runs: 2,
+            sampled_transactions: 300,
+        }
+    }
+
+    /// Runs the thread sweep on one platform.
+    pub fn run(&self, platform: &Platform, rng: &mut SimRng) -> Vec<OltpPoint> {
+        self.thread_counts
+            .iter()
+            .map(|&threads| self.run_point(platform, threads, rng))
+            .collect()
+    }
+
+    fn run_point(&self, platform: &Platform, threads: usize, rng: &mut SimRng) -> OltpPoint {
+        let mut samples = Vec::with_capacity(self.runs);
+        for _ in 0..self.runs {
+            samples.push(self.run_once(platform, threads, rng));
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+            / samples.len() as f64;
+        OltpPoint {
+            threads,
+            tps: mean,
+            tps_std: var.sqrt(),
+        }
+    }
+
+    fn run_once(&self, platform: &Platform, threads: usize, rng: &mut SimRng) -> f64 {
+        // Execute a sample of real transactions to measure engine-level
+        // conflict probability at this concurrency.
+        let db = Database::new();
+        let tables = db.populate_sysbench(self.tables, self.rows_per_table);
+        let mut conflicts = 0u64;
+        let mut next_id = self.rows_per_table + 1;
+        for i in 0..self.sampled_transactions {
+            let table = &tables[i % tables.len()];
+            // Model concurrent writers by pre-locking a few rows "owned" by
+            // other threads proportional to the concurrency level.
+            let foreign_locks: Vec<u64> = (0..(threads / 8))
+                .map(|_| 1 + rng.index(self.rows_per_table as usize) as u64)
+                .filter(|id| table.locks().try_lock(*id))
+                .collect();
+            let mut txn = db.begin();
+            let target = 1 + rng.index(self.rows_per_table as usize) as u64;
+            let outcome: Result<(), StoreError> = (|| {
+                let _ = txn.select(table, target)?;
+                txn.update(table, target, rng.index(1_000) as u64)?;
+                let delete_target = 1 + rng.index(self.rows_per_table as usize) as u64;
+                match txn.delete(table, delete_target) {
+                    Ok(_) => {
+                        txn.insert(table, Row::new(delete_target, 1, "reinserted".into()))?;
+                    }
+                    Err(StoreError::RowNotFound(_)) => {
+                        txn.insert(table, Row::new(next_id, 1, "fresh".into()))?;
+                        next_id += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+                Ok(())
+            })();
+            match outcome {
+                Ok(()) => txn.commit(),
+                Err(_) => {
+                    conflicts += 1;
+                    txn.rollback();
+                }
+            }
+            table.locks().unlock_all(&foreign_locks);
+        }
+        let conflict_ratio = conflicts as f64 / self.sampled_transactions as f64;
+
+        // Per-transaction service time on this platform: four queries, each
+        // a request/response over the network plus syscalls, plus engine
+        // CPU work scaled by the platform's memory behaviour, plus one
+        // fsync-like I/O on commit.
+        let queries = 4.0;
+        let rtt = platform.network().mean_rtt().as_secs_f64();
+        let syscalls = (platform.syscalls().dispatch_cost(SyscallClass::NetReceive)
+            + platform.syscalls().dispatch_cost(SyscallClass::NetSend))
+        .as_secs_f64();
+        let mem_factor = {
+            let native = memsim::latency::RandomAccessModel::new(
+                memsim::config::MemoryHierarchy::epyc2(),
+                memsim::paging::PagingMode::Native,
+            );
+            let own = platform
+                .memory()
+                .mean_access_latency(1 << 26, PageSize::Small4K)
+                .as_secs_f64();
+            let base = native.mean_extra_latency(1 << 26, PageSize::Small4K).as_secs_f64();
+            (own / base).max(1.0)
+        };
+        let engine_cpu = Nanos::from_micros(140).as_secs_f64() * mem_factor;
+        let commit_io = if platform.storage().is_excluded() {
+            Nanos::from_micros(120).as_secs_f64()
+        } else {
+            let stack = platform.storage().build_stack();
+            (Nanos::from_micros(30) + stack.layer_latency()).as_secs_f64()
+        };
+        let per_txn = queries * (rtt + syscalls) + engine_cpu + commit_io;
+
+        // Scalability: workload contention plus scheduler contention, and
+        // engine-level conflicts turn into retries.
+        let usl = WORKLOAD_CONTENTION.combine(&platform.cpu().contention_params());
+        let capacity = usl.capacity(threads);
+        let retry_penalty = 1.0 + conflict_ratio * (threads as f64 / 16.0).min(4.0);
+        let tps = capacity / (per_txn * retry_penalty);
+        rng.normal_pos(tps, tps * 0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platforms::PlatformId;
+
+    fn peak(points: &[OltpPoint]) -> usize {
+        points
+            .iter()
+            .max_by(|a, b| a.tps.partial_cmp(&b.tps).unwrap())
+            .map(|p| p.threads)
+            .unwrap()
+    }
+
+    fn best(points: &[OltpPoint]) -> f64 {
+        points.iter().map(|p| p.tps).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn thread_sweep_reproduces_figure_17_groups() {
+        let bench = OltpBenchmark::quick();
+        let mut rng = SimRng::seed_from(71);
+        let native = bench.run(&PlatformId::Native.build(), &mut rng.split("native"));
+        let docker = bench.run(&PlatformId::Docker.build(), &mut rng.split("docker"));
+        let qemu = bench.run(&PlatformId::Qemu.build(), &mut rng.split("qemu"));
+        let kata = bench.run(&PlatformId::Kata.build(), &mut rng.split("kata"));
+        let fc = bench.run(&PlatformId::Firecracker.build(), &mut rng.split("fc"));
+        let gvisor = bench.run(&PlatformId::GvisorPtrace.build(), &mut rng.split("gvisor"));
+        let osv = bench.run(&PlatformId::OsvQemu.build(), &mut rng.split("osv"));
+
+        // Native peaks at a much higher thread count than the platforms.
+        assert_eq!(peak(&native), 110, "native peak {:?}", native);
+        assert!(peak(&qemu) <= 50, "qemu peak {}", peak(&qemu));
+        assert!(peak(&docker) <= 110);
+
+        // Group 1: OSv and gVisor severely underperform and are flat.
+        let group3 = best(&docker).min(best(&qemu)).min(best(&native));
+        assert!(best(&osv) < group3 * 0.45, "osv {} vs group3 {group3}", best(&osv));
+        assert!(best(&gvisor) < group3 * 0.45, "gvisor {}", best(&gvisor));
+
+        // Group 2: Firecracker and Kata land around half of the main group.
+        assert!(best(&fc) < group3 * 0.8, "fc {} vs group3 {group3}", best(&fc));
+        assert!(best(&kata) < group3 * 0.85, "kata {} vs group3 {group3}", best(&kata));
+        assert!(best(&fc) > best(&osv), "fc should beat the custom-scheduler group");
+
+        // Group 3: the remaining platforms are within a band of each other.
+        assert!(best(&docker) > group3 * 0.8);
+    }
+
+    #[test]
+    fn real_engine_conflicts_increase_with_concurrency() {
+        let bench = OltpBenchmark::quick();
+        let mut rng = SimRng::seed_from(72);
+        let p = PlatformId::Native.build();
+        let low = bench.run_point(&p, 10, &mut rng);
+        let high = bench.run_point(&p, 160, &mut rng);
+        // Throughput per thread must degrade at high concurrency.
+        assert!(high.tps / 160.0 < low.tps / 10.0);
+    }
+}

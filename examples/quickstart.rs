@@ -1,0 +1,41 @@
+//! Quickstart: build two platforms, compare their key characteristics, and
+//! regenerate one paper figure.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use isolation_bench::prelude::*;
+
+fn main() {
+    // 1. Build platform models.
+    let docker = PlatformId::Docker.build();
+    let gvisor = PlatformId::GvisorPtrace.build();
+
+    println!("== platform comparison ==");
+    for p in [&docker, &gvisor] {
+        println!(
+            "{:<10} family={:?} net={:.1} Gbit/s rtt={} defense layers={}",
+            p.name(),
+            p.family(),
+            p.network().mean_throughput().gbit_per_sec(),
+            p.network().mean_rtt(),
+            p.isolation().defense_in_depth_layers(),
+        );
+    }
+
+    // 2. Regenerate the iperf3 figure (Fig. 11) in quick mode.
+    let cfg = RunConfig::quick(2021);
+    let fig = figures::run(ExperimentId::Fig11Iperf, &cfg);
+    println!("\n{}", report::to_markdown(&fig));
+
+    // 3. Compute the extended HAP for both platforms.
+    let suite = HapSuite::quick();
+    for p in [&docker, &gvisor] {
+        let profile = suite.profile(p);
+        println!(
+            "HAP({}): {} distinct host kernel functions, weighted score {:.2}",
+            p.name(),
+            profile.distinct_functions,
+            profile.weighted_score
+        );
+    }
+}

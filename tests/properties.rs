@@ -1,0 +1,106 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use isolation_bench::kvstore::{Store, StoreConfig};
+use isolation_bench::relstore::{Database, Row};
+use isolation_bench::simcore::stats::{Cdf, RunningStats};
+use isolation_bench::simcore::{Bandwidth, Nanos, SimRng};
+
+proptest! {
+    #[test]
+    fn running_stats_mean_is_bounded_by_min_and_max(xs in prop::collection::vec(-1e9f64..1e9, 1..200)) {
+        let stats: RunningStats = xs.iter().copied().collect();
+        let mean = stats.mean();
+        prop_assert!(mean >= stats.min().unwrap() - 1e-6);
+        prop_assert!(mean <= stats.max().unwrap() + 1e-6);
+        prop_assert!(stats.std_dev() >= 0.0);
+    }
+
+    #[test]
+    fn running_stats_merge_matches_sequential(xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+                                              ys in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut merged: RunningStats = xs.iter().copied().collect();
+        let other: RunningStats = ys.iter().copied().collect();
+        merged.merge(&other);
+        let all: RunningStats = xs.iter().chain(ys.iter()).copied().collect();
+        prop_assert_eq!(merged.count(), all.count());
+        prop_assert!((merged.mean() - all.mean()).abs() < 1e-6);
+        prop_assert!((merged.variance() - all.variance()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cdf_percentiles_are_monotone(xs in prop::collection::vec(0.0f64..1e6, 1..300)) {
+        let cdf = Cdf::from_samples(xs).unwrap();
+        let mut last = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = cdf.percentile(p);
+            prop_assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn nanos_arithmetic_never_underflows(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let x = Nanos::from_nanos(a);
+        let y = Nanos::from_nanos(b);
+        prop_assert_eq!((x + y).as_nanos(), a + b);
+        prop_assert_eq!(x.saturating_sub(y).as_nanos(), a.saturating_sub(b));
+    }
+
+    #[test]
+    fn bandwidth_transfer_time_is_monotone_in_size(bytes_small in 1u64..1_000_000, extra in 1u64..1_000_000) {
+        let bw = Bandwidth::from_mib_per_sec(100.0);
+        let small = bw.transfer_time(bytes_small);
+        let large = bw.transfer_time(bytes_small + extra);
+        prop_assert!(large >= small);
+    }
+
+    #[test]
+    fn rng_with_same_seed_is_identical(seed in 0u64..u64::MAX, n in 1usize..64) {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        for _ in 0..n {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn kvstore_reads_what_it_writes(entries in prop::collection::btree_map(".{1,16}", prop::collection::vec(any::<u8>(), 0..64), 1..50)) {
+        let store = Store::new(StoreConfig::default());
+        for (k, v) in &entries {
+            store.set(k.as_bytes(), v.clone());
+        }
+        for (k, v) in &entries {
+            prop_assert_eq!(store.get(k.as_bytes()), Some(v.clone()));
+        }
+        prop_assert_eq!(store.stats().entries as usize, entries.len());
+    }
+
+    #[test]
+    fn relstore_secondary_index_stays_consistent(ops in prop::collection::vec((1u64..200, 0u64..50), 1..100)) {
+        let db = Database::new();
+        let table = db.create_table("t");
+        for (i, (id, k)) in ops.iter().enumerate() {
+            match i % 3 {
+                0 => { let _ = table.insert(Row::new(*id, *k, String::new())); }
+                1 => { let _ = table.update_k(*id, *k); }
+                _ => { let _ = table.delete(*id); }
+            }
+        }
+        // Every row reachable by primary key must be indexed under its k,
+        // and every index entry must point to a live row with that k.
+        for id in 1..200u64 {
+            if let Some(row) = table.get(id) {
+                prop_assert!(table.find_by_k(row.k).contains(&id));
+            }
+        }
+        for k in 0..50u64 {
+            for id in table.find_by_k(k) {
+                let row = table.get(id);
+                prop_assert!(row.is_some());
+                prop_assert_eq!(row.unwrap().k, k);
+            }
+        }
+    }
+}
