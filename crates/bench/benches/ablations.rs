@@ -28,8 +28,14 @@ fn benches(c: &mut Criterion) {
     group.bench_function("gvisor_ptrace_vs_kvm", |b| {
         b.iter(|| {
             let class = oskern::syscall::SyscallClass::FileRead;
-            let ptrace = PlatformId::GvisorPtrace.build().syscalls().dispatch_cost(class);
-            let kvm = PlatformId::GvisorKvm.build().syscalls().dispatch_cost(class);
+            let ptrace = PlatformId::GvisorPtrace
+                .build()
+                .syscalls()
+                .dispatch_cost(class);
+            let kvm = PlatformId::GvisorKvm
+                .build()
+                .syscalls()
+                .dispatch_cost(class);
             (ptrace, kvm)
         })
     });
@@ -39,8 +45,13 @@ fn benches(c: &mut Criterion) {
             let mut rng = SimRng::seed_from(2);
             let p = PlatformId::Native.build();
             let small = TinymembenchBenchmark::new(2).run_latency(&p, &mut rng);
-            let huge = TinymembenchBenchmark::new(2).with_huge_pages().run_latency(&p, &mut rng);
-            (small.last().unwrap().latency_ns.mean(), huge.last().unwrap().latency_ns.mean())
+            let huge = TinymembenchBenchmark::new(2)
+                .with_huge_pages()
+                .run_latency(&p, &mut rng);
+            (
+                small.last().unwrap().latency_ns.mean(),
+                huge.last().unwrap().latency_ns.mean(),
+            )
         })
     });
 

@@ -10,8 +10,12 @@ fn benches(c: &mut Criterion) {
     print_figure(ExperimentId::SysbenchPrime);
     let mut group = c.benchmark_group("fig05_compute");
     group.sample_size(10);
-    group.bench_function("fig05_ffmpeg", |b| b.iter(|| figures::run(ExperimentId::Fig05Ffmpeg, &cfg)));
-    group.bench_function("sysbench_prime", |b| b.iter(|| figures::run(ExperimentId::SysbenchPrime, &cfg)));
+    group.bench_function("fig05_ffmpeg", |b| {
+        b.iter(|| figures::run(ExperimentId::Fig05Ffmpeg, &cfg))
+    });
+    group.bench_function("sysbench_prime", |b| {
+        b.iter(|| figures::run(ExperimentId::SysbenchPrime, &cfg))
+    });
     group.finish();
 }
 

@@ -11,9 +11,15 @@ fn benches(c: &mut Criterion) {
     print_figure(ExperimentId::Fig08Stream);
     let mut group = c.benchmark_group("fig06_08_memory");
     group.sample_size(10);
-    group.bench_function("fig06_mem_latency", |b| b.iter(|| figures::run(ExperimentId::Fig06MemLatency, &cfg)));
-    group.bench_function("fig07_mem_bandwidth", |b| b.iter(|| figures::run(ExperimentId::Fig07MemBandwidth, &cfg)));
-    group.bench_function("fig08_stream", |b| b.iter(|| figures::run(ExperimentId::Fig08Stream, &cfg)));
+    group.bench_function("fig06_mem_latency", |b| {
+        b.iter(|| figures::run(ExperimentId::Fig06MemLatency, &cfg))
+    });
+    group.bench_function("fig07_mem_bandwidth", |b| {
+        b.iter(|| figures::run(ExperimentId::Fig07MemBandwidth, &cfg))
+    });
+    group.bench_function("fig08_stream", |b| {
+        b.iter(|| figures::run(ExperimentId::Fig08Stream, &cfg))
+    });
     group.finish();
 }
 

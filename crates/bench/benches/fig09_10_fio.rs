@@ -10,8 +10,12 @@ fn benches(c: &mut Criterion) {
     print_figure(ExperimentId::Fig10FioLatency);
     let mut group = c.benchmark_group("fig09_10_fio");
     group.sample_size(10);
-    group.bench_function("fig09_fio_throughput", |b| b.iter(|| figures::run(ExperimentId::Fig09FioThroughput, &cfg)));
-    group.bench_function("fig10_fio_latency", |b| b.iter(|| figures::run(ExperimentId::Fig10FioLatency, &cfg)));
+    group.bench_function("fig09_fio_throughput", |b| {
+        b.iter(|| figures::run(ExperimentId::Fig09FioThroughput, &cfg))
+    });
+    group.bench_function("fig10_fio_latency", |b| {
+        b.iter(|| figures::run(ExperimentId::Fig10FioLatency, &cfg))
+    });
     group.finish();
 }
 

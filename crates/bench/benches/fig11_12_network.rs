@@ -10,8 +10,12 @@ fn benches(c: &mut Criterion) {
     print_figure(ExperimentId::Fig12Netperf);
     let mut group = c.benchmark_group("fig11_12_network");
     group.sample_size(10);
-    group.bench_function("fig11_iperf", |b| b.iter(|| figures::run(ExperimentId::Fig11Iperf, &cfg)));
-    group.bench_function("fig12_netperf", |b| b.iter(|| figures::run(ExperimentId::Fig12Netperf, &cfg)));
+    group.bench_function("fig11_iperf", |b| {
+        b.iter(|| figures::run(ExperimentId::Fig11Iperf, &cfg))
+    });
+    group.bench_function("fig12_netperf", |b| {
+        b.iter(|| figures::run(ExperimentId::Fig12Netperf, &cfg))
+    });
     group.finish();
 }
 

@@ -11,9 +11,15 @@ fn benches(c: &mut Criterion) {
     print_figure(ExperimentId::Fig15BootOsv);
     let mut group = c.benchmark_group("fig13_15_startup");
     group.sample_size(10);
-    group.bench_function("fig13_boot_containers", |b| b.iter(|| figures::run(ExperimentId::Fig13BootContainers, &cfg)));
-    group.bench_function("fig14_boot_hypervisors", |b| b.iter(|| figures::run(ExperimentId::Fig14BootHypervisors, &cfg)));
-    group.bench_function("fig15_boot_osv", |b| b.iter(|| figures::run(ExperimentId::Fig15BootOsv, &cfg)));
+    group.bench_function("fig13_boot_containers", |b| {
+        b.iter(|| figures::run(ExperimentId::Fig13BootContainers, &cfg))
+    });
+    group.bench_function("fig14_boot_hypervisors", |b| {
+        b.iter(|| figures::run(ExperimentId::Fig14BootHypervisors, &cfg))
+    });
+    group.bench_function("fig15_boot_osv", |b| {
+        b.iter(|| figures::run(ExperimentId::Fig15BootOsv, &cfg))
+    });
     group.finish();
 }
 

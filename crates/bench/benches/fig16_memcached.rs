@@ -9,7 +9,9 @@ fn benches(c: &mut Criterion) {
     print_figure(ExperimentId::Fig16Memcached);
     let mut group = c.benchmark_group("fig16_memcached");
     group.sample_size(10);
-    group.bench_function("fig16_memcached", |b| b.iter(|| figures::run(ExperimentId::Fig16Memcached, &cfg)));
+    group.bench_function("fig16_memcached", |b| {
+        b.iter(|| figures::run(ExperimentId::Fig16Memcached, &cfg))
+    });
     group.finish();
 }
 

@@ -9,7 +9,9 @@ fn benches(c: &mut Criterion) {
     print_figure(ExperimentId::Fig17Mysql);
     let mut group = c.benchmark_group("fig17_mysql");
     group.sample_size(10);
-    group.bench_function("fig17_mysql", |b| b.iter(|| figures::run(ExperimentId::Fig17Mysql, &cfg)));
+    group.bench_function("fig17_mysql", |b| {
+        b.iter(|| figures::run(ExperimentId::Fig17Mysql, &cfg))
+    });
     group.finish();
 }
 

@@ -9,7 +9,9 @@ fn benches(c: &mut Criterion) {
     print_figure(ExperimentId::Fig18Hap);
     let mut group = c.benchmark_group("fig18_hap");
     group.sample_size(10);
-    group.bench_function("fig18_hap", |b| b.iter(|| figures::run(ExperimentId::Fig18Hap, &cfg)));
+    group.bench_function("fig18_hap", |b| {
+        b.iter(|| figures::run(ExperimentId::Fig18Hap, &cfg))
+    });
     group.finish();
 }
 

@@ -81,7 +81,9 @@ impl StorageLayer {
     pub fn host_functions(self) -> &'static [&'static str] {
         match self {
             StorageLayer::BindMount => &["vfs_read", "vfs_write", "lookup_fast"],
-            StorageLayer::OverlayFs => &["ovl_open", "ovl_read_iter", "ovl_write_iter", "ovl_lookup"],
+            StorageLayer::OverlayFs => {
+                &["ovl_open", "ovl_read_iter", "ovl_write_iter", "ovl_lookup"]
+            }
             StorageLayer::Zfs => &["zpl_read", "zpl_write", "zfs_read", "zfs_write"],
             StorageLayer::LoopDevice => &["loop_queue_rq", "lo_rw_aio", "submit_bio"],
             StorageLayer::VirtioBlk => &[
@@ -115,7 +117,9 @@ impl StorageLayer {
                 "vfs_write",
                 "do_sys_openat2",
             ],
-            StorageLayer::SentryIntercept => &["seccomp_filter", "__seccomp_filter", "seccomp_run_filters"],
+            StorageLayer::SentryIntercept => {
+                &["seccomp_filter", "__seccomp_filter", "seccomp_run_filters"]
+            }
         }
     }
 
@@ -159,14 +163,20 @@ mod tests {
                 < StorageLayer::VirtioFs.throughput_efficiency()
         );
         assert!(
-            StorageLayer::NineP.per_request_latency() > StorageLayer::VirtioFs.per_request_latency()
+            StorageLayer::NineP.per_request_latency()
+                > StorageLayer::VirtioFs.per_request_latency()
         );
     }
 
     #[test]
     fn bind_mount_is_nearly_transparent() {
         assert!(StorageLayer::BindMount.throughput_efficiency() > 0.99);
-        assert!(StorageLayer::BindMount.per_request_latency().as_micros_f64() < 1.0);
+        assert!(
+            StorageLayer::BindMount
+                .per_request_latency()
+                .as_micros_f64()
+                < 1.0
+        );
     }
 
     #[test]

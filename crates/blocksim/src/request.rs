@@ -78,11 +78,7 @@ impl IoProfile {
 
     /// Number of requests issued by the phase.
     pub fn request_count(&self) -> u64 {
-        if self.block_size == 0 {
-            0
-        } else {
-            self.total_bytes / self.block_size
-        }
+        self.total_bytes.checked_div(self.block_size).unwrap_or(0)
     }
 }
 
@@ -113,10 +109,7 @@ mod tests {
     fn request_count_divides_total() {
         let t = IoProfile::paper_throughput(IoPattern::SeqRead, 1 << 30);
         assert_eq!(t.request_count(), (2 << 30) / (128 * 1024));
-        let zero = IoProfile {
-            block_size: 0,
-            ..t
-        };
+        let zero = IoProfile { block_size: 0, ..t };
         assert_eq!(zero.request_count(), 0);
     }
 

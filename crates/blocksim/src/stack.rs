@@ -99,7 +99,10 @@ impl StorageStack {
 
     /// Product of all layer throughput efficiencies.
     pub fn layer_efficiency(&self) -> f64 {
-        self.layers.iter().map(|l| l.throughput_efficiency()).product()
+        self.layers
+            .iter()
+            .map(|l| l.throughput_efficiency())
+            .product()
     }
 
     /// Simulates one fio phase and returns the measured outcome.
@@ -141,8 +144,7 @@ impl StorageStack {
         let device_latency = if profile.pattern.is_sequential() {
             self.device.transfer_time(profile.block_size, write)
         } else {
-            self.device.random_latency(write)
-                + self.device.transfer_time(profile.block_size, write)
+            self.device.random_latency(write) + self.device.transfer_time(profile.block_size, write)
         };
         let cached_latency = Nanos::from_micros(6); // copy from page cache
         let miss_latency = device_latency + self.layer_latency() + engine.per_request_overhead();
@@ -161,8 +163,7 @@ impl StorageStack {
         } else {
             self.device.seq_bandwidth(write).bytes_per_sec() / (1.0 - cache_hit_ratio).max(0.05)
         };
-        let mean_throughput =
-            (device_bound.min(latency_bound) * self.layer_efficiency()).max(1.0);
+        let mean_throughput = (device_bound.min(latency_bound) * self.layer_efficiency()).max(1.0);
 
         // Writes leave dirty pages behind; reads warm the caches.
         if write {
@@ -178,11 +179,11 @@ impl StorageStack {
             }
         }
 
-        let throughput =
-            Bandwidth::from_bytes_per_sec(rng.normal_pos(mean_throughput, mean_throughput * self.jitter));
-        let latency = Nanos::from_secs_f64(
-            rng.normal_pos(mean_latency_ns, mean_latency_ns * self.jitter),
+        let throughput = Bandwidth::from_bytes_per_sec(
+            rng.normal_pos(mean_throughput, mean_throughput * self.jitter),
         );
+        let latency =
+            Nanos::from_secs_f64(rng.normal_pos(mean_latency_ns, mean_latency_ns * self.jitter));
         IoOutcome {
             throughput,
             mean_latency: latency,
@@ -200,7 +201,13 @@ impl StorageStack {
         // unless every byte was served from a cache; charge it
         // unconditionally, matching what ftrace sees during a direct run.
         session.invoke_all(
-            &["submit_bio", "blk_mq_submit_bio", "nvme_queue_rq", "nvme_complete_rq", "bio_endio"],
+            &[
+                "submit_bio",
+                "blk_mq_submit_bio",
+                "nvme_queue_rq",
+                "nvme_complete_rq",
+                "bio_endio",
+            ],
             requests,
         );
         let class = if profile.pattern.is_write() {
@@ -275,9 +282,11 @@ mod tests {
         // Warm pass (writes/reads populate the host cache).
         stack.run_phase(profile, IoEngine::Libaio, false, &mut rng);
         let warm = stack.run_phase(profile, IoEngine::Libaio, false, &mut rng);
-        let mut dropped_stack =
-            StorageStack::new(vec![StorageLayer::LoopDevice, StorageLayer::VirtioBlk], Some(2 << 30))
-                .with_jitter(0.0);
+        let mut dropped_stack = StorageStack::new(
+            vec![StorageLayer::LoopDevice, StorageLayer::VirtioBlk],
+            Some(2 << 30),
+        )
+        .with_jitter(0.0);
         let cold = dropped_stack.run_phase(profile, IoEngine::Libaio, true, &mut rng);
         assert!(
             warm.throughput.mib_per_sec() > cold.throughput.mib_per_sec() * 1.3,

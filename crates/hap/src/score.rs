@@ -53,7 +53,10 @@ mod tests {
         assert_eq!(profile.distinct_functions, 3);
         assert_eq!(profile.total_invocations, 151);
         assert!(profile.weighted_score > 0.0);
-        assert_eq!(profile.by_subsystem.get(&KernelSubsystem::Network), Some(&2));
+        assert_eq!(
+            profile.by_subsystem.get(&KernelSubsystem::Network),
+            Some(&2)
+        );
     }
 
     #[test]

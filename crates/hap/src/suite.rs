@@ -65,14 +65,22 @@ impl HapSuite {
     }
 
     fn trace_cpu(&self, platform: &Platform, session: &mut FtraceSession) {
-        for class in [SyscallClass::Schedule, SyscallClass::Futex, SyscallClass::Time] {
-            platform.syscalls().trace_dispatch(session, class, self.operations);
+        for class in [
+            SyscallClass::Schedule,
+            SyscallClass::Futex,
+            SyscallClass::Time,
+        ] {
+            platform
+                .syscalls()
+                .trace_dispatch(session, class, self.operations);
         }
     }
 
     fn trace_memory(&self, platform: &Platform, session: &mut FtraceSession) {
         for class in [SyscallClass::MemoryMap, SyscallClass::PageFault] {
-            platform.syscalls().trace_dispatch(session, class, self.operations);
+            platform
+                .syscalls()
+                .trace_dispatch(session, class, self.operations);
         }
     }
 
@@ -80,8 +88,14 @@ impl HapSuite {
         if platform.storage().is_excluded() {
             // The Sysbench file I/O phase still runs on the platform's root
             // disk; it reaches the host through the syscall path.
-            for class in [SyscallClass::FileRead, SyscallClass::FileWrite, SyscallClass::Fsync] {
-                platform.syscalls().trace_dispatch(session, class, self.operations);
+            for class in [
+                SyscallClass::FileRead,
+                SyscallClass::FileWrite,
+                SyscallClass::Fsync,
+            ] {
+                platform
+                    .syscalls()
+                    .trace_dispatch(session, class, self.operations);
             }
         } else {
             let stack = platform.storage().build_stack();
@@ -141,7 +155,10 @@ impl HapSuite {
         if matches!(platform.id(), PlatformId::Kata | PlatformId::KataVirtioFs) {
             TtrpcChannel::kata_agent().trace_calls(session, 12);
         }
-        if matches!(platform.id(), PlatformId::GvisorPtrace | PlatformId::GvisorKvm) {
+        if matches!(
+            platform.id(),
+            PlatformId::GvisorPtrace | PlatformId::GvisorKvm
+        ) {
             session.invoke_all(&["ptrace_attach", "ptrace_request"], 4);
         }
     }

@@ -54,7 +54,11 @@ pub fn fig05_ffmpeg(cfg: &RunConfig) -> FigureData {
         let platform = id.build();
         let mut rng = platform_rng(cfg, ExperimentId::Fig05Ffmpeg, &platform);
         let stats = bench.run_summary_ms(&platform, &mut rng);
-        series.points.push(DataPoint::categorical(platform.name(), stats.mean(), stats.std_dev()));
+        series.points.push(DataPoint::categorical(
+            platform.name(),
+            stats.mean(),
+            stats.std_dev(),
+        ));
     }
     fig.series.push(series);
     fig
@@ -69,7 +73,11 @@ pub fn sysbench_prime(cfg: &RunConfig) -> FigureData {
         let platform = id.build();
         let mut rng = platform_rng(cfg, ExperimentId::SysbenchPrime, &platform);
         let stats = bench.run_events_per_sec(&platform, &mut rng);
-        series.points.push(DataPoint::categorical(platform.name(), stats.mean(), stats.std_dev()));
+        series.points.push(DataPoint::categorical(
+            platform.name(),
+            stats.mean(),
+            stats.std_dev(),
+        ));
     }
     fig.series.push(series);
     fig
@@ -107,8 +115,16 @@ pub fn fig07_mem_bandwidth(cfg: &RunConfig) -> FigureData {
         let mut rng = platform_rng(cfg, ExperimentId::Fig07MemBandwidth, &platform);
         let r = bench.run_bandwidth(&platform, CopyMethod::Regular, &mut rng);
         let s = bench.run_bandwidth(&platform, CopyMethod::Sse2, &mut rng);
-        regular.points.push(DataPoint::categorical(platform.name(), r.mean(), r.std_dev()));
-        sse2.points.push(DataPoint::categorical(platform.name(), s.mean(), s.std_dev()));
+        regular.points.push(DataPoint::categorical(
+            platform.name(),
+            r.mean(),
+            r.std_dev(),
+        ));
+        sse2.points.push(DataPoint::categorical(
+            platform.name(),
+            s.mean(),
+            s.std_dev(),
+        ));
     }
     fig.series.push(regular);
     fig.series.push(sse2);
@@ -124,7 +140,11 @@ pub fn fig08_stream(cfg: &RunConfig) -> FigureData {
         let platform = id.build();
         let mut rng = platform_rng(cfg, ExperimentId::Fig08Stream, &platform);
         let stats = bench.run(&platform, &mut rng);
-        series.points.push(DataPoint::categorical(platform.name(), stats.mean(), stats.std_dev()));
+        series.points.push(DataPoint::categorical(
+            platform.name(),
+            stats.mean(),
+            stats.std_dev(),
+        ));
     }
     fig.series.push(series);
     fig
@@ -170,13 +190,18 @@ pub fn fig10_fio_latency(cfg: &RunConfig) -> FigureData {
     let mut fig = FigureData::new(ExperimentId::Fig10FioLatency);
     let bench = fio_bench(cfg);
     let mut series = Series::new("randread latency (us)");
-    for id in PlatformId::paper_set().iter().chain([PlatformId::KataVirtioFs].iter()) {
+    for id in PlatformId::paper_set()
+        .iter()
+        .chain([PlatformId::KataVirtioFs].iter())
+    {
         let platform = id.build();
         let mut rng = platform_rng(cfg, ExperimentId::Fig10FioLatency, &platform);
         if let Some(stats) = bench.run_randread_latency(&platform, &mut rng) {
-            series
-                .points
-                .push(DataPoint::categorical(platform.name(), stats.mean(), stats.std_dev()));
+            series.points.push(DataPoint::categorical(
+                platform.name(),
+                stats.mean(),
+                stats.std_dev(),
+            ));
         }
     }
     fig.series.push(series);
@@ -211,7 +236,11 @@ pub fn fig12_netperf(cfg: &RunConfig) -> FigureData {
         let platform = id.build();
         let mut rng = platform_rng(cfg, ExperimentId::Fig12Netperf, &platform);
         let stats = bench.run_p90_us(&platform, &mut rng);
-        series.points.push(DataPoint::categorical(platform.name(), stats.mean(), stats.std_dev()));
+        series.points.push(DataPoint::categorical(
+            platform.name(),
+            stats.mean(),
+            stats.std_dev(),
+        ));
     }
     fig.series.push(series);
     fig
@@ -230,7 +259,9 @@ fn boot_cdf_series(
         let cdf = bench.run_cdf(&platform, *variant, &mut rng);
         let mut series = Series::new(label);
         for pct in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0] {
-            series.points.push(DataPoint::numeric(pct, cdf.percentile(pct), 0.0));
+            series
+                .points
+                .push(DataPoint::numeric(pct, cdf.percentile(pct), 0.0));
         }
         fig.series.push(series);
     }
@@ -247,7 +278,11 @@ pub fn fig13_boot_containers(cfg: &RunConfig) -> FigureData {
             (PlatformId::Docker, StartupVariant::Default, "docker"),
             (PlatformId::Docker, StartupVariant::OciDirect, "runc (oci)"),
             (PlatformId::GvisorPtrace, StartupVariant::Default, "gvisor"),
-            (PlatformId::GvisorPtrace, StartupVariant::OciDirect, "runsc (oci)"),
+            (
+                PlatformId::GvisorPtrace,
+                StartupVariant::OciDirect,
+                "runsc (oci)",
+            ),
             (PlatformId::Kata, StartupVariant::Default, "kata"),
             (PlatformId::Kata, StartupVariant::OciDirect, "kata (oci)"),
             (PlatformId::Lxc, StartupVariant::Default, "lxc"),
@@ -261,11 +296,23 @@ pub fn fig14_boot_hypervisors(cfg: &RunConfig) -> FigureData {
         cfg,
         ExperimentId::Fig14BootHypervisors,
         &[
-            (PlatformId::CloudHypervisor, StartupVariant::Default, "cloud-hypervisor"),
+            (
+                PlatformId::CloudHypervisor,
+                StartupVariant::Default,
+                "cloud-hypervisor",
+            ),
             (PlatformId::Qemu, StartupVariant::Default, "qemu"),
             (PlatformId::QemuQboot, StartupVariant::Default, "qemu-qboot"),
-            (PlatformId::QemuMicrovm, StartupVariant::Default, "qemu-microvm"),
-            (PlatformId::Firecracker, StartupVariant::Default, "firecracker"),
+            (
+                PlatformId::QemuMicrovm,
+                StartupVariant::Default,
+                "qemu-microvm",
+            ),
+            (
+                PlatformId::Firecracker,
+                StartupVariant::Default,
+                "firecracker",
+            ),
         ],
     )
 }
@@ -277,10 +324,26 @@ pub fn fig15_boot_osv(cfg: &RunConfig) -> FigureData {
         cfg,
         ExperimentId::Fig15BootOsv,
         &[
-            (PlatformId::OsvFirecracker, StartupVariant::Default, "osv-fc (e2e)"),
-            (PlatformId::OsvFirecracker, StartupVariant::StdoutMethod, "osv-fc (stdout)"),
-            (PlatformId::OsvQemu, StartupVariant::Default, "osv-qemu (e2e)"),
-            (PlatformId::OsvQemu, StartupVariant::StdoutMethod, "osv-qemu (stdout)"),
+            (
+                PlatformId::OsvFirecracker,
+                StartupVariant::Default,
+                "osv-fc (e2e)",
+            ),
+            (
+                PlatformId::OsvFirecracker,
+                StartupVariant::StdoutMethod,
+                "osv-fc (stdout)",
+            ),
+            (
+                PlatformId::OsvQemu,
+                StartupVariant::Default,
+                "osv-qemu (e2e)",
+            ),
+            (
+                PlatformId::OsvQemu,
+                StartupVariant::StdoutMethod,
+                "osv-qemu (stdout)",
+            ),
         ],
     )
 }
@@ -322,7 +385,11 @@ pub fn fig17_mysql(cfg: &RunConfig) -> FigureData {
         let mut rng = platform_rng(cfg, ExperimentId::Fig17Mysql, &platform);
         let mut series = Series::new(platform.name());
         for point in bench.run(&platform, &mut rng) {
-            series.points.push(DataPoint::numeric(point.threads as f64, point.tps, point.tps_std));
+            series.points.push(DataPoint::numeric(
+                point.threads as f64,
+                point.tps,
+                point.tps_std,
+            ));
         }
         fig.series.push(series);
     }
@@ -346,9 +413,11 @@ pub fn fig18_hap(cfg: &RunConfig) -> FigureData {
             profile.distinct_functions as f64,
             0.0,
         ));
-        weighted
-            .points
-            .push(DataPoint::categorical(&profile.platform, profile.weighted_score, 0.0));
+        weighted.points.push(DataPoint::categorical(
+            &profile.platform,
+            profile.weighted_score,
+            0.0,
+        ));
     }
     fig.series.push(distinct);
     fig.series.push(weighted);

@@ -84,8 +84,7 @@ pub fn check_findings(cfg: &RunConfig) -> Vec<FindingCheck> {
         out.push(check(
             "finding-04",
             "Firecracker is the memory latency outlier, ahead of Cloud Hypervisor",
-            last("firecracker") > last("cloud-hypervisor")
-                && last("cloud-hypervisor") > native,
+            last("firecracker") > last("cloud-hypervisor") && last("cloud-hypervisor") > native,
             format!(
                 "fc {:.0} ns, chv {:.0} ns, native {:.0} ns",
                 last("firecracker"),
@@ -206,18 +205,29 @@ pub fn check_findings(cfg: &RunConfig) -> Vec<FindingCheck> {
             "finding-25",
             "Cloud Hypervisor invokes far fewer host functions than the other hypervisors",
             get("cloud-hypervisor") < get("qemu") && get("cloud-hypervisor") < fc,
-            format!("chv {:.0}, qemu {:.0}, fc {fc:.0}", get("cloud-hypervisor"), get("qemu")),
+            format!(
+                "chv {:.0}, qemu {:.0}, fc {fc:.0}",
+                get("cloud-hypervisor"),
+                get("qemu")
+            ),
         ));
         out.push(check(
             "finding-26",
             "secure containers have higher HAP than regular containers",
             get("kata") > get("docker") && get("gvisor") > get("docker"),
-            format!("kata {:.0}, gvisor {:.0}, docker {:.0}", get("kata"), get("gvisor"), get("docker")),
+            format!(
+                "kata {:.0}, gvisor {:.0}, docker {:.0}",
+                get("kata"),
+                get("gvisor"),
+                get("docker")
+            ),
         ));
         out.push(check(
             "finding-27",
             "OSv executes the fewest host kernel functions",
-            s.points.iter().all(|p| p.x == "osv" || p.x == "osv-fc" || p.mean > get("osv")),
+            s.points
+                .iter()
+                .all(|p| p.x == "osv" || p.x == "osv-fc" || p.mean > get("osv")),
             format!("osv {:.0}", get("osv")),
         ));
     }
@@ -235,10 +245,6 @@ mod tests {
         let results = check_findings(&cfg);
         assert!(results.len() >= 12);
         let failed: Vec<_> = results.iter().filter(|c| !c.passed).collect();
-        assert!(
-            failed.is_empty(),
-            "failed findings: {:#?}",
-            failed
-        );
+        assert!(failed.is_empty(), "failed findings: {:#?}", failed);
     }
 }

@@ -89,7 +89,9 @@ impl Command {
         let verb = parts.next().ok_or(ParseError::Empty)?;
         match verb {
             "get" => {
-                let key = parts.next().ok_or(ParseError::BadArguments("get needs a key"))?;
+                let key = parts
+                    .next()
+                    .ok_or(ParseError::BadArguments("get needs a key"))?;
                 Ok(Command::Get {
                     key: key.as_bytes().to_vec(),
                 })
@@ -103,7 +105,9 @@ impl Command {
                 })
             }
             "set" => {
-                let key = parts.next().ok_or(ParseError::BadArguments("set needs a key"))?;
+                let key = parts
+                    .next()
+                    .ok_or(ParseError::BadArguments("set needs a key"))?;
                 let len: usize = parts
                     .next()
                     .ok_or(ParseError::BadArguments("set needs a byte count"))?

@@ -66,7 +66,9 @@ impl Store {
         assert!(config.shards > 0, "store needs at least one shard");
         let per_shard = (config.memory_limit_bytes / config.shards).max(1024);
         Store {
-            shards: (0..config.shards).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            shards: (0..config.shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
             tick: AtomicU64::new(0),
             gets: AtomicU64::new(0),
             hits: AtomicU64::new(0),

@@ -101,7 +101,9 @@ mod tests {
         let native = SequentialCopyModel::new(MemoryHierarchy::epyc2());
         let fc = SequentialCopyModel::new(MemoryHierarchy::epyc2()).with_platform_efficiency(0.8);
         let ratio = fc.mean_bandwidth(CopyMethod::StreamCopy).bytes_per_sec()
-            / native.mean_bandwidth(CopyMethod::StreamCopy).bytes_per_sec();
+            / native
+                .mean_bandwidth(CopyMethod::StreamCopy)
+                .bytes_per_sec();
         assert!((ratio - 0.8).abs() < 1e-9);
     }
 
@@ -111,7 +113,9 @@ mod tests {
         let mut rng = SimRng::seed_from(3);
         let mean = m.mean_bandwidth(CopyMethod::Regular).bytes_per_sec();
         for _ in 0..100 {
-            let s = m.sample_bandwidth(CopyMethod::Regular, &mut rng).bytes_per_sec();
+            let s = m
+                .sample_bandwidth(CopyMethod::Regular, &mut rng)
+                .bytes_per_sec();
             assert!((s - mean).abs() / mean < 0.1);
         }
     }

@@ -151,7 +151,8 @@ mod tests {
     #[test]
     fn nested_paging_is_slower_than_native() {
         let native = native_model();
-        let nested = RandomAccessModel::new(MemoryHierarchy::epyc2(), PagingMode::nested_hardware());
+        let nested =
+            RandomAccessModel::new(MemoryHierarchy::epyc2(), PagingMode::nested_hardware());
         let vm_mem = RandomAccessModel::new(
             MemoryHierarchy::epyc2(),
             PagingMode::nested_with_vmm_overhead(Nanos::from_nanos(80)),
@@ -172,7 +173,10 @@ mod tests {
         let mean = m.mean_extra_latency(size, PageSize::Small4K).as_secs_f64();
         let n = 500;
         let avg: f64 = (0..n)
-            .map(|_| m.sample_extra_latency(size, PageSize::Small4K, &mut rng).as_secs_f64())
+            .map(|_| {
+                m.sample_extra_latency(size, PageSize::Small4K, &mut rng)
+                    .as_secs_f64()
+            })
             .sum::<f64>()
             / n as f64;
         assert!((avg - mean).abs() / mean < 0.05);

@@ -155,8 +155,12 @@ mod tests {
 
     #[test]
     fn huge_pages_walk_fewer_levels() {
-        assert!(TlbConfig::walk_levels(PageSize::Huge2M) < TlbConfig::walk_levels(PageSize::Small4K));
+        assert!(
+            TlbConfig::walk_levels(PageSize::Huge2M) < TlbConfig::walk_levels(PageSize::Small4K)
+        );
         let tlb = TlbConfig::epyc2();
-        assert!(tlb.native_walk_latency(PageSize::Huge2M) < tlb.native_walk_latency(PageSize::Small4K));
+        assert!(
+            tlb.native_walk_latency(PageSize::Huge2M) < tlb.native_walk_latency(PageSize::Small4K)
+        );
     }
 }

@@ -93,7 +93,10 @@ impl NetworkPath {
     /// (used for Kata, whose performance the paper pins to the weakest of
     /// its bridge and QEMU legs), with latencies added across the legs.
     pub fn bottleneck_of(paths: Vec<NetworkPath>) -> NetworkPath {
-        assert!(!paths.is_empty(), "bottleneck_of requires at least one path");
+        assert!(
+            !paths.is_empty(),
+            "bottleneck_of requires at least one path"
+        );
         let min_idx = paths
             .iter()
             .enumerate()
@@ -117,7 +120,10 @@ impl NetworkPath {
         // Extra legs contribute latency but must not further reduce
         // throughput; model them with zero-cost placeholders by keeping
         // only their latency contribution via `extra_rtt`.
-        let extra_rtt: Nanos = extra_components.iter().map(|c| c.round_trip_latency()).sum();
+        let extra_rtt: Nanos = extra_components
+            .iter()
+            .map(|c| c.round_trip_latency())
+            .sum();
         combined.wire_latency += extra_rtt / 2;
         combined
     }
@@ -188,7 +194,10 @@ mod tests {
             NetComponent::GuestLinuxStack,
         ]));
         let penalty = 1.0 - qemu / native;
-        assert!((0.18..0.32).contains(&penalty), "hypervisor penalty {penalty}");
+        assert!(
+            (0.18..0.32).contains(&penalty),
+            "hypervisor penalty {penalty}"
+        );
     }
 
     #[test]
@@ -237,7 +246,10 @@ mod tests {
             .mean_rtt();
         assert!(native < docker);
         assert!(docker < qemu);
-        assert!(osv < qemu, "osv should have slightly lower latency than hypervisors");
+        assert!(
+            osv < qemu,
+            "osv should have slightly lower latency than hypervisors"
+        );
         assert!(
             gvisor.as_micros_f64() > qemu.as_micros_f64() * 2.0,
             "gvisor RTT {gvisor} vs qemu {qemu}"

@@ -152,7 +152,11 @@ impl CgroupConfig {
     pub fn trace_runtime_accounting(&self, session: &mut FtraceSession, allocations: u64) {
         if self.controllers.contains(&CgroupController::Memory) && allocations > 0 {
             session.invoke_all(
-                &["mem_cgroup_charge", "try_charge_memcg", "mem_cgroup_uncharge"],
+                &[
+                    "mem_cgroup_charge",
+                    "try_charge_memcg",
+                    "mem_cgroup_uncharge",
+                ],
                 allocations,
             );
         }

@@ -62,17 +62,45 @@ impl InitSystem {
         match self {
             InitSystem::Tini => vec![
                 BootPhase::new("tini-start", Nanos::from_millis(2), Nanos::from_micros(300)),
-                BootPhase::new("entrypoint-exec", Nanos::from_millis(3), Nanos::from_micros(500)),
+                BootPhase::new(
+                    "entrypoint-exec",
+                    Nanos::from_millis(3),
+                    Nanos::from_micros(500),
+                ),
             ],
             InitSystem::Systemd => vec![
-                BootPhase::new("systemd-init", Nanos::from_millis(120), Nanos::from_millis(15)),
-                BootPhase::new("unit-graph", Nanos::from_millis(260), Nanos::from_millis(30)),
-                BootPhase::new("basic-target", Nanos::from_millis(180), Nanos::from_millis(25)),
-                BootPhase::new("multi-user-target", Nanos::from_millis(90), Nanos::from_millis(15)),
+                BootPhase::new(
+                    "systemd-init",
+                    Nanos::from_millis(120),
+                    Nanos::from_millis(15),
+                ),
+                BootPhase::new(
+                    "unit-graph",
+                    Nanos::from_millis(260),
+                    Nanos::from_millis(30),
+                ),
+                BootPhase::new(
+                    "basic-target",
+                    Nanos::from_millis(180),
+                    Nanos::from_millis(25),
+                ),
+                BootPhase::new(
+                    "multi-user-target",
+                    Nanos::from_millis(90),
+                    Nanos::from_millis(15),
+                ),
             ],
             InitSystem::KataMiniOs => vec![
-                BootPhase::new("systemd-init", Nanos::from_millis(35), Nanos::from_millis(6)),
-                BootPhase::new("kata-agent-start", Nanos::from_millis(55), Nanos::from_millis(8)),
+                BootPhase::new(
+                    "systemd-init",
+                    Nanos::from_millis(35),
+                    Nanos::from_millis(6),
+                ),
+                BootPhase::new(
+                    "kata-agent-start",
+                    Nanos::from_millis(55),
+                    Nanos::from_millis(8),
+                ),
                 BootPhase::new("ttrpc-ready", Nanos::from_millis(18), Nanos::from_millis(4)),
             ],
             InitSystem::PatchedImmediateExit => vec![BootPhase::new(
@@ -116,7 +144,12 @@ mod tests {
 
     #[test]
     fn patched_init_is_nearly_free() {
-        assert!(InitSystem::PatchedImmediateExit.mean_total().as_millis_f64() < 2.0);
+        assert!(
+            InitSystem::PatchedImmediateExit
+                .mean_total()
+                .as_millis_f64()
+                < 2.0
+        );
     }
 
     #[test]

@@ -12,9 +12,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 /// The kernel subsystem a function belongs to.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum KernelSubsystem {
     /// Syscall entry/exit and architecture glue.
     Entry,

@@ -25,11 +25,31 @@ use super::GUEST_CORES;
 /// and a bind-mounted benchmark volume.
 pub fn docker() -> Platform {
     let startup_phases = vec![
-        BootPhase::new("containerd-shim", Nanos::from_millis(18), Nanos::from_millis(3)),
-        BootPhase::new("namespaces-cgroups", Nanos::from_millis(9), Nanos::from_millis(2)),
-        BootPhase::new("overlayfs-prepare", Nanos::from_millis(14), Nanos::from_millis(3)),
-        BootPhase::new("runc-create-start", Nanos::from_millis(46), Nanos::from_millis(6)),
-        BootPhase::new("tini-entrypoint", InitSystem::Tini.mean_total(), Nanos::from_millis(1)),
+        BootPhase::new(
+            "containerd-shim",
+            Nanos::from_millis(18),
+            Nanos::from_millis(3),
+        ),
+        BootPhase::new(
+            "namespaces-cgroups",
+            Nanos::from_millis(9),
+            Nanos::from_millis(2),
+        ),
+        BootPhase::new(
+            "overlayfs-prepare",
+            Nanos::from_millis(14),
+            Nanos::from_millis(3),
+        ),
+        BootPhase::new(
+            "runc-create-start",
+            Nanos::from_millis(46),
+            Nanos::from_millis(6),
+        ),
+        BootPhase::new(
+            "tini-entrypoint",
+            InitSystem::Tini.mean_total(),
+            Nanos::from_millis(1),
+        ),
     ];
     Platform {
         id: PlatformId::Docker,
@@ -64,7 +84,11 @@ pub fn docker() -> Platform {
 pub fn lxc() -> Platform {
     let mut startup_phases = vec![
         BootPhase::new("lxc-start", Nanos::from_millis(34), Nanos::from_millis(5)),
-        BootPhase::new("namespaces-cgroups", Nanos::from_millis(11), Nanos::from_millis(2)),
+        BootPhase::new(
+            "namespaces-cgroups",
+            Nanos::from_millis(11),
+            Nanos::from_millis(2),
+        ),
         BootPhase::new("zfs-clone", Nanos::from_millis(58), Nanos::from_millis(9)),
     ];
     startup_phases.extend(InitSystem::Systemd.phases());
@@ -80,12 +104,7 @@ pub fn lxc() -> Platform {
         memory: MemorySubsystem::native(),
         storage: StorageSubsystem::new(vec![StorageLayer::Zfs], None).with_jitter(0.05),
         network: NetworkSubsystem::new(NetworkPath::new(vec![NetComponent::Bridge])),
-        startup: StartupSubsystem::new(
-            startup_phases,
-            Nanos::ZERO,
-            Nanos::from_millis(8),
-            false,
-        ),
+        startup: StartupSubsystem::new(startup_phases, Nanos::ZERO, Nanos::from_millis(8), false),
         syscalls: SyscallPath::Direct {
             filter_overhead: Nanos::from_nanos(40),
         },
@@ -109,16 +128,25 @@ mod tests {
     #[test]
     fn docker_oci_direct_boots_around_100ms() {
         let p = docker();
-        let t = p.startup().mean_total(StartupVariant::OciDirect).as_millis_f64();
+        let t = p
+            .startup()
+            .mean_total(StartupVariant::OciDirect)
+            .as_millis_f64();
         assert!((80.0..130.0).contains(&t), "docker OCI boot {t} ms");
-        let via_daemon = p.startup().mean_total(StartupVariant::Default).as_millis_f64();
+        let via_daemon = p
+            .startup()
+            .mean_total(StartupVariant::Default)
+            .as_millis_f64();
         assert!((via_daemon - t - 250.0).abs() < 1.0);
     }
 
     #[test]
     fn lxc_boots_around_800ms_because_of_systemd() {
         let p = lxc();
-        let t = p.startup().mean_total(StartupVariant::Default).as_millis_f64();
+        let t = p
+            .startup()
+            .mean_total(StartupVariant::Default)
+            .as_millis_f64();
         assert!((700.0..900.0).contains(&t), "lxc boot {t} ms");
         assert!(!p.startup().supports_oci_direct());
     }
@@ -129,7 +157,9 @@ mod tests {
         for p in [docker(), lxc()] {
             assert_eq!(
                 p.memory().mean_access_latency(1 << 26, PageSize::Small4K),
-                native.memory().mean_access_latency(1 << 26, PageSize::Small4K),
+                native
+                    .memory()
+                    .mean_access_latency(1 << 26, PageSize::Small4K),
                 "{} memory latency differs from native",
                 p.name()
             );
@@ -143,7 +173,11 @@ mod tests {
         for p in [docker(), lxc()] {
             let t = p.network().mean_throughput().gbit_per_sec();
             let penalty = 1.0 - t / n;
-            assert!((0.05..0.15).contains(&penalty), "{} penalty {penalty}", p.name());
+            assert!(
+                (0.05..0.15).contains(&penalty),
+                "{} penalty {penalty}",
+                p.name()
+            );
         }
     }
 

@@ -149,7 +149,10 @@ mod tests {
         let ql = q.memory().mean_access_latency(size, PageSize::Small4K);
         let fl = fc.memory().mean_access_latency(size, PageSize::Small4K);
         let cl = chv.memory().mean_access_latency(size, PageSize::Small4K);
-        assert!(fl > cl, "firecracker {fl} should exceed cloud-hypervisor {cl}");
+        assert!(
+            fl > cl,
+            "firecracker {fl} should exceed cloud-hypervisor {cl}"
+        );
         assert!(cl > ql, "cloud-hypervisor {cl} should exceed qemu {ql}");
         assert!(ql > n, "qemu {ql} should exceed native {n}");
     }
@@ -157,13 +160,19 @@ mod tests {
     #[test]
     fn hypervisors_lose_memory_bandwidth_relative_to_native() {
         let native = crate::builders::native::native();
-        let n = native.memory().mean_copy_bandwidth(CopyMethod::StreamCopy).bytes_per_sec();
+        let n = native
+            .memory()
+            .mean_copy_bandwidth(CopyMethod::StreamCopy)
+            .bytes_per_sec();
         for p in [
             qemu(MachineModel::QemuFull, PlatformId::Qemu),
             firecracker(),
             cloud_hypervisor(),
         ] {
-            let b = p.memory().mean_copy_bandwidth(CopyMethod::StreamCopy).bytes_per_sec();
+            let b = p
+                .memory()
+                .mean_copy_bandwidth(CopyMethod::StreamCopy)
+                .bytes_per_sec();
             assert!(b < n, "{} bandwidth should be below native", p.name());
         }
     }
@@ -171,33 +180,54 @@ mod tests {
     #[test]
     fn firecracker_is_excluded_from_fio_but_others_are_not() {
         assert!(firecracker().storage().is_excluded());
-        assert!(!qemu(MachineModel::QemuFull, PlatformId::Qemu).storage().is_excluded());
+        assert!(!qemu(MachineModel::QemuFull, PlatformId::Qemu)
+            .storage()
+            .is_excluded());
         assert!(!cloud_hypervisor().storage().is_excluded());
     }
 
     #[test]
     fn boot_times_match_figure_14_ordering() {
-        let ms = |p: &Platform| p.startup().mean_total(StartupVariant::Default).as_millis_f64();
+        let ms = |p: &Platform| {
+            p.startup()
+                .mean_total(StartupVariant::Default)
+                .as_millis_f64()
+        };
         let chv = ms(&cloud_hypervisor());
         let q = ms(&qemu(MachineModel::QemuFull, PlatformId::Qemu));
         let qboot = ms(&qemu(MachineModel::QemuQboot, PlatformId::QemuQboot));
         let fc = ms(&firecracker());
         let microvm = ms(&qemu(MachineModel::QemuMicrovm, PlatformId::QemuMicrovm));
-        assert!(chv < qboot && qboot < q && q < fc && fc < microvm,
-            "ordering violated: chv={chv} qboot={qboot} qemu={q} fc={fc} microvm={microvm}");
+        assert!(
+            chv < qboot && qboot < q && q < fc && fc < microvm,
+            "ordering violated: chv={chv} qboot={qboot} qemu={q} fc={fc} microvm={microvm}"
+        );
     }
 
     #[test]
     fn network_penalty_is_around_a_quarter_for_qemu_and_worse_for_newer_vmms() {
-        let native = crate::builders::native::native().network().mean_throughput().gbit_per_sec();
+        let native = crate::builders::native::native()
+            .network()
+            .mean_throughput()
+            .gbit_per_sec();
         let q = qemu(MachineModel::QemuFull, PlatformId::Qemu)
             .network()
             .mean_throughput()
             .gbit_per_sec();
         let fc = firecracker().network().mean_throughput().gbit_per_sec();
-        let chv = cloud_hypervisor().network().mean_throughput().gbit_per_sec();
-        assert!((0.18..0.32).contains(&(1.0 - q / native)), "qemu penalty {}", 1.0 - q / native);
+        let chv = cloud_hypervisor()
+            .network()
+            .mean_throughput()
+            .gbit_per_sec();
+        assert!(
+            (0.18..0.32).contains(&(1.0 - q / native)),
+            "qemu penalty {}",
+            1.0 - q / native
+        );
         assert!(fc < q, "firecracker {fc} should be below qemu {q}");
-        assert!(chv < fc, "cloud-hypervisor {chv} should be below firecracker {fc}");
+        assert!(
+            chv < fc,
+            "cloud-hypervisor {chv} should be below firecracker {fc}"
+        );
     }
 }

@@ -26,9 +26,17 @@ pub const GUEST_MEMORY_BYTES: u64 = 16 << 30;
 /// Converts a hypervisor boot timeline into a start-up subsystem.
 pub(crate) fn startup_from_timeline(timeline: &BootTimeline) -> StartupSubsystem {
     let mut phases = vec![
-        BootPhase::new("vmm-setup", timeline.vmm_setup, timeline.vmm_setup.scale(0.06)),
+        BootPhase::new(
+            "vmm-setup",
+            timeline.vmm_setup,
+            timeline.vmm_setup.scale(0.06),
+        ),
         BootPhase::new("firmware", timeline.firmware, timeline.firmware.scale(0.05)),
-        BootPhase::new("kernel-load", timeline.kernel_load, timeline.kernel_load.scale(0.05)),
+        BootPhase::new(
+            "kernel-load",
+            timeline.kernel_load,
+            timeline.kernel_load.scale(0.05),
+        ),
         BootPhase::new(
             "guest-kernel",
             timeline.guest_kernel_boot,

@@ -31,7 +31,11 @@ pub fn native() -> Platform {
         startup: StartupSubsystem::new(
             vec![
                 BootPhase::new("fork-exec", Nanos::from_millis(3), Nanos::from_micros(400)),
-                BootPhase::new("process-exit", Nanos::from_millis(2), Nanos::from_micros(300)),
+                BootPhase::new(
+                    "process-exit",
+                    Nanos::from_millis(2),
+                    Nanos::from_micros(300),
+                ),
             ],
             Nanos::ZERO,
             Nanos::from_millis(1),
@@ -53,7 +57,12 @@ mod tests {
     fn native_is_the_fastest_baseline() {
         let p = native();
         assert_eq!(p.name(), "native");
-        assert!(p.startup().mean_total(StartupVariant::Default).as_millis_f64() < 10.0);
+        assert!(
+            p.startup()
+                .mean_total(StartupVariant::Default)
+                .as_millis_f64()
+                < 10.0
+        );
         assert!(!p.storage().is_excluded());
         assert_eq!(p.isolation().defense_in_depth_layers(), 0);
         assert!((p.network().mean_throughput().gbit_per_sec() - 37.28).abs() < 0.5);

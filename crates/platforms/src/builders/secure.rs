@@ -46,11 +46,31 @@ pub fn kata(virtio_fs: bool) -> Platform {
     let ttrpc = TtrpcChannel::kata_agent();
     let guest_boot = machine.boot_timeline(GuestKind::KataMiniKernel, InitSystem::KataMiniOs);
     let startup_phases = vec![
-        BootPhase::new("kata-runtime", Nanos::from_millis(40), Nanos::from_millis(6)),
-        BootPhase::new("namespaces-cgroups", Nanos::from_millis(10), Nanos::from_millis(2)),
-        BootPhase::new("vmm-setup", guest_boot.vmm_setup, guest_boot.vmm_setup.scale(0.06)),
-        BootPhase::new("firmware", guest_boot.firmware, guest_boot.firmware.scale(0.05)),
-        BootPhase::new("kernel-load", guest_boot.kernel_load, guest_boot.kernel_load.scale(0.05)),
+        BootPhase::new(
+            "kata-runtime",
+            Nanos::from_millis(40),
+            Nanos::from_millis(6),
+        ),
+        BootPhase::new(
+            "namespaces-cgroups",
+            Nanos::from_millis(10),
+            Nanos::from_millis(2),
+        ),
+        BootPhase::new(
+            "vmm-setup",
+            guest_boot.vmm_setup,
+            guest_boot.vmm_setup.scale(0.06),
+        ),
+        BootPhase::new(
+            "firmware",
+            guest_boot.firmware,
+            guest_boot.firmware.scale(0.05),
+        ),
+        BootPhase::new(
+            "kernel-load",
+            guest_boot.kernel_load,
+            guest_boot.kernel_load.scale(0.05),
+        ),
         BootPhase::new(
             "guest-kernel",
             guest_boot.guest_kernel_boot,
@@ -66,7 +86,11 @@ pub fn kata(virtio_fs: bool) -> Platform {
             ttrpc.container_create_latency() + Nanos::from_millis(180),
             Nanos::from_millis(20),
         ),
-        BootPhase::new("shared-rootfs-mount", Nanos::from_millis(55), Nanos::from_millis(8)),
+        BootPhase::new(
+            "shared-rootfs-mount",
+            Nanos::from_millis(55),
+            Nanos::from_millis(8),
+        ),
     ];
 
     Platform {
@@ -79,12 +103,7 @@ pub fn kata(virtio_fs: bool) -> Platform {
         cpu: CpuSubsystem::new(SchedulerModel::NestedCfs, GUEST_CORES),
         // The QEMU NVDIMM direct map plus KSM sidestep the nested-paging
         // penalty (Finding 3), at the cost of huge-page support.
-        memory: MemorySubsystem::new(
-            machine.paging_mode(),
-            DirectMapFeatures::kata(),
-            0.97,
-            0.03,
-        ),
+        memory: MemorySubsystem::new(machine.paging_mode(), DirectMapFeatures::kata(), 0.97, 0.03),
         storage: StorageSubsystem::new(
             vec![StorageLayer::VirtioBlk, shared_fs],
             Some(GUEST_MEMORY_BYTES),
@@ -123,10 +142,22 @@ pub fn gvisor(kvm_platform: bool) -> Platform {
     };
     let startup_phases = vec![
         BootPhase::new("runsc-setup", Nanos::from_millis(22), Nanos::from_millis(3)),
-        BootPhase::new("namespaces-cgroups", Nanos::from_millis(9), Nanos::from_millis(2)),
-        BootPhase::new("sentry-start", Nanos::from_millis(85), Nanos::from_millis(9)),
+        BootPhase::new(
+            "namespaces-cgroups",
+            Nanos::from_millis(9),
+            Nanos::from_millis(2),
+        ),
+        BootPhase::new(
+            "sentry-start",
+            Nanos::from_millis(85),
+            Nanos::from_millis(9),
+        ),
         BootPhase::new("gofer-start", Nanos::from_millis(38), Nanos::from_millis(5)),
-        BootPhase::new("netstack-init", Nanos::from_millis(20), Nanos::from_millis(3)),
+        BootPhase::new(
+            "netstack-init",
+            Nanos::from_millis(20),
+            Nanos::from_millis(3),
+        ),
         BootPhase::new("entrypoint", Nanos::from_millis(12), Nanos::from_millis(2)),
     ];
     Platform {
@@ -144,7 +175,11 @@ pub fn gvisor(kvm_platform: bool) -> Platform {
             0.03,
         ),
         storage: StorageSubsystem::new(
-            vec![StorageLayer::SentryIntercept, StorageLayer::GoferBoundary, StorageLayer::NineP],
+            vec![
+                StorageLayer::SentryIntercept,
+                StorageLayer::GoferBoundary,
+                StorageLayer::NineP,
+            ],
             None,
         )
         .with_jitter(0.08),
@@ -231,8 +266,14 @@ mod tests {
     fn boot_times_match_figure_13() {
         let g = gvisor(false);
         let k = kata(false);
-        let g_ms = g.startup().mean_total(StartupVariant::OciDirect).as_millis_f64();
-        let k_ms = k.startup().mean_total(StartupVariant::OciDirect).as_millis_f64();
+        let g_ms = g
+            .startup()
+            .mean_total(StartupVariant::OciDirect)
+            .as_millis_f64();
+        let k_ms = k
+            .startup()
+            .mean_total(StartupVariant::OciDirect)
+            .as_millis_f64();
         assert!((150.0..250.0).contains(&g_ms), "gvisor boot {g_ms} ms");
         assert!((500.0..750.0).contains(&k_ms), "kata boot {k_ms} ms");
     }

@@ -84,9 +84,18 @@ mod tests {
 
     #[test]
     fn osv_network_advantage_depends_on_the_hypervisor() {
-        let native = crate::builders::native::native().network().mean_throughput().gbit_per_sec();
-        let osv_qemu = osv(MachineModel::QemuFull).network().mean_throughput().gbit_per_sec();
-        let osv_fc = osv(MachineModel::Firecracker).network().mean_throughput().gbit_per_sec();
+        let native = crate::builders::native::native()
+            .network()
+            .mean_throughput()
+            .gbit_per_sec();
+        let osv_qemu = osv(MachineModel::QemuFull)
+            .network()
+            .mean_throughput()
+            .gbit_per_sec();
+        let osv_fc = osv(MachineModel::Firecracker)
+            .network()
+            .mean_throughput()
+            .gbit_per_sec();
         let qemu = crate::builders::hypervisors::qemu(MachineModel::QemuFull, PlatformId::Qemu)
             .network()
             .mean_throughput()
@@ -96,12 +105,21 @@ mod tests {
             .mean_throughput()
             .gbit_per_sec();
         // OSv under QEMU nearly reaches native and beats plain QEMU by ~25 %.
-        assert!(osv_qemu > native * 0.94, "osv-qemu {osv_qemu} vs native {native}");
+        assert!(
+            osv_qemu > native * 0.94,
+            "osv-qemu {osv_qemu} vs native {native}"
+        );
         let qemu_gain = osv_qemu / qemu - 1.0;
-        assert!((0.18..0.33).contains(&qemu_gain), "gain over qemu {qemu_gain}");
+        assert!(
+            (0.18..0.33).contains(&qemu_gain),
+            "gain over qemu {qemu_gain}"
+        );
         // Under Firecracker the gain is much smaller.
         let fc_gain = osv_fc / fc - 1.0;
-        assert!((0.02..0.12).contains(&fc_gain), "gain over firecracker {fc_gain}");
+        assert!(
+            (0.02..0.12).contains(&fc_gain),
+            "gain over firecracker {fc_gain}"
+        );
     }
 
     #[test]
@@ -109,12 +127,17 @@ mod tests {
         let native = crate::builders::native::native();
         let size = 1 << 26;
         let n = native.memory().mean_access_latency(size, PageSize::Small4K);
-        let q = osv(MachineModel::QemuFull).memory().mean_access_latency(size, PageSize::Small4K);
+        let q = osv(MachineModel::QemuFull)
+            .memory()
+            .mean_access_latency(size, PageSize::Small4K);
         let f = osv(MachineModel::Firecracker)
             .memory()
             .mean_access_latency(size, PageSize::Small4K);
         assert_eq!(n, q, "osv under qemu should be close to native");
-        assert!(f > q, "osv under firecracker should underperform osv under qemu");
+        assert!(
+            f > q,
+            "osv under firecracker should underperform osv under qemu"
+        );
     }
 
     #[test]

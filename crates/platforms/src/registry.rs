@@ -150,9 +150,7 @@ impl PlatformId {
             PlatformId::GvisorPtrace => builders::secure::gvisor(false),
             PlatformId::GvisorKvm => builders::secure::gvisor(true),
             PlatformId::OsvQemu => builders::unikernels::osv(vmm::MachineModel::QemuFull),
-            PlatformId::OsvFirecracker => {
-                builders::unikernels::osv(vmm::MachineModel::Firecracker)
-            }
+            PlatformId::OsvFirecracker => builders::unikernels::osv(vmm::MachineModel::Firecracker),
         }
     }
 }
@@ -190,7 +188,10 @@ mod tests {
         assert_eq!(PlatformId::Docker.family(), PlatformFamily::Container);
         assert_eq!(PlatformId::Firecracker.family(), PlatformFamily::Hypervisor);
         assert_eq!(PlatformId::Kata.family(), PlatformFamily::SecureContainer);
-        assert_eq!(PlatformId::GvisorPtrace.family(), PlatformFamily::SecureContainer);
+        assert_eq!(
+            PlatformId::GvisorPtrace.family(),
+            PlatformFamily::SecureContainer
+        );
         assert_eq!(PlatformId::OsvQemu.family(), PlatformFamily::Unikernel);
     }
 }

@@ -101,8 +101,7 @@ impl CpuSubsystem {
         } else {
             1.0
         };
-        let parallel_time =
-            work.total_cpu.as_secs_f64() / (threads as f64 * efficiency.max(0.01));
+        let parallel_time = work.total_cpu.as_secs_f64() / (threads as f64 * efficiency.max(0.01));
         Nanos::from_secs_f64(parallel_time * simd)
     }
 
@@ -120,7 +119,9 @@ mod tests {
     #[test]
     fn ffmpeg_lands_around_65_seconds_with_cfs() {
         let cpu = CpuSubsystem::new(SchedulerModel::Cfs, 16);
-        let t = cpu.mean_wall_clock(ComputeWork::ffmpeg_reencode()).as_millis_f64();
+        let t = cpu
+            .mean_wall_clock(ComputeWork::ffmpeg_reencode())
+            .as_millis_f64();
         assert!((55_000.0..75_000.0).contains(&t), "ffmpeg took {t} ms");
     }
 
@@ -129,7 +130,8 @@ mod tests {
         let cfs = CpuSubsystem::new(SchedulerModel::Cfs, 16);
         let osv = CpuSubsystem::new(SchedulerModel::Osv, 16);
         let work = ComputeWork::ffmpeg_reencode();
-        let ratio = osv.mean_wall_clock(work).as_secs_f64() / cfs.mean_wall_clock(work).as_secs_f64();
+        let ratio =
+            osv.mean_wall_clock(work).as_secs_f64() / cfs.mean_wall_clock(work).as_secs_f64();
         assert!(ratio > 1.4, "osv/cfs ratio {ratio}");
     }
 

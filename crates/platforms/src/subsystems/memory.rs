@@ -72,7 +72,8 @@ impl MemorySubsystem {
         page: PageSize,
         rng: &mut SimRng,
     ) -> Nanos {
-        self.latency_model.sample_extra_latency(buffer_bytes, page, rng)
+        self.latency_model
+            .sample_extra_latency(buffer_bytes, page, rng)
     }
 
     /// Mean sequential copy bandwidth for the given method.
@@ -105,8 +106,11 @@ mod tests {
                 > native.mean_access_latency(size, PageSize::Small4K)
         );
         assert!(
-            fc.mean_copy_bandwidth(CopyMethod::StreamCopy).bytes_per_sec()
-                < native.mean_copy_bandwidth(CopyMethod::StreamCopy).bytes_per_sec()
+            fc.mean_copy_bandwidth(CopyMethod::StreamCopy)
+                .bytes_per_sec()
+                < native
+                    .mean_copy_bandwidth(CopyMethod::StreamCopy)
+                    .bytes_per_sec()
         );
     }
 

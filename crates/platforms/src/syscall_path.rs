@@ -63,7 +63,10 @@ impl SyscallPath {
         let direct = table.cost(class).total();
         match *self {
             SyscallPath::Direct { filter_overhead } => direct + filter_overhead,
-            SyscallPath::GuestKernel { exit_fraction, vmm_serviced } => {
+            SyscallPath::GuestKernel {
+                exit_fraction,
+                vmm_serviced,
+            } => {
                 // Guest kernel work costs about the same as host kernel
                 // work; a fraction of calls additionally pays for an exit.
                 let exit = if vmm_serviced {
@@ -73,7 +76,10 @@ impl SyscallPath {
                 };
                 direct + exit.scale(exit_fraction)
             }
-            SyscallPath::SentryIntercept { intercept_cost, gofer_for_io } => {
+            SyscallPath::SentryIntercept {
+                intercept_cost,
+                gofer_for_io,
+            } => {
                 let gofer = if gofer_for_io && is_file_io(class) {
                     Nanos::from_micros(70)
                 } else {
@@ -99,7 +105,10 @@ impl SyscallPath {
             SyscallPath::Direct { .. } => {
                 table.trace_dispatch(session, class, count);
             }
-            SyscallPath::GuestKernel { exit_fraction, vmm_serviced } => {
+            SyscallPath::GuestKernel {
+                exit_fraction,
+                vmm_serviced,
+            } => {
                 let exits = (count as f64 * exit_fraction).round() as u64;
                 if exits > 0 {
                     // Page faults on not-yet-mapped guest memory surface as
@@ -124,7 +133,12 @@ impl SyscallPath {
             SyscallPath::SentryIntercept { gofer_for_io, .. } => {
                 // The interception itself (ptrace stop or KVM exit).
                 session.invoke_all(
-                    &["ptrace_stop", "ptrace_notify", "ptrace_check_attach", "signal_wake_up_state"],
+                    &[
+                        "ptrace_stop",
+                        "ptrace_notify",
+                        "ptrace_check_attach",
+                        "signal_wake_up_state",
+                    ],
                     count,
                 );
                 // The Sentry re-issues a reduced syscall set through its
@@ -136,7 +150,11 @@ impl SyscallPath {
                 table.trace_dispatch(session, class, count);
                 if gofer_for_io && is_file_io(class) {
                     session.invoke_all(
-                        &["unix_stream_sendmsg", "unix_stream_recvmsg", "p9_client_rpc"],
+                        &[
+                            "unix_stream_sendmsg",
+                            "unix_stream_recvmsg",
+                            "p9_client_rpc",
+                        ],
                         count,
                     );
                 }
@@ -224,7 +242,8 @@ mod tests {
             vmm_serviced: false,
         };
         assert!(
-            often.dispatch_cost(SyscallClass::NetSend) > rarely.dispatch_cost(SyscallClass::NetSend)
+            often.dispatch_cost(SyscallClass::NetSend)
+                > rarely.dispatch_cost(SyscallClass::NetSend)
         );
     }
 

@@ -35,7 +35,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_specific() {
-        assert!(StoreError::UnknownTable("t".into()).to_string().contains('t'));
+        assert!(StoreError::UnknownTable("t".into())
+            .to_string()
+            .contains('t'));
         assert!(StoreError::DuplicateKey(7).to_string().contains('7'));
         assert!(StoreError::LockContended(9).to_string().contains('9'));
     }

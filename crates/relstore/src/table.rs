@@ -81,7 +81,12 @@ impl Table {
         if rows.contains_key(&row.id) {
             return Err(StoreError::DuplicateKey(row.id));
         }
-        self.inner.k_index.write().entry(row.k).or_default().push(row.id);
+        self.inner
+            .k_index
+            .write()
+            .entry(row.k)
+            .or_default()
+            .push(row.id);
         rows.insert(row.id, row);
         Ok(())
     }
@@ -133,13 +138,23 @@ impl Table {
 
     /// Looks up row ids by the secondary index.
     pub fn find_by_k(&self, k: u64) -> Vec<u64> {
-        self.inner.k_index.read().get(&k).cloned().unwrap_or_default()
+        self.inner
+            .k_index
+            .read()
+            .get(&k)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Returns the rows whose primary keys fall in `[low, high]`
     /// (sysbench's range SELECT).
     pub fn range(&self, low: u64, high: u64) -> Vec<Row> {
-        self.inner.rows.read().range(low..=high).map(|(_, r)| r.clone()).collect()
+        self.inner
+            .rows
+            .read()
+            .range(low..=high)
+            .map(|(_, r)| r.clone())
+            .collect()
     }
 
     /// The largest primary key currently in the table.

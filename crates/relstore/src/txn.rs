@@ -165,7 +165,10 @@ mod tests {
         let mut a = Transaction::new();
         let mut b = Transaction::new();
         a.update(&t, 5, 1).unwrap();
-        assert!(matches!(b.update(&t, 5, 2), Err(StoreError::LockContended(5))));
+        assert!(matches!(
+            b.update(&t, 5, 2),
+            Err(StoreError::LockContended(5))
+        ));
         a.commit();
         // After a commits, b can retry successfully.
         b.update(&t, 5, 2).unwrap();

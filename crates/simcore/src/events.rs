@@ -10,11 +10,14 @@ use std::collections::BinaryHeap;
 
 use crate::time::Nanos;
 
+/// The boxed callback type run when an event fires.
+type Action<S> = Box<dyn FnOnce(&mut Simulation<S>, &mut S)>;
+
 /// An event scheduled at a point in virtual time.
 struct Scheduled<S> {
     at: Nanos,
     seq: u64,
-    action: Box<dyn FnOnce(&mut Simulation<S>, &mut S)>,
+    action: Action<S>,
 }
 
 impl<S> PartialEq for Scheduled<S> {
@@ -262,8 +265,12 @@ mod tests {
     #[test]
     fn simulation_advances_clock_in_order() {
         let mut sim: Simulation<Vec<u64>> = Simulation::new();
-        sim.schedule_at(Nanos::from_millis(3), |sim, log| log.push(sim.now().as_nanos()));
-        sim.schedule_at(Nanos::from_millis(1), |sim, log| log.push(sim.now().as_nanos()));
+        sim.schedule_at(Nanos::from_millis(3), |sim, log| {
+            log.push(sim.now().as_nanos())
+        });
+        sim.schedule_at(Nanos::from_millis(1), |sim, log| {
+            log.push(sim.now().as_nanos())
+        });
         let mut log = Vec::new();
         let end = sim.run(&mut log);
         assert_eq!(log, vec![1_000_000, 3_000_000]);

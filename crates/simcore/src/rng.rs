@@ -4,16 +4,13 @@
 //! from a single root seed, split per platform and per run, so two
 //! invocations with the same seed produce bit-identical figures.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A seeded random number generator with the sampling helpers the cost
 /// models need (normal, log-normal, exponential, Pareto, Zipf).
 ///
-/// `rand` 0.8 only ships uniform sampling without the `rand_distr`
-/// companion crate; the distributions implemented here are the standard
-/// textbook transforms (Box–Muller, inverse CDF) which is all the cost
-/// models require.
+/// The generator is a self-contained xoshiro256++ (seeded by splitmix64
+/// expansion of the 64-bit seed) so the workspace carries no external RNG
+/// dependency; the distributions are the standard textbook transforms
+/// (Box–Muller, inverse CDF) which is all the cost models require.
 ///
 /// # Example
 ///
@@ -26,14 +23,23 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        // splitmix64 expansion, the canonical way to seed xoshiro state.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
     }
 
@@ -48,17 +54,28 @@ impl SimRng {
             h ^= u64::from(*byte);
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        SimRng::seed_from(h ^ self.inner.gen::<u64>())
+        let salt = self.next_u64();
+        SimRng::seed_from(h ^ salt)
     }
 
-    /// Returns the next raw 64-bit value.
+    /// Returns the next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
     }
 
     /// Uniform sample in `[0, 1)`.
     pub fn uniform01(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Uniform sample in `[low, high)`.
@@ -71,7 +88,7 @@ impl SimRng {
         if low == high {
             return low;
         }
-        self.inner.gen_range(low..high)
+        low + self.uniform01() * (high - low)
     }
 
     /// Uniform integer sample in `[0, n)`. Returns 0 when `n == 0`.
@@ -79,7 +96,7 @@ impl SimRng {
         if n == 0 {
             0
         } else {
-            self.inner.gen_range(0..n)
+            (self.next_u64() % n as u64) as usize
         }
     }
 
@@ -162,21 +179,6 @@ fn zeta(n: usize, theta: f64) -> f64 {
     (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +190,41 @@ mod tests {
         let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
         let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
         assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn same_seed_same_stream_across_all_samplers() {
+        let mut a = SimRng::seed_from(2021);
+        let mut b = SimRng::seed_from(2021);
+        for _ in 0..64 {
+            assert_eq!(a.uniform01(), b.uniform01());
+            assert_eq!(a.uniform(1.0, 9.0), b.uniform(1.0, 9.0));
+            assert_eq!(a.index(17), b.index(17));
+            assert_eq!(a.normal(5.0, 2.0), b.normal(5.0, 2.0));
+            assert_eq!(a.exponential(0.5), b.exponential(0.5));
+            assert_eq!(a.pareto(1.0, 2.0), b.pareto(1.0, 2.0));
+            assert_eq!(a.zipf(100, 0.99), b.zipf(100, 0.99));
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_for_same_label() {
+        let mut root_a = SimRng::seed_from(2021);
+        let mut root_b = SimRng::seed_from(2021);
+        let mut docker_a = root_a.split("docker");
+        let mut docker_b = root_b.split("docker");
+        let xs: Vec<u64> = (0..16).map(|_| docker_a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| docker_b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
     }
 
     #[test]

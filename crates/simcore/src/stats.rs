@@ -209,7 +209,9 @@ impl Cdf {
     /// Returns [`SimError::EmptyDataset`] when `samples` is empty.
     pub fn from_samples(mut samples: Vec<f64>) -> Result<Self, SimError> {
         if samples.is_empty() {
-            return Err(SimError::EmptyDataset("cdf requires at least one sample".into()));
+            return Err(SimError::EmptyDataset(
+                "cdf requires at least one sample".into(),
+            ));
         }
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         Ok(Cdf { sorted: samples })
@@ -299,7 +301,9 @@ impl Histogram {
     /// Returns [`SimError::InvalidConfig`] when `bins == 0` or `low >= high`.
     pub fn new(low: f64, high: f64, bins: usize) -> Result<Self, SimError> {
         if bins == 0 {
-            return Err(SimError::InvalidConfig("histogram needs at least one bin".into()));
+            return Err(SimError::InvalidConfig(
+                "histogram needs at least one bin".into(),
+            ));
         }
         if low >= high {
             return Err(SimError::InvalidConfig(format!(
@@ -325,7 +329,9 @@ impl Histogram {
         }
         if x >= self.high {
             self.overflow += 1;
-            self.counts.last_mut().map(|c| *c += 1);
+            if let Some(c) = self.counts.last_mut() {
+                *c += 1;
+            }
             return;
         }
         let width = (self.high - self.low) / self.counts.len() as f64;
@@ -361,7 +367,9 @@ mod tests {
 
     #[test]
     fn running_stats_known_values() {
-        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert_eq!(s.mean(), 5.0);
         assert_eq!(s.variance(), 4.0);
@@ -418,6 +426,60 @@ mod tests {
             Cdf::from_samples(vec![]),
             Err(SimError::EmptyDataset(_))
         ));
+    }
+
+    #[test]
+    fn cdf_single_sample_is_every_percentile() {
+        let cdf = Cdf::from_samples(vec![7.5]).unwrap();
+        for p in [0.0, 0.1, 25.0, 50.0, 99.9, 100.0] {
+            assert_eq!(cdf.percentile(p), 7.5);
+        }
+        assert_eq!(cdf.median(), 7.5);
+        assert_eq!(cdf.len(), 1);
+        assert!(!cdf.is_empty());
+    }
+
+    #[test]
+    fn cdf_percentile_clamps_out_of_range_queries() {
+        let cdf = Cdf::from_samples(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(cdf.percentile(-10.0), 1.0);
+        assert_eq!(cdf.percentile(1e9), 3.0);
+        assert_eq!(cdf.percentile(f64::NAN), 1.0);
+    }
+
+    #[test]
+    fn merge_empty_into_populated_is_identity() {
+        let mut a: RunningStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let before = a.clone();
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_other() {
+        let b: RunningStats = [4.0, 6.0].into_iter().collect();
+        let mut a = RunningStats::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), 5.0);
+        assert_eq!(a.min(), Some(4.0));
+        assert_eq!(a.max(), Some(6.0));
+    }
+
+    #[test]
+    fn merge_many_shards_matches_sequential() {
+        let data: Vec<f64> = (0..240).map(|i| f64::from(i) * 0.37 - 20.0).collect();
+        let all: RunningStats = data.iter().copied().collect();
+        let mut merged = RunningStats::new();
+        for shard in data.chunks(7) {
+            let s: RunningStats = shard.iter().copied().collect();
+            merged.merge(&s);
+        }
+        assert_eq!(merged.count(), all.count());
+        assert!((merged.mean() - all.mean()).abs() < 1e-9);
+        assert!((merged.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(merged.min(), all.min());
+        assert_eq!(merged.max(), all.max());
     }
 
     #[test]

@@ -137,7 +137,9 @@ impl DeviceModel {
         let pci = self.count_of(DeviceClass::Pci) as u64;
         let legacy = self.count_of(DeviceClass::Legacy) as u64;
         let virtio = self.count_of(DeviceClass::Virtio) as u64;
-        Nanos::from_millis(2) * pci + Nanos::from_millis(1) * legacy + Nanos::from_micros(400) * virtio
+        Nanos::from_millis(2) * pci
+            + Nanos::from_millis(1) * legacy
+            + Nanos::from_micros(400) * virtio
     }
 }
 
@@ -150,7 +152,9 @@ mod tests {
         assert!(DeviceModel::qemu_full().device_count() >= 40);
         assert_eq!(DeviceModel::firecracker().device_count(), 7);
         assert_eq!(DeviceModel::cloud_hypervisor().device_count(), 16);
-        assert!(DeviceModel::qemu_microvm().device_count() < DeviceModel::qemu_full().device_count());
+        assert!(
+            DeviceModel::qemu_microvm().device_count() < DeviceModel::qemu_full().device_count()
+        );
     }
 
     #[test]

@@ -242,7 +242,10 @@ mod tests {
         assert!(qemu < fc, "qemu {qemu} vs firecracker {fc}");
         assert!(qboot < fc);
         assert!(fc < microvm, "firecracker {fc} vs microvm {microvm}");
-        assert!((300.0..420.0).contains(&fc), "firecracker lands around 350 ms, got {fc}");
+        assert!(
+            (300.0..420.0).contains(&fc),
+            "firecracker lands around 350 ms, got {fc}"
+        );
     }
 
     #[test]
@@ -270,9 +273,15 @@ mod tests {
         assert!(MachineModel::Firecracker.paging_mode().is_virtualized());
         let tlb = memsim::tlb::TlbConfig::epyc2();
         let page = memsim::tlb::PageSize::Small4K;
-        let qemu = MachineModel::QemuFull.paging_mode().walk_latency(&tlb, page);
-        let chv = MachineModel::CloudHypervisor.paging_mode().walk_latency(&tlb, page);
-        let fc = MachineModel::Firecracker.paging_mode().walk_latency(&tlb, page);
+        let qemu = MachineModel::QemuFull
+            .paging_mode()
+            .walk_latency(&tlb, page);
+        let chv = MachineModel::CloudHypervisor
+            .paging_mode()
+            .walk_latency(&tlb, page);
+        let fc = MachineModel::Firecracker
+            .paging_mode()
+            .walk_latency(&tlb, page);
         assert!(fc > chv, "firecracker {fc} vs cloud-hypervisor {chv}");
         assert!(chv > qemu, "cloud-hypervisor {chv} vs qemu {qemu}");
     }

@@ -93,7 +93,11 @@ impl VmExit {
                 "schedule",
                 "kvm_vcpu_kick",
             ],
-            VmExit::MsrAccess => &["vmx_handle_exit", "kvm_set_msr_common", "kvm_get_msr_common"],
+            VmExit::MsrAccess => &[
+                "vmx_handle_exit",
+                "kvm_set_msr_common",
+                "kvm_get_msr_common",
+            ],
             VmExit::Cpuid => &["vmx_handle_exit", "kvm_emulate_cpuid"],
             VmExit::ExternalInterrupt => &[
                 "vmx_handle_exit",

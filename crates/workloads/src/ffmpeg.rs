@@ -7,8 +7,8 @@
 
 use platforms::subsystems::cpu::ComputeWork;
 use platforms::Platform;
-use simcore::{Nanos, SimRng};
 use simcore::stats::RunningStats;
+use simcore::{Nanos, SimRng};
 
 /// The ffmpeg re-encode benchmark.
 #[derive(Debug, Clone, Copy)]
@@ -69,7 +69,11 @@ mod tests {
         }
         let native = results[&PlatformId::Native];
         assert!((55_000.0..75_000.0).contains(&native), "native {native} ms");
-        for id in [PlatformId::Docker, PlatformId::Qemu, PlatformId::GvisorPtrace] {
+        for id in [
+            PlatformId::Docker,
+            PlatformId::Qemu,
+            PlatformId::GvisorPtrace,
+        ] {
             let v = results[&id];
             assert!(v < native * 1.25, "{id:?} at {v} ms is too far from native");
         }

@@ -62,11 +62,17 @@ mod tests {
 
         assert!((36.0..39.0).contains(&native), "native {native}");
         assert!(osv > native * 0.93 && osv < native, "osv {osv}");
-        assert!(docker < native * 0.95 && docker > native * 0.85, "docker {docker}");
+        assert!(
+            docker < native * 0.95 && docker > native * 0.85,
+            "docker {docker}"
+        );
         assert!(lxc < native * 0.95 && lxc > native * 0.85, "lxc {lxc}");
         assert!(qemu < native * 0.82 && qemu > native * 0.68, "qemu {qemu}");
         assert!(osv > qemu * 1.18, "osv should beat qemu by ~25%");
-        assert!(osv_fc > fc && osv_fc < fc * 1.15, "osv-fc {osv_fc} vs fc {fc}");
+        assert!(
+            osv_fc > fc && osv_fc < fc * 1.15,
+            "osv-fc {osv_fc} vs fc {fc}"
+        );
         assert!(chv < fc, "cloud-hypervisor {chv} vs firecracker {fc}");
         assert!((qemu - kata).abs() < 2.5, "kata {kata} tracks qemu {qemu}");
         assert!(gvisor < 8.0, "gvisor {gvisor} is the extreme outlier");

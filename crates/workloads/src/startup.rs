@@ -43,14 +43,20 @@ mod tests {
     use platforms::PlatformId;
 
     fn median(id: PlatformId, variant: StartupVariant, rng: &mut SimRng) -> f64 {
-        StartupBenchmark::new(100).run_cdf(&id.build(), variant, rng).median()
+        StartupBenchmark::new(100)
+            .run_cdf(&id.build(), variant, rng)
+            .median()
     }
 
     #[test]
     fn container_boot_times_match_figure_13() {
         let mut rng = SimRng::seed_from(51);
         let docker = median(PlatformId::Docker, StartupVariant::OciDirect, &mut rng);
-        let gvisor = median(PlatformId::GvisorPtrace, StartupVariant::OciDirect, &mut rng);
+        let gvisor = median(
+            PlatformId::GvisorPtrace,
+            StartupVariant::OciDirect,
+            &mut rng,
+        );
         let kata = median(PlatformId::Kata, StartupVariant::OciDirect, &mut rng);
         let lxc = median(PlatformId::Lxc, StartupVariant::Default, &mut rng);
         assert!((70.0..140.0).contains(&docker), "docker {docker} ms");
@@ -66,24 +72,37 @@ mod tests {
         let direct = median(PlatformId::Docker, StartupVariant::OciDirect, &mut rng);
         let daemon = median(PlatformId::Docker, StartupVariant::Default, &mut rng);
         let delta = daemon - direct;
-        assert!((180.0..320.0).contains(&delta), "daemon overhead {delta} ms");
+        assert!(
+            (180.0..320.0).contains(&delta),
+            "daemon overhead {delta} ms"
+        );
     }
 
     #[test]
     fn hypervisor_boot_cdfs_match_figure_14() {
         let mut rng = SimRng::seed_from(53);
-        let chv = median(PlatformId::CloudHypervisor, StartupVariant::Default, &mut rng);
+        let chv = median(
+            PlatformId::CloudHypervisor,
+            StartupVariant::Default,
+            &mut rng,
+        );
         let qemu = median(PlatformId::Qemu, StartupVariant::Default, &mut rng);
         let fc = median(PlatformId::Firecracker, StartupVariant::Default, &mut rng);
         let microvm = median(PlatformId::QemuMicrovm, StartupVariant::Default, &mut rng);
-        assert!(chv < qemu && qemu < fc && fc < microvm,
-            "ordering: chv={chv} qemu={qemu} fc={fc} microvm={microvm}");
+        assert!(
+            chv < qemu && qemu < fc && fc < microvm,
+            "ordering: chv={chv} qemu={qemu} fc={fc} microvm={microvm}"
+        );
     }
 
     #[test]
     fn osv_boot_order_flips_and_measurement_methods_superimpose() {
         let mut rng = SimRng::seed_from(54);
-        let osv_fc = median(PlatformId::OsvFirecracker, StartupVariant::Default, &mut rng);
+        let osv_fc = median(
+            PlatformId::OsvFirecracker,
+            StartupVariant::Default,
+            &mut rng,
+        );
         let osv_qemu = median(PlatformId::OsvQemu, StartupVariant::Default, &mut rng);
         assert!(osv_fc < osv_qemu, "osv-fc {osv_fc} vs osv-qemu {osv_qemu}");
         let e2e = median(PlatformId::OsvQemu, StartupVariant::Default, &mut rng);

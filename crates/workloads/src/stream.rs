@@ -69,7 +69,10 @@ mod tests {
         let kata = value(PlatformId::Kata, &mut rng);
         let osv = value(PlatformId::OsvQemu, &mut rng);
         assert!(qemu < native * 0.95, "qemu {qemu} vs native {native}");
-        assert!(fc < qemu, "firecracker {fc} should be the lowest hypervisor");
+        assert!(
+            fc < qemu,
+            "firecracker {fc} should be the lowest hypervisor"
+        );
         assert!(kata > native * 0.9, "kata {kata} is not impaired");
         assert!(osv > native * 0.9, "osv-qemu {osv} is not impaired");
     }
@@ -79,6 +82,12 @@ mod tests {
         let bench = StreamBenchmark::default();
         let p = PlatformId::Native.build();
         let stats = bench.run(&p, &mut SimRng::seed_from(2));
-        assert!(stats.mean() >= p.memory().mean_copy_bandwidth(CopyMethod::StreamCopy).mib_per_sec() * 0.98);
+        assert!(
+            stats.mean()
+                >= p.memory()
+                    .mean_copy_bandwidth(CopyMethod::StreamCopy)
+                    .mib_per_sec()
+                    * 0.98
+        );
     }
 }

@@ -55,12 +55,12 @@ impl TinymembenchBenchmark {
     /// Platforms that do not support huge pages fall back to 4 KiB pages,
     /// as Kata does in the paper.
     pub fn run_latency(&self, platform: &Platform, rng: &mut SimRng) -> Vec<LatencyPoint> {
-        let page = if self.page_size == PageSize::Huge2M && !platform.memory().huge_pages_supported()
-        {
-            PageSize::Small4K
-        } else {
-            self.page_size
-        };
+        let page =
+            if self.page_size == PageSize::Huge2M && !platform.memory().huge_pages_supported() {
+                PageSize::Small4K
+            } else {
+                self.page_size
+            };
         RandomAccessModel::paper_buffer_sizes()
             .into_iter()
             .map(|buffer_bytes| {
@@ -89,7 +89,12 @@ impl TinymembenchBenchmark {
         rng: &mut SimRng,
     ) -> RunningStats {
         (0..self.runs)
-            .map(|_| platform.memory().sample_copy_bandwidth(method, rng).mib_per_sec())
+            .map(|_| {
+                platform
+                    .memory()
+                    .sample_copy_bandwidth(method, rng)
+                    .mib_per_sec()
+            })
             .collect()
     }
 }
@@ -140,7 +145,9 @@ mod tests {
         let mut rng = SimRng::seed_from(5);
         for id in [PlatformId::Native, PlatformId::Qemu, PlatformId::Kata] {
             let p = id.build();
-            let regular = bench.run_bandwidth(&p, CopyMethod::Regular, &mut rng).mean();
+            let regular = bench
+                .run_bandwidth(&p, CopyMethod::Regular, &mut rng)
+                .mean();
             let sse2 = bench.run_bandwidth(&p, CopyMethod::Sse2, &mut rng).mean();
             assert!(sse2 > regular, "{id:?}: sse2 {sse2} vs regular {regular}");
         }

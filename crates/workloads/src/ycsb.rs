@@ -108,8 +108,7 @@ impl YcsbBenchmark {
             / per_op_server;
         let network_capacity = self.client_threads as f64 / rtt.as_secs_f64();
         let record_bytes = (self.value_size + 64) as f64;
-        let wire_capacity =
-            platform.network().mean_throughput().bytes_per_sec() / record_bytes;
+        let wire_capacity = platform.network().mean_throughput().bytes_per_sec() / record_bytes;
         let mean_tput = server_capacity.min(network_capacity).min(wire_capacity);
 
         // Execute the operation mix against the real store to obtain the
@@ -148,7 +147,8 @@ mod tests {
     fn throughput_ordering_matches_figure_16() {
         let bench = YcsbBenchmark::quick();
         let mut rng = SimRng::seed_from(61);
-        let tput = |id: PlatformId, rng: &mut SimRng| bench.run(&id.build(), rng).ops_per_sec.mean();
+        let tput =
+            |id: PlatformId, rng: &mut SimRng| bench.run(&id.build(), rng).ops_per_sec.mean();
         let lxc = tput(PlatformId::Lxc, &mut rng);
         let docker = tput(PlatformId::Docker, &mut rng);
         let qemu = tput(PlatformId::Qemu, &mut rng);

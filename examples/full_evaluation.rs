@@ -31,7 +31,10 @@ fn main() {
         if check.passed {
             passed += 1;
         }
-        println!("[{status}] {}: {} ({})", check.id, check.claim, check.detail);
+        println!(
+            "[{status}] {}: {} ({})",
+            check.id, check.claim, check.detail
+        );
     }
     println!("\n{passed}/{} findings reproduced", checks.len());
 }

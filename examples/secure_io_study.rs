@@ -37,7 +37,13 @@ fn main() {
             .map(|t| (t.read_mib_s.mean(), t.write_mib_s.mean()))
             .unwrap_or((f64::NAN, f64::NAN));
         let l = latency.map(|s| s.mean()).unwrap_or(f64::NAN);
-        println!("{:<16} {:>14.0} {:>14.0} {:>16.0}", platform.name(), r, w, l);
+        println!(
+            "{:<16} {:>14.0} {:>14.0} {:>16.0}",
+            platform.name(),
+            r,
+            w,
+            l
+        );
     }
 
     println!(

@@ -13,18 +13,41 @@ fn main() {
     let bench = StartupBenchmark::new(200);
     let mut rng = SimRng::seed_from(7);
     let candidates = [
-        (PlatformId::Docker, StartupVariant::OciDirect, "runc (direct)"),
+        (
+            PlatformId::Docker,
+            StartupVariant::OciDirect,
+            "runc (direct)",
+        ),
         (PlatformId::Docker, StartupVariant::Default, "docker daemon"),
-        (PlatformId::GvisorPtrace, StartupVariant::OciDirect, "gvisor (runsc)"),
+        (
+            PlatformId::GvisorPtrace,
+            StartupVariant::OciDirect,
+            "gvisor (runsc)",
+        ),
         (PlatformId::Kata, StartupVariant::OciDirect, "kata"),
         (PlatformId::Lxc, StartupVariant::Default, "lxc"),
-        (PlatformId::Firecracker, StartupVariant::Default, "firecracker"),
-        (PlatformId::CloudHypervisor, StartupVariant::Default, "cloud-hypervisor"),
+        (
+            PlatformId::Firecracker,
+            StartupVariant::Default,
+            "firecracker",
+        ),
+        (
+            PlatformId::CloudHypervisor,
+            StartupVariant::Default,
+            "cloud-hypervisor",
+        ),
         (PlatformId::Qemu, StartupVariant::Default, "qemu"),
-        (PlatformId::OsvFirecracker, StartupVariant::Default, "osv on firecracker"),
+        (
+            PlatformId::OsvFirecracker,
+            StartupVariant::Default,
+            "osv on firecracker",
+        ),
         (PlatformId::OsvQemu, StartupVariant::Default, "osv on qemu"),
     ];
-    println!("{:<22} {:>12} {:>12}", "platform", "median (ms)", "p90 (ms)");
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "platform", "median (ms)", "p90 (ms)"
+    );
     let mut results: Vec<(String, f64, f64)> = candidates
         .iter()
         .map(|(id, variant, label)| {

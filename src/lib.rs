@@ -38,8 +38,8 @@ pub use workloads;
 
 /// Commonly used items for driving the benchmark harness.
 pub mod prelude {
-    pub use harness::{figures, report, ExperimentId, FigureData, RunConfig};
     pub use hap::HapSuite;
+    pub use harness::{figures, report, ExperimentId, FigureData, RunConfig};
     pub use platforms::{Platform, PlatformFamily, PlatformId};
     pub use simcore::{Nanos, SimRng};
 }

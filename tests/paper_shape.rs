@@ -31,7 +31,10 @@ fn figure_17_groups_hold_through_the_facade() {
             .fold(0.0f64, f64::max)
     };
     let main_group = best("docker").min(best("qemu")).min(best("native"));
-    assert!(best("osv") < main_group * 0.5, "osv group must be far below");
+    assert!(
+        best("osv") < main_group * 0.5,
+        "osv group must be far below"
+    );
     assert!(best("gvisor") < main_group * 0.5);
     assert!(best("firecracker") < main_group * 0.85);
     assert!(best("kata") < main_group * 0.9);
@@ -58,7 +61,11 @@ fn every_figure_generates_non_empty_markdown_and_csv() {
     for figure in figures::run_all(&cfg()) {
         let md = report::to_markdown(&figure);
         let csv = report::to_csv(&figure);
-        assert!(md.contains("###"), "{:?} markdown missing title", figure.experiment);
+        assert!(
+            md.contains("###"),
+            "{:?} markdown missing title",
+            figure.experiment
+        );
         assert!(csv.lines().count() > 1, "{:?} csv empty", figure.experiment);
         assert!(!figure.series.is_empty());
     }

@@ -1,0 +1,134 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the slice of criterion's API the bench targets use —
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, finish}`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark runs
+//! `sample_size` timed samples and prints mean wall-clock time per
+//! iteration; there is no statistical analysis or HTML report.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::Instant;
+
+/// Default number of samples when a group does not override it.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time per sample.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            elapsed_ns: 0,
+            iterations: 0,
+        };
+        for _ in 0..self.sample_size {
+            routine(&mut bencher);
+        }
+        let mean = bencher
+            .elapsed_ns
+            .checked_div(bencher.iterations)
+            .unwrap_or(0);
+        println!("  {name}: {mean} ns/iter ({} iters)", bencher.iterations);
+        self
+    }
+
+    /// Ends the group. Accepted for API compatibility.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_ns: u128,
+    iterations: u128,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`, accumulating into the sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iterations += 1;
+        drop(black_box(out));
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_sample_size_times() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("t");
+        let mut calls = 0;
+        group.sample_size(3).bench_function("count", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+}

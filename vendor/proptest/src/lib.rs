@@ -1,0 +1,80 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the slice of proptest's API the workspace tests use: the `proptest!`
+//! macro, `prop_assert!`/`prop_assert_eq!`, `any::<T>()`, range and string
+//! strategies, tuple strategies, and `prop::collection::{vec, btree_map}`.
+//!
+//! Semantics: every property runs [`NUM_CASES`] deterministic cases drawn
+//! from a per-test seeded PRNG (seed derived from the test name), so runs
+//! are reproducible. There is no shrinking — a failing case panics with
+//! the ordinary assert message.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Number of cases each property executes.
+pub const NUM_CASES: usize = 64;
+
+/// Collection and primitive strategy constructors, mirroring
+/// `proptest::prelude::prop`.
+pub mod prop {
+    /// Strategies producing collections.
+    pub mod collection {
+        pub use crate::strategy::{btree_map, vec};
+    }
+}
+
+/// Returns a strategy producing arbitrary values of `T`, mirroring
+/// `proptest::prelude::any`.
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+/// The catch-all import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property, mirroring `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property, mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property, mirroring `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// item expands to a `#[test]`-style function that samples every strategy
+/// [`NUM_CASES`] times from a deterministic PRNG and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..$crate::NUM_CASES {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, and the workspace only
+//! uses serde as `#[derive(Serialize, Deserialize)]` decoration — no code
+//! path serializes anything. This crate provides the two trait names (so
+//! `use serde::{Serialize, Deserialize}` resolves and bounds could be
+//! written later) and re-exports no-op derive macros under the same names,
+//! mirroring the real crate's `derive` feature layout.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

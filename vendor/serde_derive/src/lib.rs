@@ -1,0 +1,44 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` as decoration
+//! plus the occasional `T: Serialize` static assertion, so these derives
+//! parse just the type name from the input and emit empty marker-trait
+//! impls (the in-tree `serde` stand-in defines both traits without
+//! methods). Generic types are not supported — nothing in-tree derives
+//! serde on one.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum`/`union` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde_derive stand-in: no struct/enum/union name in input");
+}
+
+/// Derives the stand-in `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives the stand-in `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
