@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-751f7ee2a20d2e5b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-751f7ee2a20d2e5b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-e779ecefc86727ea.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-e779ecefc86727ea.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-e779ecefc86727ea.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

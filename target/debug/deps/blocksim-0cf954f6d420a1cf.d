@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/blocksim-0cf954f6d420a1cf.d: crates/blocksim/src/lib.rs crates/blocksim/src/device.rs crates/blocksim/src/engine.rs crates/blocksim/src/layers.rs crates/blocksim/src/request.rs crates/blocksim/src/stack.rs
+
+/root/repo/target/debug/deps/blocksim-0cf954f6d420a1cf: crates/blocksim/src/lib.rs crates/blocksim/src/device.rs crates/blocksim/src/engine.rs crates/blocksim/src/layers.rs crates/blocksim/src/request.rs crates/blocksim/src/stack.rs
+
+crates/blocksim/src/lib.rs:
+crates/blocksim/src/device.rs:
+crates/blocksim/src/engine.rs:
+crates/blocksim/src/layers.rs:
+crates/blocksim/src/request.rs:
+crates/blocksim/src/stack.rs:

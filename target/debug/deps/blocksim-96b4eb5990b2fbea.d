@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/blocksim-96b4eb5990b2fbea.d: crates/blocksim/src/lib.rs crates/blocksim/src/device.rs crates/blocksim/src/engine.rs crates/blocksim/src/layers.rs crates/blocksim/src/request.rs crates/blocksim/src/stack.rs
+
+/root/repo/target/debug/deps/libblocksim-96b4eb5990b2fbea.rlib: crates/blocksim/src/lib.rs crates/blocksim/src/device.rs crates/blocksim/src/engine.rs crates/blocksim/src/layers.rs crates/blocksim/src/request.rs crates/blocksim/src/stack.rs
+
+/root/repo/target/debug/deps/libblocksim-96b4eb5990b2fbea.rmeta: crates/blocksim/src/lib.rs crates/blocksim/src/device.rs crates/blocksim/src/engine.rs crates/blocksim/src/layers.rs crates/blocksim/src/request.rs crates/blocksim/src/stack.rs
+
+crates/blocksim/src/lib.rs:
+crates/blocksim/src/device.rs:
+crates/blocksim/src/engine.rs:
+crates/blocksim/src/layers.rs:
+crates/blocksim/src/request.rs:
+crates/blocksim/src/stack.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/blocksim-a4046cc1a960a8da.d: crates/blocksim/src/lib.rs crates/blocksim/src/device.rs crates/blocksim/src/engine.rs crates/blocksim/src/layers.rs crates/blocksim/src/request.rs crates/blocksim/src/stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblocksim-a4046cc1a960a8da.rmeta: crates/blocksim/src/lib.rs crates/blocksim/src/device.rs crates/blocksim/src/engine.rs crates/blocksim/src/layers.rs crates/blocksim/src/request.rs crates/blocksim/src/stack.rs Cargo.toml
+
+crates/blocksim/src/lib.rs:
+crates/blocksim/src/device.rs:
+crates/blocksim/src/engine.rs:
+crates/blocksim/src/layers.rs:
+crates/blocksim/src/request.rs:
+crates/blocksim/src/stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_compute-8bed3bf981913d98.d: crates/bench/benches/fig05_compute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_compute-8bed3bf981913d98.rmeta: crates/bench/benches/fig05_compute.rs Cargo.toml
+
+crates/bench/benches/fig05_compute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

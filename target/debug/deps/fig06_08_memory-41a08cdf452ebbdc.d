@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_08_memory-41a08cdf452ebbdc.d: crates/bench/benches/fig06_08_memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_08_memory-41a08cdf452ebbdc.rmeta: crates/bench/benches/fig06_08_memory.rs Cargo.toml
+
+crates/bench/benches/fig06_08_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_10_fio-db143c7e5e18cb5f.d: crates/bench/benches/fig09_10_fio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_10_fio-db143c7e5e18cb5f.rmeta: crates/bench/benches/fig09_10_fio.rs Cargo.toml
+
+crates/bench/benches/fig09_10_fio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

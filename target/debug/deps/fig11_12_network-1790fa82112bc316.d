@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_12_network-1790fa82112bc316.d: crates/bench/benches/fig11_12_network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_12_network-1790fa82112bc316.rmeta: crates/bench/benches/fig11_12_network.rs Cargo.toml
+
+crates/bench/benches/fig11_12_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_15_startup-b73bfb2f09abe5ad.d: crates/bench/benches/fig13_15_startup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_15_startup-b73bfb2f09abe5ad.rmeta: crates/bench/benches/fig13_15_startup.rs Cargo.toml
+
+crates/bench/benches/fig13_15_startup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

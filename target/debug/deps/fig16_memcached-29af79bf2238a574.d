@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_memcached-29af79bf2238a574.d: crates/bench/benches/fig16_memcached.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_memcached-29af79bf2238a574.rmeta: crates/bench/benches/fig16_memcached.rs Cargo.toml
+
+crates/bench/benches/fig16_memcached.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_mysql-55cc1ce4548d4c04.d: crates/bench/benches/fig17_mysql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_mysql-55cc1ce4548d4c04.rmeta: crates/bench/benches/fig17_mysql.rs Cargo.toml
+
+crates/bench/benches/fig17_mysql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18_hap-de5d221b0959eed9.d: crates/bench/benches/fig18_hap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18_hap-de5d221b0959eed9.rmeta: crates/bench/benches/fig18_hap.rs Cargo.toml
+
+crates/bench/benches/fig18_hap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hap-708ae69d2d4859aa.d: crates/hap/src/lib.rs crates/hap/src/epss.rs crates/hap/src/score.rs crates/hap/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhap-708ae69d2d4859aa.rmeta: crates/hap/src/lib.rs crates/hap/src/epss.rs crates/hap/src/score.rs crates/hap/src/suite.rs Cargo.toml
+
+crates/hap/src/lib.rs:
+crates/hap/src/epss.rs:
+crates/hap/src/score.rs:
+crates/hap/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

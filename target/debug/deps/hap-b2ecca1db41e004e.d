@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hap-b2ecca1db41e004e.d: crates/hap/src/lib.rs crates/hap/src/epss.rs crates/hap/src/score.rs crates/hap/src/suite.rs
+
+/root/repo/target/debug/deps/libhap-b2ecca1db41e004e.rlib: crates/hap/src/lib.rs crates/hap/src/epss.rs crates/hap/src/score.rs crates/hap/src/suite.rs
+
+/root/repo/target/debug/deps/libhap-b2ecca1db41e004e.rmeta: crates/hap/src/lib.rs crates/hap/src/epss.rs crates/hap/src/score.rs crates/hap/src/suite.rs
+
+crates/hap/src/lib.rs:
+crates/hap/src/epss.rs:
+crates/hap/src/score.rs:
+crates/hap/src/suite.rs:

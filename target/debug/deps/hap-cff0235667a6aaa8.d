@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hap-cff0235667a6aaa8.d: crates/hap/src/lib.rs crates/hap/src/epss.rs crates/hap/src/score.rs crates/hap/src/suite.rs
+
+/root/repo/target/debug/deps/hap-cff0235667a6aaa8: crates/hap/src/lib.rs crates/hap/src/epss.rs crates/hap/src/score.rs crates/hap/src/suite.rs
+
+crates/hap/src/lib.rs:
+crates/hap/src/epss.rs:
+crates/hap/src/score.rs:
+crates/hap/src/suite.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/harness-7b7bc4e8a354efbe.d: crates/harness/src/lib.rs crates/harness/src/config.rs crates/harness/src/experiment.rs crates/harness/src/figures.rs crates/harness/src/findings.rs crates/harness/src/report.rs
+
+/root/repo/target/debug/deps/harness-7b7bc4e8a354efbe: crates/harness/src/lib.rs crates/harness/src/config.rs crates/harness/src/experiment.rs crates/harness/src/figures.rs crates/harness/src/findings.rs crates/harness/src/report.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/config.rs:
+crates/harness/src/experiment.rs:
+crates/harness/src/figures.rs:
+crates/harness/src/findings.rs:
+crates/harness/src/report.rs:

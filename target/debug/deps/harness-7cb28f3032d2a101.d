@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/harness-7cb28f3032d2a101.d: crates/harness/src/lib.rs crates/harness/src/config.rs crates/harness/src/experiment.rs crates/harness/src/figures.rs crates/harness/src/findings.rs crates/harness/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness-7cb28f3032d2a101.rmeta: crates/harness/src/lib.rs crates/harness/src/config.rs crates/harness/src/experiment.rs crates/harness/src/figures.rs crates/harness/src/findings.rs crates/harness/src/report.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/config.rs:
+crates/harness/src/experiment.rs:
+crates/harness/src/figures.rs:
+crates/harness/src/findings.rs:
+crates/harness/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

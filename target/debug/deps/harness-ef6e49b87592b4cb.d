@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/harness-ef6e49b87592b4cb.d: crates/harness/src/lib.rs crates/harness/src/config.rs crates/harness/src/experiment.rs crates/harness/src/figures.rs crates/harness/src/findings.rs crates/harness/src/report.rs
+
+/root/repo/target/debug/deps/libharness-ef6e49b87592b4cb.rlib: crates/harness/src/lib.rs crates/harness/src/config.rs crates/harness/src/experiment.rs crates/harness/src/figures.rs crates/harness/src/findings.rs crates/harness/src/report.rs
+
+/root/repo/target/debug/deps/libharness-ef6e49b87592b4cb.rmeta: crates/harness/src/lib.rs crates/harness/src/config.rs crates/harness/src/experiment.rs crates/harness/src/figures.rs crates/harness/src/findings.rs crates/harness/src/report.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/config.rs:
+crates/harness/src/experiment.rs:
+crates/harness/src/figures.rs:
+crates/harness/src/findings.rs:
+crates/harness/src/report.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/isolation_bench-21e66778ceec79ca.d: src/lib.rs
+
+/root/repo/target/debug/deps/libisolation_bench-21e66778ceec79ca.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libisolation_bench-21e66778ceec79ca.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/isolation_bench-2f3fc049eee7eb28.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libisolation_bench-2f3fc049eee7eb28.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/isolation_bench-4c569c5b65f5a48a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libisolation_bench-4c569c5b65f5a48a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/isolation_bench-a3448dd0a7e33e88.d: src/lib.rs
+
+/root/repo/target/debug/deps/isolation_bench-a3448dd0a7e33e88: src/lib.rs
+
+src/lib.rs:

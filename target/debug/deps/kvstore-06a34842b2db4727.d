@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/kvstore-06a34842b2db4727.d: crates/kvstore/src/lib.rs crates/kvstore/src/protocol.rs crates/kvstore/src/shard.rs crates/kvstore/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvstore-06a34842b2db4727.rmeta: crates/kvstore/src/lib.rs crates/kvstore/src/protocol.rs crates/kvstore/src/shard.rs crates/kvstore/src/store.rs Cargo.toml
+
+crates/kvstore/src/lib.rs:
+crates/kvstore/src/protocol.rs:
+crates/kvstore/src/shard.rs:
+crates/kvstore/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

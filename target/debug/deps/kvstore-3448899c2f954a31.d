@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/kvstore-3448899c2f954a31.d: crates/kvstore/src/lib.rs crates/kvstore/src/protocol.rs crates/kvstore/src/shard.rs crates/kvstore/src/store.rs
+
+/root/repo/target/debug/deps/libkvstore-3448899c2f954a31.rlib: crates/kvstore/src/lib.rs crates/kvstore/src/protocol.rs crates/kvstore/src/shard.rs crates/kvstore/src/store.rs
+
+/root/repo/target/debug/deps/libkvstore-3448899c2f954a31.rmeta: crates/kvstore/src/lib.rs crates/kvstore/src/protocol.rs crates/kvstore/src/shard.rs crates/kvstore/src/store.rs
+
+crates/kvstore/src/lib.rs:
+crates/kvstore/src/protocol.rs:
+crates/kvstore/src/shard.rs:
+crates/kvstore/src/store.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/kvstore-4a0812fc13172e66.d: crates/kvstore/src/lib.rs crates/kvstore/src/protocol.rs crates/kvstore/src/shard.rs crates/kvstore/src/store.rs
+
+/root/repo/target/debug/deps/kvstore-4a0812fc13172e66: crates/kvstore/src/lib.rs crates/kvstore/src/protocol.rs crates/kvstore/src/shard.rs crates/kvstore/src/store.rs
+
+crates/kvstore/src/lib.rs:
+crates/kvstore/src/protocol.rs:
+crates/kvstore/src/shard.rs:
+crates/kvstore/src/store.rs:

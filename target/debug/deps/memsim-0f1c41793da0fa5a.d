@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/memsim-0f1c41793da0fa5a.d: crates/memsim/src/lib.rs crates/memsim/src/bandwidth.rs crates/memsim/src/config.rs crates/memsim/src/features.rs crates/memsim/src/latency.rs crates/memsim/src/paging.rs crates/memsim/src/tlb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsim-0f1c41793da0fa5a.rmeta: crates/memsim/src/lib.rs crates/memsim/src/bandwidth.rs crates/memsim/src/config.rs crates/memsim/src/features.rs crates/memsim/src/latency.rs crates/memsim/src/paging.rs crates/memsim/src/tlb.rs Cargo.toml
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/bandwidth.rs:
+crates/memsim/src/config.rs:
+crates/memsim/src/features.rs:
+crates/memsim/src/latency.rs:
+crates/memsim/src/paging.rs:
+crates/memsim/src/tlb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/memsim-97d96c7d103da689.d: crates/memsim/src/lib.rs crates/memsim/src/bandwidth.rs crates/memsim/src/config.rs crates/memsim/src/features.rs crates/memsim/src/latency.rs crates/memsim/src/paging.rs crates/memsim/src/tlb.rs
+
+/root/repo/target/debug/deps/memsim-97d96c7d103da689: crates/memsim/src/lib.rs crates/memsim/src/bandwidth.rs crates/memsim/src/config.rs crates/memsim/src/features.rs crates/memsim/src/latency.rs crates/memsim/src/paging.rs crates/memsim/src/tlb.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/bandwidth.rs:
+crates/memsim/src/config.rs:
+crates/memsim/src/features.rs:
+crates/memsim/src/latency.rs:
+crates/memsim/src/paging.rs:
+crates/memsim/src/tlb.rs:

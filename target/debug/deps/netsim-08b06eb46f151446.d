@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netsim-08b06eb46f151446.d: crates/netsim/src/lib.rs crates/netsim/src/component.rs crates/netsim/src/path.rs
+
+/root/repo/target/debug/deps/libnetsim-08b06eb46f151446.rlib: crates/netsim/src/lib.rs crates/netsim/src/component.rs crates/netsim/src/path.rs
+
+/root/repo/target/debug/deps/libnetsim-08b06eb46f151446.rmeta: crates/netsim/src/lib.rs crates/netsim/src/component.rs crates/netsim/src/path.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/component.rs:
+crates/netsim/src/path.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netsim-31c58a726ab5f975.d: crates/netsim/src/lib.rs crates/netsim/src/component.rs crates/netsim/src/path.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetsim-31c58a726ab5f975.rmeta: crates/netsim/src/lib.rs crates/netsim/src/component.rs crates/netsim/src/path.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/component.rs:
+crates/netsim/src/path.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netsim-487c13dcec954e88.d: crates/netsim/src/lib.rs crates/netsim/src/component.rs crates/netsim/src/path.rs
+
+/root/repo/target/debug/deps/netsim-487c13dcec954e88: crates/netsim/src/lib.rs crates/netsim/src/component.rs crates/netsim/src/path.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/component.rs:
+crates/netsim/src/path.rs:

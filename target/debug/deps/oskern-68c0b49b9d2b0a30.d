@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/oskern-68c0b49b9d2b0a30.d: crates/oskern/src/lib.rs crates/oskern/src/cgroups.rs crates/oskern/src/ftrace.rs crates/oskern/src/host.rs crates/oskern/src/init.rs crates/oskern/src/kernel_fn.rs crates/oskern/src/namespaces.rs crates/oskern/src/pagecache.rs crates/oskern/src/sched.rs crates/oskern/src/syscall.rs
+
+/root/repo/target/debug/deps/liboskern-68c0b49b9d2b0a30.rlib: crates/oskern/src/lib.rs crates/oskern/src/cgroups.rs crates/oskern/src/ftrace.rs crates/oskern/src/host.rs crates/oskern/src/init.rs crates/oskern/src/kernel_fn.rs crates/oskern/src/namespaces.rs crates/oskern/src/pagecache.rs crates/oskern/src/sched.rs crates/oskern/src/syscall.rs
+
+/root/repo/target/debug/deps/liboskern-68c0b49b9d2b0a30.rmeta: crates/oskern/src/lib.rs crates/oskern/src/cgroups.rs crates/oskern/src/ftrace.rs crates/oskern/src/host.rs crates/oskern/src/init.rs crates/oskern/src/kernel_fn.rs crates/oskern/src/namespaces.rs crates/oskern/src/pagecache.rs crates/oskern/src/sched.rs crates/oskern/src/syscall.rs
+
+crates/oskern/src/lib.rs:
+crates/oskern/src/cgroups.rs:
+crates/oskern/src/ftrace.rs:
+crates/oskern/src/host.rs:
+crates/oskern/src/init.rs:
+crates/oskern/src/kernel_fn.rs:
+crates/oskern/src/namespaces.rs:
+crates/oskern/src/pagecache.rs:
+crates/oskern/src/sched.rs:
+crates/oskern/src/syscall.rs:

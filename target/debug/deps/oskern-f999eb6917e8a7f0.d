@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/oskern-f999eb6917e8a7f0.d: crates/oskern/src/lib.rs crates/oskern/src/cgroups.rs crates/oskern/src/ftrace.rs crates/oskern/src/host.rs crates/oskern/src/init.rs crates/oskern/src/kernel_fn.rs crates/oskern/src/namespaces.rs crates/oskern/src/pagecache.rs crates/oskern/src/sched.rs crates/oskern/src/syscall.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboskern-f999eb6917e8a7f0.rmeta: crates/oskern/src/lib.rs crates/oskern/src/cgroups.rs crates/oskern/src/ftrace.rs crates/oskern/src/host.rs crates/oskern/src/init.rs crates/oskern/src/kernel_fn.rs crates/oskern/src/namespaces.rs crates/oskern/src/pagecache.rs crates/oskern/src/sched.rs crates/oskern/src/syscall.rs Cargo.toml
+
+crates/oskern/src/lib.rs:
+crates/oskern/src/cgroups.rs:
+crates/oskern/src/ftrace.rs:
+crates/oskern/src/host.rs:
+crates/oskern/src/init.rs:
+crates/oskern/src/kernel_fn.rs:
+crates/oskern/src/namespaces.rs:
+crates/oskern/src/pagecache.rs:
+crates/oskern/src/sched.rs:
+crates/oskern/src/syscall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shape-95b1afee49916f24.d: tests/paper_shape.rs
+
+/root/repo/target/debug/deps/paper_shape-95b1afee49916f24: tests/paper_shape.rs
+
+tests/paper_shape.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/platforms-bc868611a33b5874.d: crates/platforms/src/lib.rs crates/platforms/src/builders/mod.rs crates/platforms/src/builders/containers.rs crates/platforms/src/builders/hypervisors.rs crates/platforms/src/builders/native.rs crates/platforms/src/builders/secure.rs crates/platforms/src/builders/unikernels.rs crates/platforms/src/isolation.rs crates/platforms/src/platform.rs crates/platforms/src/registry.rs crates/platforms/src/subsystems/mod.rs crates/platforms/src/subsystems/cpu.rs crates/platforms/src/subsystems/memory.rs crates/platforms/src/subsystems/network.rs crates/platforms/src/subsystems/startup.rs crates/platforms/src/subsystems/storage.rs crates/platforms/src/syscall_path.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplatforms-bc868611a33b5874.rmeta: crates/platforms/src/lib.rs crates/platforms/src/builders/mod.rs crates/platforms/src/builders/containers.rs crates/platforms/src/builders/hypervisors.rs crates/platforms/src/builders/native.rs crates/platforms/src/builders/secure.rs crates/platforms/src/builders/unikernels.rs crates/platforms/src/isolation.rs crates/platforms/src/platform.rs crates/platforms/src/registry.rs crates/platforms/src/subsystems/mod.rs crates/platforms/src/subsystems/cpu.rs crates/platforms/src/subsystems/memory.rs crates/platforms/src/subsystems/network.rs crates/platforms/src/subsystems/startup.rs crates/platforms/src/subsystems/storage.rs crates/platforms/src/syscall_path.rs Cargo.toml
+
+crates/platforms/src/lib.rs:
+crates/platforms/src/builders/mod.rs:
+crates/platforms/src/builders/containers.rs:
+crates/platforms/src/builders/hypervisors.rs:
+crates/platforms/src/builders/native.rs:
+crates/platforms/src/builders/secure.rs:
+crates/platforms/src/builders/unikernels.rs:
+crates/platforms/src/isolation.rs:
+crates/platforms/src/platform.rs:
+crates/platforms/src/registry.rs:
+crates/platforms/src/subsystems/mod.rs:
+crates/platforms/src/subsystems/cpu.rs:
+crates/platforms/src/subsystems/memory.rs:
+crates/platforms/src/subsystems/network.rs:
+crates/platforms/src/subsystems/startup.rs:
+crates/platforms/src/subsystems/storage.rs:
+crates/platforms/src/syscall_path.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/platforms-cba6753c1ec97028.d: crates/platforms/src/lib.rs crates/platforms/src/builders/mod.rs crates/platforms/src/builders/containers.rs crates/platforms/src/builders/hypervisors.rs crates/platforms/src/builders/native.rs crates/platforms/src/builders/secure.rs crates/platforms/src/builders/unikernels.rs crates/platforms/src/isolation.rs crates/platforms/src/platform.rs crates/platforms/src/registry.rs crates/platforms/src/subsystems/mod.rs crates/platforms/src/subsystems/cpu.rs crates/platforms/src/subsystems/memory.rs crates/platforms/src/subsystems/network.rs crates/platforms/src/subsystems/startup.rs crates/platforms/src/subsystems/storage.rs crates/platforms/src/syscall_path.rs
+
+/root/repo/target/debug/deps/libplatforms-cba6753c1ec97028.rlib: crates/platforms/src/lib.rs crates/platforms/src/builders/mod.rs crates/platforms/src/builders/containers.rs crates/platforms/src/builders/hypervisors.rs crates/platforms/src/builders/native.rs crates/platforms/src/builders/secure.rs crates/platforms/src/builders/unikernels.rs crates/platforms/src/isolation.rs crates/platforms/src/platform.rs crates/platforms/src/registry.rs crates/platforms/src/subsystems/mod.rs crates/platforms/src/subsystems/cpu.rs crates/platforms/src/subsystems/memory.rs crates/platforms/src/subsystems/network.rs crates/platforms/src/subsystems/startup.rs crates/platforms/src/subsystems/storage.rs crates/platforms/src/syscall_path.rs
+
+/root/repo/target/debug/deps/libplatforms-cba6753c1ec97028.rmeta: crates/platforms/src/lib.rs crates/platforms/src/builders/mod.rs crates/platforms/src/builders/containers.rs crates/platforms/src/builders/hypervisors.rs crates/platforms/src/builders/native.rs crates/platforms/src/builders/secure.rs crates/platforms/src/builders/unikernels.rs crates/platforms/src/isolation.rs crates/platforms/src/platform.rs crates/platforms/src/registry.rs crates/platforms/src/subsystems/mod.rs crates/platforms/src/subsystems/cpu.rs crates/platforms/src/subsystems/memory.rs crates/platforms/src/subsystems/network.rs crates/platforms/src/subsystems/startup.rs crates/platforms/src/subsystems/storage.rs crates/platforms/src/syscall_path.rs
+
+crates/platforms/src/lib.rs:
+crates/platforms/src/builders/mod.rs:
+crates/platforms/src/builders/containers.rs:
+crates/platforms/src/builders/hypervisors.rs:
+crates/platforms/src/builders/native.rs:
+crates/platforms/src/builders/secure.rs:
+crates/platforms/src/builders/unikernels.rs:
+crates/platforms/src/isolation.rs:
+crates/platforms/src/platform.rs:
+crates/platforms/src/registry.rs:
+crates/platforms/src/subsystems/mod.rs:
+crates/platforms/src/subsystems/cpu.rs:
+crates/platforms/src/subsystems/memory.rs:
+crates/platforms/src/subsystems/network.rs:
+crates/platforms/src/subsystems/startup.rs:
+crates/platforms/src/subsystems/storage.rs:
+crates/platforms/src/syscall_path.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-09bd4e9610c6a577.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-09bd4e9610c6a577: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-bd5a50c3db301ced.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-bd5a50c3db301ced.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

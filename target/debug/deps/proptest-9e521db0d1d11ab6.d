@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-9e521db0d1d11ab6.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-9e521db0d1d11ab6: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/test_runner.rs:

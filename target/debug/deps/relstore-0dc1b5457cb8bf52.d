@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/relstore-0dc1b5457cb8bf52.d: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/error.rs crates/relstore/src/lock.rs crates/relstore/src/table.rs crates/relstore/src/txn.rs Cargo.toml
+
+/root/repo/target/debug/deps/librelstore-0dc1b5457cb8bf52.rmeta: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/error.rs crates/relstore/src/lock.rs crates/relstore/src/table.rs crates/relstore/src/txn.rs Cargo.toml
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/database.rs:
+crates/relstore/src/error.rs:
+crates/relstore/src/lock.rs:
+crates/relstore/src/table.rs:
+crates/relstore/src/txn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

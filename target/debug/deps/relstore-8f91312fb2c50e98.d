@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/relstore-8f91312fb2c50e98.d: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/error.rs crates/relstore/src/lock.rs crates/relstore/src/table.rs crates/relstore/src/txn.rs
+
+/root/repo/target/debug/deps/relstore-8f91312fb2c50e98: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/error.rs crates/relstore/src/lock.rs crates/relstore/src/table.rs crates/relstore/src/txn.rs
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/database.rs:
+crates/relstore/src/error.rs:
+crates/relstore/src/lock.rs:
+crates/relstore/src/table.rs:
+crates/relstore/src/txn.rs:

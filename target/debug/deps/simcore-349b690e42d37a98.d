@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/simcore-349b690e42d37a98.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/error.rs crates/simcore/src/events.rs crates/simcore/src/resource.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libsimcore-349b690e42d37a98.rlib: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/error.rs crates/simcore/src/events.rs crates/simcore/src/resource.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libsimcore-349b690e42d37a98.rmeta: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/error.rs crates/simcore/src/events.rs crates/simcore/src/resource.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/error.rs:
+crates/simcore/src/events.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/simcore-8cf6586a28e36fea.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/error.rs crates/simcore/src/events.rs crates/simcore/src/resource.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/simcore-8cf6586a28e36fea: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/error.rs crates/simcore/src/events.rs crates/simcore/src/resource.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/error.rs:
+crates/simcore/src/events.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

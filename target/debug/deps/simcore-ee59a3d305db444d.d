@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/simcore-ee59a3d305db444d.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/error.rs crates/simcore/src/events.rs crates/simcore/src/resource.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimcore-ee59a3d305db444d.rmeta: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/error.rs crates/simcore/src/events.rs crates/simcore/src/resource.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs Cargo.toml
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/error.rs:
+crates/simcore/src/events.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

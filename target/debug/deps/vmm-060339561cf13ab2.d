@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vmm-060339561cf13ab2.d: crates/vmm/src/lib.rs crates/vmm/src/boot.rs crates/vmm/src/devices.rs crates/vmm/src/kvm.rs crates/vmm/src/machine.rs crates/vmm/src/vcpu.rs crates/vmm/src/vsock.rs
+
+/root/repo/target/debug/deps/libvmm-060339561cf13ab2.rlib: crates/vmm/src/lib.rs crates/vmm/src/boot.rs crates/vmm/src/devices.rs crates/vmm/src/kvm.rs crates/vmm/src/machine.rs crates/vmm/src/vcpu.rs crates/vmm/src/vsock.rs
+
+/root/repo/target/debug/deps/libvmm-060339561cf13ab2.rmeta: crates/vmm/src/lib.rs crates/vmm/src/boot.rs crates/vmm/src/devices.rs crates/vmm/src/kvm.rs crates/vmm/src/machine.rs crates/vmm/src/vcpu.rs crates/vmm/src/vsock.rs
+
+crates/vmm/src/lib.rs:
+crates/vmm/src/boot.rs:
+crates/vmm/src/devices.rs:
+crates/vmm/src/kvm.rs:
+crates/vmm/src/machine.rs:
+crates/vmm/src/vcpu.rs:
+crates/vmm/src/vsock.rs:

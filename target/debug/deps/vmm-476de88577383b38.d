@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/vmm-476de88577383b38.d: crates/vmm/src/lib.rs crates/vmm/src/boot.rs crates/vmm/src/devices.rs crates/vmm/src/kvm.rs crates/vmm/src/machine.rs crates/vmm/src/vcpu.rs crates/vmm/src/vsock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvmm-476de88577383b38.rmeta: crates/vmm/src/lib.rs crates/vmm/src/boot.rs crates/vmm/src/devices.rs crates/vmm/src/kvm.rs crates/vmm/src/machine.rs crates/vmm/src/vcpu.rs crates/vmm/src/vsock.rs Cargo.toml
+
+crates/vmm/src/lib.rs:
+crates/vmm/src/boot.rs:
+crates/vmm/src/devices.rs:
+crates/vmm/src/kvm.rs:
+crates/vmm/src/machine.rs:
+crates/vmm/src/vcpu.rs:
+crates/vmm/src/vsock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/workloads-26e4a97af6e33c79.d: crates/workloads/src/lib.rs crates/workloads/src/ffmpeg.rs crates/workloads/src/fio.rs crates/workloads/src/iperf.rs crates/workloads/src/netperf.rs crates/workloads/src/startup.rs crates/workloads/src/stream.rs crates/workloads/src/sysbench_cpu.rs crates/workloads/src/sysbench_oltp.rs crates/workloads/src/tinymembench.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/debug/deps/workloads-26e4a97af6e33c79: crates/workloads/src/lib.rs crates/workloads/src/ffmpeg.rs crates/workloads/src/fio.rs crates/workloads/src/iperf.rs crates/workloads/src/netperf.rs crates/workloads/src/startup.rs crates/workloads/src/stream.rs crates/workloads/src/sysbench_cpu.rs crates/workloads/src/sysbench_oltp.rs crates/workloads/src/tinymembench.rs crates/workloads/src/ycsb.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/ffmpeg.rs:
+crates/workloads/src/fio.rs:
+crates/workloads/src/iperf.rs:
+crates/workloads/src/netperf.rs:
+crates/workloads/src/startup.rs:
+crates/workloads/src/stream.rs:
+crates/workloads/src/sysbench_cpu.rs:
+crates/workloads/src/sysbench_oltp.rs:
+crates/workloads/src/tinymembench.rs:
+crates/workloads/src/ycsb.rs:

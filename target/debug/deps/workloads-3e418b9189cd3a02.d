@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/workloads-3e418b9189cd3a02.d: crates/workloads/src/lib.rs crates/workloads/src/ffmpeg.rs crates/workloads/src/fio.rs crates/workloads/src/iperf.rs crates/workloads/src/netperf.rs crates/workloads/src/startup.rs crates/workloads/src/stream.rs crates/workloads/src/sysbench_cpu.rs crates/workloads/src/sysbench_oltp.rs crates/workloads/src/tinymembench.rs crates/workloads/src/ycsb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-3e418b9189cd3a02.rmeta: crates/workloads/src/lib.rs crates/workloads/src/ffmpeg.rs crates/workloads/src/fio.rs crates/workloads/src/iperf.rs crates/workloads/src/netperf.rs crates/workloads/src/startup.rs crates/workloads/src/stream.rs crates/workloads/src/sysbench_cpu.rs crates/workloads/src/sysbench_oltp.rs crates/workloads/src/tinymembench.rs crates/workloads/src/ycsb.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/ffmpeg.rs:
+crates/workloads/src/fio.rs:
+crates/workloads/src/iperf.rs:
+crates/workloads/src/netperf.rs:
+crates/workloads/src/startup.rs:
+crates/workloads/src/stream.rs:
+crates/workloads/src/sysbench_cpu.rs:
+crates/workloads/src/sysbench_oltp.rs:
+crates/workloads/src/tinymembench.rs:
+crates/workloads/src/ycsb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

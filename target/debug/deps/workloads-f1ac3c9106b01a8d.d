@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/workloads-f1ac3c9106b01a8d.d: crates/workloads/src/lib.rs crates/workloads/src/ffmpeg.rs crates/workloads/src/fio.rs crates/workloads/src/iperf.rs crates/workloads/src/netperf.rs crates/workloads/src/startup.rs crates/workloads/src/stream.rs crates/workloads/src/sysbench_cpu.rs crates/workloads/src/sysbench_oltp.rs crates/workloads/src/tinymembench.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/debug/deps/libworkloads-f1ac3c9106b01a8d.rlib: crates/workloads/src/lib.rs crates/workloads/src/ffmpeg.rs crates/workloads/src/fio.rs crates/workloads/src/iperf.rs crates/workloads/src/netperf.rs crates/workloads/src/startup.rs crates/workloads/src/stream.rs crates/workloads/src/sysbench_cpu.rs crates/workloads/src/sysbench_oltp.rs crates/workloads/src/tinymembench.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/debug/deps/libworkloads-f1ac3c9106b01a8d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/ffmpeg.rs crates/workloads/src/fio.rs crates/workloads/src/iperf.rs crates/workloads/src/netperf.rs crates/workloads/src/startup.rs crates/workloads/src/stream.rs crates/workloads/src/sysbench_cpu.rs crates/workloads/src/sysbench_oltp.rs crates/workloads/src/tinymembench.rs crates/workloads/src/ycsb.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/ffmpeg.rs:
+crates/workloads/src/fio.rs:
+crates/workloads/src/iperf.rs:
+crates/workloads/src/netperf.rs:
+crates/workloads/src/startup.rs:
+crates/workloads/src/stream.rs:
+crates/workloads/src/sysbench_cpu.rs:
+crates/workloads/src/sysbench_oltp.rs:
+crates/workloads/src/tinymembench.rs:
+crates/workloads/src/ycsb.rs:

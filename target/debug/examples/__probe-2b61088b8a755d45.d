@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/__probe-2b61088b8a755d45.d: examples/__probe.rs
+
+/root/repo/target/debug/examples/__probe-2b61088b8a755d45: examples/__probe.rs
+
+examples/__probe.rs:

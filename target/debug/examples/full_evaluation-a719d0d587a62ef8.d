@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/full_evaluation-a719d0d587a62ef8.d: examples/full_evaluation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfull_evaluation-a719d0d587a62ef8.rmeta: examples/full_evaluation.rs Cargo.toml
+
+examples/full_evaluation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_evaluation-b2f002ba866fa1f4.d: examples/full_evaluation.rs
+
+/root/repo/target/debug/examples/full_evaluation-b2f002ba866fa1f4: examples/full_evaluation.rs
+
+examples/full_evaluation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hap_audit-b871eb9b78d744ec.d: examples/hap_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhap_audit-b871eb9b78d744ec.rmeta: examples/hap_audit.rs Cargo.toml
+
+examples/hap_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hap_audit-c9c0334d5b455d5c.d: examples/hap_audit.rs
+
+/root/repo/target/debug/examples/hap_audit-c9c0334d5b455d5c: examples/hap_audit.rs
+
+examples/hap_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b8d4f35f50f8a736.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b8d4f35f50f8a736: examples/quickstart.rs
+
+examples/quickstart.rs:

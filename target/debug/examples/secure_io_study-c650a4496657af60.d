@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_io_study-c650a4496657af60.d: examples/secure_io_study.rs
+
+/root/repo/target/debug/examples/secure_io_study-c650a4496657af60: examples/secure_io_study.rs
+
+examples/secure_io_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/secure_io_study-fcb762c91ab479fd.d: examples/secure_io_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsecure_io_study-fcb762c91ab479fd.rmeta: examples/secure_io_study.rs Cargo.toml
+
+examples/secure_io_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/serverless_startup-291eab1a08edf459.d: examples/serverless_startup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserverless_startup-291eab1a08edf459.rmeta: examples/serverless_startup.rs Cargo.toml
+
+examples/serverless_startup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

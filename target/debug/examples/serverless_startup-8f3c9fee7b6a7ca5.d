@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serverless_startup-8f3c9fee7b6a7ca5.d: examples/serverless_startup.rs
+
+/root/repo/target/debug/examples/serverless_startup-8f3c9fee7b6a7ca5: examples/serverless_startup.rs
+
+examples/serverless_startup.rs:

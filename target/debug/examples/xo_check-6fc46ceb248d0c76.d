@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/xo_check-6fc46ceb248d0c76.d: examples/xo_check.rs
+
+/root/repo/target/debug/examples/xo_check-6fc46ceb248d0c76: examples/xo_check.rs
+
+examples/xo_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-468ee2a4d747c3ec.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-468ee2a4d747c3ec: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-94693a8465e09ca8.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/bench-94693a8465e09ca8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

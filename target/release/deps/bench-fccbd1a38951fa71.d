@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-fccbd1a38951fa71.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-fccbd1a38951fa71.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-fccbd1a38951fa71.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

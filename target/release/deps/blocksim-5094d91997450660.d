@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/blocksim-5094d91997450660.d: crates/blocksim/src/lib.rs crates/blocksim/src/device.rs crates/blocksim/src/engine.rs crates/blocksim/src/layers.rs crates/blocksim/src/request.rs crates/blocksim/src/stack.rs
+
+/root/repo/target/release/deps/libblocksim-5094d91997450660.rlib: crates/blocksim/src/lib.rs crates/blocksim/src/device.rs crates/blocksim/src/engine.rs crates/blocksim/src/layers.rs crates/blocksim/src/request.rs crates/blocksim/src/stack.rs
+
+/root/repo/target/release/deps/libblocksim-5094d91997450660.rmeta: crates/blocksim/src/lib.rs crates/blocksim/src/device.rs crates/blocksim/src/engine.rs crates/blocksim/src/layers.rs crates/blocksim/src/request.rs crates/blocksim/src/stack.rs
+
+crates/blocksim/src/lib.rs:
+crates/blocksim/src/device.rs:
+crates/blocksim/src/engine.rs:
+crates/blocksim/src/layers.rs:
+crates/blocksim/src/request.rs:
+crates/blocksim/src/stack.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/blocksim-5dc0bf81b0cf6264.d: crates/blocksim/src/lib.rs crates/blocksim/src/device.rs crates/blocksim/src/engine.rs crates/blocksim/src/layers.rs crates/blocksim/src/request.rs crates/blocksim/src/stack.rs
+
+/root/repo/target/release/deps/libblocksim-5dc0bf81b0cf6264.rlib: crates/blocksim/src/lib.rs crates/blocksim/src/device.rs crates/blocksim/src/engine.rs crates/blocksim/src/layers.rs crates/blocksim/src/request.rs crates/blocksim/src/stack.rs
+
+/root/repo/target/release/deps/libblocksim-5dc0bf81b0cf6264.rmeta: crates/blocksim/src/lib.rs crates/blocksim/src/device.rs crates/blocksim/src/engine.rs crates/blocksim/src/layers.rs crates/blocksim/src/request.rs crates/blocksim/src/stack.rs
+
+crates/blocksim/src/lib.rs:
+crates/blocksim/src/device.rs:
+crates/blocksim/src/engine.rs:
+crates/blocksim/src/layers.rs:
+crates/blocksim/src/request.rs:
+crates/blocksim/src/stack.rs:

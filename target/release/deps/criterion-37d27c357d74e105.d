@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-37d27c357d74e105.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-37d27c357d74e105.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-37d27c357d74e105.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-a71cbf124a3712aa.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-a71cbf124a3712aa: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

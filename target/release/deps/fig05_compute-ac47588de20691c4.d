@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_compute-ac47588de20691c4.d: crates/bench/benches/fig05_compute.rs
+
+/root/repo/target/release/deps/fig05_compute-ac47588de20691c4: crates/bench/benches/fig05_compute.rs
+
+crates/bench/benches/fig05_compute.rs:

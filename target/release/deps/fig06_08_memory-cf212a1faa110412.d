@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_08_memory-cf212a1faa110412.d: crates/bench/benches/fig06_08_memory.rs
+
+/root/repo/target/release/deps/fig06_08_memory-cf212a1faa110412: crates/bench/benches/fig06_08_memory.rs
+
+crates/bench/benches/fig06_08_memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_10_fio-e5cc92aaab69eced.d: crates/bench/benches/fig09_10_fio.rs
+
+/root/repo/target/release/deps/fig09_10_fio-e5cc92aaab69eced: crates/bench/benches/fig09_10_fio.rs
+
+crates/bench/benches/fig09_10_fio.rs:

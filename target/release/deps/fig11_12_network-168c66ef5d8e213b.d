@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_12_network-168c66ef5d8e213b.d: crates/bench/benches/fig11_12_network.rs
+
+/root/repo/target/release/deps/fig11_12_network-168c66ef5d8e213b: crates/bench/benches/fig11_12_network.rs
+
+crates/bench/benches/fig11_12_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_15_startup-c9325773dd2878f4.d: crates/bench/benches/fig13_15_startup.rs
+
+/root/repo/target/release/deps/fig13_15_startup-c9325773dd2878f4: crates/bench/benches/fig13_15_startup.rs
+
+crates/bench/benches/fig13_15_startup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_memcached-3fdb69c08630a18d.d: crates/bench/benches/fig16_memcached.rs
+
+/root/repo/target/release/deps/fig16_memcached-3fdb69c08630a18d: crates/bench/benches/fig16_memcached.rs
+
+crates/bench/benches/fig16_memcached.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_mysql-a3560a5356aa0957.d: crates/bench/benches/fig17_mysql.rs
+
+/root/repo/target/release/deps/fig17_mysql-a3560a5356aa0957: crates/bench/benches/fig17_mysql.rs
+
+crates/bench/benches/fig17_mysql.rs:

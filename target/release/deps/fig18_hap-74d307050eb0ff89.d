@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_hap-74d307050eb0ff89.d: crates/bench/benches/fig18_hap.rs
+
+/root/repo/target/release/deps/fig18_hap-74d307050eb0ff89: crates/bench/benches/fig18_hap.rs
+
+crates/bench/benches/fig18_hap.rs:

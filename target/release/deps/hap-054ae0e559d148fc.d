@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hap-054ae0e559d148fc.d: crates/hap/src/lib.rs crates/hap/src/epss.rs crates/hap/src/score.rs crates/hap/src/suite.rs
+
+/root/repo/target/release/deps/hap-054ae0e559d148fc: crates/hap/src/lib.rs crates/hap/src/epss.rs crates/hap/src/score.rs crates/hap/src/suite.rs
+
+crates/hap/src/lib.rs:
+crates/hap/src/epss.rs:
+crates/hap/src/score.rs:
+crates/hap/src/suite.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hap-1992dc8b6573eaba.d: crates/hap/src/lib.rs crates/hap/src/epss.rs crates/hap/src/score.rs crates/hap/src/suite.rs
+
+/root/repo/target/release/deps/libhap-1992dc8b6573eaba.rlib: crates/hap/src/lib.rs crates/hap/src/epss.rs crates/hap/src/score.rs crates/hap/src/suite.rs
+
+/root/repo/target/release/deps/libhap-1992dc8b6573eaba.rmeta: crates/hap/src/lib.rs crates/hap/src/epss.rs crates/hap/src/score.rs crates/hap/src/suite.rs
+
+crates/hap/src/lib.rs:
+crates/hap/src/epss.rs:
+crates/hap/src/score.rs:
+crates/hap/src/suite.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hap-313c99782a369342.d: crates/hap/src/lib.rs crates/hap/src/epss.rs crates/hap/src/score.rs crates/hap/src/suite.rs
+
+/root/repo/target/release/deps/libhap-313c99782a369342.rlib: crates/hap/src/lib.rs crates/hap/src/epss.rs crates/hap/src/score.rs crates/hap/src/suite.rs
+
+/root/repo/target/release/deps/libhap-313c99782a369342.rmeta: crates/hap/src/lib.rs crates/hap/src/epss.rs crates/hap/src/score.rs crates/hap/src/suite.rs
+
+crates/hap/src/lib.rs:
+crates/hap/src/epss.rs:
+crates/hap/src/score.rs:
+crates/hap/src/suite.rs:

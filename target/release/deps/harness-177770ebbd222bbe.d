@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/harness-177770ebbd222bbe.d: crates/harness/src/lib.rs crates/harness/src/config.rs crates/harness/src/experiment.rs crates/harness/src/figures.rs crates/harness/src/findings.rs crates/harness/src/report.rs
+
+/root/repo/target/release/deps/harness-177770ebbd222bbe: crates/harness/src/lib.rs crates/harness/src/config.rs crates/harness/src/experiment.rs crates/harness/src/figures.rs crates/harness/src/findings.rs crates/harness/src/report.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/config.rs:
+crates/harness/src/experiment.rs:
+crates/harness/src/figures.rs:
+crates/harness/src/findings.rs:
+crates/harness/src/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/harness-9d7154ee8211d2ce.d: crates/harness/src/lib.rs crates/harness/src/config.rs crates/harness/src/experiment.rs crates/harness/src/figures.rs crates/harness/src/findings.rs crates/harness/src/report.rs
+
+/root/repo/target/release/deps/libharness-9d7154ee8211d2ce.rlib: crates/harness/src/lib.rs crates/harness/src/config.rs crates/harness/src/experiment.rs crates/harness/src/figures.rs crates/harness/src/findings.rs crates/harness/src/report.rs
+
+/root/repo/target/release/deps/libharness-9d7154ee8211d2ce.rmeta: crates/harness/src/lib.rs crates/harness/src/config.rs crates/harness/src/experiment.rs crates/harness/src/figures.rs crates/harness/src/findings.rs crates/harness/src/report.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/config.rs:
+crates/harness/src/experiment.rs:
+crates/harness/src/figures.rs:
+crates/harness/src/findings.rs:
+crates/harness/src/report.rs:

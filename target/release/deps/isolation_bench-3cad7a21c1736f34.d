@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/isolation_bench-3cad7a21c1736f34.d: src/lib.rs
+
+/root/repo/target/release/deps/libisolation_bench-3cad7a21c1736f34.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libisolation_bench-3cad7a21c1736f34.rmeta: src/lib.rs
+
+src/lib.rs:

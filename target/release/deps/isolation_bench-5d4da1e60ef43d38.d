@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/isolation_bench-5d4da1e60ef43d38.d: src/lib.rs
+
+/root/repo/target/release/deps/isolation_bench-5d4da1e60ef43d38: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/kvstore-a4f81bed381d057a.d: crates/kvstore/src/lib.rs crates/kvstore/src/protocol.rs crates/kvstore/src/shard.rs crates/kvstore/src/store.rs
+
+/root/repo/target/release/deps/libkvstore-a4f81bed381d057a.rlib: crates/kvstore/src/lib.rs crates/kvstore/src/protocol.rs crates/kvstore/src/shard.rs crates/kvstore/src/store.rs
+
+/root/repo/target/release/deps/libkvstore-a4f81bed381d057a.rmeta: crates/kvstore/src/lib.rs crates/kvstore/src/protocol.rs crates/kvstore/src/shard.rs crates/kvstore/src/store.rs
+
+crates/kvstore/src/lib.rs:
+crates/kvstore/src/protocol.rs:
+crates/kvstore/src/shard.rs:
+crates/kvstore/src/store.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/kvstore-a888a21a5ab3a0ce.d: crates/kvstore/src/lib.rs crates/kvstore/src/protocol.rs crates/kvstore/src/shard.rs crates/kvstore/src/store.rs
+
+/root/repo/target/release/deps/libkvstore-a888a21a5ab3a0ce.rlib: crates/kvstore/src/lib.rs crates/kvstore/src/protocol.rs crates/kvstore/src/shard.rs crates/kvstore/src/store.rs
+
+/root/repo/target/release/deps/libkvstore-a888a21a5ab3a0ce.rmeta: crates/kvstore/src/lib.rs crates/kvstore/src/protocol.rs crates/kvstore/src/shard.rs crates/kvstore/src/store.rs
+
+crates/kvstore/src/lib.rs:
+crates/kvstore/src/protocol.rs:
+crates/kvstore/src/shard.rs:
+crates/kvstore/src/store.rs:

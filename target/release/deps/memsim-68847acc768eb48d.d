@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/memsim-68847acc768eb48d.d: crates/memsim/src/lib.rs crates/memsim/src/bandwidth.rs crates/memsim/src/config.rs crates/memsim/src/features.rs crates/memsim/src/latency.rs crates/memsim/src/paging.rs crates/memsim/src/tlb.rs
+
+/root/repo/target/release/deps/memsim-68847acc768eb48d: crates/memsim/src/lib.rs crates/memsim/src/bandwidth.rs crates/memsim/src/config.rs crates/memsim/src/features.rs crates/memsim/src/latency.rs crates/memsim/src/paging.rs crates/memsim/src/tlb.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/bandwidth.rs:
+crates/memsim/src/config.rs:
+crates/memsim/src/features.rs:
+crates/memsim/src/latency.rs:
+crates/memsim/src/paging.rs:
+crates/memsim/src/tlb.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/memsim-979c6b35ef93acaa.d: crates/memsim/src/lib.rs crates/memsim/src/bandwidth.rs crates/memsim/src/config.rs crates/memsim/src/features.rs crates/memsim/src/latency.rs crates/memsim/src/paging.rs crates/memsim/src/tlb.rs
+
+/root/repo/target/release/deps/libmemsim-979c6b35ef93acaa.rlib: crates/memsim/src/lib.rs crates/memsim/src/bandwidth.rs crates/memsim/src/config.rs crates/memsim/src/features.rs crates/memsim/src/latency.rs crates/memsim/src/paging.rs crates/memsim/src/tlb.rs
+
+/root/repo/target/release/deps/libmemsim-979c6b35ef93acaa.rmeta: crates/memsim/src/lib.rs crates/memsim/src/bandwidth.rs crates/memsim/src/config.rs crates/memsim/src/features.rs crates/memsim/src/latency.rs crates/memsim/src/paging.rs crates/memsim/src/tlb.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/bandwidth.rs:
+crates/memsim/src/config.rs:
+crates/memsim/src/features.rs:
+crates/memsim/src/latency.rs:
+crates/memsim/src/paging.rs:
+crates/memsim/src/tlb.rs:

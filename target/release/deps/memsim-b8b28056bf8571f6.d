@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/memsim-b8b28056bf8571f6.d: crates/memsim/src/lib.rs crates/memsim/src/bandwidth.rs crates/memsim/src/config.rs crates/memsim/src/features.rs crates/memsim/src/latency.rs crates/memsim/src/paging.rs crates/memsim/src/tlb.rs
+
+/root/repo/target/release/deps/libmemsim-b8b28056bf8571f6.rlib: crates/memsim/src/lib.rs crates/memsim/src/bandwidth.rs crates/memsim/src/config.rs crates/memsim/src/features.rs crates/memsim/src/latency.rs crates/memsim/src/paging.rs crates/memsim/src/tlb.rs
+
+/root/repo/target/release/deps/libmemsim-b8b28056bf8571f6.rmeta: crates/memsim/src/lib.rs crates/memsim/src/bandwidth.rs crates/memsim/src/config.rs crates/memsim/src/features.rs crates/memsim/src/latency.rs crates/memsim/src/paging.rs crates/memsim/src/tlb.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/bandwidth.rs:
+crates/memsim/src/config.rs:
+crates/memsim/src/features.rs:
+crates/memsim/src/latency.rs:
+crates/memsim/src/paging.rs:
+crates/memsim/src/tlb.rs:

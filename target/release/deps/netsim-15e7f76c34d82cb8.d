@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/netsim-15e7f76c34d82cb8.d: crates/netsim/src/lib.rs crates/netsim/src/component.rs crates/netsim/src/path.rs
+
+/root/repo/target/release/deps/libnetsim-15e7f76c34d82cb8.rlib: crates/netsim/src/lib.rs crates/netsim/src/component.rs crates/netsim/src/path.rs
+
+/root/repo/target/release/deps/libnetsim-15e7f76c34d82cb8.rmeta: crates/netsim/src/lib.rs crates/netsim/src/component.rs crates/netsim/src/path.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/component.rs:
+crates/netsim/src/path.rs:

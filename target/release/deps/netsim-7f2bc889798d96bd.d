@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/netsim-7f2bc889798d96bd.d: crates/netsim/src/lib.rs crates/netsim/src/component.rs crates/netsim/src/path.rs
+
+/root/repo/target/release/deps/libnetsim-7f2bc889798d96bd.rlib: crates/netsim/src/lib.rs crates/netsim/src/component.rs crates/netsim/src/path.rs
+
+/root/repo/target/release/deps/libnetsim-7f2bc889798d96bd.rmeta: crates/netsim/src/lib.rs crates/netsim/src/component.rs crates/netsim/src/path.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/component.rs:
+crates/netsim/src/path.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/netsim-f69d3b1aa2bb8a25.d: crates/netsim/src/lib.rs crates/netsim/src/component.rs crates/netsim/src/path.rs
+
+/root/repo/target/release/deps/netsim-f69d3b1aa2bb8a25: crates/netsim/src/lib.rs crates/netsim/src/component.rs crates/netsim/src/path.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/component.rs:
+crates/netsim/src/path.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/oskern-75bd8d9ee05f1a4d.d: crates/oskern/src/lib.rs crates/oskern/src/cgroups.rs crates/oskern/src/ftrace.rs crates/oskern/src/host.rs crates/oskern/src/init.rs crates/oskern/src/kernel_fn.rs crates/oskern/src/namespaces.rs crates/oskern/src/pagecache.rs crates/oskern/src/sched.rs crates/oskern/src/syscall.rs
+
+/root/repo/target/release/deps/oskern-75bd8d9ee05f1a4d: crates/oskern/src/lib.rs crates/oskern/src/cgroups.rs crates/oskern/src/ftrace.rs crates/oskern/src/host.rs crates/oskern/src/init.rs crates/oskern/src/kernel_fn.rs crates/oskern/src/namespaces.rs crates/oskern/src/pagecache.rs crates/oskern/src/sched.rs crates/oskern/src/syscall.rs
+
+crates/oskern/src/lib.rs:
+crates/oskern/src/cgroups.rs:
+crates/oskern/src/ftrace.rs:
+crates/oskern/src/host.rs:
+crates/oskern/src/init.rs:
+crates/oskern/src/kernel_fn.rs:
+crates/oskern/src/namespaces.rs:
+crates/oskern/src/pagecache.rs:
+crates/oskern/src/sched.rs:
+crates/oskern/src/syscall.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/oskern-b6e18180861b6dbe.d: crates/oskern/src/lib.rs crates/oskern/src/cgroups.rs crates/oskern/src/ftrace.rs crates/oskern/src/host.rs crates/oskern/src/init.rs crates/oskern/src/kernel_fn.rs crates/oskern/src/namespaces.rs crates/oskern/src/pagecache.rs crates/oskern/src/sched.rs crates/oskern/src/syscall.rs
+
+/root/repo/target/release/deps/liboskern-b6e18180861b6dbe.rlib: crates/oskern/src/lib.rs crates/oskern/src/cgroups.rs crates/oskern/src/ftrace.rs crates/oskern/src/host.rs crates/oskern/src/init.rs crates/oskern/src/kernel_fn.rs crates/oskern/src/namespaces.rs crates/oskern/src/pagecache.rs crates/oskern/src/sched.rs crates/oskern/src/syscall.rs
+
+/root/repo/target/release/deps/liboskern-b6e18180861b6dbe.rmeta: crates/oskern/src/lib.rs crates/oskern/src/cgroups.rs crates/oskern/src/ftrace.rs crates/oskern/src/host.rs crates/oskern/src/init.rs crates/oskern/src/kernel_fn.rs crates/oskern/src/namespaces.rs crates/oskern/src/pagecache.rs crates/oskern/src/sched.rs crates/oskern/src/syscall.rs
+
+crates/oskern/src/lib.rs:
+crates/oskern/src/cgroups.rs:
+crates/oskern/src/ftrace.rs:
+crates/oskern/src/host.rs:
+crates/oskern/src/init.rs:
+crates/oskern/src/kernel_fn.rs:
+crates/oskern/src/namespaces.rs:
+crates/oskern/src/pagecache.rs:
+crates/oskern/src/sched.rs:
+crates/oskern/src/syscall.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-c8c9784d172bcedc.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-c8c9784d172bcedc: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

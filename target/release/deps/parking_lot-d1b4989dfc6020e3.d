@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-d1b4989dfc6020e3.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-d1b4989dfc6020e3.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-d1b4989dfc6020e3.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-e78dee6c4bee47d8.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e78dee6c4bee47d8.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e78dee6c4bee47d8.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/relstore-0190ecca3b1fb9b6.d: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/error.rs crates/relstore/src/lock.rs crates/relstore/src/table.rs crates/relstore/src/txn.rs
+
+/root/repo/target/release/deps/relstore-0190ecca3b1fb9b6: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/error.rs crates/relstore/src/lock.rs crates/relstore/src/table.rs crates/relstore/src/txn.rs
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/database.rs:
+crates/relstore/src/error.rs:
+crates/relstore/src/lock.rs:
+crates/relstore/src/table.rs:
+crates/relstore/src/txn.rs:

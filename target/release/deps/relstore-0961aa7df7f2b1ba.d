@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/relstore-0961aa7df7f2b1ba.d: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/error.rs crates/relstore/src/lock.rs crates/relstore/src/table.rs crates/relstore/src/txn.rs
+
+/root/repo/target/release/deps/librelstore-0961aa7df7f2b1ba.rlib: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/error.rs crates/relstore/src/lock.rs crates/relstore/src/table.rs crates/relstore/src/txn.rs
+
+/root/repo/target/release/deps/librelstore-0961aa7df7f2b1ba.rmeta: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/error.rs crates/relstore/src/lock.rs crates/relstore/src/table.rs crates/relstore/src/txn.rs
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/database.rs:
+crates/relstore/src/error.rs:
+crates/relstore/src/lock.rs:
+crates/relstore/src/table.rs:
+crates/relstore/src/txn.rs:

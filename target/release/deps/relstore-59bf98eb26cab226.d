@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/relstore-59bf98eb26cab226.d: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/error.rs crates/relstore/src/lock.rs crates/relstore/src/table.rs crates/relstore/src/txn.rs
+
+/root/repo/target/release/deps/librelstore-59bf98eb26cab226.rlib: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/error.rs crates/relstore/src/lock.rs crates/relstore/src/table.rs crates/relstore/src/txn.rs
+
+/root/repo/target/release/deps/librelstore-59bf98eb26cab226.rmeta: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/error.rs crates/relstore/src/lock.rs crates/relstore/src/table.rs crates/relstore/src/txn.rs
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/database.rs:
+crates/relstore/src/error.rs:
+crates/relstore/src/lock.rs:
+crates/relstore/src/table.rs:
+crates/relstore/src/txn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-4cadf6a2cfa78499.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-4cadf6a2cfa78499: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

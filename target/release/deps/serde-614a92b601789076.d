@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-614a92b601789076.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-614a92b601789076.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-614a92b601789076.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

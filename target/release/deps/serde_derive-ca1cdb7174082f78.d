@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-ca1cdb7174082f78.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-ca1cdb7174082f78.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-f088fff0aa7fa8be.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-f088fff0aa7fa8be: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/simcore-5a7ca256a7143874.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/error.rs crates/simcore/src/events.rs crates/simcore/src/resource.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/libsimcore-5a7ca256a7143874.rlib: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/error.rs crates/simcore/src/events.rs crates/simcore/src/resource.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/libsimcore-5a7ca256a7143874.rmeta: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/error.rs crates/simcore/src/events.rs crates/simcore/src/resource.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/error.rs:
+crates/simcore/src/events.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/vmm-b53e899e0301f418.d: crates/vmm/src/lib.rs crates/vmm/src/boot.rs crates/vmm/src/devices.rs crates/vmm/src/kvm.rs crates/vmm/src/machine.rs crates/vmm/src/vcpu.rs crates/vmm/src/vsock.rs
+
+/root/repo/target/release/deps/libvmm-b53e899e0301f418.rlib: crates/vmm/src/lib.rs crates/vmm/src/boot.rs crates/vmm/src/devices.rs crates/vmm/src/kvm.rs crates/vmm/src/machine.rs crates/vmm/src/vcpu.rs crates/vmm/src/vsock.rs
+
+/root/repo/target/release/deps/libvmm-b53e899e0301f418.rmeta: crates/vmm/src/lib.rs crates/vmm/src/boot.rs crates/vmm/src/devices.rs crates/vmm/src/kvm.rs crates/vmm/src/machine.rs crates/vmm/src/vcpu.rs crates/vmm/src/vsock.rs
+
+crates/vmm/src/lib.rs:
+crates/vmm/src/boot.rs:
+crates/vmm/src/devices.rs:
+crates/vmm/src/kvm.rs:
+crates/vmm/src/machine.rs:
+crates/vmm/src/vcpu.rs:
+crates/vmm/src/vsock.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vmm-fa5abbc66b0cd18c.d: crates/vmm/src/lib.rs crates/vmm/src/boot.rs crates/vmm/src/devices.rs crates/vmm/src/kvm.rs crates/vmm/src/machine.rs crates/vmm/src/vcpu.rs crates/vmm/src/vsock.rs
+
+/root/repo/target/release/deps/vmm-fa5abbc66b0cd18c: crates/vmm/src/lib.rs crates/vmm/src/boot.rs crates/vmm/src/devices.rs crates/vmm/src/kvm.rs crates/vmm/src/machine.rs crates/vmm/src/vcpu.rs crates/vmm/src/vsock.rs
+
+crates/vmm/src/lib.rs:
+crates/vmm/src/boot.rs:
+crates/vmm/src/devices.rs:
+crates/vmm/src/kvm.rs:
+crates/vmm/src/machine.rs:
+crates/vmm/src/vcpu.rs:
+crates/vmm/src/vsock.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/workloads-5bcd12c8ebbc1500.d: crates/workloads/src/lib.rs crates/workloads/src/ffmpeg.rs crates/workloads/src/fio.rs crates/workloads/src/iperf.rs crates/workloads/src/netperf.rs crates/workloads/src/startup.rs crates/workloads/src/stream.rs crates/workloads/src/sysbench_cpu.rs crates/workloads/src/sysbench_oltp.rs crates/workloads/src/tinymembench.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/release/deps/libworkloads-5bcd12c8ebbc1500.rlib: crates/workloads/src/lib.rs crates/workloads/src/ffmpeg.rs crates/workloads/src/fio.rs crates/workloads/src/iperf.rs crates/workloads/src/netperf.rs crates/workloads/src/startup.rs crates/workloads/src/stream.rs crates/workloads/src/sysbench_cpu.rs crates/workloads/src/sysbench_oltp.rs crates/workloads/src/tinymembench.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/release/deps/libworkloads-5bcd12c8ebbc1500.rmeta: crates/workloads/src/lib.rs crates/workloads/src/ffmpeg.rs crates/workloads/src/fio.rs crates/workloads/src/iperf.rs crates/workloads/src/netperf.rs crates/workloads/src/startup.rs crates/workloads/src/stream.rs crates/workloads/src/sysbench_cpu.rs crates/workloads/src/sysbench_oltp.rs crates/workloads/src/tinymembench.rs crates/workloads/src/ycsb.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/ffmpeg.rs:
+crates/workloads/src/fio.rs:
+crates/workloads/src/iperf.rs:
+crates/workloads/src/netperf.rs:
+crates/workloads/src/startup.rs:
+crates/workloads/src/stream.rs:
+crates/workloads/src/sysbench_cpu.rs:
+crates/workloads/src/sysbench_oltp.rs:
+crates/workloads/src/tinymembench.rs:
+crates/workloads/src/ycsb.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/workloads-fe329fd1a826a49e.d: crates/workloads/src/lib.rs crates/workloads/src/ffmpeg.rs crates/workloads/src/fio.rs crates/workloads/src/iperf.rs crates/workloads/src/netperf.rs crates/workloads/src/startup.rs crates/workloads/src/stream.rs crates/workloads/src/sysbench_cpu.rs crates/workloads/src/sysbench_oltp.rs crates/workloads/src/tinymembench.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/release/deps/workloads-fe329fd1a826a49e: crates/workloads/src/lib.rs crates/workloads/src/ffmpeg.rs crates/workloads/src/fio.rs crates/workloads/src/iperf.rs crates/workloads/src/netperf.rs crates/workloads/src/startup.rs crates/workloads/src/stream.rs crates/workloads/src/sysbench_cpu.rs crates/workloads/src/sysbench_oltp.rs crates/workloads/src/tinymembench.rs crates/workloads/src/ycsb.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/ffmpeg.rs:
+crates/workloads/src/fio.rs:
+crates/workloads/src/iperf.rs:
+crates/workloads/src/netperf.rs:
+crates/workloads/src/startup.rs:
+crates/workloads/src/stream.rs:
+crates/workloads/src/sysbench_cpu.rs:
+crates/workloads/src/sysbench_oltp.rs:
+crates/workloads/src/tinymembench.rs:
+crates/workloads/src/ycsb.rs:

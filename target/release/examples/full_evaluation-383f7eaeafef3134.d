@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/full_evaluation-383f7eaeafef3134.d: examples/full_evaluation.rs
+
+/root/repo/target/release/examples/full_evaluation-383f7eaeafef3134: examples/full_evaluation.rs
+
+examples/full_evaluation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hap_audit-9516e5eceb065e0e.d: examples/hap_audit.rs
+
+/root/repo/target/release/examples/hap_audit-9516e5eceb065e0e: examples/hap_audit.rs
+
+examples/hap_audit.rs:

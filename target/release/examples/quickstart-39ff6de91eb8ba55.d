@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-39ff6de91eb8ba55.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-39ff6de91eb8ba55: examples/quickstart.rs
+
+examples/quickstart.rs:

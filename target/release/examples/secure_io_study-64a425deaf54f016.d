@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/secure_io_study-64a425deaf54f016.d: examples/secure_io_study.rs
+
+/root/repo/target/release/examples/secure_io_study-64a425deaf54f016: examples/secure_io_study.rs
+
+examples/secure_io_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serverless_startup-e61c64fc7eca1cad.d: examples/serverless_startup.rs
+
+/root/repo/target/release/examples/serverless_startup-e61c64fc7eca1cad: examples/serverless_startup.rs
+
+examples/serverless_startup.rs:
