@@ -1,0 +1,101 @@
+//! Machine-readable full-grid bench runner.
+//!
+//! Runs the whole evaluation grid twice — serially (1 worker) and with N
+//! workers — and writes `BENCH_full_grid.json` with per-experiment
+//! wall-clock numbers, seeding the repo's performance trajectory. Exits
+//! non-zero if any experiment cell is missing from the report, so CI can
+//! gate on grid completeness.
+//!
+//! Run with: `cargo run --release -p bench --bin full_grid`
+//!
+//! Flags:
+//! * `--paper` — full-scale configuration (default is quick)
+//! * `--workers N` — parallel worker count (default: available parallelism)
+//! * `--trials N` — override every experiment's trial count
+//! * `--out PATH` — output path (default `BENCH_full_grid.json`)
+
+use harness::cli::{flag_value, parse_count};
+use harness::{report, Executor, ExperimentId, RunConfig, RunPlan};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper_scale = args.iter().any(|a| a == "--paper");
+    let mode = if paper_scale { "paper" } else { "quick" };
+    let cfg = if paper_scale {
+        RunConfig::paper(2021)
+    } else {
+        RunConfig::quick(2021)
+    };
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_full_grid.json".into());
+
+    let mut plan = RunPlan::new(cfg);
+    if let Some(trials) = parse_count(&args, "--trials") {
+        plan = plan.with_trials(trials);
+    }
+    let workers = parse_count(&args, "--workers").unwrap_or(0);
+
+    let serial_plan = plan.clone().with_workers(1);
+    let parallel_plan = plan.with_workers(workers);
+    let parallel_workers = parallel_plan.effective_workers();
+
+    eprintln!(
+        "full_grid: serial pass (1 worker, {mode} mode, seed {})",
+        cfg.seed
+    );
+    let serial = Executor::new(serial_plan).run();
+    eprintln!(
+        "full_grid: parallel pass ({parallel_workers} workers); serial took {:.0} ms",
+        serial.wall.as_secs_f64() * 1e3
+    );
+    let parallel = Executor::new(parallel_plan).run();
+
+    let json = report::full_grid_json(mode, cfg.seed, &serial, &parallel);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+
+    println!("| experiment | cells | serial (ms) | {parallel_workers} workers (ms) |");
+    println!("|---|---|---|---|");
+    for timing in &serial.timings {
+        let parallel_ms = parallel
+            .timings
+            .iter()
+            .find(|t| t.experiment == timing.experiment)
+            .map(|t| t.cell_time.as_secs_f64() * 1e3)
+            .unwrap_or(0.0);
+        println!(
+            "| {} | {} | {:.1} | {:.1} |",
+            timing.experiment.slug(),
+            timing.cells,
+            timing.cell_time.as_secs_f64() * 1e3,
+            parallel_ms,
+        );
+    }
+    println!(
+        "\nwall clock: serial {:.0} ms, {parallel_workers} workers {:.0} ms ({:.2}x); report: {out_path}",
+        serial.wall.as_secs_f64() * 1e3,
+        parallel.wall.as_secs_f64() * 1e3,
+        serial.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9),
+    );
+
+    // Completeness gate: every experiment of the evaluation must be in the
+    // report with a full cell complement and non-empty figure data.
+    let mut missing = Vec::new();
+    for experiment in ExperimentId::all() {
+        for (label, run) in [("serial", &serial), ("parallel", &parallel)] {
+            let timing = run.timings.iter().find(|t| t.experiment == *experiment);
+            let ok = timing.is_some_and(|t| t.cells > 0)
+                && run.figure(*experiment).is_some_and(|fig| {
+                    !fig.series.is_empty() && fig.series.iter().any(|s| !s.points.is_empty())
+                });
+            if !ok {
+                missing.push(format!("{} ({label})", experiment.slug()));
+            }
+        }
+    }
+    if !missing.is_empty() {
+        eprintln!(
+            "full_grid: missing experiment cells: {}",
+            missing.join(", ")
+        );
+        std::process::exit(1);
+    }
+}

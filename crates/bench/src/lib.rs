@@ -2,7 +2,11 @@
 //!
 //! Each bench target regenerates one (or a small group of) paper figures
 //! and prints the resulting table, so `cargo bench` both measures the
-//! harness and emits the reproduced rows/series.
+//! harness and emits the reproduced rows/series. Figure generation goes
+//! through the harness's cell grid — the same path the parallel executor
+//! shards — so bench output is bit-identical to every other run mode.
+//! The `full_grid` binary (`cargo run -p bench --bin full_grid`) runs the
+//! whole grid serial and parallel and emits `BENCH_full_grid.json`.
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,74 @@
+//! Tiny flag-parsing helpers shared by the runnable surfaces (the
+//! `full_evaluation` example and the `full_grid` bench runner).
+
+/// Returns the value following the flag `name`.
+///
+/// # Panics
+///
+/// Panics if the flag is present but no value follows it — trailing, or
+/// directly followed by another `--flag` — so a forgotten value fails
+/// loudly instead of being silently ignored or misparsed.
+pub fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).map(|i| {
+        let value = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("{name} expects a value"));
+        if value.starts_with("--") {
+            panic!("{name} expects a value, found flag {value:?}");
+        }
+        value.clone()
+    })
+}
+
+/// Returns the numeric value following the flag `name`.
+///
+/// # Panics
+///
+/// Panics if the flag is present without a value or with a non-numeric
+/// one.
+pub fn parse_count(args: &[String], name: &str) -> Option<usize> {
+    flag_value(args, name).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("{name} expects a number, got {v:?}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn absent_flags_yield_none() {
+        assert_eq!(flag_value(&args(&["--paper"]), "--shard"), None);
+        assert_eq!(parse_count(&args(&[]), "--workers"), None);
+    }
+
+    #[test]
+    fn present_flags_yield_their_value() {
+        let a = args(&["--shard", "boot", "--workers", "8"]);
+        assert_eq!(flag_value(&a, "--shard").as_deref(), Some("boot"));
+        assert_eq!(parse_count(&a, "--workers"), Some(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "--shard expects a value")]
+    fn a_trailing_flag_panics_instead_of_being_ignored() {
+        flag_value(&args(&["--paper", "--shard"]), "--shard");
+    }
+
+    #[test]
+    #[should_panic(expected = "--workers expects a number")]
+    fn a_non_numeric_count_panics() {
+        parse_count(&args(&["--workers", "many"]), "--workers");
+    }
+
+    #[test]
+    #[should_panic(expected = "--shard expects a value, found flag")]
+    fn a_flag_is_not_swallowed_as_a_value() {
+        flag_value(&args(&["--shard", "--workers", "8"]), "--shard");
+    }
+}

@@ -1,43 +1,27 @@
-//! One generator function per paper figure.
-
-use memsim::bandwidth::CopyMethod;
-use platforms::subsystems::startup::StartupVariant;
-use platforms::{Platform, PlatformId};
-use simcore::SimRng;
-
-use hap::HapSuite;
-use workloads::{
-    FfmpegBenchmark, FioBenchmark, IperfBenchmark, NetperfBenchmark, OltpBenchmark,
-    StartupBenchmark, StreamBenchmark, SysbenchCpuBenchmark, TinymembenchBenchmark, YcsbBenchmark,
-};
+//! Figure generation: the serial walk over the experiment grid.
+//!
+//! Every figure is generated from the cell decomposition in
+//! [`crate::grid`]: the experiment's canonical platform entries × trials,
+//! each with an independently derived random stream, merged back in
+//! canonical order. Because the cells are stateless, this serial path
+//! produces exactly the same bytes as the parallel
+//! [`crate::executor::Executor`] for any worker count.
 
 use crate::config::RunConfig;
-use crate::experiment::{DataPoint, ExperimentId, FigureData, Series};
-
-fn platform_rng(cfg: &RunConfig, experiment: ExperimentId, platform: &Platform) -> SimRng {
-    let mut root = SimRng::seed_from(cfg.seed);
-    root.split(&format!("{}:{}", experiment.slug(), platform.name()))
-}
+use crate::experiment::{ExperimentId, FigureData};
+use crate::grid;
 
 /// Runs a single experiment and returns its figure data.
 pub fn run(experiment: ExperimentId, cfg: &RunConfig) -> FigureData {
-    match experiment {
-        ExperimentId::Fig05Ffmpeg => fig05_ffmpeg(cfg),
-        ExperimentId::SysbenchPrime => sysbench_prime(cfg),
-        ExperimentId::Fig06MemLatency => fig06_mem_latency(cfg),
-        ExperimentId::Fig07MemBandwidth => fig07_mem_bandwidth(cfg),
-        ExperimentId::Fig08Stream => fig08_stream(cfg),
-        ExperimentId::Fig09FioThroughput => fig09_fio_throughput(cfg),
-        ExperimentId::Fig10FioLatency => fig10_fio_latency(cfg),
-        ExperimentId::Fig11Iperf => fig11_iperf(cfg),
-        ExperimentId::Fig12Netperf => fig12_netperf(cfg),
-        ExperimentId::Fig13BootContainers => fig13_boot_containers(cfg),
-        ExperimentId::Fig14BootHypervisors => fig14_boot_hypervisors(cfg),
-        ExperimentId::Fig15BootOsv => fig15_boot_osv(cfg),
-        ExperimentId::Fig16Memcached => fig16_memcached(cfg),
-        ExperimentId::Fig17Mysql => fig17_mysql(cfg),
-        ExperimentId::Fig18Hap => fig18_hap(cfg),
-    }
+    let outputs: Vec<Vec<grid::CellOutput>> = grid::entries(experiment)
+        .iter()
+        .map(|entry| {
+            (0..grid::trials(experiment, cfg))
+                .map(|trial| grid::run_cell(experiment, entry, trial, cfg))
+                .collect()
+        })
+        .collect();
+    grid::merge(experiment, &outputs)
 }
 
 /// Runs every experiment of the evaluation section.
@@ -47,386 +31,88 @@ pub fn run_all(cfg: &RunConfig) -> Vec<FigureData> {
 
 /// Fig. 5: ffmpeg re-encode wall clock per platform.
 pub fn fig05_ffmpeg(cfg: &RunConfig) -> FigureData {
-    let mut fig = FigureData::new(ExperimentId::Fig05Ffmpeg);
-    let bench = FfmpegBenchmark::new(cfg.runs);
-    let mut series = Series::new("re-encode time (ms)");
-    for id in PlatformId::paper_set() {
-        let platform = id.build();
-        let mut rng = platform_rng(cfg, ExperimentId::Fig05Ffmpeg, &platform);
-        let stats = bench.run_summary_ms(&platform, &mut rng);
-        series.points.push(DataPoint::categorical(
-            platform.name(),
-            stats.mean(),
-            stats.std_dev(),
-        ));
-    }
-    fig.series.push(series);
-    fig
+    run(ExperimentId::Fig05Ffmpeg, cfg)
 }
 
 /// Section 3.1: sysbench prime verification events per second.
 pub fn sysbench_prime(cfg: &RunConfig) -> FigureData {
-    let mut fig = FigureData::new(ExperimentId::SysbenchPrime);
-    let bench = SysbenchCpuBenchmark::new(cfg.runs);
-    let mut series = Series::new("events/s");
-    for id in PlatformId::paper_set() {
-        let platform = id.build();
-        let mut rng = platform_rng(cfg, ExperimentId::SysbenchPrime, &platform);
-        let stats = bench.run_events_per_sec(&platform, &mut rng);
-        series.points.push(DataPoint::categorical(
-            platform.name(),
-            stats.mean(),
-            stats.std_dev(),
-        ));
-    }
-    fig.series.push(series);
-    fig
+    run(ExperimentId::SysbenchPrime, cfg)
 }
 
 /// Fig. 6: tinymembench latency sweep (one series per platform).
 pub fn fig06_mem_latency(cfg: &RunConfig) -> FigureData {
-    let mut fig = FigureData::new(ExperimentId::Fig06MemLatency);
-    let bench = TinymembenchBenchmark::new(cfg.runs);
-    for id in PlatformId::paper_set() {
-        let platform = id.build();
-        let mut rng = platform_rng(cfg, ExperimentId::Fig06MemLatency, &platform);
-        let mut series = Series::new(platform.name());
-        for point in bench.run_latency(&platform, &mut rng) {
-            series.points.push(DataPoint {
-                x: format!("2^{}", (point.buffer_bytes as f64).log2() as u32),
-                x_value: point.buffer_bytes as f64,
-                mean: point.latency_ns.mean(),
-                std_dev: point.latency_ns.std_dev(),
-            });
-        }
-        fig.series.push(series);
-    }
-    fig
+    run(ExperimentId::Fig06MemLatency, cfg)
 }
 
 /// Fig. 7: tinymembench copy bandwidth (regular and SSE2 series).
 pub fn fig07_mem_bandwidth(cfg: &RunConfig) -> FigureData {
-    let mut fig = FigureData::new(ExperimentId::Fig07MemBandwidth);
-    let bench = TinymembenchBenchmark::new(cfg.runs);
-    let mut regular = Series::new("regular copy (MiB/s)");
-    let mut sse2 = Series::new("sse2 copy (MiB/s)");
-    for id in PlatformId::paper_set() {
-        let platform = id.build();
-        let mut rng = platform_rng(cfg, ExperimentId::Fig07MemBandwidth, &platform);
-        let r = bench.run_bandwidth(&platform, CopyMethod::Regular, &mut rng);
-        let s = bench.run_bandwidth(&platform, CopyMethod::Sse2, &mut rng);
-        regular.points.push(DataPoint::categorical(
-            platform.name(),
-            r.mean(),
-            r.std_dev(),
-        ));
-        sse2.points.push(DataPoint::categorical(
-            platform.name(),
-            s.mean(),
-            s.std_dev(),
-        ));
-    }
-    fig.series.push(regular);
-    fig.series.push(sse2);
-    fig
+    run(ExperimentId::Fig07MemBandwidth, cfg)
 }
 
 /// Fig. 8: STREAM COPY bandwidth.
 pub fn fig08_stream(cfg: &RunConfig) -> FigureData {
-    let mut fig = FigureData::new(ExperimentId::Fig08Stream);
-    let bench = StreamBenchmark::new(cfg.runs);
-    let mut series = Series::new("copy bandwidth (MiB/s)");
-    for id in PlatformId::paper_set() {
-        let platform = id.build();
-        let mut rng = platform_rng(cfg, ExperimentId::Fig08Stream, &platform);
-        let stats = bench.run(&platform, &mut rng);
-        series.points.push(DataPoint::categorical(
-            platform.name(),
-            stats.mean(),
-            stats.std_dev(),
-        ));
-    }
-    fig.series.push(series);
-    fig
-}
-
-fn fio_bench(cfg: &RunConfig) -> FioBenchmark {
-    let mut bench = FioBenchmark::new(cfg.runs);
-    if cfg.quick {
-        bench.guest_memory_bytes = 2 << 30;
-    }
-    bench
+    run(ExperimentId::Fig08Stream, cfg)
 }
 
 /// Fig. 9: fio 128 KiB sequential read/write throughput.
 pub fn fig09_fio_throughput(cfg: &RunConfig) -> FigureData {
-    let mut fig = FigureData::new(ExperimentId::Fig09FioThroughput);
-    let bench = fio_bench(cfg);
-    let mut read = Series::new("read (MiB/s)");
-    let mut write = Series::new("write (MiB/s)");
-    for id in PlatformId::paper_set() {
-        let platform = id.build();
-        let mut rng = platform_rng(cfg, ExperimentId::Fig09FioThroughput, &platform);
-        if let Some(out) = bench.run_throughput(&platform, &mut rng) {
-            read.points.push(DataPoint::categorical(
-                platform.name(),
-                out.read_mib_s.mean(),
-                out.read_mib_s.std_dev(),
-            ));
-            write.points.push(DataPoint::categorical(
-                platform.name(),
-                out.write_mib_s.mean(),
-                out.write_mib_s.std_dev(),
-            ));
-        }
-    }
-    fig.series.push(read);
-    fig.series.push(write);
-    fig
+    run(ExperimentId::Fig09FioThroughput, cfg)
 }
 
 /// Fig. 10: fio 4 KiB random read latency.
 pub fn fig10_fio_latency(cfg: &RunConfig) -> FigureData {
-    let mut fig = FigureData::new(ExperimentId::Fig10FioLatency);
-    let bench = fio_bench(cfg);
-    let mut series = Series::new("randread latency (us)");
-    for id in PlatformId::paper_set()
-        .iter()
-        .chain([PlatformId::KataVirtioFs].iter())
-    {
-        let platform = id.build();
-        let mut rng = platform_rng(cfg, ExperimentId::Fig10FioLatency, &platform);
-        if let Some(stats) = bench.run_randread_latency(&platform, &mut rng) {
-            series.points.push(DataPoint::categorical(
-                platform.name(),
-                stats.mean(),
-                stats.std_dev(),
-            ));
-        }
-    }
-    fig.series.push(series);
-    fig
+    run(ExperimentId::Fig10FioLatency, cfg)
 }
 
 /// Fig. 11: iperf3 maximum throughput over 5 runs.
 pub fn fig11_iperf(cfg: &RunConfig) -> FigureData {
-    let mut fig = FigureData::new(ExperimentId::Fig11Iperf);
-    let bench = IperfBenchmark::new(5.max(cfg.runs));
-    let mut series = Series::new("throughput (Gbit/s)");
-    for id in PlatformId::paper_set() {
-        let platform = id.build();
-        let mut rng = platform_rng(cfg, ExperimentId::Fig11Iperf, &platform);
-        let stats = bench.run(&platform, &mut rng);
-        series.points.push(DataPoint::categorical(
-            platform.name(),
-            stats.max().unwrap_or(0.0),
-            stats.std_dev(),
-        ));
-    }
-    fig.series.push(series);
-    fig
+    run(ExperimentId::Fig11Iperf, cfg)
 }
 
 /// Fig. 12: netperf 90th-percentile request/response latency.
 pub fn fig12_netperf(cfg: &RunConfig) -> FigureData {
-    let mut fig = FigureData::new(ExperimentId::Fig12Netperf);
-    let bench = NetperfBenchmark::new(5.max(cfg.runs));
-    let mut series = Series::new("p90 latency (us)");
-    for id in PlatformId::paper_set() {
-        let platform = id.build();
-        let mut rng = platform_rng(cfg, ExperimentId::Fig12Netperf, &platform);
-        let stats = bench.run_p90_us(&platform, &mut rng);
-        series.points.push(DataPoint::categorical(
-            platform.name(),
-            stats.mean(),
-            stats.std_dev(),
-        ));
-    }
-    fig.series.push(series);
-    fig
-}
-
-fn boot_cdf_series(
-    cfg: &RunConfig,
-    experiment: ExperimentId,
-    entries: &[(PlatformId, StartupVariant, &str)],
-) -> FigureData {
-    let mut fig = FigureData::new(experiment);
-    let bench = StartupBenchmark::new(cfg.startups);
-    for (id, variant, label) in entries {
-        let platform = id.build();
-        let mut rng = platform_rng(cfg, experiment, &platform);
-        let cdf = bench.run_cdf(&platform, *variant, &mut rng);
-        let mut series = Series::new(label);
-        for pct in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0] {
-            series
-                .points
-                .push(DataPoint::numeric(pct, cdf.percentile(pct), 0.0));
-        }
-        fig.series.push(series);
-    }
-    fig
+    run(ExperimentId::Fig12Netperf, cfg)
 }
 
 /// Fig. 13: container boot-time CDFs (Docker/gVisor/Kata via the daemon and
 /// via direct OCI invocation, plus LXC).
 pub fn fig13_boot_containers(cfg: &RunConfig) -> FigureData {
-    boot_cdf_series(
-        cfg,
-        ExperimentId::Fig13BootContainers,
-        &[
-            (PlatformId::Docker, StartupVariant::Default, "docker"),
-            (PlatformId::Docker, StartupVariant::OciDirect, "runc (oci)"),
-            (PlatformId::GvisorPtrace, StartupVariant::Default, "gvisor"),
-            (
-                PlatformId::GvisorPtrace,
-                StartupVariant::OciDirect,
-                "runsc (oci)",
-            ),
-            (PlatformId::Kata, StartupVariant::Default, "kata"),
-            (PlatformId::Kata, StartupVariant::OciDirect, "kata (oci)"),
-            (PlatformId::Lxc, StartupVariant::Default, "lxc"),
-        ],
-    )
+    run(ExperimentId::Fig13BootContainers, cfg)
 }
 
 /// Fig. 14: hypervisor boot-time CDFs with the same kernel and rootfs.
 pub fn fig14_boot_hypervisors(cfg: &RunConfig) -> FigureData {
-    boot_cdf_series(
-        cfg,
-        ExperimentId::Fig14BootHypervisors,
-        &[
-            (
-                PlatformId::CloudHypervisor,
-                StartupVariant::Default,
-                "cloud-hypervisor",
-            ),
-            (PlatformId::Qemu, StartupVariant::Default, "qemu"),
-            (PlatformId::QemuQboot, StartupVariant::Default, "qemu-qboot"),
-            (
-                PlatformId::QemuMicrovm,
-                StartupVariant::Default,
-                "qemu-microvm",
-            ),
-            (
-                PlatformId::Firecracker,
-                StartupVariant::Default,
-                "firecracker",
-            ),
-        ],
-    )
+    run(ExperimentId::Fig14BootHypervisors, cfg)
 }
 
 /// Fig. 15: OSv boot-time CDFs under different hypervisors, measured
 /// end-to-end and with the stdout method.
 pub fn fig15_boot_osv(cfg: &RunConfig) -> FigureData {
-    boot_cdf_series(
-        cfg,
-        ExperimentId::Fig15BootOsv,
-        &[
-            (
-                PlatformId::OsvFirecracker,
-                StartupVariant::Default,
-                "osv-fc (e2e)",
-            ),
-            (
-                PlatformId::OsvFirecracker,
-                StartupVariant::StdoutMethod,
-                "osv-fc (stdout)",
-            ),
-            (
-                PlatformId::OsvQemu,
-                StartupVariant::Default,
-                "osv-qemu (e2e)",
-            ),
-            (
-                PlatformId::OsvQemu,
-                StartupVariant::StdoutMethod,
-                "osv-qemu (stdout)",
-            ),
-        ],
-    )
+    run(ExperimentId::Fig15BootOsv, cfg)
 }
 
 /// Fig. 16: Memcached YCSB workload A throughput.
 pub fn fig16_memcached(cfg: &RunConfig) -> FigureData {
-    let mut fig = FigureData::new(ExperimentId::Fig16Memcached);
-    let bench = if cfg.quick {
-        YcsbBenchmark::quick()
-    } else {
-        YcsbBenchmark::default()
-    };
-    let mut series = Series::new("throughput (ops/s)");
-    for id in PlatformId::paper_set() {
-        let platform = id.build();
-        let mut rng = platform_rng(cfg, ExperimentId::Fig16Memcached, &platform);
-        let outcome = bench.run(&platform, &mut rng);
-        series.points.push(DataPoint::categorical(
-            platform.name(),
-            outcome.ops_per_sec.mean(),
-            outcome.ops_per_sec.std_dev(),
-        ));
-    }
-    fig.series.push(series);
-    fig
+    run(ExperimentId::Fig16Memcached, cfg)
 }
 
 /// Fig. 17: MySQL sysbench oltp_read_write thread sweep (one series per
 /// platform).
 pub fn fig17_mysql(cfg: &RunConfig) -> FigureData {
-    let mut fig = FigureData::new(ExperimentId::Fig17Mysql);
-    let bench = if cfg.quick {
-        OltpBenchmark::quick()
-    } else {
-        OltpBenchmark::default()
-    };
-    for id in PlatformId::paper_set() {
-        let platform = id.build();
-        let mut rng = platform_rng(cfg, ExperimentId::Fig17Mysql, &platform);
-        let mut series = Series::new(platform.name());
-        for point in bench.run(&platform, &mut rng) {
-            series.points.push(DataPoint::numeric(
-                point.threads as f64,
-                point.tps,
-                point.tps_std,
-            ));
-        }
-        fig.series.push(series);
-    }
-    fig
+    run(ExperimentId::Fig17Mysql, cfg)
 }
 
 /// Fig. 18: the extended HAP metric (distinct host kernel functions and the
 /// EPSS-weighted score).
 pub fn fig18_hap(cfg: &RunConfig) -> FigureData {
-    let mut fig = FigureData::new(ExperimentId::Fig18Hap);
-    let suite = if cfg.quick {
-        HapSuite::quick()
-    } else {
-        HapSuite::default()
-    };
-    let mut distinct = Series::new("distinct host kernel functions");
-    let mut weighted = Series::new("EPSS-weighted score");
-    for profile in suite.profile_paper_set() {
-        distinct.points.push(DataPoint::categorical(
-            &profile.platform,
-            profile.distinct_functions as f64,
-            0.0,
-        ));
-        weighted.points.push(DataPoint::categorical(
-            &profile.platform,
-            profile.weighted_score,
-            0.0,
-        ));
-    }
-    fig.series.push(distinct);
-    fig.series.push(weighted);
-    fig
+    run(ExperimentId::Fig18Hap, cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use platforms::PlatformId;
+    use workloads::OltpBenchmark;
 
     fn cfg() -> RunConfig {
         RunConfig::quick(7)

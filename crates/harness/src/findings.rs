@@ -6,7 +6,7 @@
 //! exhibits the published behaviour.
 
 use crate::config::RunConfig;
-use crate::experiment::ExperimentId;
+use crate::experiment::{ExperimentId, FigureData};
 use crate::figures;
 
 /// The outcome of one finding check.
@@ -31,15 +31,39 @@ fn check(id: &'static str, claim: &'static str, passed: bool, detail: String) ->
     }
 }
 
-/// Runs all implemented finding checks using the given configuration.
+/// The experiments the finding checks read.
+const NEEDED: [ExperimentId; 9] = [
+    ExperimentId::SysbenchPrime,
+    ExperimentId::Fig05Ffmpeg,
+    ExperimentId::Fig06MemLatency,
+    ExperimentId::Fig10FioLatency,
+    ExperimentId::Fig11Iperf,
+    ExperimentId::Fig13BootContainers,
+    ExperimentId::Fig14BootHypervisors,
+    ExperimentId::Fig15BootOsv,
+    ExperimentId::Fig18Hap,
+];
+
+/// Runs all implemented finding checks using the given configuration,
+/// regenerating exactly the figures the checks need.
 pub fn check_findings(cfg: &RunConfig) -> Vec<FindingCheck> {
+    let figures: Vec<FigureData> = NEEDED.iter().map(|e| figures::run(*e, cfg)).collect();
+    check_findings_on(&figures)
+}
+
+/// Runs the finding checks against already-generated figure data — e.g.
+/// an executor run's figures — without re-running any experiment. Checks
+/// whose figures are absent from the slice are skipped.
+pub fn check_findings_on(figures: &[FigureData]) -> Vec<FindingCheck> {
+    let fig = |e: ExperimentId| figures.iter().find(|f| f.experiment == e);
     let mut out = Vec::new();
 
     // Finding 1 / 2: prime benchmark equal everywhere, ffmpeg penalises
     // custom schedulers.
-    let prime = figures::run(ExperimentId::SysbenchPrime, cfg);
-    let ffmpeg = figures::run(ExperimentId::Fig05Ffmpeg, cfg);
-    {
+    if let (Some(prime), Some(ffmpeg)) = (
+        fig(ExperimentId::SysbenchPrime),
+        fig(ExperimentId::Fig05Ffmpeg),
+    ) {
         let s = &prime.series[0];
         let native = s.mean_of("native").unwrap_or(0.0);
         let spread = s
@@ -65,8 +89,7 @@ pub fn check_findings(cfg: &RunConfig) -> Vec<FindingCheck> {
     }
 
     // Finding 3/4: Kata memory not impaired; Firecracker is the outlier.
-    let latency = figures::run(ExperimentId::Fig06MemLatency, cfg);
-    {
+    if let Some(latency) = fig(ExperimentId::Fig06MemLatency) {
         let last = |label: &str| {
             latency
                 .series_named(label)
@@ -95,8 +118,7 @@ pub fn check_findings(cfg: &RunConfig) -> Vec<FindingCheck> {
     }
 
     // Findings 6/7: I/O of secure containers suffers; virtio-fs fixes Kata.
-    let fio_lat = figures::run(ExperimentId::Fig10FioLatency, cfg);
-    {
+    if let Some(fio_lat) = fig(ExperimentId::Fig10FioLatency) {
         let s = &fio_lat.series[0];
         let kata = s.mean_of("kata").unwrap_or(0.0);
         let kata_vfs = s.mean_of("kata-virtiofs").unwrap_or(f64::MAX);
@@ -116,8 +138,7 @@ pub fn check_findings(cfg: &RunConfig) -> Vec<FindingCheck> {
     }
 
     // Findings 10-12 / network: bridges ~10%, hypervisors ~25%, gVisor outlier.
-    let iperf = figures::run(ExperimentId::Fig11Iperf, cfg);
-    {
+    if let Some(iperf) = fig(ExperimentId::Fig11Iperf) {
         let s = &iperf.series[0];
         let native = s.mean_of("native").unwrap_or(0.0);
         let docker = s.mean_of("docker").unwrap_or(0.0);
@@ -145,36 +166,37 @@ pub fn check_findings(cfg: &RunConfig) -> Vec<FindingCheck> {
     }
 
     // Findings 13-15: boot times.
-    let containers = figures::run(ExperimentId::Fig13BootContainers, cfg);
-    let hypervisors = figures::run(ExperimentId::Fig14BootHypervisors, cfg);
-    let osv_boot = figures::run(ExperimentId::Fig15BootOsv, cfg);
-    {
+    if let (Some(containers), Some(hypervisors), Some(osv_boot)) = (
+        fig(ExperimentId::Fig13BootContainers),
+        fig(ExperimentId::Fig14BootHypervisors),
+        fig(ExperimentId::Fig15BootOsv),
+    ) {
         let median = |fig: &crate::experiment::FigureData, label: &str| {
             fig.series_named(label)
                 .and_then(|s| s.points.iter().find(|p| p.x_value == 50.0))
                 .map(|p| p.mean)
                 .unwrap_or(0.0)
         };
-        let docker = median(&containers, "runc (oci)");
-        let kata = median(&containers, "kata (oci)");
-        let lxc = median(&containers, "lxc");
+        let docker = median(containers, "runc (oci)");
+        let kata = median(containers, "kata (oci)");
+        let lxc = median(containers, "lxc");
         out.push(check(
             "finding-13",
             "containers boot fast except Kata and LXC (>600 ms)",
             docker < 200.0 && kata > 500.0 && lxc > 600.0,
             format!("docker {docker:.0} ms, kata {kata:.0} ms, lxc {lxc:.0} ms"),
         ));
-        let fc = median(&hypervisors, "firecracker");
-        let chv = median(&hypervisors, "cloud-hypervisor");
-        let microvm = median(&hypervisors, "qemu-microvm");
+        let fc = median(hypervisors, "firecracker");
+        let chv = median(hypervisors, "cloud-hypervisor");
+        let microvm = median(hypervisors, "qemu-microvm");
         out.push(check(
             "finding-14",
             "Firecracker boots slowest of the three hypervisors; Cloud Hypervisor fastest; QEMU-microvm slowest overall",
             chv < fc && fc < microvm,
             format!("chv {chv:.0} ms, fc {fc:.0} ms, microvm {microvm:.0} ms"),
         ));
-        let osv_fc = median(&osv_boot, "osv-fc (e2e)");
-        let osv_qemu = median(&osv_boot, "osv-qemu (e2e)");
+        let osv_fc = median(osv_boot, "osv-fc (e2e)");
+        let osv_qemu = median(osv_boot, "osv-qemu (e2e)");
         out.push(check(
             "finding-15",
             "OSv boots as fast as containers and its boot time depends on the hypervisor",
@@ -184,8 +206,7 @@ pub fn check_findings(cfg: &RunConfig) -> Vec<FindingCheck> {
     }
 
     // Findings 24-27 / conclusions 8-9: the HAP ordering.
-    let hap = figures::run(ExperimentId::Fig18Hap, cfg);
-    {
+    if let Some(hap) = fig(ExperimentId::Fig18Hap) {
         let s = hap.series_named("distinct host kernel functions").unwrap();
         let get = |label: &str| s.mean_of(label).unwrap_or(0.0);
         let fc = get("firecracker");
@@ -246,5 +267,15 @@ mod tests {
         assert!(results.len() >= 12);
         let failed: Vec<_> = results.iter().filter(|c| !c.passed).collect();
         assert!(failed.is_empty(), "failed findings: {:#?}", failed);
+    }
+
+    #[test]
+    fn checks_over_precomputed_figures_skip_what_is_missing() {
+        assert!(check_findings_on(&[]).is_empty());
+        let cfg = RunConfig::quick(2021);
+        let hap_only = [figures::run(ExperimentId::Fig18Hap, &cfg)];
+        let results = check_findings_on(&hap_only);
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|c| c.id.starts_with("finding-2")));
     }
 }

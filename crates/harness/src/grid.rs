@@ -1,0 +1,550 @@
+//! The canonical experiment grid.
+//!
+//! Every figure of the evaluation decomposes into independent
+//! `(experiment, platform entry, trial)` **cells**. Each cell derives its
+//! own random stream statelessly via [`simcore::rng::derive`] from the
+//! root seed, runs one trial of one platform's workload, and returns a
+//! [`CellOutput`]. [`merge`] folds the per-cell outputs back into the
+//! figure's series **in canonical order** (entry order × trial order), so
+//! the resulting [`FigureData`] is bit-identical no matter how the cells
+//! were scheduled — serially, sharded, or across any number of workers.
+//!
+//! [`crate::figures::run`] is the serial walk over this grid;
+//! [`crate::executor::Executor`] fans the same cells out across threads.
+
+use memsim::bandwidth::CopyMethod;
+use platforms::subsystems::startup::StartupVariant;
+use platforms::PlatformId;
+use simcore::rng;
+use simcore::stats::{Cdf, RunningStats};
+
+use hap::HapSuite;
+use workloads::{
+    FfmpegBenchmark, FioBenchmark, IperfBenchmark, NetperfBenchmark, OltpBenchmark,
+    StreamBenchmark, SysbenchCpuBenchmark, TinymembenchBenchmark, YcsbBenchmark,
+};
+
+use crate::config::RunConfig;
+use crate::experiment::{DataPoint, ExperimentId, FigureData, Series};
+
+/// One platform entry of an experiment's grid: a column of a bar figure,
+/// one sweep series, or one boot-CDF series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// The platform this entry runs on.
+    pub platform: PlatformId,
+    /// The start-up variant (only meaningful for the boot experiments).
+    pub variant: StartupVariant,
+    /// The entry's unique label within the experiment — the figure legend
+    /// name, and the `platform` component of the cell's seed derivation.
+    pub label: &'static str,
+}
+
+impl Entry {
+    fn bar(platform: PlatformId) -> Entry {
+        Entry {
+            platform,
+            variant: StartupVariant::Default,
+            label: platform.label(),
+        }
+    }
+}
+
+/// The boot-CDF entry tables (Figs. 13–15), in figure-legend order.
+const BOOT_CONTAINERS: &[(PlatformId, StartupVariant, &str)] = &[
+    (PlatformId::Docker, StartupVariant::Default, "docker"),
+    (PlatformId::Docker, StartupVariant::OciDirect, "runc (oci)"),
+    (PlatformId::GvisorPtrace, StartupVariant::Default, "gvisor"),
+    (
+        PlatformId::GvisorPtrace,
+        StartupVariant::OciDirect,
+        "runsc (oci)",
+    ),
+    (PlatformId::Kata, StartupVariant::Default, "kata"),
+    (PlatformId::Kata, StartupVariant::OciDirect, "kata (oci)"),
+    (PlatformId::Lxc, StartupVariant::Default, "lxc"),
+];
+
+const BOOT_HYPERVISORS: &[(PlatformId, StartupVariant, &str)] = &[
+    (
+        PlatformId::CloudHypervisor,
+        StartupVariant::Default,
+        "cloud-hypervisor",
+    ),
+    (PlatformId::Qemu, StartupVariant::Default, "qemu"),
+    (PlatformId::QemuQboot, StartupVariant::Default, "qemu-qboot"),
+    (
+        PlatformId::QemuMicrovm,
+        StartupVariant::Default,
+        "qemu-microvm",
+    ),
+    (
+        PlatformId::Firecracker,
+        StartupVariant::Default,
+        "firecracker",
+    ),
+];
+
+const BOOT_OSV: &[(PlatformId, StartupVariant, &str)] = &[
+    (
+        PlatformId::OsvFirecracker,
+        StartupVariant::Default,
+        "osv-fc (e2e)",
+    ),
+    (
+        PlatformId::OsvFirecracker,
+        StartupVariant::StdoutMethod,
+        "osv-fc (stdout)",
+    ),
+    (
+        PlatformId::OsvQemu,
+        StartupVariant::Default,
+        "osv-qemu (e2e)",
+    ),
+    (
+        PlatformId::OsvQemu,
+        StartupVariant::StdoutMethod,
+        "osv-qemu (stdout)",
+    ),
+];
+
+fn boot_entries(table: &'static [(PlatformId, StartupVariant, &'static str)]) -> Vec<Entry> {
+    table
+        .iter()
+        .map(|(platform, variant, label)| Entry {
+            platform: *platform,
+            variant: *variant,
+            label,
+        })
+        .collect()
+}
+
+/// The canonical platform entries of one experiment, in figure order.
+pub fn entries(experiment: ExperimentId) -> Vec<Entry> {
+    use ExperimentId::*;
+    match experiment {
+        Fig10FioLatency => PlatformId::paper_set()
+            .iter()
+            .chain([PlatformId::KataVirtioFs].iter())
+            .map(|id| Entry::bar(*id))
+            .collect(),
+        Fig13BootContainers => boot_entries(BOOT_CONTAINERS),
+        Fig14BootHypervisors => boot_entries(BOOT_HYPERVISORS),
+        Fig15BootOsv => boot_entries(BOOT_OSV),
+        _ => PlatformId::paper_set()
+            .iter()
+            .map(|id| Entry::bar(*id))
+            .collect(),
+    }
+}
+
+/// The natural trial count of one experiment under the given
+/// configuration: the paper's repetition count for the repeated figures,
+/// the startup count for the boot CDFs, one for the deterministic HAP
+/// metric.
+pub fn trials(experiment: ExperimentId, cfg: &RunConfig) -> usize {
+    use ExperimentId::*;
+    let natural = match experiment {
+        // The figure reports the max/p90 over at least 5 runs.
+        Fig11Iperf | Fig12Netperf => cfg.runs.max(5),
+        Fig13BootContainers | Fig14BootHypervisors | Fig15BootOsv => cfg.startups,
+        Fig16Memcached => ycsb_bench(cfg).runs,
+        Fig17Mysql => oltp_bench(cfg).runs,
+        Fig18Hap => 1,
+        _ => cfg.runs,
+    };
+    // A zero-run/zero-startup config still produces one trial per cell so
+    // merging never sees an empty grid.
+    natural.max(1)
+}
+
+/// One x position of a sweep cell's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// X-axis label.
+    pub x: String,
+    /// Numeric x value (buffer bytes, thread count).
+    pub x_value: f64,
+    /// The sampled metric at this x.
+    pub value: f64,
+}
+
+/// The measurement one cell contributes to its figure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutput {
+    /// One sample per figure series (the bar figures; most experiments
+    /// contribute to one series, fio throughput and tinymembench copy
+    /// bandwidth to two).
+    Scalars(Vec<f64>),
+    /// One sample per x position (the Fig. 6 buffer sweep and the Fig. 17
+    /// thread sweep).
+    Sweep(Vec<SweepPoint>),
+    /// One boot time in milliseconds (the CDF figures).
+    Boot(f64),
+    /// The deterministic HAP metrics of one platform.
+    Hap {
+        /// Distinct host kernel functions invoked.
+        distinct: f64,
+        /// EPSS-weighted attack-surface score.
+        weighted: f64,
+    },
+    /// The platform is excluded from this experiment.
+    Skip,
+}
+
+fn fio_bench(cfg: &RunConfig) -> FioBenchmark {
+    let mut bench = FioBenchmark::new(1);
+    if cfg.quick {
+        bench.guest_memory_bytes = 2 << 30;
+    }
+    bench
+}
+
+fn ycsb_bench(cfg: &RunConfig) -> YcsbBenchmark {
+    if cfg.quick {
+        YcsbBenchmark::quick()
+    } else {
+        YcsbBenchmark::default()
+    }
+}
+
+fn oltp_bench(cfg: &RunConfig) -> OltpBenchmark {
+    if cfg.quick {
+        OltpBenchmark::quick()
+    } else {
+        OltpBenchmark::default()
+    }
+}
+
+/// Runs one cell: one trial of one platform entry of one experiment.
+///
+/// The cell's random stream is derived statelessly from
+/// `(cfg.seed, experiment, entry label, trial)`, so the output depends
+/// only on those four values — never on scheduling.
+pub fn run_cell(
+    experiment: ExperimentId,
+    entry: &Entry,
+    trial: usize,
+    cfg: &RunConfig,
+) -> CellOutput {
+    let platform = entry.platform.build();
+    let mut rng = rng::derive(cfg.seed, experiment.slug(), entry.label, trial as u64);
+    use ExperimentId::*;
+    match experiment {
+        Fig05Ffmpeg => {
+            let stats = FfmpegBenchmark::new(1).run_summary_ms(&platform, &mut rng);
+            CellOutput::Scalars(vec![stats.mean()])
+        }
+        SysbenchPrime => {
+            let stats = SysbenchCpuBenchmark::new(1).run_events_per_sec(&platform, &mut rng);
+            CellOutput::Scalars(vec![stats.mean()])
+        }
+        Fig06MemLatency => {
+            let points = TinymembenchBenchmark::new(1).run_latency(&platform, &mut rng);
+            CellOutput::Sweep(
+                points
+                    .into_iter()
+                    .map(|p| SweepPoint {
+                        x: format!("2^{}", (p.buffer_bytes as f64).log2() as u32),
+                        x_value: p.buffer_bytes as f64,
+                        value: p.latency_ns.mean(),
+                    })
+                    .collect(),
+            )
+        }
+        Fig07MemBandwidth => {
+            let bench = TinymembenchBenchmark::new(1);
+            let regular = bench.run_bandwidth(&platform, CopyMethod::Regular, &mut rng);
+            let sse2 = bench.run_bandwidth(&platform, CopyMethod::Sse2, &mut rng);
+            CellOutput::Scalars(vec![regular.mean(), sse2.mean()])
+        }
+        Fig08Stream => {
+            let stats = StreamBenchmark::new(1).run(&platform, &mut rng);
+            CellOutput::Scalars(vec![stats.mean()])
+        }
+        Fig09FioThroughput => match fio_bench(cfg).run_throughput(&platform, &mut rng) {
+            Some(out) => CellOutput::Scalars(vec![out.read_mib_s.mean(), out.write_mib_s.mean()]),
+            None => CellOutput::Skip,
+        },
+        Fig10FioLatency => match fio_bench(cfg).run_randread_latency(&platform, &mut rng) {
+            Some(stats) => CellOutput::Scalars(vec![stats.mean()]),
+            None => CellOutput::Skip,
+        },
+        Fig11Iperf => {
+            let stats = IperfBenchmark::new(1).run(&platform, &mut rng);
+            CellOutput::Scalars(vec![stats.mean()])
+        }
+        Fig12Netperf => {
+            let stats = NetperfBenchmark::new(1).run_p90_us(&platform, &mut rng);
+            CellOutput::Scalars(vec![stats.mean()])
+        }
+        Fig13BootContainers | Fig14BootHypervisors | Fig15BootOsv => CellOutput::Boot(
+            platform
+                .startup()
+                .sample(entry.variant, &mut rng)
+                .as_millis_f64(),
+        ),
+        Fig16Memcached => {
+            let mut bench = ycsb_bench(cfg);
+            bench.runs = 1;
+            CellOutput::Scalars(vec![bench.run_trial(&platform, &mut rng)])
+        }
+        Fig17Mysql => {
+            let mut bench = oltp_bench(cfg);
+            bench.runs = 1;
+            CellOutput::Sweep(
+                bench
+                    .run_trial(&platform, &mut rng)
+                    .into_iter()
+                    .map(|(threads, tps)| SweepPoint {
+                        x: format!("{}", threads as f64),
+                        x_value: threads as f64,
+                        value: tps,
+                    })
+                    .collect(),
+            )
+        }
+        Fig18Hap => {
+            let suite = if cfg.quick {
+                HapSuite::quick()
+            } else {
+                HapSuite::default()
+            };
+            let profile = suite.profile(&platform);
+            CellOutput::Hap {
+                distinct: profile.distinct_functions as f64,
+                weighted: profile.weighted_score,
+            }
+        }
+    }
+}
+
+/// The figure series labels of the bar and HAP experiments, in series
+/// order (sweeps and boot CDFs name their series after the entries).
+fn series_labels(experiment: ExperimentId) -> &'static [&'static str] {
+    use ExperimentId::*;
+    match experiment {
+        Fig05Ffmpeg => &["re-encode time (ms)"],
+        SysbenchPrime => &["events/s"],
+        Fig07MemBandwidth => &["regular copy (MiB/s)", "sse2 copy (MiB/s)"],
+        Fig08Stream => &["copy bandwidth (MiB/s)"],
+        Fig09FioThroughput => &["read (MiB/s)", "write (MiB/s)"],
+        Fig10FioLatency => &["randread latency (us)"],
+        Fig11Iperf => &["throughput (Gbit/s)"],
+        Fig12Netperf => &["p90 latency (us)"],
+        Fig16Memcached => &["throughput (ops/s)"],
+        Fig18Hap => &["distinct host kernel functions", "EPSS-weighted score"],
+        _ => &[],
+    }
+}
+
+/// The CDF percentiles the boot figures report.
+const BOOT_PERCENTILES: [f64; 6] = [10.0, 25.0, 50.0, 75.0, 90.0, 99.0];
+
+/// Merges the outputs of every cell of one experiment — indexed
+/// `outputs[entry][trial]` in canonical order — into the figure data.
+///
+/// Merging is a pure fold over the canonically ordered outputs, so two
+/// runs that produced the same cells yield byte-identical figures
+/// regardless of the order the cells actually completed in.
+pub fn merge(experiment: ExperimentId, outputs: &[Vec<CellOutput>]) -> FigureData {
+    use ExperimentId::*;
+    match experiment {
+        Fig06MemLatency | Fig17Mysql => merge_sweep(experiment, outputs),
+        Fig13BootContainers | Fig14BootHypervisors | Fig15BootOsv => {
+            merge_boot(experiment, outputs)
+        }
+        Fig18Hap => merge_hap(experiment, outputs),
+        // Fig. 11 reports the maximum over the runs, everything else the mean.
+        Fig11Iperf => merge_bars(experiment, outputs, true),
+        _ => merge_bars(experiment, outputs, false),
+    }
+}
+
+fn merge_bars(
+    experiment: ExperimentId,
+    outputs: &[Vec<CellOutput>],
+    headline_max: bool,
+) -> FigureData {
+    let labels = series_labels(experiment);
+    let mut fig = FigureData::new(experiment);
+    let mut series: Vec<Series> = labels.iter().map(|l| Series::new(l)).collect();
+    for (entry, trials) in entries(experiment).iter().zip(outputs) {
+        let mut stats = vec![RunningStats::new(); labels.len()];
+        let mut ran = false;
+        for output in trials {
+            match output {
+                CellOutput::Scalars(values) => {
+                    ran = true;
+                    for (s, value) in stats.iter_mut().zip(values) {
+                        s.record(*value);
+                    }
+                }
+                CellOutput::Skip => {}
+                other => unreachable!("{experiment:?} produced {other:?}, expected scalars"),
+            }
+        }
+        if !ran {
+            // Excluded platform (fio on Firecracker/OSv/gVisor): no point.
+            continue;
+        }
+        for (s, stat) in series.iter_mut().zip(&stats) {
+            let value = if headline_max {
+                stat.max().unwrap_or(0.0)
+            } else {
+                stat.mean()
+            };
+            s.points
+                .push(DataPoint::categorical(entry.label, value, stat.std_dev()));
+        }
+    }
+    fig.series = series;
+    fig
+}
+
+fn merge_sweep(experiment: ExperimentId, outputs: &[Vec<CellOutput>]) -> FigureData {
+    let mut fig = FigureData::new(experiment);
+    for (entry, trials) in entries(experiment).iter().zip(outputs) {
+        let mut series = Series::new(entry.label);
+        let first = match trials.first() {
+            Some(CellOutput::Sweep(points)) => points,
+            other => unreachable!("{experiment:?} produced {other:?}, expected a sweep"),
+        };
+        for (xi, sp) in first.iter().enumerate() {
+            let mut stats = RunningStats::new();
+            for output in trials {
+                match output {
+                    CellOutput::Sweep(points) => stats.record(points[xi].value),
+                    other => unreachable!("{experiment:?} produced {other:?}, expected a sweep"),
+                }
+            }
+            series.points.push(DataPoint {
+                x: sp.x.clone(),
+                x_value: sp.x_value,
+                mean: stats.mean(),
+                std_dev: stats.std_dev(),
+            });
+        }
+        fig.series.push(series);
+    }
+    fig
+}
+
+fn merge_boot(experiment: ExperimentId, outputs: &[Vec<CellOutput>]) -> FigureData {
+    let mut fig = FigureData::new(experiment);
+    for (entry, trials) in entries(experiment).iter().zip(outputs) {
+        let samples: Vec<f64> = trials
+            .iter()
+            .map(|output| match output {
+                CellOutput::Boot(ms) => *ms,
+                other => unreachable!("{experiment:?} produced {other:?}, expected a boot time"),
+            })
+            .collect();
+        let cdf = Cdf::from_samples(samples).expect("boot entries always produce samples");
+        let mut series = Series::new(entry.label);
+        for pct in BOOT_PERCENTILES {
+            series
+                .points
+                .push(DataPoint::numeric(pct, cdf.percentile(pct), 0.0));
+        }
+        fig.series.push(series);
+    }
+    fig
+}
+
+fn merge_hap(experiment: ExperimentId, outputs: &[Vec<CellOutput>]) -> FigureData {
+    let mut fig = FigureData::new(experiment);
+    let labels = series_labels(experiment);
+    let mut distinct_series = Series::new(labels[0]);
+    let mut weighted_series = Series::new(labels[1]);
+    for (entry, trials) in entries(experiment).iter().zip(outputs) {
+        match trials.first() {
+            Some(CellOutput::Hap { distinct, weighted }) => {
+                distinct_series
+                    .points
+                    .push(DataPoint::categorical(entry.label, *distinct, 0.0));
+                weighted_series
+                    .points
+                    .push(DataPoint::categorical(entry.label, *weighted, 0.0));
+            }
+            other => unreachable!("{experiment:?} produced {other:?}, expected a HAP profile"),
+        }
+    }
+    fig.series.push(distinct_series);
+    fig.series.push(weighted_series);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RunConfig {
+        RunConfig::quick(7)
+    }
+
+    #[test]
+    fn every_experiment_has_entries_and_trials() {
+        for experiment in ExperimentId::all() {
+            assert!(!entries(*experiment).is_empty(), "{experiment:?}");
+            assert!(trials(*experiment, &cfg()) >= 1, "{experiment:?}");
+        }
+    }
+
+    #[test]
+    fn entry_labels_are_unique_within_each_experiment() {
+        for experiment in ExperimentId::all() {
+            let labels: std::collections::BTreeSet<_> = entries(*experiment)
+                .iter()
+                .map(|entry| entry.label)
+                .collect();
+            assert_eq!(
+                labels.len(),
+                entries(*experiment).len(),
+                "{experiment:?} has duplicate entry labels"
+            );
+        }
+    }
+
+    #[test]
+    fn cells_are_deterministic_and_trial_independent() {
+        let experiment = ExperimentId::Fig08Stream;
+        let entry = entries(experiment)[0];
+        let a = run_cell(experiment, &entry, 3, &cfg());
+        let b = run_cell(experiment, &entry, 3, &cfg());
+        assert_eq!(a, b);
+        let c = run_cell(experiment, &entry, 4, &cfg());
+        assert_ne!(a, c, "different trials must sample different streams");
+    }
+
+    #[test]
+    fn excluded_platforms_skip_their_fio_cells() {
+        let experiment = ExperimentId::Fig09FioThroughput;
+        let firecracker = entries(experiment)
+            .into_iter()
+            .find(|entry| entry.platform == PlatformId::Firecracker)
+            .unwrap();
+        assert_eq!(
+            run_cell(experiment, &firecracker, 0, &cfg()),
+            CellOutput::Skip
+        );
+    }
+
+    #[test]
+    fn merge_preserves_canonical_entry_order() {
+        let experiment = ExperimentId::Fig05Ffmpeg;
+        let grid_entries = entries(experiment);
+        let outputs: Vec<Vec<CellOutput>> = grid_entries
+            .iter()
+            .map(|entry| {
+                (0..2)
+                    .map(|trial| run_cell(experiment, entry, trial, &cfg()))
+                    .collect()
+            })
+            .collect();
+        let fig = merge(experiment, &outputs);
+        let xs: Vec<&str> = fig.series[0].points.iter().map(|p| p.x.as_str()).collect();
+        let expected: Vec<&str> = grid_entries.iter().map(|entry| entry.label).collect();
+        assert_eq!(xs, expected);
+    }
+}

@@ -15,16 +15,34 @@
 //! assert!(!fig.series.is_empty());
 //! println!("{}", harness::report::to_markdown(&fig));
 //! ```
+//!
+//! The same grid runs in parallel through the executor, bit-identically
+//! for any worker count:
+//!
+//! ```
+//! use harness::{Executor, ExperimentId, RunConfig, RunPlan};
+//!
+//! let plan = RunPlan::new(RunConfig::quick(42))
+//!     .with_shard("fig11")
+//!     .with_workers(2);
+//! let report = Executor::new(plan).run();
+//! let fig = report.figure(ExperimentId::Fig11Iperf).unwrap();
+//! assert_eq!(*fig, harness::figures::run(ExperimentId::Fig11Iperf, &RunConfig::quick(42)));
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cli;
 pub mod config;
+pub mod executor;
 pub mod experiment;
 pub mod figures;
 pub mod findings;
+pub mod grid;
 pub mod report;
 
 pub use config::RunConfig;
+pub use executor::{Executor, RunPlan, RunReport};
 pub use experiment::{DataPoint, ExperimentId, FigureData, Series};
-pub use findings::{check_findings, FindingCheck};
+pub use findings::{check_findings, check_findings_on, FindingCheck};

@@ -1,7 +1,10 @@
-//! Rendering figure data as markdown tables and CSV.
+//! Rendering figure data as markdown tables and CSV, plus the executor's
+//! wall-clock summary table and the machine-readable full-grid bench
+//! report (`BENCH_full_grid.json`).
 
 use std::fmt::Write as _;
 
+use crate::executor::RunReport;
 use crate::experiment::FigureData;
 
 /// Renders a figure as a GitHub-flavoured markdown table (one row per x
@@ -57,9 +60,114 @@ pub fn to_csv(fig: &FigureData) -> String {
     out
 }
 
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Renders an executor run's per-experiment wall-clock summary as a
+/// markdown table.
+///
+/// `cell time` is the time spent inside the experiment's cells summed
+/// across workers; the headline total is the run's elapsed wall clock.
+pub fn timing_table(report: &RunReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### Wall-clock summary ({} workers, {:.0} ms wall, {:.0} ms cell time)",
+        report.workers,
+        ms(report.wall),
+        ms(report.total_cell_time()),
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "| experiment | cells | cell time (ms) |");
+    let _ = writeln!(out, "|---|---|---|");
+    for timing in &report.timings {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.1} |",
+            timing.experiment.slug(),
+            timing.cells,
+            ms(timing.cell_time),
+        );
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable full-grid bench report comparing a serial
+/// (1-worker) run against an N-worker run of the same plan.
+///
+/// This is the payload of `BENCH_full_grid.json`: per-experiment cell
+/// counts and wall-clock (cell-time) numbers plus run totals, emitted
+/// without any serialization dependency so CI can parse and archive it.
+pub fn full_grid_json(mode: &str, seed: u64, serial: &RunReport, parallel: &RunReport) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"isolation-bench/full-grid/v1\",");
+    let _ = writeln!(out, "  \"mode\": \"{}\",", json_escape(mode));
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"serial_workers\": {},", serial.workers);
+    let _ = writeln!(out, "  \"parallel_workers\": {},", parallel.workers);
+    let _ = writeln!(out, "  \"serial_wall_ms\": {:.3},", ms(serial.wall));
+    let _ = writeln!(out, "  \"parallel_wall_ms\": {:.3},", ms(parallel.wall));
+    let speedup = if parallel.wall.as_secs_f64() > 0.0 {
+        serial.wall.as_secs_f64() / parallel.wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    let _ = writeln!(out, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(out, "  \"experiments\": [");
+    for (i, timing) in serial.timings.iter().enumerate() {
+        let parallel_timing = parallel
+            .timings
+            .iter()
+            .find(|t| t.experiment == timing.experiment);
+        let points: usize = serial
+            .figure(timing.experiment)
+            .map(|fig| fig.series.iter().map(|s| s.points.len()).sum())
+            .unwrap_or(0);
+        let _ = write!(
+            out,
+            "    {{\"slug\": \"{}\", \"cells\": {}, \"points\": {}, \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}}}",
+            json_escape(timing.experiment.slug()),
+            timing.cells,
+            points,
+            ms(timing.cell_time),
+            parallel_timing.map(|t| ms(t.cell_time)).unwrap_or(0.0),
+        );
+        let _ = writeln!(
+            out,
+            "{}",
+            if i + 1 < serial.timings.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::RunConfig;
+    use crate::executor::{Executor, RunPlan};
     use crate::experiment::{DataPoint, ExperimentId, Series};
 
     fn sample_fig() -> FigureData {
@@ -86,5 +194,52 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("series,"));
         assert!(lines[1].contains("native"));
+    }
+
+    fn tiny_reports() -> (RunReport, RunReport) {
+        let cfg = RunConfig {
+            seed: 7,
+            runs: 2,
+            startups: 8,
+            quick: true,
+        };
+        let serial = Executor::new(RunPlan::new(cfg).with_shard("fig08").with_workers(1)).run();
+        let parallel = Executor::new(RunPlan::new(cfg).with_shard("fig08").with_workers(2)).run();
+        (serial, parallel)
+    }
+
+    #[test]
+    fn timing_table_lists_every_experiment() {
+        let (serial, _) = tiny_reports();
+        let table = timing_table(&serial);
+        assert!(table.contains("### Wall-clock summary (1 workers"));
+        assert!(table.contains("| fig08_stream | 20 |"));
+    }
+
+    #[test]
+    fn full_grid_json_is_complete_and_escaped() {
+        let (serial, parallel) = tiny_reports();
+        let json = full_grid_json("quick", 7, &serial, &parallel);
+        assert!(json.contains("\"schema\": \"isolation-bench/full-grid/v1\""));
+        assert!(json.contains("\"seed\": 7"));
+        assert!(json.contains("\"slug\": \"fig08_stream\""));
+        assert!(json.contains("\"cells\": 20"));
+        assert!(json.contains("\"points\": 10"));
+        assert_eq!(json.matches("\"slug\"").count(), serial.timings.len());
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+
+    #[test]
+    fn experiment_missing_from_the_parallel_report_gets_zero_time() {
+        let (serial, _) = tiny_reports();
+        let cfg = RunConfig {
+            seed: 7,
+            runs: 2,
+            startups: 8,
+            quick: true,
+        };
+        let other = Executor::new(RunPlan::new(cfg).with_shard("fig05").with_workers(1)).run();
+        let json = full_grid_json("quick", 7, &serial, &other);
+        assert!(json.contains("\"parallel_ms\": 0.000"));
     }
 }

@@ -10,8 +10,10 @@ use std::collections::BinaryHeap;
 
 use crate::time::Nanos;
 
-/// The boxed callback type run when an event fires.
-type Action<S> = Box<dyn FnOnce(&mut Simulation<S>, &mut S)>;
+/// The boxed callback type run when an event fires. Actions are `Send` so
+/// a `Simulation<S>` over `Send` state can move into worker threads (the
+/// parallel experiment executor runs whole simulations per worker).
+type Action<S> = Box<dyn FnOnce(&mut Simulation<S>, &mut S) + Send>;
 
 /// An event scheduled at a point in virtual time.
 struct Scheduled<S> {
@@ -181,7 +183,7 @@ impl<S> Simulation<S> {
     /// Schedules an action at an absolute virtual time.
     pub fn schedule_at<F>(&mut self, at: Nanos, action: F)
     where
-        F: FnOnce(&mut Simulation<S>, &mut S) + 'static,
+        F: FnOnce(&mut Simulation<S>, &mut S) + Send + 'static,
     {
         let seq = self.seq;
         self.seq += 1;
@@ -195,7 +197,7 @@ impl<S> Simulation<S> {
     /// Schedules an action `delay` after the current virtual time.
     pub fn schedule_in<F>(&mut self, delay: Nanos, action: F)
     where
-        F: FnOnce(&mut Simulation<S>, &mut S) + 'static,
+        F: FnOnce(&mut Simulation<S>, &mut S) + Send + 'static,
     {
         let at = self.now + delay;
         self.schedule_at(at, action);

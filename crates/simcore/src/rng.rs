@@ -4,6 +4,69 @@
 //! from a single root seed, split per platform and per run, so two
 //! invocations with the same seed produce bit-identical figures.
 
+/// One splitmix64 step: advances the state and returns the mixed output.
+/// This is the same finalizer [`SimRng::seed_from`] uses for state
+/// expansion and the canonical mixing function for seed derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a label, used to fold experiment/platform names into a
+/// derived seed.
+fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in label.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Derives the 64-bit seed of one `(experiment, platform, trial)` cell of
+/// the evaluation grid from the root seed.
+///
+/// The derivation is **stateless**: it depends only on its four arguments,
+/// never on how many other cells were derived before it or in which order.
+/// That is the property the parallel experiment executor relies on to make
+/// results bit-identical regardless of worker count or completion order.
+///
+/// Each component is folded in with a full splitmix64 round, so cells that
+/// differ in any single component (including label pairs with the same
+/// concatenation, e.g. `("ab", "c")` vs `("a", "bc")`) get independent
+/// streams.
+pub fn derive_seed(root_seed: u64, experiment: &str, platform: &str, trial: u64) -> u64 {
+    let mut state = root_seed;
+    let mut seed = splitmix64(&mut state);
+    state ^= fnv1a(experiment);
+    seed ^= splitmix64(&mut state);
+    state ^= fnv1a(platform);
+    seed ^= splitmix64(&mut state);
+    state ^= trial;
+    seed ^ splitmix64(&mut state)
+}
+
+/// Derives the independent random stream of one `(experiment, platform,
+/// trial)` cell from the root seed; see [`derive_seed`].
+///
+/// # Example
+///
+/// ```
+/// use simcore::rng;
+///
+/// let mut a = rng::derive(2021, "fig11_iperf", "native", 0);
+/// let mut b = rng::derive(2021, "fig11_iperf", "native", 0);
+/// let mut c = rng::derive(2021, "fig11_iperf", "native", 1);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// assert_ne!(b.next_u64(), c.next_u64());
+/// ```
+pub fn derive(root_seed: u64, experiment: &str, platform: &str, trial: u64) -> SimRng {
+    SimRng::seed_from(derive_seed(root_seed, experiment, platform, trial))
+}
+
 /// A seeded random number generator with the sampling helpers the cost
 /// models need (normal, log-normal, exponential, Pareto, Zipf).
 ///
@@ -31,15 +94,13 @@ impl SimRng {
     pub fn seed_from(seed: u64) -> Self {
         // splitmix64 expansion, the canonical way to seed xoshiro state.
         let mut s = seed;
-        let mut next = || {
-            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
-            let mut z = s;
-            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-            z ^ (z >> 31)
-        };
         SimRng {
-            state: [next(), next(), next(), next()],
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
     }
 
@@ -49,13 +110,8 @@ impl SimRng {
     /// "docker" and "gvisor" streams of the same experiment never share a
     /// sequence even though they originate from the same root seed.
     pub fn split(&mut self, label: &str) -> SimRng {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in label.as_bytes() {
-            h ^= u64::from(*byte);
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
         let salt = self.next_u64();
-        SimRng::seed_from(h ^ salt)
+        SimRng::seed_from(fnv1a(label) ^ salt)
     }
 
     /// Returns the next raw 64-bit value (xoshiro256++).
@@ -236,6 +292,47 @@ mod tests {
         let xs: Vec<u64> = (0..8).map(|_| docker.next_u64()).collect();
         let ys: Vec<u64> = (0..8).map(|_| gvisor.next_u64()).collect();
         assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn derive_is_stateless_and_order_independent() {
+        let forward: Vec<u64> = (0..8)
+            .map(|t| derive_seed(2021, "fig05_ffmpeg", "docker", t))
+            .collect();
+        let backward: Vec<u64> = (0..8)
+            .rev()
+            .map(|t| derive_seed(2021, "fig05_ffmpeg", "docker", t))
+            .rev()
+            .collect();
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn derive_changes_with_every_component() {
+        let base = derive_seed(1, "exp", "plat", 0);
+        assert_ne!(base, derive_seed(2, "exp", "plat", 0));
+        assert_ne!(base, derive_seed(1, "exp2", "plat", 0));
+        assert_ne!(base, derive_seed(1, "exp", "plat2", 0));
+        assert_ne!(base, derive_seed(1, "exp", "plat", 1));
+    }
+
+    #[test]
+    fn derive_distinguishes_label_boundaries() {
+        assert_ne!(
+            derive_seed(7, "ab", "c", 0),
+            derive_seed(7, "a", "bc", 0),
+            "concatenation-equal label pairs must not collide"
+        );
+        assert_ne!(derive_seed(7, "", "abc", 0), derive_seed(7, "abc", "", 0));
+    }
+
+    #[test]
+    fn derived_streams_are_reproducible() {
+        let mut a = derive(42, "fig08_stream", "native", 3);
+        let mut b = derive(42, "fig08_stream", "native", 3);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

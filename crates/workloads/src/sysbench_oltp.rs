@@ -87,6 +87,19 @@ impl OltpBenchmark {
             .collect()
     }
 
+    /// Runs the whole thread sweep once and returns one `(threads, tps)`
+    /// sample per sweep point.
+    ///
+    /// This is the unit the parallel executor shards on: each trial sweeps
+    /// every thread count once from its own derived random stream, and the
+    /// harness merges the per-trial samples into the figure's mean/std.
+    pub fn run_trial(&self, platform: &Platform, rng: &mut SimRng) -> Vec<(usize, f64)> {
+        self.thread_counts
+            .iter()
+            .map(|&threads| (threads, self.run_once(platform, threads, rng)))
+            .collect()
+    }
+
     fn run_point(&self, platform: &Platform, threads: usize, rng: &mut SimRng) -> OltpPoint {
         let mut samples = Vec::with_capacity(self.runs);
         for _ in 0..self.runs {
@@ -251,6 +264,18 @@ mod tests {
 
         // Group 3: the remaining platforms are within a band of each other.
         assert!(best(&docker) > group3 * 0.8);
+    }
+
+    #[test]
+    fn a_trial_covers_the_whole_sweep() {
+        let bench = OltpBenchmark::quick();
+        let platform = PlatformId::Native.build();
+        let trial = bench.run_trial(&platform, &mut SimRng::seed_from(73));
+        assert_eq!(
+            trial.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            bench.thread_counts
+        );
+        assert!(trial.iter().all(|(_, tps)| *tps > 0.0));
     }
 
     #[test]

@@ -78,6 +78,17 @@ impl YcsbBenchmark {
         }
     }
 
+    /// Runs a single measurement trial and returns its achieved throughput
+    /// in operations per second.
+    ///
+    /// This is the unit the parallel executor shards on: one trial per
+    /// `(experiment, platform, trial)` cell, each with an independently
+    /// derived random stream, so the merged statistics are identical
+    /// regardless of how the trials are scheduled.
+    pub fn run_trial(&self, platform: &Platform, rng: &mut SimRng) -> f64 {
+        self.run_once(platform, rng).0
+    }
+
     fn run_once(&self, platform: &Platform, rng: &mut SimRng) -> (f64, f64) {
         let store = Store::new(StoreConfig::default());
         // Load phase.
@@ -165,6 +176,16 @@ mod tests {
         assert!(kata < docker && kata < qemu, "kata {kata}");
         // gVisor is poor because of its network stack (Finding 19).
         assert!(gvisor < chv, "gvisor {gvisor} vs cloud-hypervisor {chv}");
+    }
+
+    #[test]
+    fn a_trial_matches_a_single_run_measurement() {
+        let mut bench = YcsbBenchmark::quick();
+        bench.runs = 1;
+        let platform = PlatformId::Docker.build();
+        let trial = bench.run_trial(&platform, &mut SimRng::seed_from(63));
+        let full = bench.run(&platform, &mut SimRng::seed_from(63));
+        assert_eq!(trial, full.ops_per_sec.mean());
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub use workloads;
 /// Commonly used items for driving the benchmark harness.
 pub mod prelude {
     pub use hap::HapSuite;
-    pub use harness::{figures, report, ExperimentId, FigureData, RunConfig};
+    pub use harness::{
+        figures, report, Executor, ExperimentId, FigureData, RunConfig, RunPlan, RunReport,
+    };
     pub use platforms::{Platform, PlatformFamily, PlatformId};
     pub use simcore::{Nanos, SimRng};
 }

@@ -1,0 +1,61 @@
+//! The executor's headline guarantee: figure data is bit-identical for
+//! every worker count and matches the serial figure path byte for byte.
+
+use isolation_bench::prelude::*;
+
+fn small() -> RunConfig {
+    RunConfig {
+        seed: 7,
+        runs: 2,
+        startups: 24,
+        quick: true,
+    }
+}
+
+#[test]
+fn any_worker_count_is_bit_identical_to_the_serial_path() {
+    let cfg = small();
+    let serial: Vec<FigureData> = figures::run_all(&cfg);
+    let serial_csv: Vec<String> = serial.iter().map(report::to_csv).collect();
+    for workers in [1, 2, 8] {
+        let run = Executor::new(RunPlan::new(cfg).with_workers(workers)).run();
+        assert_eq!(run.workers, workers);
+        assert_eq!(run.figures, serial, "workers={workers}");
+        let csv: Vec<String> = run.figures.iter().map(report::to_csv).collect();
+        assert_eq!(
+            csv, serial_csv,
+            "workers={workers} must render identical bytes"
+        );
+    }
+}
+
+#[test]
+fn shard_filter_runs_only_matching_experiments() {
+    let run = Executor::new(RunPlan::new(small()).with_shard("boot").with_workers(2)).run();
+    let slugs: Vec<&str> = run.figures.iter().map(|f| f.experiment.slug()).collect();
+    assert_eq!(
+        slugs,
+        [
+            "fig13_boot_containers",
+            "fig14_boot_hypervisors",
+            "fig15_boot_osv"
+        ]
+    );
+    // Sharding does not change the data relative to the full run.
+    let full = figures::run(ExperimentId::Fig14BootHypervisors, &small());
+    assert_eq!(
+        *run.figure(ExperimentId::Fig14BootHypervisors).unwrap(),
+        full
+    );
+}
+
+#[test]
+fn trial_override_scales_the_cell_grid_without_changing_its_shape() {
+    let plan = RunPlan::new(small())
+        .with_shard("fig05")
+        .with_trials(5)
+        .with_workers(4);
+    let run = Executor::new(plan).run();
+    assert_eq!(run.timings[0].cells, 10 * 5);
+    assert_eq!(run.figures[0].series[0].points.len(), 10);
+}

@@ -2,12 +2,32 @@
 
 use proptest::prelude::*;
 
+use isolation_bench::harness::{grid, ExperimentId};
 use isolation_bench::kvstore::{Store, StoreConfig};
 use isolation_bench::relstore::{Database, Row};
 use isolation_bench::simcore::stats::{Cdf, RunningStats};
-use isolation_bench::simcore::{Bandwidth, Nanos, SimRng};
+use isolation_bench::simcore::{rng, Bandwidth, Nanos, SimRng};
 
 proptest! {
+    #[test]
+    fn derived_seeds_never_collide_across_the_full_grid(root in 0u64..u64::MAX) {
+        // Every (experiment, platform entry, trial) cell of the real
+        // evaluation grid must get its own random stream: a collision
+        // would make two cells sample identical values.
+        let mut seen = std::collections::HashMap::new();
+        for experiment in ExperimentId::all() {
+            for entry in grid::entries(*experiment) {
+                for trial in 0..6u64 {
+                    let cell = (experiment.slug(), entry.label, trial);
+                    let seed = rng::derive_seed(root, experiment.slug(), entry.label, trial);
+                    if let Some(previous) = seen.insert(seed, cell) {
+                        panic!("seed collision between {previous:?} and {cell:?} (root {root})");
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn running_stats_mean_is_bounded_by_min_and_max(xs in prop::collection::vec(-1e9f64..1e9, 1..200)) {
         let stats: RunningStats = xs.iter().copied().collect();
