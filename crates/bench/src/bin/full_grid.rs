@@ -14,48 +14,25 @@
 //! * `--trials N` — override every experiment's trial count
 //! * `--out PATH` — output path (default `BENCH_full_grid.json`)
 
-use harness::cli::{flag_value, parse_count};
-use harness::{report, Executor, ExperimentId, RunConfig, RunPlan};
+use harness::cli::run_serial_and_parallel;
+use harness::{report, ExperimentId};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let paper_scale = args.iter().any(|a| a == "--paper");
-    let mode = if paper_scale { "paper" } else { "quick" };
-    let cfg = if paper_scale {
-        RunConfig::paper(2021)
-    } else {
-        RunConfig::quick(2021)
-    };
-    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_full_grid.json".into());
+    let run = run_serial_and_parallel("full_grid", &args, None, "BENCH_full_grid.json");
 
-    let mut plan = RunPlan::new(cfg);
-    if let Some(trials) = parse_count(&args, "--trials") {
-        plan = plan.with_trials(trials);
-    }
-    let workers = parse_count(&args, "--workers").unwrap_or(0);
+    let json = report::full_grid_json(run.mode, run.config.seed, &run.serial, &run.parallel);
+    std::fs::write(&run.out_path, &json)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", run.out_path));
 
-    let serial_plan = plan.clone().with_workers(1);
-    let parallel_plan = plan.with_workers(workers);
-    let parallel_workers = parallel_plan.effective_workers();
-
-    eprintln!(
-        "full_grid: serial pass (1 worker, {mode} mode, seed {})",
-        cfg.seed
+    println!(
+        "| experiment | cells | serial (ms) | {} workers (ms) |",
+        run.parallel_workers
     );
-    let serial = Executor::new(serial_plan).run();
-    eprintln!(
-        "full_grid: parallel pass ({parallel_workers} workers); serial took {:.0} ms",
-        serial.wall.as_secs_f64() * 1e3
-    );
-    let parallel = Executor::new(parallel_plan).run();
-
-    let json = report::full_grid_json(mode, cfg.seed, &serial, &parallel);
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
-
-    println!("| experiment | cells | serial (ms) | {parallel_workers} workers (ms) |");
     println!("|---|---|---|---|");
-    for timing in &serial.timings {
-        let parallel_ms = parallel
+    for timing in &run.serial.timings {
+        let parallel_ms = run
+            .parallel
             .timings
             .iter()
             .find(|t| t.experiment == timing.experiment)
@@ -70,20 +47,22 @@ fn main() {
         );
     }
     println!(
-        "\nwall clock: serial {:.0} ms, {parallel_workers} workers {:.0} ms ({:.2}x); report: {out_path}",
-        serial.wall.as_secs_f64() * 1e3,
-        parallel.wall.as_secs_f64() * 1e3,
-        serial.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9),
+        "\nwall clock: serial {:.0} ms, {} workers {:.0} ms ({:.2}x); report: {}",
+        run.serial.wall.as_secs_f64() * 1e3,
+        run.parallel_workers,
+        run.parallel.wall.as_secs_f64() * 1e3,
+        run.serial.wall.as_secs_f64() / run.parallel.wall.as_secs_f64().max(1e-9),
+        run.out_path,
     );
 
     // Completeness gate: every experiment of the evaluation must be in the
     // report with a full cell complement and non-empty figure data.
     let mut missing = Vec::new();
     for experiment in ExperimentId::all() {
-        for (label, run) in [("serial", &serial), ("parallel", &parallel)] {
-            let timing = run.timings.iter().find(|t| t.experiment == *experiment);
+        for (label, pass) in [("serial", &run.serial), ("parallel", &run.parallel)] {
+            let timing = pass.timings.iter().find(|t| t.experiment == *experiment);
             let ok = timing.is_some_and(|t| t.cells > 0)
-                && run.figure(*experiment).is_some_and(|fig| {
+                && pass.figure(*experiment).is_some_and(|fig| {
                     !fig.series.is_empty() && fig.series.iter().any(|s| !s.points.is_empty())
                 });
             if !ok {

@@ -1,0 +1,74 @@
+//! Machine-readable open-loop load-curve bench runner.
+//!
+//! Runs the two load-curve experiments (`load_memcached`, `load_mysql`)
+//! twice — serially (1 worker) and with N workers — and writes
+//! `BENCH_load_curves.json` with per-platform throughput-vs-latency
+//! sweeps. Exits non-zero if the serial and parallel runs disagree, if an
+//! experiment is missing, or if the emitted JSON contains any non-finite
+//! value (NaN/inf), so CI can gate on all three.
+//!
+//! Run with: `cargo run --release -p bench --bin load_curves`
+//!
+//! Flags:
+//! * `--paper` — full-scale configuration (default is quick)
+//! * `--workers N` — parallel worker count (default: available parallelism)
+//! * `--trials N` — override every experiment's trial count
+//! * `--out PATH` — output path (default `BENCH_load_curves.json`)
+
+use harness::cli::run_serial_and_parallel;
+use harness::{report, ExperimentId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `load_` keeps the filter to the two open-loop experiments (the
+    // closed-loop fig16_memcached/fig17_mysql slugs do not contain it).
+    let run = run_serial_and_parallel(
+        "load_curves",
+        &args,
+        Some("load_"),
+        "BENCH_load_curves.json",
+    );
+
+    let json = report::load_curves_json(run.mode, run.config.seed, &run.serial, &run.parallel);
+    std::fs::write(&run.out_path, &json)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", run.out_path));
+
+    for figure in &run.serial.figures {
+        println!("{}", report::to_markdown(figure));
+    }
+    println!(
+        "wall clock: serial {:.0} ms, {} workers {:.0} ms; report: {}",
+        run.serial.wall.as_secs_f64() * 1e3,
+        run.parallel_workers,
+        run.parallel.wall.as_secs_f64() * 1e3,
+        run.out_path,
+    );
+
+    let mut failures = Vec::new();
+    for experiment in [ExperimentId::LoadMemcached, ExperimentId::LoadMysql] {
+        for (label, pass) in [("serial", &run.serial), ("parallel", &run.parallel)] {
+            let ok = pass.figure(experiment).is_some_and(|fig| {
+                !fig.series.is_empty() && fig.series.iter().all(|s| !s.points.is_empty())
+            });
+            if !ok {
+                failures.push(format!(
+                    "{} missing from the {label} run",
+                    experiment.slug()
+                ));
+            }
+        }
+    }
+    if run.serial.figures != run.parallel.figures {
+        failures.push(format!(
+            "serial and {}-worker figure data disagree",
+            run.parallel_workers
+        ));
+    }
+    if let Some(token) = report::find_non_finite(&json) {
+        failures.push(format!("emitted JSON contains non-finite value {token:?}"));
+    }
+    if !failures.is_empty() {
+        eprintln!("load_curves: FAILED: {}", failures.join("; "));
+        std::process::exit(1);
+    }
+}

@@ -1,5 +1,9 @@
-//! Tiny flag-parsing helpers shared by the runnable surfaces (the
-//! `full_evaluation` example and the `full_grid` bench runner).
+//! Tiny flag-parsing helpers and the shared serial-vs-parallel bench
+//! scaffold used by the runnable surfaces (the `full_evaluation` example
+//! and the `full_grid`/`load_curves` bench runners).
+
+use crate::config::RunConfig;
+use crate::executor::{Executor, RunPlan, RunReport};
 
 /// Returns the value following the flag `name`.
 ///
@@ -31,6 +35,80 @@ pub fn parse_count(args: &[String], name: &str) -> Option<usize> {
         v.parse()
             .unwrap_or_else(|_| panic!("{name} expects a number, got {v:?}"))
     })
+}
+
+/// The outcome of one [`run_serial_and_parallel`] invocation.
+pub struct BenchRun {
+    /// `"paper"` or `"quick"`, from the `--paper` flag.
+    pub mode: &'static str,
+    /// The run configuration both passes used.
+    pub config: RunConfig,
+    /// The report output path, from `--out` or the caller's default.
+    pub out_path: String,
+    /// The 1-worker reference run.
+    pub serial: RunReport,
+    /// The N-worker run of the same plan.
+    pub parallel: RunReport,
+    /// The worker count the parallel pass resolved to.
+    pub parallel_workers: usize,
+}
+
+/// The shared scaffold of the machine-readable bench runners: parses the
+/// common flags (`--paper`, `--workers N`, `--trials N`, `--out PATH`),
+/// then executes the selected experiments twice — serially (1 worker) and
+/// with N workers — so the caller can compare the two runs' figure data
+/// and emit its report.
+///
+/// # Panics
+///
+/// Panics on malformed flags, like [`flag_value`] and [`parse_count`].
+pub fn run_serial_and_parallel(
+    name: &str,
+    args: &[String],
+    shard: Option<&str>,
+    default_out: &str,
+) -> BenchRun {
+    let paper_scale = args.iter().any(|a| a == "--paper");
+    let mode = if paper_scale { "paper" } else { "quick" };
+    let config = if paper_scale {
+        RunConfig::paper(2021)
+    } else {
+        RunConfig::quick(2021)
+    };
+    let out_path = flag_value(args, "--out").unwrap_or_else(|| default_out.to_string());
+
+    let mut plan = RunPlan::new(config);
+    if let Some(filter) = shard {
+        plan = plan.with_shard(filter);
+    }
+    if let Some(trials) = parse_count(args, "--trials") {
+        plan = plan.with_trials(trials);
+    }
+    let workers = parse_count(args, "--workers").unwrap_or(0);
+
+    let serial_plan = plan.clone().with_workers(1);
+    let parallel_plan = plan.with_workers(workers);
+    let parallel_workers = parallel_plan.effective_workers();
+
+    eprintln!(
+        "{name}: serial pass (1 worker, {mode} mode, seed {})",
+        config.seed
+    );
+    let serial = Executor::new(serial_plan).run();
+    eprintln!(
+        "{name}: parallel pass ({parallel_workers} workers); serial took {:.0} ms",
+        serial.wall.as_secs_f64() * 1e3
+    );
+    let parallel = Executor::new(parallel_plan).run();
+
+    BenchRun {
+        mode,
+        config,
+        out_path,
+        serial,
+        parallel,
+        parallel_workers,
+    }
 }
 
 #[cfg(test)]
@@ -70,5 +148,25 @@ mod tests {
     #[should_panic(expected = "--shard expects a value, found flag")]
     fn a_flag_is_not_swallowed_as_a_value() {
         flag_value(&args(&["--shard", "--workers", "8"]), "--shard");
+    }
+
+    #[test]
+    fn bench_scaffold_runs_both_passes_identically() {
+        let run = run_serial_and_parallel(
+            "test",
+            &args(&["--workers", "2", "--trials", "1", "--out", "custom.json"]),
+            Some("fig08"),
+            "default.json",
+        );
+        assert_eq!(run.mode, "quick");
+        assert_eq!(run.out_path, "custom.json");
+        assert_eq!(run.serial.workers, 1);
+        assert_eq!(run.parallel.workers, 2);
+        assert_eq!(run.parallel_workers, 2);
+        assert_eq!(run.serial.figures, run.parallel.figures);
+        let default_out =
+            run_serial_and_parallel("test", &args(&["--trials", "1"]), Some("no-such"), "d.json");
+        assert_eq!(default_out.out_path, "d.json");
+        assert!(default_out.serial.figures.is_empty());
     }
 }

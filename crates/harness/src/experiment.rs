@@ -35,6 +35,10 @@ pub enum ExperimentId {
     Fig17Mysql,
     /// Fig. 18 — extended HAP metric.
     Fig18Hap,
+    /// Beyond the paper: open-loop Memcached throughput-vs-latency curves.
+    LoadMemcached,
+    /// Beyond the paper: open-loop MySQL throughput-vs-latency curves.
+    LoadMysql,
 }
 
 impl ExperimentId {
@@ -57,6 +61,8 @@ impl ExperimentId {
             Fig16Memcached,
             Fig17Mysql,
             Fig18Hap,
+            LoadMemcached,
+            LoadMysql,
         ]
     }
 
@@ -79,6 +85,8 @@ impl ExperimentId {
             Fig16Memcached => "Fig. 16: Memcached YCSB throughput (ops/s)",
             Fig17Mysql => "Fig. 17: MySQL sysbench oltp_read_write (tps)",
             Fig18Hap => "Fig. 18: extended HAP metric",
+            LoadMemcached => "Load: Memcached open-loop latency vs offered load (us)",
+            LoadMysql => "Load: MySQL open-loop latency vs offered load (us)",
         }
     }
 
@@ -101,6 +109,8 @@ impl ExperimentId {
             Fig16Memcached => "fig16_memcached",
             Fig17Mysql => "fig17_mysql",
             Fig18Hap => "fig18_hap",
+            LoadMemcached => "load_memcached",
+            LoadMysql => "load_mysql",
         }
     }
 }
@@ -201,7 +211,7 @@ mod tests {
         let slugs: std::collections::BTreeSet<_> =
             ExperimentId::all().iter().map(|e| e.slug()).collect();
         assert_eq!(slugs.len(), ExperimentId::all().len());
-        assert_eq!(ExperimentId::all().len(), 15);
+        assert_eq!(ExperimentId::all().len(), 17);
     }
 
     #[test]

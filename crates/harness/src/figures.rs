@@ -108,6 +108,18 @@ pub fn fig18_hap(cfg: &RunConfig) -> FigureData {
     run(ExperimentId::Fig18Hap, cfg)
 }
 
+/// Beyond the paper: open-loop Memcached throughput-vs-latency curves
+/// (p50/p95/p99 sojourn time and achieved throughput per platform, swept
+/// over offered-load fractions).
+pub fn load_memcached(cfg: &RunConfig) -> FigureData {
+    run(ExperimentId::LoadMemcached, cfg)
+}
+
+/// Beyond the paper: open-loop MySQL throughput-vs-latency curves.
+pub fn load_mysql(cfg: &RunConfig) -> FigureData {
+    run(ExperimentId::LoadMysql, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

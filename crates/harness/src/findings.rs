@@ -32,7 +32,7 @@ fn check(id: &'static str, claim: &'static str, passed: bool, detail: String) ->
 }
 
 /// The experiments the finding checks read.
-const NEEDED: [ExperimentId; 9] = [
+const NEEDED: [ExperimentId; 11] = [
     ExperimentId::SysbenchPrime,
     ExperimentId::Fig05Ffmpeg,
     ExperimentId::Fig06MemLatency,
@@ -42,6 +42,8 @@ const NEEDED: [ExperimentId; 9] = [
     ExperimentId::Fig14BootHypervisors,
     ExperimentId::Fig15BootOsv,
     ExperimentId::Fig18Hap,
+    ExperimentId::LoadMemcached,
+    ExperimentId::LoadMysql,
 ];
 
 /// Runs all implemented finding checks using the given configuration,
@@ -250,6 +252,48 @@ pub fn check_findings_on(figures: &[FigureData]) -> Vec<FindingCheck> {
                 .iter()
                 .all(|p| p.x == "osv" || p.x == "osv-fc" || p.mean > get("osv")),
             format!("osv {:.0}", get("osv")),
+        ));
+    }
+
+    // Beyond the paper: open-loop load behaviour. These curves are new
+    // ground — the paper's closed-loop macro benchmarks cannot see them.
+    if let Some(load) = fig(ExperimentId::LoadMemcached) {
+        let p99_at = |platform: &str, fraction: &str| {
+            load.series_named(&format!("{platform} {}", crate::grid::LOAD_P99))
+                .and_then(|s| s.points.iter().find(|p| p.x == fraction))
+                .map(|p| p.mean)
+                .unwrap_or(0.0)
+        };
+        let native_low = p99_at("native", "0.20");
+        let native_high = p99_at("native", "0.95");
+        out.push(check(
+            "load-01",
+            "open-loop tail latency inflates as offered load approaches saturation",
+            native_high > native_low,
+            format!("native p99 {native_low:.1} us at 20% load vs {native_high:.1} us at 95%"),
+        ));
+        let gvisor_high = p99_at("gvisor", "0.95");
+        out.push(check(
+            "load-02",
+            "at equal utilization, secure containers pay their per-request tax in absolute tail latency",
+            gvisor_high > native_high,
+            format!("gvisor p99 {gvisor_high:.1} us vs native {native_high:.1} us at 95% load"),
+        ));
+    }
+    if let Some(load) = fig(ExperimentId::LoadMysql) {
+        let achieved_at = |platform: &str, fraction: &str| {
+            load.series_named(&format!("{platform} {}", crate::grid::LOAD_ACHIEVED))
+                .and_then(|s| s.points.iter().find(|p| p.x == fraction))
+                .map(|p| p.mean)
+                .unwrap_or(0.0)
+        };
+        let native = achieved_at("native", "0.80");
+        let gvisor = achieved_at("gvisor", "0.80");
+        out.push(check(
+            "load-03",
+            "at the same utilization fraction, native sustains a far higher absolute MySQL request rate",
+            native > gvisor * 1.5,
+            format!("native {native:.0} req/s vs gvisor {gvisor:.0} req/s at 80% load"),
         ));
     }
 

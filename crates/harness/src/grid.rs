@@ -19,6 +19,7 @@ use simcore::rng;
 use simcore::stats::{Cdf, RunningStats};
 
 use hap::HapSuite;
+use workloads::loadgen::{LoadBackend, LoadPoint, LoadgenBenchmark};
 use workloads::{
     FfmpegBenchmark, FioBenchmark, IperfBenchmark, NetperfBenchmark, OltpBenchmark,
     StreamBenchmark, SysbenchCpuBenchmark, TinymembenchBenchmark, YcsbBenchmark,
@@ -108,6 +109,18 @@ const BOOT_OSV: &[(PlatformId, StartupVariant, &str)] = &[
     ),
 ];
 
+/// The platform set of the open-loop load-curve experiments: one
+/// representative per family (baseline, container, hypervisor, microVM,
+/// secure container ×2), in figure-legend order.
+const LOAD_PLATFORMS: &[PlatformId] = &[
+    PlatformId::Native,
+    PlatformId::Docker,
+    PlatformId::Qemu,
+    PlatformId::Firecracker,
+    PlatformId::Kata,
+    PlatformId::GvisorPtrace,
+];
+
 fn boot_entries(table: &'static [(PlatformId, StartupVariant, &'static str)]) -> Vec<Entry> {
     table
         .iter()
@@ -131,6 +144,7 @@ pub fn entries(experiment: ExperimentId) -> Vec<Entry> {
         Fig13BootContainers => boot_entries(BOOT_CONTAINERS),
         Fig14BootHypervisors => boot_entries(BOOT_HYPERVISORS),
         Fig15BootOsv => boot_entries(BOOT_OSV),
+        LoadMemcached | LoadMysql => LOAD_PLATFORMS.iter().map(|id| Entry::bar(*id)).collect(),
         _ => PlatformId::paper_set()
             .iter()
             .map(|id| Entry::bar(*id))
@@ -151,6 +165,7 @@ pub fn trials(experiment: ExperimentId, cfg: &RunConfig) -> usize {
         Fig16Memcached => ycsb_bench(cfg).runs,
         Fig17Mysql => oltp_bench(cfg).runs,
         Fig18Hap => 1,
+        LoadMemcached | LoadMysql => load_bench(experiment, cfg).runs,
         _ => cfg.runs,
     };
     // A zero-run/zero-startup config still produces one trial per cell so
@@ -188,6 +203,9 @@ pub enum CellOutput {
         /// EPSS-weighted attack-surface score.
         weighted: f64,
     },
+    /// One open-loop load sweep (one [`LoadPoint`] per offered-load
+    /// fraction) of the load-curve experiments.
+    Load(Vec<LoadPoint>),
     /// The platform is excluded from this experiment.
     Skip,
 }
@@ -213,6 +231,18 @@ fn oltp_bench(cfg: &RunConfig) -> OltpBenchmark {
         OltpBenchmark::quick()
     } else {
         OltpBenchmark::default()
+    }
+}
+
+fn load_bench(experiment: ExperimentId, cfg: &RunConfig) -> LoadgenBenchmark {
+    let backend = match experiment {
+        ExperimentId::LoadMysql => LoadBackend::Mysql,
+        _ => LoadBackend::Memcached,
+    };
+    if cfg.quick {
+        LoadgenBenchmark::quick(backend)
+    } else {
+        LoadgenBenchmark::new(backend)
     }
 }
 
@@ -316,6 +346,10 @@ pub fn run_cell(
                 weighted: profile.weighted_score,
             }
         }
+        LoadMemcached | LoadMysql => {
+            let bench = load_bench(experiment, cfg);
+            CellOutput::Load(bench.run_trial(&platform, &mut rng))
+        }
     }
 }
 
@@ -355,10 +389,67 @@ pub fn merge(experiment: ExperimentId, outputs: &[Vec<CellOutput>]) -> FigureDat
             merge_boot(experiment, outputs)
         }
         Fig18Hap => merge_hap(experiment, outputs),
+        LoadMemcached | LoadMysql => merge_load(experiment, outputs),
         // Fig. 11 reports the maximum over the runs, everything else the mean.
         Fig11Iperf => merge_bars(experiment, outputs, true),
         _ => merge_bars(experiment, outputs, false),
     }
+}
+
+/// Series-label suffix of the load figures' median sojourn time.
+pub const LOAD_P50: &str = "p50 (us)";
+/// Series-label suffix of the load figures' 95th-percentile sojourn time.
+pub const LOAD_P95: &str = "p95 (us)";
+/// Series-label suffix of the load figures' 99th-percentile sojourn time.
+pub const LOAD_P99: &str = "p99 (us)";
+/// Series-label suffix of the load figures' achieved throughput.
+pub const LOAD_ACHIEVED: &str = "achieved (req/s)";
+
+/// The per-platform metric series of one load-curve figure, in series
+/// order: the sojourn-time percentiles plus the achieved throughput.
+/// Every series is labelled `"<platform> <metric>"`; [`crate::findings`]
+/// and [`crate::report`] look series up through these constants.
+pub const LOAD_METRICS: [&str; 4] = [LOAD_P50, LOAD_P95, LOAD_P99, LOAD_ACHIEVED];
+
+fn load_metric(point: &LoadPoint, metric: &str) -> f64 {
+    match metric {
+        LOAD_P50 => point.p50_us,
+        LOAD_P95 => point.p95_us,
+        LOAD_P99 => point.p99_us,
+        LOAD_ACHIEVED => point.achieved_per_sec,
+        other => unreachable!("unknown load metric {other}"),
+    }
+}
+
+fn merge_load(experiment: ExperimentId, outputs: &[Vec<CellOutput>]) -> FigureData {
+    let mut fig = FigureData::new(experiment);
+    for (entry, trials) in entries(experiment).iter().zip(outputs) {
+        let sweeps: Vec<&[LoadPoint]> = trials
+            .iter()
+            .map(|output| match output {
+                CellOutput::Load(points) => points.as_slice(),
+                other => unreachable!("{experiment:?} produced {other:?}, expected a load sweep"),
+            })
+            .collect();
+        let first = sweeps.first().expect("every entry runs at least one trial");
+        for metric in LOAD_METRICS {
+            let mut series = Series::new(&format!("{} {metric}", entry.label));
+            for (xi, sample) in first.iter().enumerate() {
+                let stats: RunningStats = sweeps
+                    .iter()
+                    .map(|points| load_metric(&points[xi], metric))
+                    .collect();
+                series.points.push(DataPoint {
+                    x: format!("{:.2}", sample.offered_fraction),
+                    x_value: sample.offered_fraction,
+                    mean: stats.mean(),
+                    std_dev: stats.std_dev(),
+                });
+            }
+            fig.series.push(series);
+        }
+    }
+    fig
 }
 
 fn merge_bars(
@@ -528,6 +619,51 @@ mod tests {
             run_cell(experiment, &firecracker, 0, &cfg()),
             CellOutput::Skip
         );
+    }
+
+    #[test]
+    fn load_experiments_cover_multiple_platform_families() {
+        for experiment in [ExperimentId::LoadMemcached, ExperimentId::LoadMysql] {
+            let entries = entries(experiment);
+            assert!(entries.len() >= 3, "{experiment:?} needs >= 3 platforms");
+            let families: std::collections::BTreeSet<_> = entries
+                .iter()
+                .map(|entry| entry.platform.family())
+                .collect();
+            assert!(families.len() >= 3, "{experiment:?} families {families:?}");
+        }
+    }
+
+    #[test]
+    fn load_cells_produce_full_sweeps_and_merge_per_metric_series() {
+        let experiment = ExperimentId::LoadMemcached;
+        let grid_entries = entries(experiment);
+        let outputs: Vec<Vec<CellOutput>> = grid_entries
+            .iter()
+            .map(|entry| vec![run_cell(experiment, entry, 0, &cfg())])
+            .collect();
+        let sweep_len = match &outputs[0][0] {
+            CellOutput::Load(points) => {
+                assert!(points.len() >= 5, "load sweep needs >= 5 offered points");
+                points.len()
+            }
+            other => panic!("expected a load sweep, got {other:?}"),
+        };
+        let fig = merge(experiment, &outputs);
+        assert_eq!(fig.series.len(), grid_entries.len() * LOAD_METRICS.len());
+        for series in &fig.series {
+            assert_eq!(series.points.len(), sweep_len);
+        }
+        for entry in &grid_entries {
+            for metric in LOAD_METRICS {
+                assert!(
+                    fig.series_named(&format!("{} {metric}", entry.label))
+                        .is_some(),
+                    "missing series for {} {metric}",
+                    entry.label
+                );
+            }
+        }
     }
 
     #[test]

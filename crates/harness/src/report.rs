@@ -108,6 +108,26 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Opens a bench-report JSON object with the header fields every report
+/// shares: schema identifier, mode, seed, worker counts and wall clocks.
+fn json_report_header(
+    schema: &str,
+    mode: &str,
+    seed: u64,
+    serial: &RunReport,
+    parallel: &RunReport,
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{}\",", json_escape(schema));
+    let _ = writeln!(out, "  \"mode\": \"{}\",", json_escape(mode));
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"serial_workers\": {},", serial.workers);
+    let _ = writeln!(out, "  \"parallel_workers\": {},", parallel.workers);
+    let _ = writeln!(out, "  \"serial_wall_ms\": {:.3},", ms(serial.wall));
+    let _ = writeln!(out, "  \"parallel_wall_ms\": {:.3},", ms(parallel.wall));
+    out
+}
+
 /// Renders the machine-readable full-grid bench report comparing a serial
 /// (1-worker) run against an N-worker run of the same plan.
 ///
@@ -115,14 +135,7 @@ fn json_escape(s: &str) -> String {
 /// counts and wall-clock (cell-time) numbers plus run totals, emitted
 /// without any serialization dependency so CI can parse and archive it.
 pub fn full_grid_json(mode: &str, seed: u64, serial: &RunReport, parallel: &RunReport) -> String {
-    let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"isolation-bench/full-grid/v1\",");
-    let _ = writeln!(out, "  \"mode\": \"{}\",", json_escape(mode));
-    let _ = writeln!(out, "  \"seed\": {seed},");
-    let _ = writeln!(out, "  \"serial_workers\": {},", serial.workers);
-    let _ = writeln!(out, "  \"parallel_workers\": {},", parallel.workers);
-    let _ = writeln!(out, "  \"serial_wall_ms\": {:.3},", ms(serial.wall));
-    let _ = writeln!(out, "  \"parallel_wall_ms\": {:.3},", ms(parallel.wall));
+    let mut out = json_report_header("isolation-bench/full-grid/v1", mode, seed, serial, parallel);
     let speedup = if parallel.wall.as_secs_f64() > 0.0 {
         serial.wall.as_secs_f64() / parallel.wall.as_secs_f64()
     } else {
@@ -157,6 +170,127 @@ pub fn full_grid_json(mode: &str, seed: u64, serial: &RunReport, parallel: &RunR
                 ""
             }
         );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+/// Scans hand-rolled JSON for non-finite number tokens (`NaN`, `inf`,
+/// `-inf`), which `{}`-formatted `f64`s produce and which are not valid
+/// JSON. Returns the offending token when one is found.
+///
+/// The bench binaries gate their emitted reports on this, so CI fails
+/// loudly the moment an experiment leaks a non-finite statistic.
+pub fn find_non_finite(json: &str) -> Option<&'static str> {
+    for token in ["NaN", "inf"] {
+        // `inf` must match as a bare token, not as a substring of a quoted
+        // label (e.g. "infra"); scan outside string literals only.
+        let mut in_string = false;
+        let mut escaped = false;
+        let bytes = json.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if b == b'\\' {
+                    escaped = true;
+                } else if b == b'"' {
+                    in_string = false;
+                }
+                continue;
+            }
+            if b == b'"' {
+                in_string = true;
+                continue;
+            }
+            if json[i..].starts_with(token) {
+                return Some(token);
+            }
+        }
+    }
+    None
+}
+
+/// The figure-level payload of one load-curve experiment: per-platform
+/// offered-load sweeps with percentile latencies and achieved throughput,
+/// reconstructed from the merged figure series.
+fn load_experiment_json(out: &mut String, fig: &FigureData) {
+    let _ = writeln!(out, "    {{");
+    let _ = writeln!(out, "      \"slug\": \"{}\",", fig.experiment.slug());
+    // Every platform contributes one "<label> p50" series; recover the
+    // platform list (in canonical order) from those labels.
+    let p50_suffix = format!(" {}", crate::grid::LOAD_P50);
+    let platforms: Vec<&str> = fig
+        .series
+        .iter()
+        .filter_map(|s| s.label.strip_suffix(p50_suffix.as_str()))
+        .collect();
+    let _ = writeln!(out, "      \"platforms\": [");
+    for (pi, platform) in platforms.iter().enumerate() {
+        let series = |metric: &str| fig.series_named(&format!("{platform} {metric}"));
+        let _ = writeln!(out, "        {{");
+        let _ = writeln!(out, "          \"label\": \"{}\",", json_escape(platform));
+        let _ = writeln!(out, "          \"points\": [");
+        let p50 = series(crate::grid::LOAD_P50).expect("p50 series exists by construction");
+        for (i, point) in p50.points.iter().enumerate() {
+            // Panic (rather than emit a plausible 0.0) on a missing series
+            // or point: a malformed figure must fail the bench run loudly.
+            let metric_mean = |metric: &str| {
+                series(metric)
+                    .unwrap_or_else(|| panic!("{} series missing for {platform}", metric))
+                    .points[i]
+                    .mean
+            };
+            let _ = write!(
+                out,
+                "            {{\"fraction\": {:.2}, \"p50_us\": {:.3}, \"p95_us\": {:.3}, \"p99_us\": {:.3}, \"achieved_per_sec\": {:.3}}}",
+                point.x_value,
+                point.mean,
+                metric_mean(crate::grid::LOAD_P95),
+                metric_mean(crate::grid::LOAD_P99),
+                metric_mean(crate::grid::LOAD_ACHIEVED),
+            );
+            let _ = writeln!(out, "{}", if i + 1 < p50.points.len() { "," } else { "" });
+        }
+        let _ = writeln!(out, "          ]");
+        let _ = write!(out, "        }}");
+        let _ = writeln!(out, "{}", if pi + 1 < platforms.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "      ]");
+    let _ = write!(out, "    }}");
+}
+
+/// Renders the machine-readable load-curve bench report
+/// (`BENCH_load_curves.json`): the open-loop throughput-vs-latency sweeps
+/// of both backends, from a serial (1-worker) and an N-worker run of the
+/// same plan, plus whether the two produced identical figure data.
+pub fn load_curves_json(mode: &str, seed: u64, serial: &RunReport, parallel: &RunReport) -> String {
+    let load_figs = |report: &RunReport| {
+        [
+            crate::experiment::ExperimentId::LoadMemcached,
+            crate::experiment::ExperimentId::LoadMysql,
+        ]
+        .iter()
+        .filter_map(|e| report.figure(*e).cloned())
+        .collect::<Vec<_>>()
+    };
+    let serial_figs = load_figs(serial);
+    let parallel_figs = load_figs(parallel);
+    let identical = serial_figs == parallel_figs;
+
+    let mut out = json_report_header(
+        "isolation-bench/load-curves/v1",
+        mode,
+        seed,
+        serial,
+        parallel,
+    );
+    let _ = writeln!(out, "  \"identical\": {identical},");
+    let _ = writeln!(out, "  \"experiments\": [");
+    for (i, fig) in serial_figs.iter().enumerate() {
+        load_experiment_json(&mut out, fig);
+        let _ = writeln!(out, "{}", if i + 1 < serial_figs.len() { "," } else { "" });
     }
     let _ = writeln!(out, "  ]");
     out.push_str("}\n");
@@ -227,6 +361,39 @@ mod tests {
         assert!(json.contains("\"points\": 10"));
         assert_eq!(json.matches("\"slug\"").count(), serial.timings.len());
         assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+
+    #[test]
+    fn non_finite_detector_ignores_strings_but_catches_values() {
+        assert_eq!(find_non_finite("{\"x\": 1.5}"), None);
+        assert_eq!(find_non_finite("{\"label\": \"NaN-proof infra\"}"), None);
+        assert_eq!(find_non_finite("{\"x\": NaN}"), Some("NaN"));
+        assert_eq!(find_non_finite("{\"x\": inf}"), Some("inf"));
+        assert_eq!(find_non_finite("{\"x\": -inf}"), Some("inf"));
+        assert_eq!(
+            find_non_finite(&format!("{{\"x\": {}}}", f64::NAN)),
+            Some("NaN")
+        );
+    }
+
+    #[test]
+    fn load_curves_json_has_both_experiments_and_is_finite() {
+        let cfg = RunConfig {
+            seed: 7,
+            runs: 2,
+            startups: 8,
+            quick: true,
+        };
+        let serial = Executor::new(RunPlan::new(cfg).with_shard("load_").with_workers(1)).run();
+        let parallel = Executor::new(RunPlan::new(cfg).with_shard("load_").with_workers(2)).run();
+        let json = load_curves_json("quick", 7, &serial, &parallel);
+        assert!(json.contains("\"schema\": \"isolation-bench/load-curves/v1\""));
+        assert!(json.contains("\"slug\": \"load_memcached\""));
+        assert!(json.contains("\"slug\": \"load_mysql\""));
+        assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"label\": \"native\""));
+        assert!(json.contains("\"p99_us\""));
+        assert_eq!(find_non_finite(&json), None, "emitted JSON must be finite");
     }
 
     #[test]

@@ -213,6 +213,9 @@ impl<S> Simulation<S> {
     }
 
     /// Runs events up to (and including) virtual time `until`.
+    ///
+    /// Afterwards the clock sits at `until`, or stays where it was if it
+    /// had already advanced past the horizon — it never moves backward.
     pub fn run_until(&mut self, state: &mut S, until: Nanos) -> Nanos {
         while let Some(top) = self.queue.peek() {
             if top.at > until {
@@ -222,8 +225,69 @@ impl<S> Simulation<S> {
             self.now = event.at;
             (event.action)(self, state);
         }
-        self.now = self.now.max(until.min(self.now + (until - self.now)));
+        self.now = self.now.max(until);
         self.now
+    }
+
+    /// Schedules `action` to fire `ticks` times, first at `start` after the
+    /// current virtual time and then once every `period`.
+    ///
+    /// The action reschedules itself from each firing's timestamp, so a
+    /// periodic arrival source costs one pending event at a time instead of
+    /// `ticks` queue entries up front.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use simcore::{Nanos, Simulation};
+    ///
+    /// let mut sim = Simulation::new();
+    /// sim.schedule_periodic(Nanos::from_millis(1), Nanos::from_millis(2), 3, |_, n: &mut u32| {
+    ///     *n += 1;
+    /// });
+    /// let mut n = 0;
+    /// let end = sim.run(&mut n);
+    /// assert_eq!(n, 3);
+    /// assert_eq!(end, Nanos::from_millis(5)); // 1ms, 3ms, 5ms
+    /// ```
+    pub fn schedule_periodic<F>(&mut self, start: Nanos, period: Nanos, ticks: u64, action: F)
+    where
+        S: 'static,
+        F: FnMut(&mut Simulation<S>, &mut S) + Send + 'static,
+    {
+        if ticks == 0 {
+            return;
+        }
+        self.schedule_in(start, periodic_tick(period, ticks, action));
+    }
+
+    /// Schedules a batch of `(delay, action)` pairs relative to the current
+    /// virtual time.
+    ///
+    /// Load generators use this to enqueue one chunk of pre-sampled
+    /// arrivals at a time (keeping the pending-event count bounded by the
+    /// chunk size) while preserving FIFO order among equal timestamps.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use simcore::{Nanos, Simulation};
+    ///
+    /// let mut sim = Simulation::new();
+    /// sim.schedule_batch((1..=4).map(|i| {
+    ///     (Nanos::from_micros(i), move |_: &mut Simulation<u64>, sum: &mut u64| *sum += i)
+    /// }));
+    /// let mut sum = 0;
+    /// sim.run(&mut sum);
+    /// assert_eq!(sum, 10);
+    /// ```
+    pub fn schedule_batch<F>(&mut self, batch: impl IntoIterator<Item = (Nanos, F)>)
+    where
+        F: FnOnce(&mut Simulation<S>, &mut S) + Send + 'static,
+    {
+        for (delay, action) in batch {
+            self.schedule_in(delay, action);
+        }
     }
 
     /// Number of pending events.
@@ -236,6 +300,21 @@ impl<S> Default for Simulation<S> {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// One firing of a periodic action: runs it and, while ticks remain,
+/// re-enqueues itself `period` after the firing timestamp.
+fn periodic_tick<S, F>(period: Nanos, remaining: u64, mut action: F) -> Action<S>
+where
+    S: 'static,
+    F: FnMut(&mut Simulation<S>, &mut S) + Send + 'static,
+{
+    Box::new(move |sim, state| {
+        action(sim, state);
+        if remaining > 1 {
+            sim.schedule_in(period, periodic_tick(period, remaining - 1, action));
+        }
+    })
 }
 
 #[cfg(test)]
@@ -304,6 +383,81 @@ mod tests {
         sim.run_until(&mut n, Nanos::from_millis(10));
         assert_eq!(n, 1);
         assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn run_until_with_a_past_horizon_never_rewinds_the_clock() {
+        // Regression: the old clamp expression only avoided rewinding
+        // because Nanos subtraction saturates; the rewrite must keep the
+        // clock monotone when `until < now`.
+        let mut sim: Simulation<u32> = Simulation::new();
+        sim.schedule_at(Nanos::from_millis(8), |_, n| *n += 1);
+        let mut n = 0;
+        sim.run(&mut n);
+        assert_eq!(sim.now(), Nanos::from_millis(8));
+        let end = sim.run_until(&mut n, Nanos::from_millis(3));
+        assert_eq!(end, Nanos::from_millis(8), "clock must not move backward");
+        assert_eq!(sim.now(), Nanos::from_millis(8));
+        // A future horizon with no events still advances the clock to it.
+        assert_eq!(
+            sim.run_until(&mut n, Nanos::from_millis(20)),
+            Nanos::from_millis(20)
+        );
+    }
+
+    #[test]
+    fn periodic_actions_fire_on_schedule_and_stop() {
+        let mut sim: Simulation<Vec<u64>> = Simulation::new();
+        sim.schedule_periodic(
+            Nanos::from_micros(10),
+            Nanos::from_micros(5),
+            4,
+            |sim, log: &mut Vec<u64>| log.push(sim.now().as_nanos()),
+        );
+        let mut log = Vec::new();
+        sim.run(&mut log);
+        assert_eq!(log, vec![10_000, 15_000, 20_000, 25_000]);
+        assert_eq!(sim.pending(), 0);
+        // Zero ticks schedules nothing at all.
+        sim.schedule_periodic(
+            Nanos::ZERO,
+            Nanos::from_micros(1),
+            0,
+            |_, _: &mut Vec<u64>| unreachable!("zero-tick periodic action must never fire"),
+        );
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn periodic_keeps_one_pending_event_at_a_time() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        sim.schedule_periodic(
+            Nanos::from_micros(1),
+            Nanos::from_micros(1),
+            1000,
+            |_, n| *n += 1,
+        );
+        assert_eq!(sim.pending(), 1, "only the next tick is enqueued");
+        let mut n = 0;
+        sim.run(&mut n);
+        assert_eq!(n, 1000);
+    }
+
+    #[test]
+    fn batch_scheduling_preserves_fifo_among_equal_timestamps() {
+        let mut sim: Simulation<Vec<u32>> = Simulation::new();
+        sim.schedule_batch(
+            [(Nanos::from_micros(2), 1u32), (Nanos::from_micros(2), 2)]
+                .into_iter()
+                .map(|(at, tag)| {
+                    (at, move |_: &mut Simulation<_>, log: &mut Vec<u32>| {
+                        log.push(tag)
+                    })
+                }),
+        );
+        let mut log = Vec::new();
+        sim.run(&mut log);
+        assert_eq!(log, vec![1, 2]);
     }
 
     #[test]

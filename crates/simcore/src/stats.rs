@@ -25,13 +25,24 @@ use crate::error::SimError;
 /// assert_eq!(s.mean(), 5.0);
 /// assert_eq!(s.std_dev(), 2.0);
 /// ```
-#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+/// Min/max are stored as `Option` rather than `±inf` sentinels so an empty
+/// accumulator contains only finite values — serializing one can never leak
+/// `inf` into JSON emitters, and the derived `Default` agrees with [`new`].
+///
+/// [`new`]: RunningStats::new
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunningStats {
     count: u64,
     mean: f64,
     m2: f64,
-    min: f64,
-    max: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl Default for RunningStats {
+    fn default() -> Self {
+        RunningStats::new()
+    }
 }
 
 impl RunningStats {
@@ -41,8 +52,8 @@ impl RunningStats {
             count: 0,
             mean: 0.0,
             m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
+            min: None,
+            max: None,
         }
     }
 
@@ -53,12 +64,8 @@ impl RunningStats {
         self.mean += delta / self.count as f64;
         let delta2 = x - self.mean;
         self.m2 += delta * delta2;
-        if x < self.min {
-            self.min = x;
-        }
-        if x > self.max {
-            self.max = x;
-        }
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
     }
 
     /// Merges another accumulator into this one.
@@ -79,8 +86,14 @@ impl RunningStats {
         self.count = total;
         self.mean = mean;
         self.m2 = m2;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
     }
 
     /// Number of recorded observations.
@@ -111,31 +124,26 @@ impl RunningStats {
         self.variance().sqrt()
     }
 
-    /// Coefficient of variation (std-dev divided by mean).
+    /// Coefficient of variation (std-dev divided by the mean's magnitude).
+    ///
+    /// Dividing by `|mean|` keeps the ratio a non-negative dispersion
+    /// measure for negative-mean samples too.
     pub fn cv(&self) -> f64 {
         if self.mean().abs() < f64::EPSILON {
             0.0
         } else {
-            self.std_dev() / self.mean()
+            self.std_dev() / self.mean().abs()
         }
     }
 
     /// Smallest observation (`None` when empty).
     pub fn min(&self) -> Option<f64> {
-        if self.count == 0 {
-            None
-        } else {
-            Some(self.min)
-        }
+        self.min
     }
 
     /// Largest observation (`None` when empty).
     pub fn max(&self) -> Option<f64> {
-        if self.count == 0 {
-            None
-        } else {
-            Some(self.max)
-        }
+        self.max
     }
 
     /// Produces an owned summary snapshot.
@@ -385,6 +393,43 @@ mod tests {
         assert_eq!(s.min(), None);
         assert_eq!(s.max(), None);
         assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn default_agrees_with_new() {
+        // Regression: the derived Default used to start min/max at 0.0,
+        // which silently clamped the observed range of all-positive or
+        // all-negative samples recorded into a Default-constructed value.
+        assert_eq!(RunningStats::default(), RunningStats::new());
+        let mut d = RunningStats::default();
+        let mut n = RunningStats::new();
+        for x in [3.5, 7.0, -2.0] {
+            d.record(x);
+            n.record(x);
+        }
+        assert_eq!(d, n);
+        assert_eq!(d.min(), Some(-2.0));
+        assert_eq!(d.max(), Some(7.0));
+    }
+
+    #[test]
+    fn empty_summary_is_finite() {
+        let summary = RunningStats::new().summary();
+        assert!(summary.min.is_finite());
+        assert!(summary.max.is_finite());
+        assert!(summary.mean.is_finite());
+        assert!(summary.std_dev.is_finite());
+    }
+
+    #[test]
+    fn cv_is_non_negative_for_negative_means() {
+        // Regression: cv() used to divide by the signed mean, reporting a
+        // negative coefficient of variation for negative-mean samples.
+        let s: RunningStats = [-10.0, -12.0, -14.0].into_iter().collect();
+        assert!(s.mean() < 0.0);
+        assert!(s.cv() > 0.0, "cv {} must be positive", s.cv());
+        let mirrored: RunningStats = [10.0, 12.0, 14.0].into_iter().collect();
+        assert!((s.cv() - mirrored.cv()).abs() < 1e-12);
     }
 
     #[test]

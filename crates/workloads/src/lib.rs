@@ -15,6 +15,11 @@
 //! | [`startup`] | 300-startup boot-time CDFs | Figs. 13–15 |
 //! | [`ycsb`] | Memcached + YCSB workload A | Fig. 16 |
 //! | [`sysbench_oltp`] | MySQL + sysbench oltp_read_write | Fig. 17 |
+//!
+//! Beyond the paper, [`loadgen`] adds an **open-loop** load-generation
+//! subsystem: Poisson arrivals over a configurable client population drive
+//! the memcached/MySQL backends through a bounded admission queue,
+//! producing throughput-vs-latency (p50/p95/p99) curves per platform.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -22,6 +27,7 @@
 pub mod ffmpeg;
 pub mod fio;
 pub mod iperf;
+pub mod loadgen;
 pub mod netperf;
 pub mod startup;
 pub mod stream;
@@ -33,6 +39,7 @@ pub mod ycsb;
 pub use ffmpeg::FfmpegBenchmark;
 pub use fio::FioBenchmark;
 pub use iperf::IperfBenchmark;
+pub use loadgen::{LoadBackend, LoadPoint, LoadgenBenchmark};
 pub use netperf::NetperfBenchmark;
 pub use startup::StartupBenchmark;
 pub use stream::StreamBenchmark;

@@ -1,0 +1,597 @@
+//! Open-loop multi-client load generation (beyond the paper).
+//!
+//! The paper's macro benchmarks (Figs. 16–17) are closed-loop: a fixed
+//! client population issues the next request only after the previous one
+//! completes, so they measure peak throughput but say nothing about how a
+//! platform behaves **under offered load** — the regime production
+//! middleware actually faces. This module adds the missing axis: a Poisson
+//! arrival process over a configurable concurrent-client population drives
+//! the simulated memcached ([`kvstore`]) or MySQL ([`relstore`]) backend
+//! through a bounded admission queue in front of a pool of service slots,
+//! and reports the resulting throughput-vs-latency curve (p50/p95/p99
+//! sojourn times) at a sweep of offered loads.
+//!
+//! The per-request service times are **the same models the closed-loop
+//! paths use** — [`YcsbBenchmark::per_op_service_time`] for memcached and
+//! [`OltpBenchmark::per_txn_service_time`] plus
+//! [`OltpBenchmark::contention`] for MySQL — so the open- and closed-loop
+//! views of one platform are mutually consistent.
+//!
+//! The whole sweep runs on the [`simcore::Simulation`] discrete-event
+//! scheduler: arrivals are pre-sampled in bounded chunks
+//! ([`Simulation::schedule_batch`]) so the pending-event count stays small
+//! even for very large request counts, and every sample is drawn from the
+//! cell's own derived random stream, keeping results bit-identical across
+//! any parallel execution schedule.
+
+use std::collections::VecDeque;
+
+use kvstore::{Store, StoreConfig};
+use platforms::Platform;
+use relstore::{Database, Table};
+use simcore::stats::{Cdf, RunningStats};
+use simcore::{Nanos, SimRng, Simulation};
+
+use crate::sysbench_oltp::OltpBenchmark;
+use crate::ycsb::YcsbBenchmark;
+
+/// Which simulated backend the generated load drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadBackend {
+    /// The Memcached-like key-value store behind Fig. 16.
+    Memcached,
+    /// The MySQL-like relational engine behind Fig. 17.
+    Mysql,
+}
+
+/// Configuration of one open-loop load sweep.
+#[derive(Debug, Clone)]
+pub struct LoadgenBenchmark {
+    /// Which backend to drive.
+    pub backend: LoadBackend,
+    /// Number of client connections the arrivals are spread over. Each
+    /// connection keeps its own issued/completed/dropped accounting; the
+    /// population can range from hundreds to millions.
+    pub clients: usize,
+    /// Requests offered per sweep point (the measurement window is sized so
+    /// exactly this many arrivals occur).
+    pub requests_per_point: usize,
+    /// Offered load at each sweep point, as a fraction of the platform's
+    /// estimated saturation capacity (e.g. `0.95` = 95% utilization).
+    pub load_points: Vec<f64>,
+    /// Bounded admission queue depth in front of the service slots;
+    /// arrivals that find the queue full are dropped (and counted).
+    pub queue_capacity: usize,
+    /// Number of parallel service slots (the kvstore has 16 shards; the
+    /// relational engine is modeled with the same pool width, derated by
+    /// its USL contention profile).
+    pub servers: usize,
+    /// Measurement repetitions (trials) per sweep point.
+    pub runs: usize,
+    /// Execute one real backend operation per this many admitted requests
+    /// (1 = every request), keeping the data structures honest without
+    /// making huge sweeps quadratic.
+    pub op_sample_every: u64,
+}
+
+impl LoadgenBenchmark {
+    /// The full-scale configuration for a backend.
+    pub fn new(backend: LoadBackend) -> Self {
+        LoadgenBenchmark {
+            backend,
+            clients: 10_000,
+            requests_per_point: 20_000,
+            load_points: vec![0.2, 0.4, 0.6, 0.8, 0.95],
+            queue_capacity: 8_192,
+            servers: 16,
+            runs: 5,
+            op_sample_every: 4,
+        }
+    }
+
+    /// A scaled-down configuration for unit tests and quick runs.
+    pub fn quick(backend: LoadBackend) -> Self {
+        LoadgenBenchmark {
+            clients: 256,
+            requests_per_point: 2_500,
+            runs: 3,
+            ..LoadgenBenchmark::new(backend)
+        }
+    }
+
+    /// The platform's service profile under this configuration: the
+    /// effective per-slot service time and the resulting saturation
+    /// capacity in requests per second.
+    pub fn service_profile(&self, platform: &Platform) -> ServiceProfile {
+        let servers = self.servers.max(1);
+        match self.backend {
+            LoadBackend::Memcached => {
+                // Identical per-operation cost model to the YCSB path; the
+                // slot pool derates by the platform's parallel efficiency.
+                let per_op = YcsbBenchmark::default().per_op_service_time(platform);
+                let eff = platform.cpu().parallel_efficiency(servers).max(1e-6);
+                let service_time = per_op.scale(1.0 / eff);
+                ServiceProfile::new(service_time, servers)
+            }
+            LoadBackend::Mysql => {
+                // Identical per-transaction cost model to the OLTP path;
+                // the pool derates by the combined workload + scheduler
+                // USL contention at this concurrency.
+                let bench = OltpBenchmark::default();
+                let per_txn = bench.per_txn_service_time(platform);
+                let usl_capacity = OltpBenchmark::contention(platform)
+                    .capacity(servers)
+                    .max(1e-6);
+                let service_time = per_txn.scale(servers as f64 / usl_capacity);
+                ServiceProfile::new(service_time, servers)
+            }
+        }
+    }
+
+    /// Runs one sweep point at `fraction` of the platform's saturation
+    /// capacity.
+    pub fn run_point(&self, platform: &Platform, fraction: f64, rng: &mut SimRng) -> LoadPoint {
+        self.run_point_with_profile(&self.service_profile(platform), fraction, rng)
+    }
+
+    /// Runs one sweep point against an already-computed service profile
+    /// (the profile is load-independent, so a sweep computes it once).
+    fn run_point_with_profile(
+        &self,
+        profile: &ServiceProfile,
+        fraction: f64,
+        rng: &mut SimRng,
+    ) -> LoadPoint {
+        let offered_per_sec = profile.capacity_per_sec() * fraction.max(0.0);
+        let mut sim: Simulation<LoadSim> = Simulation::new();
+        let mut state = LoadSim::new(self, profile, offered_per_sec, rng.split("loadgen"));
+        // Kick off the batched Poisson arrival source.
+        sim.schedule_at(Nanos::ZERO, |sim, st: &mut LoadSim| st.generate(sim));
+        // Probe the in-flight population (in service + queued) at a fixed
+        // cadence across the expected arrival window, yielding the
+        // time-averaged depth alongside the event-driven peak.
+        let probes = 64;
+        let window =
+            Nanos::from_secs_f64(self.requests_per_point as f64 / offered_per_sec.max(1.0));
+        let period = window / probes;
+        sim.schedule_periodic(period, period, probes, |_, st: &mut LoadSim| {
+            st.in_flight_probe.record((st.busy + st.queue.len()) as f64);
+        });
+        sim.run(&mut state);
+        state.into_point(fraction, offered_per_sec, sim.now())
+    }
+
+    /// Runs the whole offered-load sweep once and returns one
+    /// [`LoadPoint`] per configured fraction.
+    ///
+    /// This is the unit the parallel executor shards on: each trial sweeps
+    /// every offered load once from its own derived random stream, and the
+    /// harness merges the per-trial samples into the figure's mean/std.
+    pub fn run_trial(&self, platform: &Platform, rng: &mut SimRng) -> Vec<LoadPoint> {
+        let profile = self.service_profile(platform);
+        self.load_points
+            .iter()
+            .map(|&fraction| self.run_point_with_profile(&profile, fraction, rng))
+            .collect()
+    }
+}
+
+/// The effective service model of one platform under a load sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceProfile {
+    /// Effective service time of one request on one slot.
+    pub service_time: Nanos,
+    /// Number of parallel service slots.
+    pub servers: usize,
+}
+
+impl ServiceProfile {
+    fn new(service_time: Nanos, servers: usize) -> Self {
+        ServiceProfile {
+            service_time: service_time.max(Nanos::from_nanos(1)),
+            servers,
+        }
+    }
+
+    /// The saturation capacity of the slot pool in requests per second.
+    pub fn capacity_per_sec(&self) -> f64 {
+        self.servers as f64 / self.service_time.as_secs_f64()
+    }
+}
+
+/// One measured point of a throughput-vs-latency curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadPoint {
+    /// Offered load as a fraction of the saturation capacity.
+    pub offered_fraction: f64,
+    /// Offered load in requests per second.
+    pub offered_per_sec: f64,
+    /// Achieved (completed) throughput in requests per second.
+    pub achieved_per_sec: f64,
+    /// Median sojourn time (queueing + service) in microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile sojourn time in microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile sojourn time in microseconds.
+    pub p99_us: f64,
+    /// Mean sojourn time in microseconds.
+    pub mean_us: f64,
+    /// Requests completed within the measurement window.
+    pub completed: u64,
+    /// Requests dropped by the bounded admission queue.
+    pub dropped: u64,
+    /// Peak number of in-flight requests (in service + queued).
+    pub peak_in_flight: usize,
+    /// Time-averaged in-flight depth, from fixed-cadence probes across the
+    /// arrival window.
+    pub mean_in_flight: f64,
+}
+
+/// Per-connection accounting of the open-loop client population.
+#[derive(Debug, Default, Clone, Copy)]
+struct ConnState {
+    issued: u64,
+    completed: u64,
+    dropped: u64,
+}
+
+/// A request waiting in the admission queue or in service.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    arrived: Nanos,
+    conn: u32,
+}
+
+/// Sampled real-backend execution so the simulated load keeps the actual
+/// data structures honest (the same reasoning as the YCSB/OLTP paths).
+enum BackendState {
+    Kv {
+        store: Store,
+        records: usize,
+    },
+    Sql {
+        db: Database,
+        table: Table,
+        rows: u64,
+        conflicts: u64,
+    },
+}
+
+impl BackendState {
+    fn build(backend: LoadBackend) -> BackendState {
+        match backend {
+            LoadBackend::Memcached => {
+                let records = 4_096;
+                let store = Store::new(StoreConfig::default());
+                for i in 0..records {
+                    store.set(format!("load{i:06}").as_bytes(), vec![b'x'; 100]);
+                }
+                BackendState::Kv { store, records }
+            }
+            LoadBackend::Mysql => {
+                let rows = 2_000;
+                let db = Database::new();
+                let table = db.populate_sysbench(1, rows).remove(0);
+                BackendState::Sql {
+                    db,
+                    table,
+                    rows,
+                    conflicts: 0,
+                }
+            }
+        }
+    }
+
+    fn execute(&mut self, rng: &mut SimRng) {
+        match self {
+            BackendState::Kv { store, records } => {
+                let key = format!("load{:06}", rng.index(*records));
+                if rng.chance(0.5) {
+                    let _ = store.get(key.as_bytes());
+                } else {
+                    store.set(key.as_bytes(), vec![b'y'; 100]);
+                }
+            }
+            BackendState::Sql {
+                db,
+                table,
+                rows,
+                conflicts,
+            } => {
+                let target = 1 + rng.index(*rows as usize) as u64;
+                let mut txn = db.begin();
+                let ok = txn
+                    .select(table, target)
+                    .and_then(|_| txn.update(table, target, rng.index(1_000) as u64));
+                match ok {
+                    Ok(_) => txn.commit(),
+                    Err(_) => {
+                        *conflicts += 1;
+                        txn.rollback();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Arrivals are pre-sampled and enqueued in chunks of this size, bounding
+/// the scheduler's pending-event count regardless of the sweep size.
+const ARRIVAL_CHUNK: u64 = 512;
+
+/// The discrete-event state of one sweep point.
+struct LoadSim {
+    rng: SimRng,
+    service_time: Nanos,
+    servers: usize,
+    offered_per_sec: f64,
+    remaining_arrivals: u64,
+    busy: usize,
+    queue: VecDeque<Request>,
+    queue_capacity: usize,
+    conns: Vec<ConnState>,
+    latencies_us: Vec<f64>,
+    completed: u64,
+    dropped: u64,
+    peak_in_flight: usize,
+    backend: BackendState,
+    op_sample_every: u64,
+    admitted: u64,
+    in_flight_probe: RunningStats,
+}
+
+impl LoadSim {
+    fn new(
+        bench: &LoadgenBenchmark,
+        profile: &ServiceProfile,
+        offered_per_sec: f64,
+        rng: SimRng,
+    ) -> Self {
+        LoadSim {
+            rng,
+            service_time: profile.service_time,
+            servers: profile.servers,
+            offered_per_sec: offered_per_sec.max(1.0),
+            remaining_arrivals: bench.requests_per_point as u64,
+            busy: 0,
+            queue: VecDeque::new(),
+            queue_capacity: bench.queue_capacity,
+            conns: vec![ConnState::default(); bench.clients.max(1)],
+            latencies_us: Vec::with_capacity(bench.requests_per_point),
+            completed: 0,
+            dropped: 0,
+            peak_in_flight: 0,
+            backend: BackendState::build(bench.backend),
+            op_sample_every: bench.op_sample_every.max(1),
+            admitted: 0,
+            in_flight_probe: RunningStats::new(),
+        }
+    }
+
+    /// Samples the next chunk of Poisson interarrival gaps and enqueues one
+    /// arrival event per gap; reschedules itself after the chunk's last
+    /// arrival while arrivals remain.
+    fn generate(&mut self, sim: &mut Simulation<LoadSim>) {
+        let n = self.remaining_arrivals.min(ARRIVAL_CHUNK);
+        if n == 0 {
+            return;
+        }
+        self.remaining_arrivals -= n;
+        let mut offset = Nanos::ZERO;
+        let mut batch = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            offset += Nanos::from_secs_f64(self.rng.exponential(self.offered_per_sec));
+            batch.push((offset, |sim: &mut Simulation<LoadSim>, st: &mut LoadSim| {
+                st.arrive(sim)
+            }));
+        }
+        sim.schedule_batch(batch);
+        if self.remaining_arrivals > 0 {
+            // Scheduled after the chunk's last arrival (FIFO among equal
+            // timestamps), so the next chunk continues from its clock.
+            sim.schedule_in(offset, |sim, st: &mut LoadSim| st.generate(sim));
+        }
+    }
+
+    /// One open-loop arrival: attribute it to a connection, run the sampled
+    /// real-backend operation, then admit, enqueue or drop.
+    fn arrive(&mut self, sim: &mut Simulation<LoadSim>) {
+        let conn = self.rng.index(self.conns.len()) as u32;
+        self.conns[conn as usize].issued += 1;
+        let request = Request {
+            arrived: sim.now(),
+            conn,
+        };
+        if self.busy < self.servers {
+            self.admit(request);
+            self.busy += 1;
+            sim.schedule_in(self.service_time, move |sim, st: &mut LoadSim| {
+                st.complete(sim, request)
+            });
+        } else if self.queue.len() < self.queue_capacity {
+            self.admit(request);
+            self.queue.push_back(request);
+        } else {
+            self.conns[conn as usize].dropped += 1;
+            self.dropped += 1;
+        }
+        self.peak_in_flight = self.peak_in_flight.max(self.busy + self.queue.len());
+    }
+
+    fn admit(&mut self, _request: Request) {
+        self.admitted += 1;
+        if self.admitted % self.op_sample_every == 0 {
+            self.backend.execute(&mut self.rng);
+        }
+    }
+
+    /// One service completion: record the sojourn time and pull the next
+    /// queued request into the freed slot.
+    fn complete(&mut self, sim: &mut Simulation<LoadSim>, request: Request) {
+        let sojourn = sim.now() - request.arrived;
+        self.latencies_us.push(sojourn.as_micros_f64());
+        self.conns[request.conn as usize].completed += 1;
+        self.completed += 1;
+        if let Some(next) = self.queue.pop_front() {
+            sim.schedule_in(self.service_time, move |sim, st: &mut LoadSim| {
+                st.complete(sim, next)
+            });
+        } else {
+            self.busy -= 1;
+        }
+    }
+
+    fn into_point(self, fraction: f64, offered_per_sec: f64, end: Nanos) -> LoadPoint {
+        let issued: u64 = self.conns.iter().map(|c| c.issued).sum();
+        debug_assert_eq!(issued, self.completed + self.dropped);
+        let cdf = Cdf::from_samples(self.latencies_us)
+            .expect("a sweep point always completes at least one request");
+        let duration = end.as_secs_f64().max(f64::MIN_POSITIVE);
+        LoadPoint {
+            offered_fraction: fraction,
+            offered_per_sec,
+            achieved_per_sec: self.completed as f64 / duration,
+            p50_us: cdf.percentile(50.0),
+            p95_us: cdf.percentile(95.0),
+            p99_us: cdf.percentile(99.0),
+            mean_us: cdf.mean(),
+            completed: self.completed,
+            dropped: self.dropped,
+            peak_in_flight: self.peak_in_flight,
+            mean_in_flight: self.in_flight_probe.mean(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platforms::PlatformId;
+
+    fn tiny(backend: LoadBackend) -> LoadgenBenchmark {
+        LoadgenBenchmark {
+            clients: 64,
+            requests_per_point: 600,
+            runs: 1,
+            ..LoadgenBenchmark::quick(backend)
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ordered_at_every_point() {
+        let bench = tiny(LoadBackend::Memcached);
+        let platform = PlatformId::Docker.build();
+        let points = bench.run_trial(&platform, &mut SimRng::seed_from(81));
+        assert_eq!(points.len(), bench.load_points.len());
+        for p in &points {
+            assert!(
+                p.p50_us <= p.p95_us && p.p95_us <= p.p99_us,
+                "percentiles out of order at fraction {}: {p:?}",
+                p.offered_fraction
+            );
+            assert!(p.p50_us > 0.0);
+            assert!(p.completed > 0);
+        }
+    }
+
+    #[test]
+    fn latency_grows_toward_saturation() {
+        let bench = tiny(LoadBackend::Memcached);
+        let platform = PlatformId::Native.build();
+        let points = bench.run_trial(&platform, &mut SimRng::seed_from(82));
+        let first = points.first().unwrap();
+        let last = points.last().unwrap();
+        assert!(
+            last.mean_us > first.mean_us,
+            "mean sojourn must inflate near saturation: {} -> {}",
+            first.mean_us,
+            last.mean_us
+        );
+        assert!(last.p99_us >= first.p99_us);
+        assert!(
+            last.mean_in_flight > first.mean_in_flight,
+            "time-averaged in-flight depth must grow with load: {} -> {}",
+            first.mean_in_flight,
+            last.mean_in_flight
+        );
+        assert!(first.mean_in_flight > 0.0);
+    }
+
+    #[test]
+    fn overload_drops_requests_at_the_bounded_queue() {
+        let mut bench = tiny(LoadBackend::Memcached);
+        bench.queue_capacity = 4;
+        bench.load_points = vec![3.0]; // 3x capacity: queue must overflow
+        let platform = PlatformId::Native.build();
+        let point = &bench.run_trial(&platform, &mut SimRng::seed_from(83))[0];
+        assert!(point.dropped > 0, "overload must hit the admission bound");
+        assert!(
+            point.achieved_per_sec < point.offered_per_sec,
+            "achieved {} must fall below offered {}",
+            point.achieved_per_sec,
+            point.offered_per_sec
+        );
+        assert!(point.peak_in_flight <= bench.servers + bench.queue_capacity);
+    }
+
+    #[test]
+    fn per_connection_accounting_balances() {
+        let bench = tiny(LoadBackend::Mysql);
+        let platform = PlatformId::Qemu.build();
+        let profile = bench.service_profile(&platform);
+        let offered = profile.capacity_per_sec() * 0.8;
+        let mut sim: Simulation<LoadSim> = Simulation::new();
+        let mut state = LoadSim::new(&bench, &profile, offered, SimRng::seed_from(84));
+        sim.schedule_at(Nanos::ZERO, |sim, st: &mut LoadSim| st.generate(sim));
+        sim.run(&mut state);
+        let issued: u64 = state.conns.iter().map(|c| c.issued).sum();
+        let completed: u64 = state.conns.iter().map(|c| c.completed).sum();
+        let dropped: u64 = state.conns.iter().map(|c| c.dropped).sum();
+        assert_eq!(issued, bench.requests_per_point as u64);
+        assert_eq!(issued, completed + dropped);
+        assert!(
+            state.conns.iter().filter(|c| c.issued > 0).count() > bench.clients / 2,
+            "arrivals must spread over the connection population"
+        );
+    }
+
+    #[test]
+    fn trials_are_deterministic_per_seed() {
+        let bench = tiny(LoadBackend::Memcached);
+        let platform = PlatformId::Firecracker.build();
+        let a = bench.run_trial(&platform, &mut SimRng::seed_from(85));
+        let b = bench.run_trial(&platform, &mut SimRng::seed_from(85));
+        assert_eq!(a, b);
+        let c = bench.run_trial(&platform, &mut SimRng::seed_from(86));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn slower_platforms_pay_higher_latency_under_the_same_fraction() {
+        let bench = tiny(LoadBackend::Memcached);
+        let native = bench.run_trial(&PlatformId::Native.build(), &mut SimRng::seed_from(87));
+        let gvisor = bench.run_trial(
+            &PlatformId::GvisorPtrace.build(),
+            &mut SimRng::seed_from(87),
+        );
+        // Same utilization fraction, but gVisor's per-op service time is
+        // far larger, so its absolute sojourn times must dominate.
+        for (n, g) in native.iter().zip(&gvisor) {
+            assert!(
+                g.p50_us > n.p50_us,
+                "gvisor p50 {} must exceed native {}",
+                g.p50_us,
+                n.p50_us
+            );
+        }
+    }
+
+    #[test]
+    fn mysql_profile_is_slower_than_memcached() {
+        let platform = PlatformId::Docker.build();
+        let kv = LoadgenBenchmark::quick(LoadBackend::Memcached).service_profile(&platform);
+        let sql = LoadgenBenchmark::quick(LoadBackend::Mysql).service_profile(&platform);
+        assert!(sql.service_time > kv.service_time);
+        assert!(sql.capacity_per_sec() < kv.capacity_per_sec());
+    }
+}

@@ -115,6 +115,52 @@ impl OltpBenchmark {
         }
     }
 
+    /// The combined workload + scheduler contention profile of this
+    /// benchmark on `platform`, expressed as USL parameters.
+    ///
+    /// Shared with the open-loop [`crate::loadgen`] subsystem so both
+    /// paths scale service capacity identically with concurrency.
+    pub fn contention(platform: &Platform) -> UslParams {
+        WORKLOAD_CONTENTION.combine(&platform.cpu().contention_params())
+    }
+
+    /// The uncontended service time of one `oltp_read_write` transaction on
+    /// this platform: four queries (each one network round trip plus the
+    /// request/response syscalls), engine CPU work scaled by the platform's
+    /// memory behaviour, and one fsync-like I/O on commit.
+    ///
+    /// This is the service-time model shared between the closed-loop thread
+    /// sweep here and the open-loop [`crate::loadgen`] subsystem.
+    pub fn per_txn_service_time(&self, platform: &Platform) -> Nanos {
+        let queries = 4.0;
+        let rtt = platform.network().mean_rtt().as_secs_f64();
+        let syscalls = (platform.syscalls().dispatch_cost(SyscallClass::NetReceive)
+            + platform.syscalls().dispatch_cost(SyscallClass::NetSend))
+        .as_secs_f64();
+        let mem_factor = {
+            let native = memsim::latency::RandomAccessModel::new(
+                memsim::config::MemoryHierarchy::epyc2(),
+                memsim::paging::PagingMode::Native,
+            );
+            let own = platform
+                .memory()
+                .mean_access_latency(1 << 26, PageSize::Small4K)
+                .as_secs_f64();
+            let base = native
+                .mean_extra_latency(1 << 26, PageSize::Small4K)
+                .as_secs_f64();
+            (own / base).max(1.0)
+        };
+        let engine_cpu = Nanos::from_micros(140).as_secs_f64() * mem_factor;
+        let commit_io = if platform.storage().is_excluded() {
+            Nanos::from_micros(120).as_secs_f64()
+        } else {
+            let stack = platform.storage().build_stack();
+            (Nanos::from_micros(30) + stack.layer_latency()).as_secs_f64()
+        };
+        Nanos::from_secs_f64(queries * (rtt + syscalls) + engine_cpu + commit_io)
+    }
+
     fn run_once(&self, platform: &Platform, threads: usize, rng: &mut SimRng) -> f64 {
         // Execute a sample of real transactions to measure engine-level
         // conflict probability at this concurrency.
@@ -159,41 +205,11 @@ impl OltpBenchmark {
         }
         let conflict_ratio = conflicts as f64 / self.sampled_transactions as f64;
 
-        // Per-transaction service time on this platform: four queries, each
-        // a request/response over the network plus syscalls, plus engine
-        // CPU work scaled by the platform's memory behaviour, plus one
-        // fsync-like I/O on commit.
-        let queries = 4.0;
-        let rtt = platform.network().mean_rtt().as_secs_f64();
-        let syscalls = (platform.syscalls().dispatch_cost(SyscallClass::NetReceive)
-            + platform.syscalls().dispatch_cost(SyscallClass::NetSend))
-        .as_secs_f64();
-        let mem_factor = {
-            let native = memsim::latency::RandomAccessModel::new(
-                memsim::config::MemoryHierarchy::epyc2(),
-                memsim::paging::PagingMode::Native,
-            );
-            let own = platform
-                .memory()
-                .mean_access_latency(1 << 26, PageSize::Small4K)
-                .as_secs_f64();
-            let base = native
-                .mean_extra_latency(1 << 26, PageSize::Small4K)
-                .as_secs_f64();
-            (own / base).max(1.0)
-        };
-        let engine_cpu = Nanos::from_micros(140).as_secs_f64() * mem_factor;
-        let commit_io = if platform.storage().is_excluded() {
-            Nanos::from_micros(120).as_secs_f64()
-        } else {
-            let stack = platform.storage().build_stack();
-            (Nanos::from_micros(30) + stack.layer_latency()).as_secs_f64()
-        };
-        let per_txn = queries * (rtt + syscalls) + engine_cpu + commit_io;
+        let per_txn = self.per_txn_service_time(platform).as_secs_f64();
 
         // Scalability: workload contention plus scheduler contention, and
         // engine-level conflicts turn into retries.
-        let usl = WORKLOAD_CONTENTION.combine(&platform.cpu().contention_params());
+        let usl = Self::contention(platform);
         let capacity = usl.capacity(threads);
         let retry_penalty = 1.0 + conflict_ratio * (threads as f64 / 16.0).min(4.0);
         let tps = capacity / (per_txn * retry_penalty);

@@ -89,16 +89,15 @@ impl YcsbBenchmark {
         self.run_once(platform, rng).0
     }
 
-    fn run_once(&self, platform: &Platform, rng: &mut SimRng) -> (f64, f64) {
-        let store = Store::new(StoreConfig::default());
-        // Load phase.
-        for i in 0..self.records {
-            store.set(key(i).as_bytes(), vec![b'x'; self.value_size]);
-        }
-
-        // Per-operation platform cost: request + response syscalls, the
-        // server's memory accesses (the store's working set far exceeds
-        // the caches), and its share of the network round trip.
+    /// The server-side service time of one memcached operation on this
+    /// platform: request + response syscalls, the server's memory accesses
+    /// (the store's working set far exceeds the caches) and the server CPU
+    /// work.
+    ///
+    /// This is the service-time model shared between the closed-loop YCSB
+    /// path here and the open-loop [`crate::loadgen`] subsystem, so both
+    /// charge identical per-operation platform costs.
+    pub fn per_op_service_time(&self, platform: &Platform) -> Nanos {
         let syscall_cost = platform.syscalls().dispatch_cost(SyscallClass::NetReceive)
             + platform.syscalls().dispatch_cost(SyscallClass::NetSend);
         let working_set = (self.records * self.value_size) as u64;
@@ -106,14 +105,24 @@ impl YcsbBenchmark {
             .memory()
             .mean_access_latency(working_set.max(1 << 20), PageSize::Small4K)
             * 24;
-        let rtt = platform.network().mean_rtt();
         let server_cpu = Nanos::from_micros(4);
+        syscall_cost + mem_cost + server_cpu
+    }
+
+    fn run_once(&self, platform: &Platform, rng: &mut SimRng) -> (f64, f64) {
+        let store = Store::new(StoreConfig::default());
+        // Load phase.
+        for i in 0..self.records {
+            store.set(key(i).as_bytes(), vec![b'x'; self.value_size]);
+        }
+
+        let rtt = platform.network().mean_rtt();
 
         // The client keeps `client_threads` requests outstanding, so the
         // round trip is pipelined; the server-side costs serialize per
         // shard but the 16 shards give plenty of parallelism. Throughput is
         // bounded by the slower of the two stages.
-        let per_op_server = (syscall_cost + mem_cost + server_cpu).as_secs_f64();
+        let per_op_server = self.per_op_service_time(platform).as_secs_f64();
         let server_capacity = platform.cpu().parallel_efficiency(self.client_threads)
             * self.client_threads.min(16) as f64
             / per_op_server;

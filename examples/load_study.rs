@@ -1,0 +1,64 @@
+//! Open-loop load study: drives the simulated memcached and MySQL
+//! backends with a Poisson arrival process at a sweep of offered loads and
+//! prints each platform's throughput-vs-latency curve — the regime the
+//! paper's closed-loop macro benchmarks (Figs. 16–17) cannot observe.
+//!
+//! Run with: `cargo run --release --example load_study`
+//!
+//! Flags:
+//! * `--paper` — full-scale configuration (default is quick)
+//! * `--workers N` — worker thread count (default: available parallelism)
+
+use isolation_bench::harness::cli::parse_count;
+use isolation_bench::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper_scale = args.iter().any(|a| a == "--paper");
+    let cfg = if paper_scale {
+        RunConfig::paper(2021)
+    } else {
+        RunConfig::quick(2021)
+    };
+
+    let mut plan = RunPlan::new(cfg).with_shard("load_");
+    if let Some(workers) = parse_count(&args, "--workers") {
+        plan = plan.with_workers(workers);
+    }
+    let executor = Executor::new(plan);
+    println!(
+        "Open-loop load study ({} mode, seed {}, {} workers)\n",
+        if paper_scale { "paper" } else { "quick" },
+        cfg.seed,
+        executor.plan().effective_workers(),
+    );
+
+    let run: RunReport = executor.run();
+    for figure in &run.figures {
+        println!("{}", report::to_markdown(figure));
+    }
+
+    // Tail-amplification summary: how much p99 inflates between the
+    // lightest and heaviest offered load of each platform.
+    for experiment in [ExperimentId::LoadMemcached, ExperimentId::LoadMysql] {
+        let Some(fig) = run.figure(experiment) else {
+            continue;
+        };
+        println!("### {} — p99 inflation, 20% -> 95% load\n", fig.title);
+        for series in fig.series.iter().filter(|s| s.label.ends_with("p99 (us)")) {
+            let (Some(first), Some(last)) = (series.points.first(), series.points.last()) else {
+                continue;
+            };
+            println!(
+                "- {}: {:.1} us -> {:.1} us ({:.1}x)",
+                series.label.trim_end_matches(" p99 (us)"),
+                first.mean,
+                last.mean,
+                last.mean / first.mean.max(f64::MIN_POSITIVE),
+            );
+        }
+        println!();
+    }
+
+    println!("{}", report::timing_table(&run));
+}
