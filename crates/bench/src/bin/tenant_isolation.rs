@@ -1,0 +1,118 @@
+//! Machine-readable multi-tenant isolation bench runner.
+//!
+//! Runs the two tenant-isolation experiments
+//! (`tenant_isolation_memcached`, `tenant_isolation_mysql`) twice —
+//! serially (1 worker) and with N workers — and writes
+//! `BENCH_tenant_isolation.json` with per-platform victim/aggressor
+//! sweeps (percentiles, achieved throughput, drop and SLO-violation
+//! rates, isolation indices). Exits non-zero if the serial and parallel
+//! runs disagree, if an experiment is missing, if the emitted JSON
+//! contains any non-finite value (NaN/inf), or if any platform's victim
+//! p99 inflation under the weighted scheduler exceeds its inflation under
+//! unweighted FIFO sharing — the isolation guarantee the weighted slots
+//! exist to provide.
+//!
+//! Run with: `cargo run --release -p bench --bin tenant_isolation`
+//!
+//! Flags:
+//! * `--paper` — full-scale configuration (default is quick)
+//! * `--workers N` — parallel worker count (default: available parallelism)
+//! * `--trials N` — override every experiment's trial count
+//! * `--out PATH` — output path (default `BENCH_tenant_isolation.json`)
+
+use harness::cli::run_serial_and_parallel;
+use harness::{grid, report, ExperimentId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `tenant_` selects exactly the two co-location experiments.
+    let run = run_serial_and_parallel(
+        "tenant_isolation",
+        &args,
+        Some("tenant_"),
+        "BENCH_tenant_isolation.json",
+    );
+
+    let json = report::tenant_isolation_json(run.mode, run.config.seed, &run.serial, &run.parallel);
+    std::fs::write(&run.out_path, &json)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", run.out_path));
+
+    for figure in &run.serial.figures {
+        println!("{}", report::to_markdown(figure));
+    }
+    println!(
+        "wall clock: serial {:.0} ms, {} workers {:.0} ms; report: {}",
+        run.serial.wall.as_secs_f64() * 1e3,
+        run.parallel_workers,
+        run.parallel.wall.as_secs_f64() * 1e3,
+        run.out_path,
+    );
+
+    let mut failures = Vec::new();
+    for experiment in [
+        ExperimentId::TenantIsolationMemcached,
+        ExperimentId::TenantIsolationMysql,
+    ] {
+        for (label, pass) in [("serial", &run.serial), ("parallel", &run.parallel)] {
+            let ok = pass.figure(experiment).is_some_and(|fig| {
+                !fig.series.is_empty() && fig.series.iter().all(|s| !s.points.is_empty())
+            });
+            if !ok {
+                failures.push(format!(
+                    "{} missing from the {label} run",
+                    experiment.slug()
+                ));
+            }
+        }
+        // The isolation guarantee: at every sweep point of every platform,
+        // the victim's p99 inflation over its solo baseline under the
+        // weighted scheduler must not exceed its inflation under
+        // unweighted FIFO sharing.
+        if let Some(fig) = run.serial.figure(experiment) {
+            let platforms: Vec<String> = fig
+                .series
+                .iter()
+                .filter_map(|s| {
+                    s.label
+                        .strip_suffix(&format!(" {}", grid::TENANT_VICTIM_P99))
+                })
+                .map(str::to_string)
+                .collect();
+            for platform in &platforms {
+                let series = |metric: &str| {
+                    fig.series_named(&format!("{platform} {metric}"))
+                        .unwrap_or_else(|| panic!("{metric} series missing for {platform}"))
+                };
+                let p99 = series(grid::TENANT_VICTIM_P99);
+                let fifo = series(grid::TENANT_VICTIM_FIFO_P99);
+                let solo = series(grid::TENANT_VICTIM_SOLO_P99);
+                for i in 0..p99.points.len() {
+                    let baseline = solo.points[i].mean.max(f64::MIN_POSITIVE);
+                    let weighted = p99.points[i].mean / baseline;
+                    let unweighted = fifo.points[i].mean / baseline;
+                    if weighted > unweighted {
+                        failures.push(format!(
+                            "{}/{platform} at aggressor {}: weighted inflation {weighted:.3} \
+                             exceeds FIFO inflation {unweighted:.3}",
+                            experiment.slug(),
+                            p99.points[i].x,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if run.serial.figures != run.parallel.figures {
+        failures.push(format!(
+            "serial and {}-worker figure data disagree",
+            run.parallel_workers
+        ));
+    }
+    if let Some(token) = report::find_non_finite(&json) {
+        failures.push(format!("emitted JSON contains non-finite value {token:?}"));
+    }
+    if !failures.is_empty() {
+        eprintln!("tenant_isolation: FAILED: {}", failures.join("; "));
+        std::process::exit(1);
+    }
+}

@@ -39,6 +39,12 @@ pub enum ExperimentId {
     LoadMemcached,
     /// Beyond the paper: open-loop MySQL throughput-vs-latency curves.
     LoadMysql,
+    /// Beyond the paper: Memcached multi-tenant co-location — a
+    /// latency-sensitive victim against a swept aggressor on shared
+    /// weighted service slots.
+    TenantIsolationMemcached,
+    /// Beyond the paper: MySQL multi-tenant co-location.
+    TenantIsolationMysql,
 }
 
 impl ExperimentId {
@@ -63,6 +69,8 @@ impl ExperimentId {
             Fig18Hap,
             LoadMemcached,
             LoadMysql,
+            TenantIsolationMemcached,
+            TenantIsolationMysql,
         ]
     }
 
@@ -87,6 +95,10 @@ impl ExperimentId {
             Fig18Hap => "Fig. 18: extended HAP metric",
             LoadMemcached => "Load: Memcached open-loop latency vs offered load (us)",
             LoadMysql => "Load: MySQL open-loop latency vs offered load (us)",
+            TenantIsolationMemcached => {
+                "Tenancy: Memcached victim p99 vs co-located aggressor load (us)"
+            }
+            TenantIsolationMysql => "Tenancy: MySQL victim p99 vs co-located aggressor load (us)",
         }
     }
 
@@ -111,6 +123,8 @@ impl ExperimentId {
             Fig18Hap => "fig18_hap",
             LoadMemcached => "load_memcached",
             LoadMysql => "load_mysql",
+            TenantIsolationMemcached => "tenant_isolation_memcached",
+            TenantIsolationMysql => "tenant_isolation_mysql",
         }
     }
 }
@@ -211,7 +225,7 @@ mod tests {
         let slugs: std::collections::BTreeSet<_> =
             ExperimentId::all().iter().map(|e| e.slug()).collect();
         assert_eq!(slugs.len(), ExperimentId::all().len());
-        assert_eq!(ExperimentId::all().len(), 17);
+        assert_eq!(ExperimentId::all().len(), 19);
     }
 
     #[test]

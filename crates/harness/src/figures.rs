@@ -120,6 +120,18 @@ pub fn load_mysql(cfg: &RunConfig) -> FigureData {
     run(ExperimentId::LoadMysql, cfg)
 }
 
+/// Beyond the paper: Memcached multi-tenant co-location — per-platform
+/// victim/aggressor percentiles, drop and SLO-violation rates, and
+/// isolation indices over an aggressor offered-load sweep.
+pub fn tenant_isolation_memcached(cfg: &RunConfig) -> FigureData {
+    run(ExperimentId::TenantIsolationMemcached, cfg)
+}
+
+/// Beyond the paper: MySQL multi-tenant co-location.
+pub fn tenant_isolation_mysql(cfg: &RunConfig) -> FigureData {
+    run(ExperimentId::TenantIsolationMysql, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,7 +32,7 @@ fn check(id: &'static str, claim: &'static str, passed: bool, detail: String) ->
 }
 
 /// The experiments the finding checks read.
-const NEEDED: [ExperimentId; 11] = [
+const NEEDED: [ExperimentId; 12] = [
     ExperimentId::SysbenchPrime,
     ExperimentId::Fig05Ffmpeg,
     ExperimentId::Fig06MemLatency,
@@ -44,6 +44,7 @@ const NEEDED: [ExperimentId; 11] = [
     ExperimentId::Fig18Hap,
     ExperimentId::LoadMemcached,
     ExperimentId::LoadMysql,
+    ExperimentId::TenantIsolationMemcached,
 ];
 
 /// Runs all implemented finding checks using the given configuration,
@@ -280,6 +281,43 @@ pub fn check_findings_on(figures: &[FigureData]) -> Vec<FindingCheck> {
             format!("gvisor p99 {gvisor_high:.1} us vs native {native_high:.1} us at 95% load"),
         ));
     }
+    // Hockey-stick knee: the largest relative p99 jump of the derived
+    // latency-vs-achieved-throughput curve must sit in the saturation
+    // region (between the two highest offered loads) on every platform.
+    if let Some(load) = fig(ExperimentId::LoadMemcached) {
+        let mut knees = Vec::new();
+        let mut all_at_the_end = true;
+        for platform in crate::grid::load_platforms_of(load) {
+            let series = load
+                .series_named(&format!("{platform} {}", crate::grid::LOAD_P99))
+                .expect("p99 series exists for every load platform");
+            let jumps: Vec<f64> = series
+                .points
+                .windows(2)
+                .map(|pair| pair[1].mean / pair[0].mean.max(f64::MIN_POSITIVE))
+                .collect();
+            // A knee needs at least two points to exist; a degenerate
+            // single-point sweep fails the check instead of panicking.
+            let Some((knee, _)) = jumps.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)) else {
+                all_at_the_end = false;
+                knees.push(format!("{platform} sweep too short for a knee"));
+                continue;
+            };
+            if knee + 1 != jumps.len() {
+                all_at_the_end = false;
+            }
+            knees.push(format!(
+                "{platform} knee at {}",
+                series.points[knee + 1].x.as_str()
+            ));
+        }
+        out.push(check(
+            "load-04",
+            "every platform's hockey-stick knee sits at the saturation end of the load sweep",
+            all_at_the_end && !knees.is_empty(),
+            knees.join(", "),
+        ));
+    }
     if let Some(load) = fig(ExperimentId::LoadMysql) {
         let achieved_at = |platform: &str, fraction: &str| {
             load.series_named(&format!("{platform} {}", crate::grid::LOAD_ACHIEVED))
@@ -294,6 +332,83 @@ pub fn check_findings_on(figures: &[FigureData]) -> Vec<FindingCheck> {
             "at the same utilization fraction, native sustains a far higher absolute MySQL request rate",
             native > gvisor * 1.5,
             format!("native {native:.0} req/s vs gvisor {gvisor:.0} req/s at 80% load"),
+        ));
+    }
+
+    // Beyond the paper: multi-tenant co-location. A latency-sensitive
+    // victim shares the platform's weighted service slots with a bursty
+    // aggressor swept into overload.
+    if let Some(tenancy) = fig(ExperimentId::TenantIsolationMemcached) {
+        let platforms = crate::grid::tenant_platforms_of(tenancy);
+        let last = |platform: &str, metric: &str| {
+            tenancy
+                .series_named(&format!("{platform} {metric}"))
+                .and_then(|s| s.points.last())
+                .map(|p| p.mean)
+                .unwrap_or(0.0)
+        };
+
+        // tenant-01: co-location inflates every victim's p99, and the
+        // platform tax ordering survives the interference — the secure
+        // container's victim tail stays above the native victim's.
+        let native_p99 = last("native", crate::grid::TENANT_VICTIM_P99);
+        let gvisor_p99 = last("gvisor", crate::grid::TENANT_VICTIM_P99);
+        let min_inflation = platforms
+            .iter()
+            .map(|p| last(p, crate::grid::TENANT_ISOLATION_INDEX))
+            .fold(f64::MAX, f64::min);
+        out.push(check(
+            "tenant-01",
+            "an overloading aggressor inflates the victim's p99 on every platform, and the per-platform tax ordering survives co-location",
+            min_inflation > 1.0 && gvisor_p99 > native_p99 && !platforms.is_empty(),
+            format!(
+                "min isolation index {min_inflation:.2}; victim p99 gvisor {gvisor_p99:.0} us vs native {native_p99:.0} us"
+            ),
+        ));
+
+        // tenant-02: weighted slots bound the aggressor's impact — at
+        // overload the victim's p99 under DRR undercuts unweighted FIFO
+        // sharing on every platform.
+        let worst_ratio = platforms
+            .iter()
+            .map(|p| {
+                last(p, crate::grid::TENANT_VICTIM_P99)
+                    / last(p, crate::grid::TENANT_VICTIM_FIFO_P99).max(f64::MIN_POSITIVE)
+            })
+            .fold(0.0f64, f64::max);
+        out.push(check(
+            "tenant-02",
+            "weighted service slots bound the aggressor's impact: victim p99 under DRR stays below unweighted FIFO sharing at overload",
+            worst_ratio < 1.0 && !platforms.is_empty(),
+            format!("worst drr/fifo victim p99 ratio {worst_ratio:.3}"),
+        ));
+
+        // tenant-03: the bounded per-tenant queues shed the aggressor's
+        // overload progressively — its drop rate is monotone in offered
+        // load and strictly positive once past saturation.
+        let mut monotone = true;
+        let mut top_drop = f64::MAX;
+        for platform in &platforms {
+            let series = tenancy
+                .series_named(&format!(
+                    "{platform} {}",
+                    crate::grid::TENANT_AGGRESSOR_DROP_RATE
+                ))
+                .expect("drop-rate series exists for every platform");
+            let mut prev = 0.0f64;
+            for point in &series.points {
+                if point.mean < prev - 1e-9 {
+                    monotone = false;
+                }
+                prev = point.mean;
+            }
+            top_drop = top_drop.min(prev);
+        }
+        out.push(check(
+            "tenant-03",
+            "the aggressor's drop rate rises monotonically with its offered load and is positive in overload on every platform",
+            monotone && top_drop > 0.0 && !platforms.is_empty(),
+            format!("smallest overload drop rate {top_drop:.3}"),
         ));
     }
 

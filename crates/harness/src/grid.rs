@@ -20,6 +20,7 @@ use simcore::stats::{Cdf, RunningStats};
 
 use hap::HapSuite;
 use workloads::loadgen::{LoadBackend, LoadPoint, LoadgenBenchmark};
+use workloads::tenancy::{ColocationPoint, TenancyBenchmark};
 use workloads::{
     FfmpegBenchmark, FioBenchmark, IperfBenchmark, NetperfBenchmark, OltpBenchmark,
     StreamBenchmark, SysbenchCpuBenchmark, TinymembenchBenchmark, YcsbBenchmark,
@@ -109,9 +110,10 @@ const BOOT_OSV: &[(PlatformId, StartupVariant, &str)] = &[
     ),
 ];
 
-/// The platform set of the open-loop load-curve experiments: one
-/// representative per family (baseline, container, hypervisor, microVM,
-/// secure container ×2), in figure-legend order.
+/// The platform set of the open-loop load-curve and multi-tenant
+/// co-location experiments: one representative per family (baseline,
+/// container, hypervisor, microVM, secure container ×2), in figure-legend
+/// order.
 const LOAD_PLATFORMS: &[PlatformId] = &[
     PlatformId::Native,
     PlatformId::Docker,
@@ -144,7 +146,9 @@ pub fn entries(experiment: ExperimentId) -> Vec<Entry> {
         Fig13BootContainers => boot_entries(BOOT_CONTAINERS),
         Fig14BootHypervisors => boot_entries(BOOT_HYPERVISORS),
         Fig15BootOsv => boot_entries(BOOT_OSV),
-        LoadMemcached | LoadMysql => LOAD_PLATFORMS.iter().map(|id| Entry::bar(*id)).collect(),
+        LoadMemcached | LoadMysql | TenantIsolationMemcached | TenantIsolationMysql => {
+            LOAD_PLATFORMS.iter().map(|id| Entry::bar(*id)).collect()
+        }
         _ => PlatformId::paper_set()
             .iter()
             .map(|id| Entry::bar(*id))
@@ -166,6 +170,7 @@ pub fn trials(experiment: ExperimentId, cfg: &RunConfig) -> usize {
         Fig17Mysql => oltp_bench(cfg).runs,
         Fig18Hap => 1,
         LoadMemcached | LoadMysql => load_bench(experiment, cfg).runs,
+        TenantIsolationMemcached | TenantIsolationMysql => tenant_bench(experiment, cfg).runs,
         _ => cfg.runs,
     };
     // A zero-run/zero-startup config still produces one trial per cell so
@@ -206,6 +211,10 @@ pub enum CellOutput {
     /// One open-loop load sweep (one [`LoadPoint`] per offered-load
     /// fraction) of the load-curve experiments.
     Load(Vec<LoadPoint>),
+    /// One multi-tenant co-location sweep (one [`ColocationPoint`] per
+    /// aggressor offered-load fraction) of the tenant-isolation
+    /// experiments.
+    Tenant(Vec<ColocationPoint>),
     /// The platform is excluded from this experiment.
     Skip,
 }
@@ -243,6 +252,18 @@ fn load_bench(experiment: ExperimentId, cfg: &RunConfig) -> LoadgenBenchmark {
         LoadgenBenchmark::quick(backend)
     } else {
         LoadgenBenchmark::new(backend)
+    }
+}
+
+fn tenant_bench(experiment: ExperimentId, cfg: &RunConfig) -> TenancyBenchmark {
+    let backend = match experiment {
+        ExperimentId::TenantIsolationMysql => LoadBackend::Mysql,
+        _ => LoadBackend::Memcached,
+    };
+    if cfg.quick {
+        TenancyBenchmark::quick(backend)
+    } else {
+        TenancyBenchmark::new(backend)
     }
 }
 
@@ -348,7 +369,19 @@ pub fn run_cell(
         }
         LoadMemcached | LoadMysql => {
             let bench = load_bench(experiment, cfg);
-            CellOutput::Load(bench.run_trial(&platform, &mut rng))
+            CellOutput::Load(
+                bench
+                    .run_trial(&platform, &mut rng)
+                    .expect("paper platforms derate to valid service profiles"),
+            )
+        }
+        TenantIsolationMemcached | TenantIsolationMysql => {
+            let bench = tenant_bench(experiment, cfg);
+            CellOutput::Tenant(
+                bench
+                    .run_trial(&platform, &mut rng)
+                    .expect("paper platforms derate to valid tenant profiles"),
+            )
         }
     }
 }
@@ -390,6 +423,7 @@ pub fn merge(experiment: ExperimentId, outputs: &[Vec<CellOutput>]) -> FigureDat
         }
         Fig18Hap => merge_hap(experiment, outputs),
         LoadMemcached | LoadMysql => merge_load(experiment, outputs),
+        TenantIsolationMemcached | TenantIsolationMysql => merge_tenant(experiment, outputs),
         // Fig. 11 reports the maximum over the runs, everything else the mean.
         Fig11Iperf => merge_bars(experiment, outputs, true),
         _ => merge_bars(experiment, outputs, false),
@@ -442,6 +476,132 @@ fn merge_load(experiment: ExperimentId, outputs: &[Vec<CellOutput>]) -> FigureDa
                 series.points.push(DataPoint {
                     x: format!("{:.2}", sample.offered_fraction),
                     x_value: sample.offered_fraction,
+                    mean: stats.mean(),
+                    std_dev: stats.std_dev(),
+                });
+            }
+            fig.series.push(series);
+        }
+    }
+    fig
+}
+
+/// The per-platform metric series of one tenant-isolation figure, in
+/// series order: the victim's percentiles, throughput, drop/SLO behaviour
+/// and isolation diagnostics (solo baseline, FIFO comparison, isolation
+/// index), then the aggressor's percentiles, throughput and drop rate.
+/// Every series is labelled `"<platform> <metric>"`; [`crate::findings`]
+/// and [`crate::report`] look series up through these constants.
+pub const TENANT_METRICS: [&str; 14] = [
+    TENANT_VICTIM_P50,
+    TENANT_VICTIM_P95,
+    TENANT_VICTIM_P99,
+    TENANT_VICTIM_ACHIEVED,
+    TENANT_VICTIM_DROP_RATE,
+    TENANT_VICTIM_SLO_VIOLATION,
+    TENANT_VICTIM_SOLO_P99,
+    TENANT_VICTIM_FIFO_P99,
+    TENANT_ISOLATION_INDEX,
+    TENANT_AGGRESSOR_P50,
+    TENANT_AGGRESSOR_P95,
+    TENANT_AGGRESSOR_P99,
+    TENANT_AGGRESSOR_ACHIEVED,
+    TENANT_AGGRESSOR_DROP_RATE,
+];
+
+/// Victim median sojourn time under the weighted scheduler.
+pub const TENANT_VICTIM_P50: &str = "victim p50 (us)";
+/// Victim 95th-percentile sojourn time under the weighted scheduler.
+pub const TENANT_VICTIM_P95: &str = "victim p95 (us)";
+/// Victim 99th-percentile sojourn time under the weighted scheduler.
+pub const TENANT_VICTIM_P99: &str = "victim p99 (us)";
+/// Victim achieved throughput under the weighted scheduler.
+pub const TENANT_VICTIM_ACHIEVED: &str = "victim achieved (req/s)";
+/// Victim drop rate (dropped / issued) under the weighted scheduler.
+pub const TENANT_VICTIM_DROP_RATE: &str = "victim drop rate";
+/// Fraction of victim completions slower than its p99 SLO target.
+pub const TENANT_VICTIM_SLO_VIOLATION: &str = "victim slo violation";
+/// Victim p99 running alone on the platform (same streams).
+pub const TENANT_VICTIM_SOLO_P99: &str = "victim solo p99 (us)";
+/// Victim p99 under unweighted global-FIFO sharing (same streams).
+pub const TENANT_VICTIM_FIFO_P99: &str = "victim fifo p99 (us)";
+/// Isolation index: co-located (weighted) victim p99 / solo victim p99.
+pub const TENANT_ISOLATION_INDEX: &str = "victim isolation index";
+/// Aggressor median sojourn time under the weighted scheduler.
+pub const TENANT_AGGRESSOR_P50: &str = "aggressor p50 (us)";
+/// Aggressor 95th-percentile sojourn time under the weighted scheduler.
+pub const TENANT_AGGRESSOR_P95: &str = "aggressor p95 (us)";
+/// Aggressor 99th-percentile sojourn time under the weighted scheduler.
+pub const TENANT_AGGRESSOR_P99: &str = "aggressor p99 (us)";
+/// Aggressor achieved throughput under the weighted scheduler.
+pub const TENANT_AGGRESSOR_ACHIEVED: &str = "aggressor achieved (req/s)";
+/// Aggressor drop rate (dropped / issued) under the weighted scheduler.
+pub const TENANT_AGGRESSOR_DROP_RATE: &str = "aggressor drop rate";
+
+/// The platform labels of a merged load-curve figure, recovered (in
+/// canonical order) from its `"<platform> p50 (us)"` series labels.
+pub fn load_platforms_of(fig: &FigureData) -> Vec<String> {
+    platforms_by_suffix(fig, LOAD_P50)
+}
+
+/// The platform labels of a merged tenant-isolation figure, recovered (in
+/// canonical order) from its `"<platform> victim p99 (us)"` series labels.
+pub fn tenant_platforms_of(fig: &FigureData) -> Vec<String> {
+    platforms_by_suffix(fig, TENANT_VICTIM_P99)
+}
+
+fn platforms_by_suffix(fig: &FigureData, metric: &str) -> Vec<String> {
+    let suffix = format!(" {metric}");
+    fig.series
+        .iter()
+        .filter_map(|s| s.label.strip_suffix(suffix.as_str()))
+        .map(str::to_string)
+        .collect()
+}
+
+fn tenant_metric(point: &ColocationPoint, metric: &str) -> f64 {
+    match metric {
+        TENANT_VICTIM_P50 => point.victim.p50_us,
+        TENANT_VICTIM_P95 => point.victim.p95_us,
+        TENANT_VICTIM_P99 => point.victim.p99_us,
+        TENANT_VICTIM_ACHIEVED => point.victim.achieved_per_sec,
+        TENANT_VICTIM_DROP_RATE => point.victim.drop_rate,
+        TENANT_VICTIM_SLO_VIOLATION => point.victim.slo_violation,
+        TENANT_VICTIM_SOLO_P99 => point.victim_solo_p99_us,
+        TENANT_VICTIM_FIFO_P99 => point.victim_fifo_p99_us,
+        TENANT_ISOLATION_INDEX => point.isolation_index,
+        TENANT_AGGRESSOR_P50 => point.aggressor.p50_us,
+        TENANT_AGGRESSOR_P95 => point.aggressor.p95_us,
+        TENANT_AGGRESSOR_P99 => point.aggressor.p99_us,
+        TENANT_AGGRESSOR_ACHIEVED => point.aggressor.achieved_per_sec,
+        TENANT_AGGRESSOR_DROP_RATE => point.aggressor.drop_rate,
+        other => unreachable!("unknown tenant metric {other}"),
+    }
+}
+
+fn merge_tenant(experiment: ExperimentId, outputs: &[Vec<CellOutput>]) -> FigureData {
+    let mut fig = FigureData::new(experiment);
+    for (entry, trials) in entries(experiment).iter().zip(outputs) {
+        let sweeps: Vec<&[ColocationPoint]> = trials
+            .iter()
+            .map(|output| match output {
+                CellOutput::Tenant(points) => points.as_slice(),
+                other => {
+                    unreachable!("{experiment:?} produced {other:?}, expected a tenant sweep")
+                }
+            })
+            .collect();
+        let first = sweeps.first().expect("every entry runs at least one trial");
+        for metric in TENANT_METRICS {
+            let mut series = Series::new(&format!("{} {metric}", entry.label));
+            for (xi, sample) in first.iter().enumerate() {
+                let stats: RunningStats = sweeps
+                    .iter()
+                    .map(|points| tenant_metric(&points[xi], metric))
+                    .collect();
+                series.points.push(DataPoint {
+                    x: format!("{:.2}", sample.aggressor_fraction),
+                    x_value: sample.aggressor_fraction,
                     mean: stats.mean(),
                     std_dev: stats.std_dev(),
                 });
@@ -663,6 +823,37 @@ mod tests {
                     entry.label
                 );
             }
+        }
+    }
+
+    #[test]
+    fn tenant_cells_produce_full_sweeps_and_merge_per_metric_series() {
+        let experiment = ExperimentId::TenantIsolationMemcached;
+        let grid_entries = entries(experiment);
+        assert!(grid_entries.len() >= 3);
+        let entry = &grid_entries[0];
+        let outputs = [vec![run_cell(experiment, entry, 0, &cfg())]];
+        let sweep_len = match &outputs[0][0] {
+            CellOutput::Tenant(points) => {
+                assert!(
+                    points.len() >= 5,
+                    "tenant sweep needs >= 5 aggressor points"
+                );
+                assert!(
+                    points.last().unwrap().aggressor_fraction > 1.0,
+                    "the aggressor sweep must reach overload"
+                );
+                points.len()
+            }
+            other => panic!("expected a tenant sweep, got {other:?}"),
+        };
+        let fig = merge(experiment, &outputs[..1]);
+        assert_eq!(fig.series.len(), TENANT_METRICS.len());
+        for metric in TENANT_METRICS {
+            let series = fig
+                .series_named(&format!("{} {metric}", entry.label))
+                .unwrap_or_else(|| panic!("missing series for {} {metric}", entry.label));
+            assert_eq!(series.points.len(), sweep_len);
         }
     }
 

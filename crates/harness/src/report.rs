@@ -212,20 +212,43 @@ pub fn find_non_finite(json: &str) -> Option<&'static str> {
     None
 }
 
+/// Derives the hockey-stick view of a load-curve figure: one series per
+/// platform with **achieved throughput on the x axis** and the p99
+/// sojourn time as the value, so the knee of the curve (where latency
+/// departs from the near-flat region) is directly visible. The derived
+/// figure renders through [`to_markdown`]/[`to_csv`] like any other.
+pub fn hockey_stick(fig: &FigureData) -> FigureData {
+    let platforms = crate::grid::load_platforms_of(fig);
+    let mut out = FigureData::new(fig.experiment);
+    out.title = format!("{} — p99 vs achieved throughput", fig.title);
+    for platform in platforms {
+        let achieved = fig
+            .series_named(&format!("{platform} {}", crate::grid::LOAD_ACHIEVED))
+            .expect("achieved series exists for every load platform");
+        let p99 = fig
+            .series_named(&format!("{platform} {}", crate::grid::LOAD_P99))
+            .expect("p99 series exists for every load platform");
+        let mut series = crate::experiment::Series::new(&format!("{platform} p99 (us)"));
+        for (a, p) in achieved.points.iter().zip(&p99.points) {
+            series.points.push(crate::experiment::DataPoint {
+                x: format!("{:.0}", a.mean),
+                x_value: a.mean,
+                mean: p.mean,
+                std_dev: p.std_dev,
+            });
+        }
+        out.series.push(series);
+    }
+    out
+}
+
 /// The figure-level payload of one load-curve experiment: per-platform
 /// offered-load sweeps with percentile latencies and achieved throughput,
 /// reconstructed from the merged figure series.
 fn load_experiment_json(out: &mut String, fig: &FigureData) {
     let _ = writeln!(out, "    {{");
     let _ = writeln!(out, "      \"slug\": \"{}\",", fig.experiment.slug());
-    // Every platform contributes one "<label> p50" series; recover the
-    // platform list (in canonical order) from those labels.
-    let p50_suffix = format!(" {}", crate::grid::LOAD_P50);
-    let platforms: Vec<&str> = fig
-        .series
-        .iter()
-        .filter_map(|s| s.label.strip_suffix(p50_suffix.as_str()))
-        .collect();
+    let platforms = crate::grid::load_platforms_of(fig);
     let _ = writeln!(out, "      \"platforms\": [");
     for (pi, platform) in platforms.iter().enumerate() {
         let series = |metric: &str| fig.series_named(&format!("{platform} {metric}"));
@@ -290,6 +313,112 @@ pub fn load_curves_json(mode: &str, seed: u64, serial: &RunReport, parallel: &Ru
     let _ = writeln!(out, "  \"experiments\": [");
     for (i, fig) in serial_figs.iter().enumerate() {
         load_experiment_json(&mut out, fig);
+        let _ = writeln!(out, "{}", if i + 1 < serial_figs.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+/// The figure-level payload of one tenant-isolation experiment:
+/// per-platform aggressor sweeps with the victim's and aggressor's
+/// percentile/SLO/drop series plus the isolation diagnostics,
+/// reconstructed from the merged figure series.
+fn tenant_experiment_json(out: &mut String, fig: &FigureData) {
+    let _ = writeln!(out, "    {{");
+    let _ = writeln!(out, "      \"slug\": \"{}\",", fig.experiment.slug());
+    let platforms = crate::grid::tenant_platforms_of(fig);
+    let _ = writeln!(out, "      \"platforms\": [");
+    for (pi, platform) in platforms.iter().enumerate() {
+        let series = |metric: &str| fig.series_named(&format!("{platform} {metric}"));
+        let _ = writeln!(out, "        {{");
+        let _ = writeln!(out, "          \"label\": \"{}\",", json_escape(platform));
+        let _ = writeln!(out, "          \"points\": [");
+        let anchor = series(crate::grid::TENANT_VICTIM_P99)
+            .expect("victim p99 series exists by construction");
+        for (i, point) in anchor.points.iter().enumerate() {
+            // Panic (rather than emit a plausible 0.0) on a missing series
+            // or point: a malformed figure must fail the bench run loudly.
+            let metric_mean = |metric: &str| {
+                series(metric)
+                    .unwrap_or_else(|| panic!("{metric} series missing for {platform}"))
+                    .points[i]
+                    .mean
+            };
+            let _ = write!(
+                out,
+                "            {{\"aggressor_fraction\": {:.2}, \
+                 \"victim_p50_us\": {:.3}, \"victim_p95_us\": {:.3}, \"victim_p99_us\": {:.3}, \
+                 \"victim_achieved_per_sec\": {:.3}, \"victim_drop_rate\": {:.6}, \
+                 \"victim_slo_violation\": {:.6}, \"victim_solo_p99_us\": {:.3}, \
+                 \"victim_fifo_p99_us\": {:.3}, \"isolation_index\": {:.4}, \
+                 \"aggressor_p50_us\": {:.3}, \"aggressor_p95_us\": {:.3}, \
+                 \"aggressor_p99_us\": {:.3}, \"aggressor_achieved_per_sec\": {:.3}, \
+                 \"aggressor_drop_rate\": {:.6}}}",
+                point.x_value,
+                metric_mean(crate::grid::TENANT_VICTIM_P50),
+                metric_mean(crate::grid::TENANT_VICTIM_P95),
+                point.mean,
+                metric_mean(crate::grid::TENANT_VICTIM_ACHIEVED),
+                metric_mean(crate::grid::TENANT_VICTIM_DROP_RATE),
+                metric_mean(crate::grid::TENANT_VICTIM_SLO_VIOLATION),
+                metric_mean(crate::grid::TENANT_VICTIM_SOLO_P99),
+                metric_mean(crate::grid::TENANT_VICTIM_FIFO_P99),
+                metric_mean(crate::grid::TENANT_ISOLATION_INDEX),
+                metric_mean(crate::grid::TENANT_AGGRESSOR_P50),
+                metric_mean(crate::grid::TENANT_AGGRESSOR_P95),
+                metric_mean(crate::grid::TENANT_AGGRESSOR_P99),
+                metric_mean(crate::grid::TENANT_AGGRESSOR_ACHIEVED),
+                metric_mean(crate::grid::TENANT_AGGRESSOR_DROP_RATE),
+            );
+            let _ = writeln!(
+                out,
+                "{}",
+                if i + 1 < anchor.points.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "          ]");
+        let _ = write!(out, "        }}");
+        let _ = writeln!(out, "{}", if pi + 1 < platforms.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "      ]");
+    let _ = write!(out, "    }}");
+}
+
+/// Renders the machine-readable tenant-isolation bench report
+/// (`BENCH_tenant_isolation.json`): the victim-vs-aggressor co-location
+/// sweeps of both backends, from a serial (1-worker) and an N-worker run
+/// of the same plan, plus whether the two produced identical figure data.
+pub fn tenant_isolation_json(
+    mode: &str,
+    seed: u64,
+    serial: &RunReport,
+    parallel: &RunReport,
+) -> String {
+    let tenant_figs = |report: &RunReport| {
+        [
+            crate::experiment::ExperimentId::TenantIsolationMemcached,
+            crate::experiment::ExperimentId::TenantIsolationMysql,
+        ]
+        .iter()
+        .filter_map(|e| report.figure(*e).cloned())
+        .collect::<Vec<_>>()
+    };
+    let serial_figs = tenant_figs(serial);
+    let parallel_figs = tenant_figs(parallel);
+    let identical = serial_figs == parallel_figs;
+
+    let mut out = json_report_header(
+        "isolation-bench/tenant-isolation/v1",
+        mode,
+        seed,
+        serial,
+        parallel,
+    );
+    let _ = writeln!(out, "  \"identical\": {identical},");
+    let _ = writeln!(out, "  \"experiments\": [");
+    for (i, fig) in serial_figs.iter().enumerate() {
+        tenant_experiment_json(&mut out, fig);
         let _ = writeln!(out, "{}", if i + 1 < serial_figs.len() { "," } else { "" });
     }
     let _ = writeln!(out, "  ]");
@@ -393,6 +522,73 @@ mod tests {
         assert!(json.contains("\"identical\": true"));
         assert!(json.contains("\"label\": \"native\""));
         assert!(json.contains("\"p99_us\""));
+        assert_eq!(find_non_finite(&json), None, "emitted JSON must be finite");
+    }
+
+    #[test]
+    fn hockey_stick_puts_achieved_throughput_on_the_x_axis() {
+        let cfg = RunConfig {
+            seed: 7,
+            runs: 1,
+            startups: 8,
+            quick: true,
+        };
+        let fig = crate::figures::run(ExperimentId::LoadMemcached, &cfg);
+        let stick = hockey_stick(&fig);
+        assert!(stick.title.contains("p99 vs achieved throughput"));
+        assert_eq!(
+            stick.series.len(),
+            fig.series.len() / crate::grid::LOAD_METRICS.len(),
+            "one hockey-stick series per platform"
+        );
+        for series in &stick.series {
+            assert!(series.label.ends_with("p99 (us)"));
+            let achieved = crate::experiment::FigureData {
+                experiment: fig.experiment,
+                title: String::new(),
+                series: fig.series.clone(),
+            };
+            let platform = series.label.trim_end_matches(" p99 (us)");
+            let source = achieved
+                .series_named(&format!("{platform} {}", crate::grid::LOAD_ACHIEVED))
+                .unwrap();
+            for (point, src) in series.points.iter().zip(&source.points) {
+                assert_eq!(point.x_value, src.mean, "x must be achieved throughput");
+                assert!(point.mean > 0.0);
+            }
+            // The x axis (achieved throughput) grows along the sweep.
+            for pair in series.points.windows(2) {
+                assert!(pair[1].x_value > pair[0].x_value);
+            }
+        }
+        // The derived figure exports through the standard CSV path.
+        let csv = to_csv(&stick);
+        assert!(csv.starts_with("series,x,x_value,mean,std_dev"));
+        assert_eq!(
+            csv.trim().lines().count(),
+            1 + stick.series.len() * stick.series[0].points.len()
+        );
+    }
+
+    #[test]
+    fn tenant_isolation_json_has_both_experiments_and_is_finite() {
+        let cfg = RunConfig {
+            seed: 7,
+            runs: 1,
+            startups: 8,
+            quick: true,
+        };
+        let serial = Executor::new(RunPlan::new(cfg).with_shard("tenant_").with_workers(1)).run();
+        let parallel = Executor::new(RunPlan::new(cfg).with_shard("tenant_").with_workers(2)).run();
+        let json = tenant_isolation_json("quick", 7, &serial, &parallel);
+        assert!(json.contains("\"schema\": \"isolation-bench/tenant-isolation/v1\""));
+        assert!(json.contains("\"slug\": \"tenant_isolation_memcached\""));
+        assert!(json.contains("\"slug\": \"tenant_isolation_mysql\""));
+        assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"label\": \"native\""));
+        assert!(json.contains("\"isolation_index\""));
+        assert!(json.contains("\"victim_fifo_p99_us\""));
+        assert!(json.contains("\"aggressor_drop_rate\""));
         assert_eq!(find_non_finite(&json), None, "emitted JSON must be finite");
     }
 

@@ -20,6 +20,11 @@
 //! subsystem: Poisson arrivals over a configurable client population drive
 //! the memcached/MySQL backends through a bounded admission queue,
 //! producing throughput-vs-latency (p50/p95/p99) curves per platform.
+//! [`tenancy`] co-locates several such populations on one platform —
+//! per-tenant bounded admission queues in front of the weighted
+//! deficit-round-robin service-slot scheduler in [`slots`] — to measure
+//! isolation *between* workloads (victim-vs-aggressor sweeps, SLO
+//! violations, isolation indices).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -29,10 +34,12 @@ pub mod fio;
 pub mod iperf;
 pub mod loadgen;
 pub mod netperf;
+pub mod slots;
 pub mod startup;
 pub mod stream;
 pub mod sysbench_cpu;
 pub mod sysbench_oltp;
+pub mod tenancy;
 pub mod tinymembench;
 pub mod ycsb;
 
@@ -41,9 +48,11 @@ pub use fio::FioBenchmark;
 pub use iperf::IperfBenchmark;
 pub use loadgen::{LoadBackend, LoadPoint, LoadgenBenchmark};
 pub use netperf::NetperfBenchmark;
+pub use slots::{Admission, ClassConfig, ServiceProfile, SlotPolicy, SlotPool};
 pub use startup::StartupBenchmark;
 pub use stream::StreamBenchmark;
 pub use sysbench_cpu::SysbenchCpuBenchmark;
 pub use sysbench_oltp::OltpBenchmark;
+pub use tenancy::{ArrivalProcess, ColocationPoint, TenancyBenchmark, TenantPoint, TenantSpec};
 pub use tinymembench::TinymembenchBenchmark;
 pub use ycsb::YcsbBenchmark;

@@ -11,38 +11,38 @@
 //! and reports the resulting throughput-vs-latency curve (p50/p95/p99
 //! sojourn times) at a sweep of offered loads.
 //!
-//! The per-request service times are **the same models the closed-loop
-//! paths use** — [`YcsbBenchmark::per_op_service_time`] for memcached and
-//! [`OltpBenchmark::per_txn_service_time`] plus
-//! [`OltpBenchmark::contention`] for MySQL — so the open- and closed-loop
-//! views of one platform are mutually consistent.
+//! The mean per-request service times are **the same models the
+//! closed-loop paths use** — [`YcsbBenchmark::per_op_service_time`] for
+//! memcached and [`OltpBenchmark::per_txn_service_time`] plus
+//! [`OltpBenchmark::contention`] for MySQL — and each request samples its
+//! own service time from the profile's log-normal distribution around
+//! that mean ([`ServiceProfile::service_distribution`]), so the reported
+//! tails reflect service-time variance as well as queueing. The slot pool
+//! and bounded admission queue are the shared [`crate::slots`] core, which
+//! the multi-tenant [`crate::tenancy`] subsystem builds on too.
 //!
 //! The whole sweep runs on the [`simcore::Simulation`] discrete-event
 //! scheduler: arrivals are pre-sampled in bounded chunks
 //! ([`Simulation::schedule_batch`]) so the pending-event count stays small
-//! even for very large request counts, and every sample is drawn from the
-//! cell's own derived random stream, keeping results bit-identical across
-//! any parallel execution schedule.
+//! even for very large request counts. Within one trial the arrival and
+//! service streams are **common random numbers** across the sweep points —
+//! the same unit-rate arrival gaps (scaled by the offered rate) and the
+//! same service-time sequence — so latency curves are monotone in offered
+//! load by coupling, not just in expectation; every stream derives from
+//! the cell's own random stream, keeping results bit-identical across any
+//! parallel execution schedule.
+//!
+//! [`YcsbBenchmark::per_op_service_time`]: crate::ycsb::YcsbBenchmark::per_op_service_time
+//! [`OltpBenchmark::per_txn_service_time`]: crate::sysbench_oltp::OltpBenchmark::per_txn_service_time
+//! [`OltpBenchmark::contention`]: crate::sysbench_oltp::OltpBenchmark::contention
 
-use std::collections::VecDeque;
-
-use kvstore::{Store, StoreConfig};
 use platforms::Platform;
-use relstore::{Database, Table};
+use simcore::error::SimError;
 use simcore::stats::{Cdf, RunningStats};
 use simcore::{Nanos, SimRng, Simulation};
 
-use crate::sysbench_oltp::OltpBenchmark;
-use crate::ycsb::YcsbBenchmark;
-
-/// Which simulated backend the generated load drives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LoadBackend {
-    /// The Memcached-like key-value store behind Fig. 16.
-    Memcached,
-    /// The MySQL-like relational engine behind Fig. 17.
-    Mysql,
-}
+use crate::slots::{backend_profile, Admission, BackendState, ClassConfig, SlotPolicy, SlotPool};
+pub use crate::slots::{LoadBackend, ServiceProfile};
 
 /// Configuration of one open-loop load sweep.
 #[derive(Debug, Clone)]
@@ -100,51 +100,64 @@ impl LoadgenBenchmark {
     }
 
     /// The platform's service profile under this configuration: the
-    /// effective per-slot service time and the resulting saturation
+    /// effective mean per-slot service time and the resulting saturation
     /// capacity in requests per second.
-    pub fn service_profile(&self, platform: &Platform) -> ServiceProfile {
-        let servers = self.servers.max(1);
-        match self.backend {
-            LoadBackend::Memcached => {
-                // Identical per-operation cost model to the YCSB path; the
-                // slot pool derates by the platform's parallel efficiency.
-                let per_op = YcsbBenchmark::default().per_op_service_time(platform);
-                let eff = platform.cpu().parallel_efficiency(servers).max(1e-6);
-                let service_time = per_op.scale(1.0 / eff);
-                ServiceProfile::new(service_time, servers)
-            }
-            LoadBackend::Mysql => {
-                // Identical per-transaction cost model to the OLTP path;
-                // the pool derates by the combined workload + scheduler
-                // USL contention at this concurrency.
-                let bench = OltpBenchmark::default();
-                let per_txn = bench.per_txn_service_time(platform);
-                let usl_capacity = OltpBenchmark::contention(platform)
-                    .capacity(servers)
-                    .max(1e-6);
-                let service_time = per_txn.scale(servers as f64 / usl_capacity);
-                ServiceProfile::new(service_time, servers)
-            }
-        }
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a degenerate profile — an
+    /// empty slot pool, or a platform derate that collapses the service
+    /// time to zero (which would imply infinite capacity).
+    pub fn service_profile(&self, platform: &Platform) -> Result<ServiceProfile, SimError> {
+        backend_profile(self.backend, platform, self.servers)
     }
 
     /// Runs one sweep point at `fraction` of the platform's saturation
     /// capacity.
-    pub fn run_point(&self, platform: &Platform, fraction: f64, rng: &mut SimRng) -> LoadPoint {
-        self.run_point_with_profile(&self.service_profile(platform), fraction, rng)
+    ///
+    /// # Errors
+    ///
+    /// Propagates the degenerate-profile error of
+    /// [`LoadgenBenchmark::service_profile`].
+    pub fn run_point(
+        &self,
+        platform: &Platform,
+        fraction: f64,
+        rng: &mut SimRng,
+    ) -> Result<LoadPoint, SimError> {
+        let profile = self.service_profile(platform)?;
+        let arrival = rng.split("arrivals");
+        let service = rng.split("service");
+        Ok(self.run_point_with_profile(&profile, fraction, arrival, service, rng))
     }
 
     /// Runs one sweep point against an already-computed service profile
     /// (the profile is load-independent, so a sweep computes it once).
+    ///
+    /// `arrival_rng` samples unit-rate interarrival gaps (scaled by the
+    /// offered rate) and `service_rng` the per-request service times;
+    /// passing the same streams at every fraction of a sweep yields the
+    /// common-random-numbers coupling the monotonicity of the curves
+    /// relies on. `misc_rng` covers the timing-irrelevant draws
+    /// (connection attribution, sampled backend operations).
     fn run_point_with_profile(
         &self,
         profile: &ServiceProfile,
         fraction: f64,
-        rng: &mut SimRng,
+        arrival_rng: SimRng,
+        service_rng: SimRng,
+        misc_rng: &mut SimRng,
     ) -> LoadPoint {
         let offered_per_sec = profile.capacity_per_sec() * fraction.max(0.0);
         let mut sim: Simulation<LoadSim> = Simulation::new();
-        let mut state = LoadSim::new(self, profile, offered_per_sec, rng.split("loadgen"));
+        let mut state = LoadSim::new(
+            self,
+            profile,
+            offered_per_sec,
+            arrival_rng,
+            service_rng,
+            misc_rng.split("loadgen"),
+        );
         // Kick off the batched Poisson arrival source.
         sim.schedule_at(Nanos::ZERO, |sim, st: &mut LoadSim| st.generate(sim));
         // Probe the in-flight population (in service + queued) at a fixed
@@ -155,7 +168,7 @@ impl LoadgenBenchmark {
             Nanos::from_secs_f64(self.requests_per_point as f64 / offered_per_sec.max(1.0));
         let period = window / probes;
         sim.schedule_periodic(period, period, probes, |_, st: &mut LoadSim| {
-            st.in_flight_probe.record((st.busy + st.queue.len()) as f64);
+            st.in_flight_probe.record(st.pool.in_flight() as f64);
         });
         sim.run(&mut state);
         state.into_point(fraction, offered_per_sec, sim.now())
@@ -167,35 +180,34 @@ impl LoadgenBenchmark {
     /// This is the unit the parallel executor shards on: each trial sweeps
     /// every offered load once from its own derived random stream, and the
     /// harness merges the per-trial samples into the figure's mean/std.
-    pub fn run_trial(&self, platform: &Platform, rng: &mut SimRng) -> Vec<LoadPoint> {
-        let profile = self.service_profile(platform);
-        self.load_points
+    ///
+    /// # Errors
+    ///
+    /// Propagates the degenerate-profile error of
+    /// [`LoadgenBenchmark::service_profile`].
+    pub fn run_trial(
+        &self,
+        platform: &Platform,
+        rng: &mut SimRng,
+    ) -> Result<Vec<LoadPoint>, SimError> {
+        let profile = self.service_profile(platform)?;
+        // Common random numbers: every sweep point replays the same
+        // unit-rate arrival gaps and the same service-time sequence.
+        let arrival = rng.split("arrivals");
+        let service = rng.split("service");
+        Ok(self
+            .load_points
             .iter()
-            .map(|&fraction| self.run_point_with_profile(&profile, fraction, rng))
-            .collect()
-    }
-}
-
-/// The effective service model of one platform under a load sweep.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ServiceProfile {
-    /// Effective service time of one request on one slot.
-    pub service_time: Nanos,
-    /// Number of parallel service slots.
-    pub servers: usize,
-}
-
-impl ServiceProfile {
-    fn new(service_time: Nanos, servers: usize) -> Self {
-        ServiceProfile {
-            service_time: service_time.max(Nanos::from_nanos(1)),
-            servers,
-        }
-    }
-
-    /// The saturation capacity of the slot pool in requests per second.
-    pub fn capacity_per_sec(&self) -> f64 {
-        self.servers as f64 / self.service_time.as_secs_f64()
+            .map(|&fraction| {
+                self.run_point_with_profile(
+                    &profile,
+                    fraction,
+                    arrival.clone(),
+                    service.clone(),
+                    rng,
+                )
+            })
+            .collect())
     }
 }
 
@@ -242,93 +254,19 @@ struct Request {
     conn: u32,
 }
 
-/// Sampled real-backend execution so the simulated load keeps the actual
-/// data structures honest (the same reasoning as the YCSB/OLTP paths).
-enum BackendState {
-    Kv {
-        store: Store,
-        records: usize,
-    },
-    Sql {
-        db: Database,
-        table: Table,
-        rows: u64,
-        conflicts: u64,
-    },
-}
-
-impl BackendState {
-    fn build(backend: LoadBackend) -> BackendState {
-        match backend {
-            LoadBackend::Memcached => {
-                let records = 4_096;
-                let store = Store::new(StoreConfig::default());
-                for i in 0..records {
-                    store.set(format!("load{i:06}").as_bytes(), vec![b'x'; 100]);
-                }
-                BackendState::Kv { store, records }
-            }
-            LoadBackend::Mysql => {
-                let rows = 2_000;
-                let db = Database::new();
-                let table = db.populate_sysbench(1, rows).remove(0);
-                BackendState::Sql {
-                    db,
-                    table,
-                    rows,
-                    conflicts: 0,
-                }
-            }
-        }
-    }
-
-    fn execute(&mut self, rng: &mut SimRng) {
-        match self {
-            BackendState::Kv { store, records } => {
-                let key = format!("load{:06}", rng.index(*records));
-                if rng.chance(0.5) {
-                    let _ = store.get(key.as_bytes());
-                } else {
-                    store.set(key.as_bytes(), vec![b'y'; 100]);
-                }
-            }
-            BackendState::Sql {
-                db,
-                table,
-                rows,
-                conflicts,
-            } => {
-                let target = 1 + rng.index(*rows as usize) as u64;
-                let mut txn = db.begin();
-                let ok = txn
-                    .select(table, target)
-                    .and_then(|_| txn.update(table, target, rng.index(1_000) as u64));
-                match ok {
-                    Ok(_) => txn.commit(),
-                    Err(_) => {
-                        *conflicts += 1;
-                        txn.rollback();
-                    }
-                }
-            }
-        }
-    }
-}
-
 /// Arrivals are pre-sampled and enqueued in chunks of this size, bounding
 /// the scheduler's pending-event count regardless of the sweep size.
 const ARRIVAL_CHUNK: u64 = 512;
 
 /// The discrete-event state of one sweep point.
 struct LoadSim {
-    rng: SimRng,
-    service_time: Nanos,
-    servers: usize,
+    arrival_rng: SimRng,
+    service_rng: SimRng,
+    misc_rng: SimRng,
+    profile: ServiceProfile,
+    pool: SlotPool<Request>,
     offered_per_sec: f64,
     remaining_arrivals: u64,
-    busy: usize,
-    queue: VecDeque<Request>,
-    queue_capacity: usize,
     conns: Vec<ConnState>,
     latencies_us: Vec<f64>,
     completed: u64,
@@ -345,17 +283,28 @@ impl LoadSim {
         bench: &LoadgenBenchmark,
         profile: &ServiceProfile,
         offered_per_sec: f64,
-        rng: SimRng,
+        arrival_rng: SimRng,
+        service_rng: SimRng,
+        misc_rng: SimRng,
     ) -> Self {
+        let pool = SlotPool::new(
+            profile.servers,
+            SlotPolicy::FifoArrival,
+            vec![ClassConfig {
+                weight: 1,
+                queue_capacity: bench.queue_capacity,
+                mean_cost: profile.service_time,
+            }],
+        )
+        .expect("a validated service profile yields a valid single-class pool");
         LoadSim {
-            rng,
-            service_time: profile.service_time,
-            servers: profile.servers,
+            arrival_rng,
+            service_rng,
+            misc_rng,
+            profile: *profile,
+            pool,
             offered_per_sec: offered_per_sec.max(1.0),
             remaining_arrivals: bench.requests_per_point as u64,
-            busy: 0,
-            queue: VecDeque::new(),
-            queue_capacity: bench.queue_capacity,
             conns: vec![ConnState::default(); bench.clients.max(1)],
             latencies_us: Vec::with_capacity(bench.requests_per_point),
             completed: 0,
@@ -380,7 +329,10 @@ impl LoadSim {
         let mut offset = Nanos::ZERO;
         let mut batch = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            offset += Nanos::from_secs_f64(self.rng.exponential(self.offered_per_sec));
+            // Unit-rate exponential gaps scaled by the offered rate: the
+            // same arrival stream compresses uniformly as load grows.
+            offset +=
+                Nanos::from_secs_f64(self.arrival_rng.exponential(1.0) / self.offered_per_sec);
             batch.push((offset, |sim: &mut Simulation<LoadSim>, st: &mut LoadSim| {
                 st.arrive(sim)
             }));
@@ -396,32 +348,33 @@ impl LoadSim {
     /// One open-loop arrival: attribute it to a connection, run the sampled
     /// real-backend operation, then admit, enqueue or drop.
     fn arrive(&mut self, sim: &mut Simulation<LoadSim>) {
-        let conn = self.rng.index(self.conns.len()) as u32;
+        let conn = self.misc_rng.index(self.conns.len()) as u32;
         self.conns[conn as usize].issued += 1;
         let request = Request {
             arrived: sim.now(),
             conn,
         };
-        if self.busy < self.servers {
-            self.admit(request);
-            self.busy += 1;
-            sim.schedule_in(self.service_time, move |sim, st: &mut LoadSim| {
-                st.complete(sim, request)
-            });
-        } else if self.queue.len() < self.queue_capacity {
-            self.admit(request);
-            self.queue.push_back(request);
-        } else {
-            self.conns[conn as usize].dropped += 1;
-            self.dropped += 1;
+        match self.pool.offer(0, request.arrived, request) {
+            Admission::Dispatched => {
+                self.admit();
+                let service = self.profile.sample_service_time(&mut self.service_rng);
+                sim.schedule_in(service, move |sim, st: &mut LoadSim| {
+                    st.complete(sim, request)
+                });
+            }
+            Admission::Queued => self.admit(),
+            Admission::Dropped => {
+                self.conns[conn as usize].dropped += 1;
+                self.dropped += 1;
+            }
         }
-        self.peak_in_flight = self.peak_in_flight.max(self.busy + self.queue.len());
+        self.peak_in_flight = self.peak_in_flight.max(self.pool.in_flight());
     }
 
-    fn admit(&mut self, _request: Request) {
+    fn admit(&mut self) {
         self.admitted += 1;
         if self.admitted % self.op_sample_every == 0 {
-            self.backend.execute(&mut self.rng);
+            self.backend.execute(&mut self.misc_rng);
         }
     }
 
@@ -432,18 +385,16 @@ impl LoadSim {
         self.latencies_us.push(sojourn.as_micros_f64());
         self.conns[request.conn as usize].completed += 1;
         self.completed += 1;
-        if let Some(next) = self.queue.pop_front() {
-            sim.schedule_in(self.service_time, move |sim, st: &mut LoadSim| {
-                st.complete(sim, next)
-            });
-        } else {
-            self.busy -= 1;
+        if let Some((_, _, next)) = self.pool.finish(0) {
+            let service = self.profile.sample_service_time(&mut self.service_rng);
+            sim.schedule_in(service, move |sim, st: &mut LoadSim| st.complete(sim, next));
         }
     }
 
     fn into_point(self, fraction: f64, offered_per_sec: f64, end: Nanos) -> LoadPoint {
         let issued: u64 = self.conns.iter().map(|c| c.issued).sum();
         debug_assert_eq!(issued, self.completed + self.dropped);
+        debug_assert_eq!(self.pool.counters(0).dropped, self.dropped);
         let cdf = Cdf::from_samples(self.latencies_us)
             .expect("a sweep point always completes at least one request");
         let duration = end.as_secs_f64().max(f64::MIN_POSITIVE);
@@ -481,7 +432,9 @@ mod tests {
     fn percentiles_are_ordered_at_every_point() {
         let bench = tiny(LoadBackend::Memcached);
         let platform = PlatformId::Docker.build();
-        let points = bench.run_trial(&platform, &mut SimRng::seed_from(81));
+        let points = bench
+            .run_trial(&platform, &mut SimRng::seed_from(81))
+            .unwrap();
         assert_eq!(points.len(), bench.load_points.len());
         for p in &points {
             assert!(
@@ -498,7 +451,9 @@ mod tests {
     fn latency_grows_toward_saturation() {
         let bench = tiny(LoadBackend::Memcached);
         let platform = PlatformId::Native.build();
-        let points = bench.run_trial(&platform, &mut SimRng::seed_from(82));
+        let points = bench
+            .run_trial(&platform, &mut SimRng::seed_from(82))
+            .unwrap();
         let first = points.first().unwrap();
         let last = points.last().unwrap();
         assert!(
@@ -518,12 +473,31 @@ mod tests {
     }
 
     #[test]
+    fn common_random_numbers_make_every_percentile_monotone() {
+        // The arrival/service streams are shared across the sweep points,
+        // so not just the mean but each reported percentile is monotone in
+        // offered load by coupling.
+        let bench = tiny(LoadBackend::Memcached);
+        let platform = PlatformId::Qemu.build();
+        let points = bench
+            .run_trial(&platform, &mut SimRng::seed_from(99))
+            .unwrap();
+        for pair in points.windows(2) {
+            assert!(pair[1].p50_us >= pair[0].p50_us, "{pair:?}");
+            assert!(pair[1].p95_us >= pair[0].p95_us, "{pair:?}");
+            assert!(pair[1].p99_us >= pair[0].p99_us, "{pair:?}");
+        }
+    }
+
+    #[test]
     fn overload_drops_requests_at_the_bounded_queue() {
         let mut bench = tiny(LoadBackend::Memcached);
         bench.queue_capacity = 4;
         bench.load_points = vec![3.0]; // 3x capacity: queue must overflow
         let platform = PlatformId::Native.build();
-        let point = &bench.run_trial(&platform, &mut SimRng::seed_from(83))[0];
+        let point = &bench
+            .run_trial(&platform, &mut SimRng::seed_from(83))
+            .unwrap()[0];
         assert!(point.dropped > 0, "overload must hit the admission bound");
         assert!(
             point.achieved_per_sec < point.offered_per_sec,
@@ -538,10 +512,13 @@ mod tests {
     fn per_connection_accounting_balances() {
         let bench = tiny(LoadBackend::Mysql);
         let platform = PlatformId::Qemu.build();
-        let profile = bench.service_profile(&platform);
+        let profile = bench.service_profile(&platform).unwrap();
         let offered = profile.capacity_per_sec() * 0.8;
+        let mut rng = SimRng::seed_from(84);
+        let arrival = rng.split("arrivals");
+        let service = rng.split("service");
         let mut sim: Simulation<LoadSim> = Simulation::new();
-        let mut state = LoadSim::new(&bench, &profile, offered, SimRng::seed_from(84));
+        let mut state = LoadSim::new(&bench, &profile, offered, arrival, service, rng.split("m"));
         sim.schedule_at(Nanos::ZERO, |sim, st: &mut LoadSim| st.generate(sim));
         sim.run(&mut state);
         let issued: u64 = state.conns.iter().map(|c| c.issued).sum();
@@ -559,21 +536,31 @@ mod tests {
     fn trials_are_deterministic_per_seed() {
         let bench = tiny(LoadBackend::Memcached);
         let platform = PlatformId::Firecracker.build();
-        let a = bench.run_trial(&platform, &mut SimRng::seed_from(85));
-        let b = bench.run_trial(&platform, &mut SimRng::seed_from(85));
+        let a = bench
+            .run_trial(&platform, &mut SimRng::seed_from(85))
+            .unwrap();
+        let b = bench
+            .run_trial(&platform, &mut SimRng::seed_from(85))
+            .unwrap();
         assert_eq!(a, b);
-        let c = bench.run_trial(&platform, &mut SimRng::seed_from(86));
+        let c = bench
+            .run_trial(&platform, &mut SimRng::seed_from(86))
+            .unwrap();
         assert_ne!(a, c);
     }
 
     #[test]
     fn slower_platforms_pay_higher_latency_under_the_same_fraction() {
         let bench = tiny(LoadBackend::Memcached);
-        let native = bench.run_trial(&PlatformId::Native.build(), &mut SimRng::seed_from(87));
-        let gvisor = bench.run_trial(
-            &PlatformId::GvisorPtrace.build(),
-            &mut SimRng::seed_from(87),
-        );
+        let native = bench
+            .run_trial(&PlatformId::Native.build(), &mut SimRng::seed_from(87))
+            .unwrap();
+        let gvisor = bench
+            .run_trial(
+                &PlatformId::GvisorPtrace.build(),
+                &mut SimRng::seed_from(87),
+            )
+            .unwrap();
         // Same utilization fraction, but gVisor's per-op service time is
         // far larger, so its absolute sojourn times must dominate.
         for (n, g) in native.iter().zip(&gvisor) {
@@ -589,9 +576,26 @@ mod tests {
     #[test]
     fn mysql_profile_is_slower_than_memcached() {
         let platform = PlatformId::Docker.build();
-        let kv = LoadgenBenchmark::quick(LoadBackend::Memcached).service_profile(&platform);
-        let sql = LoadgenBenchmark::quick(LoadBackend::Mysql).service_profile(&platform);
+        let kv = LoadgenBenchmark::quick(LoadBackend::Memcached)
+            .service_profile(&platform)
+            .unwrap();
+        let sql = LoadgenBenchmark::quick(LoadBackend::Mysql)
+            .service_profile(&platform)
+            .unwrap();
         assert!(sql.service_time > kv.service_time);
         assert!(sql.capacity_per_sec() < kv.capacity_per_sec());
+    }
+
+    #[test]
+    fn an_empty_slot_pool_is_a_loud_configuration_error() {
+        let bench = LoadgenBenchmark {
+            servers: 0,
+            ..tiny(LoadBackend::Memcached)
+        };
+        let platform = PlatformId::Native.build();
+        assert!(bench.service_profile(&platform).is_err());
+        assert!(bench
+            .run_trial(&platform, &mut SimRng::seed_from(88))
+            .is_err());
     }
 }

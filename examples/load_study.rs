@@ -60,5 +60,17 @@ fn main() {
         println!();
     }
 
+    // Hockey-stick view: the same curves re-based on achieved throughput
+    // (x axis), exported through the standard CSV path so the knee of each
+    // platform is plot-ready.
+    for experiment in [ExperimentId::LoadMemcached, ExperimentId::LoadMysql] {
+        let Some(fig) = run.figure(experiment) else {
+            continue;
+        };
+        let stick = report::hockey_stick(fig);
+        println!("### {}\n", stick.title);
+        println!("{}", report::to_csv(&stick));
+    }
+
     println!("{}", report::timing_table(&run));
 }

@@ -7,6 +7,7 @@ use isolation_bench::kvstore::{Store, StoreConfig};
 use isolation_bench::relstore::{Database, Row};
 use isolation_bench::simcore::stats::{Cdf, RunningStats};
 use isolation_bench::simcore::{rng, Bandwidth, Nanos, SimRng};
+use isolation_bench::workloads::slots::{ClassConfig, SlotPolicy, SlotPool};
 
 proptest! {
     #[test]
@@ -85,6 +86,63 @@ proptest! {
         // Empty input stays the pristine empty accumulator (finite summary).
         if xs.is_empty() {
             prop_assert_eq!(forward, RunningStats::new());
+        }
+    }
+
+    #[test]
+    fn slot_pool_conserves_work_under_arbitrary_weights(
+        servers in 1usize..6,
+        specs in prop::collection::vec((1u64..16, 0usize..24, 1u64..2_000), 1..5),
+        ops in prop::collection::vec((any::<bool>(), 0usize..64, 0usize..64), 1..400),
+        fifo in any::<bool>(),
+    ) {
+        // The weighted slot scheduler must conserve work under arbitrary
+        // weights, queue depths and per-class costs: per class,
+        // offered == dispatched + queued + dropped (so every request is
+        // accounted for: completed + dropped + in-flight), granted slots
+        // never exceed the pool, and no slot idles while work queues.
+        let classes: Vec<ClassConfig> = specs
+            .iter()
+            .map(|&(weight, queue_capacity, cost)| ClassConfig {
+                weight,
+                queue_capacity,
+                mean_cost: Nanos::from_nanos(cost),
+            })
+            .collect();
+        let policy = if fifo { SlotPolicy::FifoArrival } else { SlotPolicy::WeightedDrr };
+        let mut pool: SlotPool<u32> = SlotPool::new(servers, policy, classes.clone()).unwrap();
+        let mut now = 0u64;
+        for &(is_offer, a, b) in &ops {
+            if is_offer {
+                now += 1;
+                let _ = pool.offer(a % classes.len(), Nanos::from_nanos(now), a as u32);
+            } else {
+                let busy: Vec<usize> = (0..classes.len())
+                    .filter(|&i| pool.counters(i).in_service() > 0)
+                    .collect();
+                if let Some(&class) = busy.get(b % busy.len().max(1)) {
+                    let _ = pool.finish(class);
+                }
+            }
+            prop_assert!(pool.busy() <= servers, "granted slots exceed the pool");
+            let mut in_service_total = 0u64;
+            for (i, class) in classes.iter().enumerate() {
+                let c = pool.counters(i);
+                prop_assert_eq!(
+                    c.offered,
+                    c.dispatched + pool.queued(i) as u64 + c.dropped,
+                    "class {} leaks requests", i
+                );
+                prop_assert!(pool.queued(i) <= class.queue_capacity);
+                in_service_total += c.in_service();
+            }
+            prop_assert_eq!(in_service_total, pool.busy() as u64);
+            if pool.busy() < servers {
+                prop_assert_eq!(
+                    pool.queued_total(), 0,
+                    "work conservation: requests queue while a slot idles"
+                );
+            }
         }
     }
 
