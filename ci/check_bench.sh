@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Shared sanity checks over the emitted BENCH_*.json artifacts, used by
+# the CI bench jobs and runnable locally after any bench run:
+#
+#   ci/check_bench.sh [artifact.json ...]
+#
+# Every named artifact (default: all four) must exist and be non-empty
+# and contain no non-finite values (NaN/inf); the full-grid report must
+# additionally cover all 19 experiments, and the event-loop report must
+# attest order equivalence between the wheel and the reference heap.
+set -euo pipefail
+
+EXPECTED_SLUGS=19
+status=0
+
+files=("$@")
+if [ "${#files[@]}" -eq 0 ]; then
+  files=(
+    BENCH_full_grid.json
+    BENCH_load_curves.json
+    BENCH_tenant_isolation.json
+    BENCH_event_loop.json
+  )
+fi
+
+for f in "${files[@]}"; do
+  if [ ! -s "$f" ]; then
+    echo "check_bench: missing or empty artifact $f" >&2
+    status=1
+    continue
+  fi
+  if grep -nE '(:|\[|, ) *-?(NaN|inf)' "$f"; then
+    echo "check_bench: $f contains non-finite values" >&2
+    status=1
+  fi
+  case "$f" in
+    *full_grid*)
+      count="$(grep -c '"slug"' "$f")"
+      echo "check_bench: $f covers $count experiments"
+      if [ "$count" -ne "$EXPECTED_SLUGS" ]; then
+        echo "check_bench: expected $EXPECTED_SLUGS experiments in $f" >&2
+        status=1
+      fi
+      ;;
+    *event_loop*)
+      if ! grep -q '"order_equivalent": true' "$f"; then
+        echo "check_bench: $f does not attest wheel/heap order equivalence" >&2
+        status=1
+      fi
+      ;;
+  esac
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_bench: ${#files[@]} artifact(s) OK"
+fi
+exit "$status"

@@ -1,9 +1,26 @@
-//! A minimal discrete-event scheduler.
+//! A minimal discrete-event scheduler on a hierarchical timing wheel.
 //!
 //! The boot-sequence and queueing models advance a virtual clock through a
-//! priority queue of timestamped events. The scheduler is intentionally
-//! simple: events are closures over a shared mutable state value, executed
-//! in timestamp order (FIFO among equal timestamps).
+//! priority queue of timestamped events. Until PR 5 that queue was a binary
+//! heap, whose `O(log n)` push/pop dominated wall-clock once millions of
+//! requests were in flight; the queue is now a **hierarchical timing
+//! wheel** ([`EventCore`] internally): [`LEVELS`] coarse-to-fine wheels of
+//! [`SLOTS`] slots each over raw nanosecond ticks, with an overflow level
+//! beyond the wheel horizon falling back to a sorted spill heap. Push is
+//! `O(1)`, and popping drains a **whole wheel slot per clock advance** —
+//! every event sharing the next tick comes out in one batch — instead of
+//! one heap pop per event.
+//!
+//! Ordering is exactly the reference heap's: timestamp first, insertion
+//! sequence second (FIFO among equal timestamps). The pre-wheel
+//! implementation is retained as [`ReferenceHeap`] — the ordering oracle
+//! for the property tests and the baseline the `event_loop` microbench
+//! measures the wheel against.
+//!
+//! **Past-timestamp semantics** (shared by the wheel and the reference
+//! heap): scheduling an event before the queue's pop frontier — for
+//! [`Simulation`], before the current virtual time — clamps the timestamp
+//! to that frontier. The event fires "now"; the clock never rewinds.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -15,35 +32,249 @@ use crate::time::Nanos;
 /// parallel experiment executor runs whole simulations per worker).
 type Action<S> = Box<dyn FnOnce(&mut Simulation<S>, &mut S) + Send>;
 
-/// An event scheduled at a point in virtual time.
-struct Scheduled<S> {
+/// Bits of the tick resolved per wheel level (64 slots per level).
+const SLOT_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels; level `l` slots are `2^(6l)` ns wide, so the wheels cover
+/// `2^48` ns (~3.3 virtual days) past the cursor before spilling over.
+const LEVELS: usize = 8;
+/// Bits of tick delta the wheels can hold; anything further out spills.
+const SPAN_BITS: u32 = SLOT_BITS * LEVELS as u32;
+
+/// One timestamped entry of the event core.
+#[derive(Debug)]
+struct Entry<T> {
     at: Nanos,
     seq: u64,
-    action: Action<S>,
+    value: T,
 }
 
-impl<S> PartialEq for Scheduled<S> {
+/// An overflow entry; the spill heap is a min-heap on `(at, seq)`.
+struct Spill<T>(Entry<T>);
+
+impl<T> PartialEq for Spill<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.0.at == other.0.at && self.0.seq == other.0.seq
     }
 }
-impl<S> Eq for Scheduled<S> {}
-impl<S> PartialOrd for Scheduled<S> {
+impl<T> Eq for Spill<T> {}
+impl<T> PartialOrd for Spill<T> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<S> Ord for Scheduled<S> {
+impl<T> Ord for Spill<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        // BinaryHeap is a max-heap; invert so the earliest entry pops first.
         other
+            .0
             .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .cmp(&self.0.at)
+            .then_with(|| other.0.seq.cmp(&self.0.seq))
     }
 }
 
-/// A plain timestamp-ordered event queue of values.
+/// The timing-wheel event core shared by [`EventQueue`] and [`Simulation`].
+///
+/// Invariants:
+/// * `cursor` is the pop frontier (the tick of the latest drained slot);
+///   every stored entry satisfies `at >= cursor` — pushes clamp.
+/// * Wheel entries lie within `2^SPAN_BITS` ticks of `cursor`; everything
+///   further out waits in the `overflow` spill heap and is promoted into
+///   the wheels once the cursor comes within range.
+/// * `batch` holds the drained earliest tick's entries in `seq` order;
+///   pops come from it first, so a whole slot costs one wheel advance.
+struct EventCore<T> {
+    /// `LEVELS * SLOTS` slot buffers (drained buffers keep their capacity).
+    slots: Box<[Vec<Entry<T>>]>,
+    /// One occupancy bitmap per level; bit `i` set iff slot `i` is non-empty.
+    occupied: [u64; LEVELS],
+    /// The pop frontier in raw nanosecond ticks.
+    cursor: u64,
+    /// The sorted spill heap holding entries beyond the wheel horizon.
+    overflow: BinaryHeap<Spill<T>>,
+    /// Cached tick of the earliest spilled entry (`u64::MAX` when none),
+    /// so the per-advance promotion check never touches the heap.
+    overflow_min: u64,
+    /// The drained current tick, sorted by **descending** sequence number
+    /// so popping from the back yields insertion order with zero copies
+    /// (the level-0 slot is swapped in whole, not copied out).
+    batch: Vec<Entry<T>>,
+    /// Reusable buffer for cascading coarse slots into finer levels.
+    scratch: Vec<Entry<T>>,
+    seq: u64,
+    len: usize,
+}
+
+impl<T> EventCore<T> {
+    fn new() -> Self {
+        EventCore {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            cursor: 0,
+            overflow: BinaryHeap::new(),
+            overflow_min: u64::MAX,
+            batch: Vec::new(),
+            scratch: Vec::new(),
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn frontier(&self) -> Nanos {
+        Nanos::from_nanos(self.cursor)
+    }
+
+    /// Schedules `value`, clamping timestamps behind the pop frontier to
+    /// the frontier (fire now, never rewind).
+    fn push(&mut self, at: Nanos, value: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        let at = Nanos::from_nanos(at.as_nanos().max(self.cursor));
+        self.insert(Entry { at, seq, value });
+        self.len += 1;
+    }
+
+    /// Routes an entry to its wheel slot or the overflow spill heap.
+    fn insert(&mut self, entry: Entry<T>) {
+        let tick = entry.at.as_nanos();
+        debug_assert!(tick >= self.cursor, "entries never precede the cursor");
+        let delta = tick ^ self.cursor;
+        if delta >> SPAN_BITS != 0 {
+            self.overflow_min = self.overflow_min.min(tick);
+            self.overflow.push(Spill(entry));
+            return;
+        }
+        // The highest differing bit picks the coarsest level whose slot
+        // index separates the entry from the cursor.
+        let level = if delta == 0 {
+            0
+        } else {
+            ((63 - delta.leading_zeros()) / SLOT_BITS) as usize
+        };
+        let idx = ((tick >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.slots[level * SLOTS + idx].push(entry);
+        self.occupied[level] |= 1 << idx;
+    }
+
+    /// The first occupied slot at or after the cursor, as `(level, slot
+    /// index)` — the slot holding the earliest pending wheel entries
+    /// (levels partition the future into disjoint, ordered ranges). The
+    /// level-0 scan includes the cursor's own slot, which may still hold
+    /// events at the current tick (scheduled "now"); higher levels hold
+    /// strictly later slots only.
+    fn first_pending_slot(&self) -> Option<(usize, usize)> {
+        for (level, &bits) in self.occupied.iter().enumerate() {
+            let cur = ((self.cursor >> (SLOT_BITS * level as u32)) & 63) as u32;
+            let mask = if level == 0 {
+                u64::MAX << cur
+            } else {
+                (u64::MAX << cur) << 1
+            };
+            let bits = bits & mask;
+            if bits != 0 {
+                return Some((level, bits.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Drains the earliest pending tick into `batch` (seq-sorted), moving
+    /// the cursor there; returns `false` when nothing is pending.
+    ///
+    /// Higher-level slots reached on the way are cascaded into finer
+    /// levels, and overflow entries are promoted once within the horizon —
+    /// each entry cascades at most [`LEVELS`] times over its lifetime.
+    fn advance(&mut self) -> bool {
+        debug_assert!(self.batch.is_empty());
+        loop {
+            // Promote spilled entries that have come within the horizon.
+            while (self.overflow_min ^ self.cursor) >> SPAN_BITS == 0
+                && self.overflow_min != u64::MAX
+            {
+                let entry = self.overflow.pop().expect("cached min implies an entry").0;
+                self.overflow_min = self.overflow.peek().map_or(u64::MAX, |s| s.0.at.as_nanos());
+                self.insert(entry);
+            }
+            let (level, idx) = match self.first_pending_slot() {
+                Some(found) => found,
+                None if self.overflow_min != u64::MAX => {
+                    // Everything pending is past the horizon: jump there.
+                    self.cursor = self.overflow_min;
+                    continue;
+                }
+                None => return false,
+            };
+            let shift = SLOT_BITS * level as u32;
+            self.occupied[level] &= !(1u64 << idx);
+            if level == 0 {
+                // A level-0 slot is one tick wide: the whole slot shares a
+                // timestamp, so draining it is the batched clock advance —
+                // the slot buffer is swapped in whole, nothing is copied.
+                self.cursor = (self.cursor & !(SLOTS as u64 - 1)) | idx as u64;
+                std::mem::swap(&mut self.batch, &mut self.slots[idx]);
+                if self.batch.len() > 1 {
+                    // Back-to-front pops must see ascending seq.
+                    self.batch
+                        .sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
+                }
+                debug_assert!(self.batch.iter().all(|e| e.at.as_nanos() == self.cursor));
+                return true;
+            }
+            // Cascade: move to the slot's base tick and respread its
+            // entries into the finer levels.
+            let window = !((1u64 << (shift + SLOT_BITS)) - 1);
+            self.cursor = (self.cursor & window) | ((idx as u64) << shift);
+            let mut scratch = std::mem::take(&mut self.scratch);
+            scratch.append(&mut self.slots[level * SLOTS + idx]);
+            for entry in scratch.drain(..) {
+                self.insert(entry);
+            }
+            self.scratch = scratch;
+        }
+    }
+
+    fn pop(&mut self) -> Option<Entry<T>> {
+        if self.batch.is_empty() && !self.advance() {
+            return None;
+        }
+        self.len -= 1;
+        self.batch.pop()
+    }
+
+    /// The earliest pending timestamp, without draining anything.
+    fn peek_time(&self) -> Option<Nanos> {
+        if let Some(entry) = self.batch.last() {
+            return Some(entry.at);
+        }
+        // Overflow entries may have come within the horizon since the last
+        // advance (promotion is lazy), so the true minimum is the smaller
+        // of the spill peek and the first occupied slot's earliest entry.
+        let mut best = self.overflow.peek().map(|s| s.0.at);
+        if let Some((level, idx)) = self.first_pending_slot() {
+            let slot_min = self.slots[level * SLOTS + idx]
+                .iter()
+                .map(|e| e.at)
+                .min()
+                .expect("occupied slots are non-empty");
+            best = Some(best.map_or(slot_min, |b| b.min(slot_min)));
+        }
+        best
+    }
+}
+
+/// A plain timestamp-ordered event queue of values, backed by the timing
+/// wheel.
+///
+/// Pops are monotone: pushing a timestamp behind the pop frontier (the
+/// timestamp of the latest pop) clamps it to the frontier, so the entry
+/// comes out "now" and popped timestamps never go backwards. Equal
+/// timestamps pop in insertion (FIFO) order.
 ///
 /// # Example
 ///
@@ -57,10 +288,79 @@ impl<S> Ord for Scheduled<S> {
 /// assert_eq!(q.pop(), Some((Nanos::from_millis(5), "late")));
 /// assert!(q.pop().is_none());
 /// ```
-#[derive(Debug)]
 pub struct EventQueue<T> {
+    core: EventCore<T>,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            core: EventCore::new(),
+        }
+    }
+
+    /// Schedules `value` at virtual time `at`.
+    ///
+    /// A timestamp behind the pop frontier is clamped to the frontier: the
+    /// value fires "now" rather than rewinding the queue's clock.
+    pub fn push(&mut self, at: Nanos, value: T) {
+        self.core.push(at, value);
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Nanos, T)> {
+        self.core.pop().map(|e| (e.at, e.value))
+    }
+
+    /// Returns the timestamp of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.core.peek_time()
+    }
+
+    /// The pop frontier: pushes behind it clamp to it.
+    pub fn frontier(&self) -> Nanos {
+        self.core.frontier()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.core.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.core.len() == 0
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.core.len())
+            .field("frontier", &self.core.frontier())
+            .finish()
+    }
+}
+
+/// The retained binary-heap event queue the timing wheel replaced.
+///
+/// It implements the same contract as [`EventQueue`] — `(timestamp, seq)`
+/// ordering, FIFO among equal timestamps, past pushes clamped to the pop
+/// frontier — with `O(log n)` push/pop. It stays in the tree as the
+/// ordering oracle for the wheel's property tests and as the baseline the
+/// `event_loop` microbench measures the wheel's speedup against.
+#[derive(Debug)]
+pub struct ReferenceHeap<T> {
     heap: BinaryHeap<QueueEntry<T>>,
     seq: u64,
+    frontier: Nanos,
 }
 
 #[derive(Debug)]
@@ -90,30 +390,44 @@ impl<T> Ord for QueueEntry<T> {
     }
 }
 
-impl<T> EventQueue<T> {
+impl<T> ReferenceHeap<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
+        ReferenceHeap {
             heap: BinaryHeap::new(),
             seq: 0,
+            frontier: Nanos::ZERO,
         }
     }
 
-    /// Schedules `value` at virtual time `at`.
+    /// Schedules `value` at virtual time `at`, clamped to the pop frontier
+    /// (the same fire-at-now semantics as [`EventQueue::push`]).
     pub fn push(&mut self, at: Nanos, value: T) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(QueueEntry { at, seq, value });
+        self.heap.push(QueueEntry {
+            at: at.max(self.frontier),
+            seq,
+            value,
+        });
     }
 
-    /// Removes and returns the earliest event.
+    /// Removes and returns the earliest event, advancing the pop frontier.
     pub fn pop(&mut self) -> Option<(Nanos, T)> {
-        self.heap.pop().map(|e| (e.at, e.value))
+        self.heap.pop().map(|e| {
+            self.frontier = e.at;
+            (e.at, e.value)
+        })
     }
 
     /// Returns the timestamp of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<Nanos> {
         self.heap.peek().map(|e| e.at)
+    }
+
+    /// The pop frontier: pushes behind it clamp to it.
+    pub fn frontier(&self) -> Nanos {
+        self.frontier
     }
 
     /// Number of pending events.
@@ -127,13 +441,18 @@ impl<T> EventQueue<T> {
     }
 }
 
-impl<T> Default for EventQueue<T> {
+impl<T> Default for ReferenceHeap<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
 /// A discrete-event simulation over a user-provided state type.
+///
+/// Events run in timestamp order, FIFO among equal timestamps; the event
+/// queue is the hierarchical timing wheel, so scheduling is `O(1)` and the
+/// run loop drains one whole wheel slot (every event sharing the next
+/// tick) per clock advance.
 ///
 /// # Example
 ///
@@ -152,15 +471,14 @@ impl<T> Default for EventQueue<T> {
 /// ```
 pub struct Simulation<S> {
     now: Nanos,
-    queue: BinaryHeap<Scheduled<S>>,
-    seq: u64,
+    core: EventCore<Action<S>>,
 }
 
 impl<S> std::fmt::Debug for Simulation<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
             .field("now", &self.now)
-            .field("pending", &self.queue.len())
+            .field("pending", &self.core.len())
             .finish()
     }
 }
@@ -170,8 +488,7 @@ impl<S> Simulation<S> {
     pub fn new() -> Self {
         Simulation {
             now: Nanos::ZERO,
-            queue: BinaryHeap::new(),
-            seq: 0,
+            core: EventCore::new(),
         }
     }
 
@@ -181,17 +498,16 @@ impl<S> Simulation<S> {
     }
 
     /// Schedules an action at an absolute virtual time.
+    ///
+    /// A timestamp in the past — before the current virtual time — is
+    /// clamped to `now`: the action fires at the current time (after the
+    /// already-pending actions at that timestamp, in scheduling order) and
+    /// the clock never rewinds.
     pub fn schedule_at<F>(&mut self, at: Nanos, action: F)
     where
         F: FnOnce(&mut Simulation<S>, &mut S) + Send + 'static,
     {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Scheduled {
-            at: at.max(self.now),
-            seq,
-            action: Box::new(action),
-        });
+        self.core.push(at.max(self.now), Box::new(action));
     }
 
     /// Schedules an action `delay` after the current virtual time.
@@ -205,9 +521,9 @@ impl<S> Simulation<S> {
 
     /// Runs events until the queue drains; returns the final virtual time.
     pub fn run(&mut self, state: &mut S) -> Nanos {
-        while let Some(event) = self.queue.pop() {
+        while let Some(event) = self.core.pop() {
             self.now = event.at;
-            (event.action)(self, state);
+            (event.value)(self, state);
         }
         self.now
     }
@@ -217,13 +533,10 @@ impl<S> Simulation<S> {
     /// Afterwards the clock sits at `until`, or stays where it was if it
     /// had already advanced past the horizon — it never moves backward.
     pub fn run_until(&mut self, state: &mut S, until: Nanos) -> Nanos {
-        while let Some(top) = self.queue.peek() {
-            if top.at > until {
-                break;
-            }
-            let event = self.queue.pop().expect("peeked event must pop");
+        while self.core.peek_time().is_some_and(|t| t <= until) {
+            let event = self.core.pop().expect("peeked event must pop");
             self.now = event.at;
-            (event.action)(self, state);
+            (event.value)(self, state);
         }
         self.now = self.now.max(until);
         self.now
@@ -266,7 +579,9 @@ impl<S> Simulation<S> {
     ///
     /// Load generators use this to enqueue one chunk of pre-sampled
     /// arrivals at a time (keeping the pending-event count bounded by the
-    /// chunk size) while preserving FIFO order among equal timestamps.
+    /// chunk size) while preserving FIFO order among equal timestamps; on
+    /// the wheel every insert is `O(1)`, so a chunk costs linear time
+    /// regardless of the pending population.
     ///
     /// # Example
     ///
@@ -292,7 +607,7 @@ impl<S> Simulation<S> {
 
     /// Number of pending events.
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.core.len()
     }
 }
 
@@ -341,6 +656,114 @@ mod tests {
         q.push(Nanos::from_micros(7), 1u32);
         q.push(Nanos::from_micros(3), 2u32);
         assert_eq!(q.peek_time(), Some(Nanos::from_micros(3)));
+    }
+
+    #[test]
+    fn pushes_behind_the_frontier_fire_at_the_frontier() {
+        // The clamp semantics, defined once for both implementations: a
+        // timestamp behind the pop frontier comes out AT the frontier
+        // (after anything already pending there), never before it.
+        let mut wheel = EventQueue::new();
+        let mut heap = ReferenceHeap::new();
+        for q in [0, 1] {
+            let push = |w: &mut EventQueue<u32>, h: &mut ReferenceHeap<u32>, at, v| {
+                if q == 0 {
+                    w.push(at, v)
+                } else {
+                    h.push(at, v)
+                }
+            };
+            let pop = |w: &mut EventQueue<u32>, h: &mut ReferenceHeap<u32>| {
+                if q == 0 {
+                    w.pop()
+                } else {
+                    h.pop()
+                }
+            };
+            push(&mut wheel, &mut heap, Nanos::from_millis(5), 1);
+            assert_eq!(pop(&mut wheel, &mut heap), Some((Nanos::from_millis(5), 1)));
+            // 1 ms is behind the 5 ms frontier: it fires at 5 ms.
+            push(&mut wheel, &mut heap, Nanos::from_millis(1), 2);
+            push(&mut wheel, &mut heap, Nanos::from_millis(5), 3);
+            assert_eq!(pop(&mut wheel, &mut heap), Some((Nanos::from_millis(5), 2)));
+            assert_eq!(pop(&mut wheel, &mut heap), Some((Nanos::from_millis(5), 3)));
+        }
+        assert_eq!(wheel.frontier(), Nanos::from_millis(5));
+        assert_eq!(heap.frontier(), Nanos::from_millis(5));
+    }
+
+    #[test]
+    fn far_future_events_spill_and_promote_in_order() {
+        // Beyond 2^48 ns from the cursor the wheels hand over to the
+        // sorted spill heap; promotion back into the wheels must keep the
+        // exact (timestamp, seq) order, including FIFO among equal stamps.
+        let far = Nanos::from_nanos(1 << 52);
+        let mut q = EventQueue::new();
+        q.push(far, "spill-a");
+        q.push(Nanos::from_nanos(7), "near");
+        q.push(far, "spill-b");
+        q.push(far + Nanos::from_nanos(1), "spill-c");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peek_time(), Some(Nanos::from_nanos(7)));
+        assert_eq!(q.pop(), Some((Nanos::from_nanos(7), "near")));
+        assert_eq!(q.peek_time(), Some(far));
+        assert_eq!(q.pop(), Some((far, "spill-a")));
+        assert_eq!(q.pop(), Some((far, "spill-b")));
+        assert_eq!(q.pop(), Some((far + Nanos::from_nanos(1), "spill-c")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cascaded_slots_preserve_fifo_among_equal_timestamps() {
+        // Entries landing in a coarse slot are respread as the cursor
+        // approaches; the drain must still observe insertion order.
+        let mut q = EventQueue::new();
+        let at = Nanos::from_micros(700); // level >= 1 from cursor 0
+        for i in 0..100u32 {
+            q.push(at, i);
+        }
+        q.push(Nanos::from_micros(1), u32::MAX);
+        assert_eq!(q.pop().unwrap().1, u32::MAX);
+        for i in 0..100u32 {
+            assert_eq!(q.pop(), Some((at, i)));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wheel_matches_reference_heap_on_a_mixed_schedule() {
+        // A deterministic mixed drive: interleaved pushes (spanning slot,
+        // cascade and overflow distances, with repeated timestamps) and
+        // pops must produce identical sequences on both implementations.
+        let mut wheel = EventQueue::new();
+        let mut heap = ReferenceHeap::new();
+        let mut lcg: u64 = 0x2545_f491_4f6c_dd1d;
+        let mut step = || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        for i in 0..5_000u64 {
+            let r = step();
+            if r % 4 == 0 {
+                assert_eq!(wheel.pop(), heap.pop(), "pop #{i}");
+            } else {
+                let shift = [0u32, 6, 14, 26, 50][(r % 5) as usize];
+                let at = Nanos::from_nanos((step() % 64) << shift);
+                wheel.push(at, i);
+                heap.push(at, i);
+                assert_eq!(wheel.peek_time(), heap.peek_time(), "peek after push #{i}");
+            }
+            assert_eq!(wheel.len(), heap.len());
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]
@@ -403,6 +826,24 @@ mod tests {
             sim.run_until(&mut n, Nanos::from_millis(20)),
             Nanos::from_millis(20)
         );
+    }
+
+    #[test]
+    fn scheduling_works_after_run_until_advanced_past_the_frontier() {
+        // run_until can leave `now` ahead of the wheel's internal cursor
+        // (the last drained tick); scheduling from there must still fire
+        // at the scheduled time, clamped to `now` at the earliest.
+        let mut sim: Simulation<Vec<u64>> = Simulation::new();
+        let mut log = Vec::new();
+        sim.run_until(&mut log, Nanos::from_millis(10));
+        sim.schedule_at(Nanos::from_millis(2), |sim, log: &mut Vec<u64>| {
+            log.push(sim.now().as_nanos())
+        });
+        sim.schedule_in(Nanos::from_millis(5), |sim, log: &mut Vec<u64>| {
+            log.push(sim.now().as_nanos())
+        });
+        sim.run(&mut log);
+        assert_eq!(log, vec![10_000_000, 15_000_000]);
     }
 
     #[test]
@@ -470,5 +911,23 @@ mod tests {
         let mut log = Vec::new();
         sim.run(&mut log);
         assert_eq!(log, vec![2_000_000]);
+    }
+
+    #[test]
+    fn same_tick_events_scheduled_mid_drain_run_after_the_drained_batch() {
+        // The run loop drains a whole wheel slot at a time; an action that
+        // schedules more work at the same timestamp must see it run after
+        // the already-drained events of that tick, in scheduling order.
+        let mut sim: Simulation<Vec<u32>> = Simulation::new();
+        let at = Nanos::from_micros(3);
+        sim.schedule_at(at, |sim, log: &mut Vec<u32>| {
+            log.push(1);
+            sim.schedule_at(Nanos::ZERO, |_, log| log.push(3));
+        });
+        sim.schedule_at(at, |_, log: &mut Vec<u32>| log.push(2));
+        let mut log = Vec::new();
+        let end = sim.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(end, at, "same-tick work must not advance the clock");
     }
 }

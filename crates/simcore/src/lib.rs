@@ -12,8 +12,10 @@
 //! * [`dist`] — parametric latency/cost distributions ([`Distribution`]).
 //! * [`stats`] — running statistics, percentiles, histograms and empirical
 //!   CDFs used by the benchmark harness to summarize repeated runs.
-//! * [`events`] — a small discrete-event scheduler used for boot-sequence
-//!   and queueing simulations.
+//! * [`events`] — a discrete-event scheduler on a hierarchical timing
+//!   wheel (O(1) scheduling, whole-slot batched draining) used for
+//!   boot-sequence and queueing simulations, with the pre-wheel binary
+//!   heap retained as an ordering oracle.
 //! * [`resource`] — shared-resource models (token-bucket bandwidth,
 //!   M/M/1-style queueing latency) used by the device simulations.
 //!
@@ -46,7 +48,7 @@ pub mod time;
 
 pub use dist::Distribution;
 pub use error::SimError;
-pub use events::{EventQueue, Simulation};
+pub use events::{EventQueue, ReferenceHeap, Simulation};
 pub use resource::{Bandwidth, QueueModel, TokenBucket};
 pub use rng::SimRng;
 pub use stats::{Cdf, Histogram, RunningStats, Summary};

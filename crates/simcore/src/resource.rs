@@ -7,10 +7,18 @@
 //!   fixed overhead (used for NICs, NVMe devices and virtio queues).
 //! * [`QueueModel`] — an M/M/1-style waiting-time estimator used to model
 //!   latency inflation as a device approaches saturation.
+//! * [`CompletionTimer`] — a batched completion queue for service-slot
+//!   pools: completions share coalesced scheduler wake-ups and drain a
+//!   whole timing-wheel slot per clock advance instead of costing one
+//!   scheduled closure each.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
+use crate::events::EventQueue;
 use crate::time::Nanos;
 
 /// A bandwidth expressed in bytes per second.
@@ -192,6 +200,127 @@ impl QueueModel {
     }
 }
 
+/// A batched completion queue for service-slot pools.
+///
+/// Slot-pool simulations used to schedule one boxed closure per in-service
+/// request to fire its completion. The timer replaces that with a single
+/// timestamp-ordered [`EventQueue`] of completions (the timing wheel) plus
+/// **coalesced wake-ups**: the caller keeps at most one scheduler event
+/// armed per distinct completion time, and each wake drains *every*
+/// completion due in that wheel slot at once.
+///
+/// Protocol:
+/// * [`CompletionTimer::schedule`] registers a completion. When it returns
+///   `Some(at)`, the caller must schedule one wake-up with its simulation
+///   at `at` (the completion became the earliest pending one); `None`
+///   means an already-armed wake covers it.
+/// * From the wake-up's action, call [`CompletionTimer::wake`] with the
+///   current virtual time: it drains every due completion in
+///   deterministic `(timestamp, seq)` order and returns the next time to
+///   arm, if a new wake is needed. Wake-ups made redundant by an earlier
+///   re-arm are recognised and become no-ops (the simulation scheduler
+///   has no cancellation), so stale firings never double-complete work.
+///
+/// Determinism: everything is a pure function of the call sequence, so
+/// simulations built on the timer stay bit-identical across executor
+/// worker counts.
+#[derive(Debug)]
+pub struct CompletionTimer<T> {
+    queue: EventQueue<T>,
+    /// The earliest outstanding wake-up, `<=` every pending completion
+    /// whenever the queue is non-empty.
+    armed: Option<Nanos>,
+    /// Every wake-up time handed to the caller and not yet fired; lets a
+    /// re-arm reuse a still-outstanding wake instead of scheduling a
+    /// duplicate.
+    outstanding: BinaryHeap<Reverse<Nanos>>,
+}
+
+impl<T> CompletionTimer<T> {
+    /// Creates an empty timer.
+    pub fn new() -> Self {
+        CompletionTimer {
+            queue: EventQueue::new(),
+            armed: None,
+            outstanding: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of pending completions.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no completions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Registers a completion at `at`. Returns `Some(at)` when the caller
+    /// must arm a scheduler wake-up at that time — the completion is
+    /// earlier than every outstanding wake — and `None` when an armed
+    /// wake already covers it.
+    pub fn schedule(&mut self, at: Nanos, item: T) -> Option<Nanos> {
+        // The queue clamps timestamps behind its pop frontier; mirror the
+        // clamp so the armed wake matches the time the item will drain at.
+        let at = at.max(self.queue.frontier());
+        self.queue.push(at, item);
+        if !self.armed.is_some_and(|armed| at >= armed) {
+            self.armed = Some(at);
+            self.outstanding.push(Reverse(at));
+            return Some(at);
+        }
+        None
+    }
+
+    /// Handles one wake-up firing at virtual time `now`: drains every
+    /// completion due at or before `now` into `due` (in `(timestamp,
+    /// seq)` order — one whole wheel slot per distinct tick) and returns
+    /// the next wake-up the caller must arm, if any.
+    ///
+    /// A stale firing (its work already drained by an earlier re-arm)
+    /// drains nothing and arms nothing.
+    pub fn wake(&mut self, now: Nanos, due: &mut Vec<(Nanos, T)>) -> Option<Nanos> {
+        // Retire the outstanding wake that just fired.
+        if self.outstanding.peek().is_some_and(|Reverse(w)| *w <= now) {
+            self.outstanding.pop();
+        }
+        if self.armed.is_some_and(|armed| armed > now) {
+            // The earliest pending completion is past `now` and an armed
+            // wake covers it: this firing is stale.
+            return None;
+        }
+        while self.queue.peek_time().is_some_and(|t| t <= now) {
+            let (at, item) = self.queue.pop().expect("peeked completion pops");
+            due.push((at, item));
+        }
+        match self.queue.peek_time() {
+            None => {
+                self.armed = None;
+                None
+            }
+            Some(next) => {
+                // Reuse a still-outstanding wake when it fires in time.
+                if let Some(&Reverse(w)) = self.outstanding.peek() {
+                    if w <= next {
+                        self.armed = Some(w);
+                        return None;
+                    }
+                }
+                self.armed = Some(next);
+                self.outstanding.push(Reverse(next));
+                Some(next)
+            }
+        }
+    }
+}
+
+impl<T> Default for CompletionTimer<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,5 +384,64 @@ mod tests {
         // Offered load beyond capacity clamps instead of going negative.
         let overloaded = q.sojourn_time(50_000.0);
         assert!(overloaded > busy);
+    }
+
+    #[test]
+    fn completion_timer_coalesces_same_tick_completions_into_one_wake() {
+        let mut timer: CompletionTimer<u32> = CompletionTimer::new();
+        let at = Nanos::from_micros(10);
+        assert_eq!(timer.schedule(at, 1), Some(at), "first completion arms");
+        assert_eq!(timer.schedule(at, 2), None, "same tick reuses the wake");
+        assert_eq!(timer.schedule(at + Nanos::from_micros(5), 3), None);
+        assert_eq!(timer.len(), 3);
+        let mut due = Vec::new();
+        // The wake at 10us drains the whole slot and re-arms for 15us.
+        let next = timer.wake(at, &mut due);
+        assert_eq!(due, vec![(at, 1), (at, 2)]);
+        assert_eq!(next, Some(at + Nanos::from_micros(5)));
+        due.clear();
+        assert_eq!(timer.wake(at + Nanos::from_micros(5), &mut due), None);
+        assert_eq!(due, vec![(at + Nanos::from_micros(5), 3)]);
+        assert!(timer.is_empty());
+    }
+
+    #[test]
+    fn an_earlier_completion_rearms_and_the_old_wake_is_reused_or_staled() {
+        let mut timer: CompletionTimer<&str> = CompletionTimer::new();
+        let (early, late) = (Nanos::from_micros(5), Nanos::from_micros(10));
+        assert_eq!(timer.schedule(late, "late"), Some(late));
+        assert_eq!(
+            timer.schedule(early, "early"),
+            Some(early),
+            "re-arm earlier"
+        );
+        let mut due = Vec::new();
+        // The early wake drains "early"; the still-outstanding wake at
+        // 10us covers "late", so no new wake is needed.
+        assert_eq!(timer.wake(early, &mut due), None);
+        assert_eq!(due, vec![(early, "early")]);
+        due.clear();
+        assert_eq!(timer.wake(late, &mut due), None);
+        assert_eq!(due, vec![(late, "late")]);
+        // A leftover stale firing drains nothing and arms nothing.
+        due.clear();
+        assert_eq!(timer.wake(late, &mut due), None);
+        assert!(due.is_empty());
+    }
+
+    #[test]
+    fn completions_scheduled_behind_the_frontier_drain_immediately() {
+        // The fire-at-now clamp, threaded through the timer: after the
+        // drain frontier reached 10us, a completion "at 3us" is due at
+        // the frontier, and scheduling it re-arms a wake there.
+        let mut timer: CompletionTimer<u8> = CompletionTimer::new();
+        let frontier = Nanos::from_micros(10);
+        assert_eq!(timer.schedule(frontier, 1), Some(frontier));
+        let mut due = Vec::new();
+        timer.wake(frontier, &mut due);
+        assert_eq!(timer.schedule(Nanos::from_micros(3), 2), Some(frontier));
+        due.clear();
+        assert_eq!(timer.wake(frontier, &mut due), None);
+        assert_eq!(due, vec![(frontier, 2)]);
     }
 }

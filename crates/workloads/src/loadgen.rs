@@ -38,6 +38,7 @@
 
 use platforms::Platform;
 use simcore::error::SimError;
+use simcore::resource::CompletionTimer;
 use simcore::stats::{Cdf, RunningStats};
 use simcore::{Nanos, SimRng, Simulation};
 
@@ -276,6 +277,12 @@ struct LoadSim {
     op_sample_every: u64,
     admitted: u64,
     in_flight_probe: RunningStats,
+    /// Batched completion drain: in-service requests wait here instead of
+    /// each owning a scheduled closure; coalesced wakes drain a whole
+    /// timing-wheel slot per clock advance.
+    completions: CompletionTimer<Request>,
+    drain_buf: Vec<(Nanos, Request)>,
+    dispatch_buf: Vec<(usize, Nanos, Request)>,
 }
 
 impl LoadSim {
@@ -314,6 +321,9 @@ impl LoadSim {
             op_sample_every: bench.op_sample_every.max(1),
             admitted: 0,
             in_flight_probe: RunningStats::new(),
+            completions: CompletionTimer::new(),
+            drain_buf: Vec::new(),
+            dispatch_buf: Vec::new(),
         }
     }
 
@@ -357,10 +367,7 @@ impl LoadSim {
         match self.pool.offer(0, request.arrived, request) {
             Admission::Dispatched => {
                 self.admit();
-                let service = self.profile.sample_service_time(&mut self.service_rng);
-                sim.schedule_in(service, move |sim, st: &mut LoadSim| {
-                    st.complete(sim, request)
-                });
+                self.schedule_completion(sim, request);
             }
             Admission::Queued => self.admit(),
             Admission::Dropped => {
@@ -378,17 +385,42 @@ impl LoadSim {
         }
     }
 
-    /// One service completion: record the sojourn time and pull the next
-    /// queued request into the freed slot.
-    fn complete(&mut self, sim: &mut Simulation<LoadSim>, request: Request) {
-        let sojourn = sim.now() - request.arrived;
-        self.latencies_us.push(sojourn.as_micros_f64());
-        self.conns[request.conn as usize].completed += 1;
-        self.completed += 1;
-        if let Some((_, _, next)) = self.pool.finish(0) {
-            let service = self.profile.sample_service_time(&mut self.service_rng);
-            sim.schedule_in(service, move |sim, st: &mut LoadSim| st.complete(sim, next));
+    /// Samples the dispatched request's service time and registers its
+    /// completion with the batched timer, arming a scheduler wake only
+    /// when it became the earliest pending completion.
+    fn schedule_completion(&mut self, sim: &mut Simulation<LoadSim>, request: Request) {
+        let service = self.profile.sample_service_time(&mut self.service_rng);
+        if let Some(wake) = self.completions.schedule(sim.now() + service, request) {
+            sim.schedule_at(wake, |sim, st: &mut LoadSim| st.drain_completions(sim));
         }
+    }
+
+    /// One completion wake: drains every service completion due in this
+    /// wheel slot, records their sojourn times, folds the whole batch into
+    /// the pool, and starts service on the requests the freed slots pulled
+    /// from the queue.
+    fn drain_completions(&mut self, sim: &mut Simulation<LoadSim>) {
+        let now = sim.now();
+        let mut due = std::mem::take(&mut self.drain_buf);
+        if let Some(wake) = self.completions.wake(now, &mut due) {
+            sim.schedule_at(wake, |sim, st: &mut LoadSim| st.drain_completions(sim));
+        }
+        for &(at, request) in &due {
+            debug_assert_eq!(at, now, "completions drain exactly at their tick");
+            self.latencies_us
+                .push((now - request.arrived).as_micros_f64());
+            self.conns[request.conn as usize].completed += 1;
+            self.completed += 1;
+        }
+        let mut dispatched = std::mem::take(&mut self.dispatch_buf);
+        self.pool
+            .finish_batch(due.iter().map(|_| 0), &mut dispatched);
+        due.clear();
+        self.drain_buf = due;
+        for (_, _, next) in dispatched.drain(..) {
+            self.schedule_completion(sim, next);
+        }
+        self.dispatch_buf = dispatched;
     }
 
     fn into_point(self, fraction: f64, offered_per_sec: f64, end: Nanos) -> LoadPoint {

@@ -394,6 +394,33 @@ impl<T> SlotPool<T> {
         }
     }
 
+    /// Completes a whole batch of in-service requests — one per element of
+    /// `classes`, in order — and appends every newly dispatched request the
+    /// freed slots pulled from the queues to `dispatched`.
+    ///
+    /// This is the slot-pool half of the batched completion drain: a
+    /// timing-wheel slot's worth of completions (everything due at one
+    /// clock advance, see [`simcore::resource::CompletionTimer`]) is
+    /// folded into the pool in one call, producing exactly the dispatch
+    /// sequence the equivalent per-completion [`SlotPool::finish`] calls
+    /// would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any named class has no request in service, like
+    /// [`SlotPool::finish`].
+    pub fn finish_batch(
+        &mut self,
+        classes: impl IntoIterator<Item = usize>,
+        dispatched: &mut Vec<(usize, Nanos, T)>,
+    ) {
+        for class in classes {
+            if let Some(next) = self.finish(class) {
+                dispatched.push(next);
+            }
+        }
+    }
+
     /// Global FIFO: earliest queued arrival across all classes (ties go to
     /// the lowest class index, matching the enqueue order of equal
     /// timestamps within a class).
@@ -676,6 +703,37 @@ mod tests {
         assert!(SlotPool::<u32>::new(1, SlotPolicy::WeightedDrr, vec![cfg(1, 8, 0)]).is_err());
         assert!(SlotPool::<u32>::new(0, SlotPolicy::WeightedDrr, vec![cfg(1, 8, 100)]).is_err());
         assert!(SlotPool::<u32>::new(1, SlotPolicy::WeightedDrr, vec![]).is_err());
+    }
+
+    #[test]
+    fn finish_batch_matches_sequential_finishes() {
+        let classes = vec![cfg(3, 16, 100), cfg(1, 16, 300)];
+        let mut batched: SlotPool<u32> =
+            SlotPool::new(2, SlotPolicy::WeightedDrr, classes.clone()).unwrap();
+        let mut sequential: SlotPool<u32> =
+            SlotPool::new(2, SlotPolicy::WeightedDrr, classes).unwrap();
+        for pool in [&mut batched, &mut sequential] {
+            pool.offer(0, Nanos::from_nanos(1), 10);
+            pool.offer(1, Nanos::from_nanos(2), 20);
+            for i in 0..6u32 {
+                pool.offer((i % 2) as usize, Nanos::from_nanos(3 + u64::from(i)), i);
+            }
+        }
+        // Both in-service requests complete at the same clock advance.
+        let mut from_batch = Vec::new();
+        batched.finish_batch([0, 1], &mut from_batch);
+        let from_seq: Vec<_> = [0, 1]
+            .into_iter()
+            .filter_map(|c| sequential.finish(c))
+            .collect();
+        assert_eq!(from_batch, from_seq);
+        assert_eq!(from_batch.len(), 2, "both freed slots redispatch");
+        for class in 0..2 {
+            assert_eq!(
+                batched.counters(class).dispatched,
+                sequential.counters(class).dispatched
+            );
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@
 use platforms::Platform;
 use simcore::dist::Distribution;
 use simcore::error::SimError;
+use simcore::resource::CompletionTimer;
 use simcore::stats::Cdf;
 use simcore::{Nanos, SimRng, Simulation};
 
@@ -486,6 +487,9 @@ impl TenancyBenchmark {
             misc_rng,
             op_sample_every: self.op_sample_every.max(1),
             admitted: 0,
+            completions: CompletionTimer::new(),
+            drain_buf: Vec::new(),
+            dispatch_buf: Vec::new(),
         };
         for tenant in 0..tenants.len() {
             sim.schedule_at(Nanos::ZERO, move |sim, st: &mut TenantSim| {
@@ -603,6 +607,11 @@ struct TenantSim {
     misc_rng: SimRng,
     op_sample_every: u64,
     admitted: u64,
+    /// Batched completion drain shared by every tenant: coalesced wakes
+    /// drain a whole timing-wheel slot of completions per clock advance.
+    completions: CompletionTimer<Req>,
+    drain_buf: Vec<(Nanos, Req)>,
+    dispatch_buf: Vec<(usize, Nanos, Req)>,
 }
 
 impl TenantSim {
@@ -653,13 +662,14 @@ impl TenantSim {
     }
 
     /// Samples the dispatched request's service time from its tenant's
-    /// stream and schedules its completion.
+    /// stream and registers its completion with the batched timer, arming
+    /// a scheduler wake only when it became the earliest pending one.
     fn start_service(&mut self, sim: &mut Simulation<TenantSim>, req: Req) {
         let t = &mut self.tenants[req.tenant as usize];
         let service = t.profile.sample_service_time(&mut t.service_rng);
-        sim.schedule_in(service, move |sim, st: &mut TenantSim| {
-            st.complete(sim, req)
-        });
+        if let Some(wake) = self.completions.schedule(sim.now() + service, req) {
+            sim.schedule_at(wake, |sim, st: &mut TenantSim| st.drain_completions(sim));
+        }
     }
 
     /// Sampled real-backend execution per admitted request.
@@ -670,17 +680,33 @@ impl TenantSim {
         }
     }
 
-    /// One completion: record the sojourn and hand the freed slot to the
-    /// scheduler's next pick.
-    fn complete(&mut self, sim: &mut Simulation<TenantSim>, req: Req) {
-        let sojourn = sim.now() - req.arrived;
-        let t = &mut self.tenants[req.tenant as usize];
-        t.latencies_us.push(sojourn.as_micros_f64());
-        t.completed += 1;
-        t.conns[req.conn as usize].completed += 1;
-        if let Some((_, _, next)) = self.pool.finish(req.tenant as usize) {
+    /// One completion wake: drains every due completion across the
+    /// tenants, records their sojourn times, folds the whole batch into
+    /// the shared pool, and starts service on the scheduler's next picks.
+    fn drain_completions(&mut self, sim: &mut Simulation<TenantSim>) {
+        let now = sim.now();
+        let mut due = std::mem::take(&mut self.drain_buf);
+        if let Some(wake) = self.completions.wake(now, &mut due) {
+            sim.schedule_at(wake, |sim, st: &mut TenantSim| st.drain_completions(sim));
+        }
+        for &(at, req) in &due {
+            debug_assert_eq!(at, now, "completions drain exactly at their tick");
+            let t = &mut self.tenants[req.tenant as usize];
+            t.latencies_us.push((now - req.arrived).as_micros_f64());
+            t.completed += 1;
+            t.conns[req.conn as usize].completed += 1;
+        }
+        let mut dispatched = std::mem::take(&mut self.dispatch_buf);
+        self.pool.finish_batch(
+            due.iter().map(|&(_, req)| req.tenant as usize),
+            &mut dispatched,
+        );
+        due.clear();
+        self.drain_buf = due;
+        for (_, _, next) in dispatched.drain(..) {
             self.start_service(sim, next);
         }
+        self.dispatch_buf = dispatched;
     }
 }
 

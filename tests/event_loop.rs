@@ -1,0 +1,94 @@
+//! Acceptance tests of the timing-wheel event core: the full evaluation
+//! grid stays byte-identical across executor worker counts on the wheel,
+//! and scheduling semantics shared with the retained reference heap hold
+//! at the simulation surface.
+
+use isolation_bench::prelude::*;
+use isolation_bench::simcore::{EventQueue, ReferenceHeap, Simulation};
+
+#[test]
+fn full_grid_figures_are_byte_identical_for_1_2_and_8_workers_on_the_wheel() {
+    // Every one of the 19 grid experiments now runs its simulations on
+    // the timing wheel; the executor's determinism guarantee must be
+    // unchanged: any worker count renders the same figure bytes.
+    let cfg = RunConfig::quick(2021);
+    let serial = Executor::new(RunPlan::new(cfg).with_trials(1).with_workers(1)).run();
+    assert_eq!(
+        serial.figures.len(),
+        ExperimentId::all().len(),
+        "the full grid must cover every experiment"
+    );
+    assert_eq!(serial.figures.len(), 19);
+    let serial_csv: Vec<String> = serial.figures.iter().map(report::to_csv).collect();
+    for workers in [2, 8] {
+        let run = Executor::new(RunPlan::new(cfg).with_trials(1).with_workers(workers)).run();
+        assert_eq!(run.figures, serial.figures, "workers={workers}");
+        let csv: Vec<String> = run.figures.iter().map(report::to_csv).collect();
+        assert_eq!(
+            csv, serial_csv,
+            "workers={workers} must render identical bytes"
+        );
+    }
+}
+
+#[test]
+fn past_timestamps_fire_at_the_frontier_on_both_event_queues() {
+    // The shared past-timestamp contract: a push behind the pop frontier
+    // fires AT the frontier (after everything already pending there),
+    // identically on the wheel and on the reference heap.
+    let mut wheel = EventQueue::new();
+    let mut heap = ReferenceHeap::new();
+    wheel.push(Nanos::from_millis(4), 0u32);
+    heap.push(Nanos::from_millis(4), 0u32);
+    assert_eq!(wheel.pop(), heap.pop());
+    wheel.push(Nanos::from_millis(1), 1);
+    heap.push(Nanos::from_millis(1), 1);
+    assert_eq!(wheel.peek_time(), Some(Nanos::from_millis(4)));
+    assert_eq!(wheel.pop(), Some((Nanos::from_millis(4), 1)));
+    assert_eq!(heap.pop(), Some((Nanos::from_millis(4), 1)));
+}
+
+#[test]
+fn simulation_clock_never_rewinds_for_past_schedules() {
+    // The Simulation surface of the same contract: scheduling strictly in
+    // the past runs the action at `now`, in scheduling order among the
+    // other actions already pending at `now`.
+    let mut sim: Simulation<Vec<(u64, u32)>> = Simulation::new();
+    sim.schedule_at(Nanos::from_millis(7), |sim, log: &mut Vec<(u64, u32)>| {
+        log.push((sim.now().as_nanos(), 0));
+        // Both land at now == 7ms, in scheduling order, and the clock
+        // stays monotone through and after them.
+        sim.schedule_at(Nanos::from_millis(2), |sim, log| {
+            log.push((sim.now().as_nanos(), 1));
+        });
+        sim.schedule_at(Nanos::ZERO, |sim, log| {
+            log.push((sim.now().as_nanos(), 2));
+        });
+    });
+    let mut log = Vec::new();
+    let end = sim.run(&mut log);
+    assert_eq!(
+        log,
+        vec![(7_000_000, 0), (7_000_000, 1), (7_000_000, 2)],
+        "past schedules fire at now, FIFO among equal timestamps"
+    );
+    assert_eq!(end, Nanos::from_millis(7));
+}
+
+#[test]
+fn a_wheel_slots_worth_of_events_drains_at_one_clock_advance() {
+    // Batched draining at the simulation surface: many events at one tick
+    // all observe the same `now` and drain without intermediate clock
+    // movement, while the pending count falls one by one.
+    let mut sim: Simulation<Vec<u64>> = Simulation::new();
+    let at = Nanos::from_micros(42);
+    for _ in 0..64 {
+        sim.schedule_at(at, |sim, log: &mut Vec<u64>| {
+            log.push(sim.now().as_nanos());
+        });
+    }
+    let mut log = Vec::new();
+    sim.run(&mut log);
+    assert_eq!(log.len(), 64);
+    assert!(log.iter().all(|&t| t == at.as_nanos()));
+}

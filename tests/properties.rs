@@ -6,7 +6,7 @@ use isolation_bench::harness::{grid, ExperimentId};
 use isolation_bench::kvstore::{Store, StoreConfig};
 use isolation_bench::relstore::{Database, Row};
 use isolation_bench::simcore::stats::{Cdf, RunningStats};
-use isolation_bench::simcore::{rng, Bandwidth, Nanos, SimRng};
+use isolation_bench::simcore::{rng, Bandwidth, EventQueue, Nanos, ReferenceHeap, SimRng};
 use isolation_bench::workloads::slots::{ClassConfig, SlotPolicy, SlotPool};
 
 proptest! {
@@ -142,6 +142,43 @@ proptest! {
                     pool.queued_total(), 0,
                     "work conservation: requests queue while a slot idles"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn timing_wheel_pops_exactly_the_reference_heap_order(
+        ops in prop::collection::vec((any::<bool>(), 0u32..4, 0u64..1024), 1..300),
+    ) {
+        // The wheel must reproduce the retained reference heap's order on
+        // an arbitrary interleaved schedule: pushes at absolute times
+        // spanning every wheel level and the overflow spill level (shift
+        // 48 jumps past the 2^48 ns horizon, so later pops exercise
+        // overflow promotion), repeated timestamps exercising the
+        // equal-timestamp FIFO contract, pushes behind the pop frontier
+        // exercising the shared fire-at-now clamp, and interleaved pops
+        // moving the frontier mid-schedule.
+        let mut wheel = EventQueue::new();
+        let mut heap = ReferenceHeap::new();
+        let mut tag = 0u64;
+        for &(is_push, magnitude, raw) in &ops {
+            if is_push {
+                let at = Nanos::from_nanos(raw << (16 * magnitude));
+                wheel.push(at, tag);
+                heap.push(at, tag);
+                tag += 1;
+            } else {
+                prop_assert_eq!(wheel.pop(), heap.pop());
+            }
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.frontier(), heap.frontier());
+        }
+        loop {
+            let (w, h) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(w, h);
+            if w.is_none() {
+                break;
             }
         }
     }
