@@ -1,0 +1,115 @@
+//! Machine-readable middleware-pipeline bench runner.
+//!
+//! Runs the two pipeline experiments (`pipeline_memcached`,
+//! `pipeline_mysql`) twice — serially (1 worker) and with N workers —
+//! and writes `BENCH_pipeline.json` with per-platform depth ×
+//! cache-hit-rate sweeps (sojourn percentiles, per-request stage tax,
+//! short-circuit / cache-hit / drop fractions). Exits non-zero if the
+//! serial and parallel runs disagree, if an experiment is missing, if
+//! the emitted JSON contains any non-finite value (NaN/inf), or if the
+//! sweep violates the pipeline's domain invariants: the deepest
+//! warm-cache chain must not undercut the shallowest on median latency,
+//! and every fraction series must stay within [0, 1].
+//!
+//! Run with: `cargo run --release -p bench --bin pipeline`
+//!
+//! Flags:
+//! * `--paper` — full-scale configuration (default is quick)
+//! * `--quick` — quick configuration (the default; accepted for symmetry)
+//! * `--workers N` — parallel worker count (default: available parallelism)
+//! * `--trials N` — override every experiment's trial count
+//! * `--out PATH` — output path (default `BENCH_pipeline.json`)
+
+use harness::cli::run_serial_and_parallel;
+use harness::{grid, report, ExperimentId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `pipeline` selects exactly the two middleware-pipeline experiments.
+    let run = run_serial_and_parallel("pipeline", &args, Some("pipeline"), "BENCH_pipeline.json");
+
+    let json = report::pipeline_json(run.mode, run.config.seed, &run.serial, &run.parallel);
+    std::fs::write(&run.out_path, &json)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", run.out_path));
+
+    for figure in &run.serial.figures {
+        println!("{}", report::to_markdown(figure));
+    }
+    println!(
+        "wall clock: serial {:.0} ms, {} workers {:.0} ms; report: {}",
+        run.serial.wall.as_secs_f64() * 1e3,
+        run.parallel_workers,
+        run.parallel.wall.as_secs_f64() * 1e3,
+        run.out_path,
+    );
+
+    let mut failures = Vec::new();
+    for experiment in [ExperimentId::PipelineMemcached, ExperimentId::PipelineMysql] {
+        for (label, pass) in [("serial", &run.serial), ("parallel", &run.parallel)] {
+            let ok = pass.figure(experiment).is_some_and(|fig| {
+                !fig.series.is_empty() && fig.series.iter().all(|s| !s.points.is_empty())
+            });
+            if !ok {
+                failures.push(format!(
+                    "{} missing from the {label} run",
+                    experiment.slug()
+                ));
+            }
+        }
+        // Domain invariants: deeper warm-cache chains cannot be cheaper
+        // than the shallowest at the median, and the fraction metrics are
+        // probabilities.
+        if let Some(fig) = run.serial.figure(experiment) {
+            for platform in grid::pipeline_platforms_of(fig) {
+                let series = |metric: &str| {
+                    fig.series_named(&format!("{platform} {metric}"))
+                        .unwrap_or_else(|| panic!("{metric} series missing for {platform}"))
+                };
+                let p50 = series(grid::PIPELINE_P50);
+                let (Some(first), Some(last)) = (p50.points.first(), p50.points.last()) else {
+                    failures.push(format!("{}/{platform}: empty p50 sweep", experiment.slug()));
+                    continue;
+                };
+                if last.mean < first.mean {
+                    failures.push(format!(
+                        "{}/{platform}: p50 at \"{}\" ({:.1} us) undercuts \"{}\" ({:.1} us)",
+                        experiment.slug(),
+                        last.x,
+                        last.mean,
+                        first.x,
+                        first.mean,
+                    ));
+                }
+                for metric in [
+                    grid::PIPELINE_SHORT_CIRCUIT,
+                    grid::PIPELINE_CACHE_HIT,
+                    grid::PIPELINE_DROP_RATE,
+                ] {
+                    for point in &series(metric).points {
+                        if !(0.0..=1.0).contains(&point.mean) {
+                            failures.push(format!(
+                                "{}/{platform}: {metric} at \"{}\" is {} (outside [0, 1])",
+                                experiment.slug(),
+                                point.x,
+                                point.mean,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if run.serial.figures != run.parallel.figures {
+        failures.push(format!(
+            "serial and {}-worker figure data disagree",
+            run.parallel_workers
+        ));
+    }
+    if let Some(token) = report::find_non_finite(&json) {
+        failures.push(format!("emitted JSON contains non-finite value {token:?}"));
+    }
+    if !failures.is_empty() {
+        eprintln!("pipeline: FAILED: {}", failures.join("; "));
+        std::process::exit(1);
+    }
+}

@@ -45,6 +45,12 @@ pub enum ExperimentId {
     TenantIsolationMemcached,
     /// Beyond the paper: MySQL multi-tenant co-location.
     TenantIsolationMysql,
+    /// Beyond the paper: Memcached behind a staged middleware pipeline —
+    /// per-stage in/out costs, a warmable auth cache, and short-circuits
+    /// — swept over chain depth and cache hit rate.
+    PipelineMemcached,
+    /// Beyond the paper: MySQL behind a staged middleware pipeline.
+    PipelineMysql,
 }
 
 impl ExperimentId {
@@ -71,6 +77,8 @@ impl ExperimentId {
             LoadMysql,
             TenantIsolationMemcached,
             TenantIsolationMysql,
+            PipelineMemcached,
+            PipelineMysql,
         ]
     }
 
@@ -99,6 +107,10 @@ impl ExperimentId {
                 "Tenancy: Memcached victim p99 vs co-located aggressor load (us)"
             }
             TenantIsolationMysql => "Tenancy: MySQL victim p99 vs co-located aggressor load (us)",
+            PipelineMemcached => {
+                "Pipeline: Memcached latency vs middleware depth and cache hit rate (us)"
+            }
+            PipelineMysql => "Pipeline: MySQL latency vs middleware depth and cache hit rate (us)",
         }
     }
 
@@ -125,6 +137,8 @@ impl ExperimentId {
             LoadMysql => "load_mysql",
             TenantIsolationMemcached => "tenant_isolation_memcached",
             TenantIsolationMysql => "tenant_isolation_mysql",
+            PipelineMemcached => "pipeline_memcached",
+            PipelineMysql => "pipeline_mysql",
         }
     }
 }
@@ -225,7 +239,7 @@ mod tests {
         let slugs: std::collections::BTreeSet<_> =
             ExperimentId::all().iter().map(|e| e.slug()).collect();
         assert_eq!(slugs.len(), ExperimentId::all().len());
-        assert_eq!(ExperimentId::all().len(), 19);
+        assert_eq!(ExperimentId::all().len(), 21);
     }
 
     #[test]

@@ -132,6 +132,19 @@ pub fn tenant_isolation_mysql(cfg: &RunConfig) -> FigureData {
     run(ExperimentId::TenantIsolationMysql, cfg)
 }
 
+/// Beyond the paper: Memcached behind a staged middleware pipeline —
+/// per-platform sojourn percentiles, per-request stage tax, and
+/// short-circuit / cache-hit / drop fractions over a chain-depth and
+/// auth-cache hit-rate sweep (including the cache-miss storm).
+pub fn pipeline_memcached(cfg: &RunConfig) -> FigureData {
+    run(ExperimentId::PipelineMemcached, cfg)
+}
+
+/// Beyond the paper: MySQL behind a staged middleware pipeline.
+pub fn pipeline_mysql(cfg: &RunConfig) -> FigureData {
+    run(ExperimentId::PipelineMysql, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,7 +32,7 @@ fn check(id: &'static str, claim: &'static str, passed: bool, detail: String) ->
 }
 
 /// The experiments the finding checks read.
-const NEEDED: [ExperimentId; 12] = [
+const NEEDED: [ExperimentId; 13] = [
     ExperimentId::SysbenchPrime,
     ExperimentId::Fig05Ffmpeg,
     ExperimentId::Fig06MemLatency,
@@ -45,6 +45,7 @@ const NEEDED: [ExperimentId; 12] = [
     ExperimentId::LoadMemcached,
     ExperimentId::LoadMysql,
     ExperimentId::TenantIsolationMemcached,
+    ExperimentId::PipelineMemcached,
 ];
 
 /// Runs all implemented finding checks using the given configuration,
@@ -409,6 +410,78 @@ pub fn check_findings_on(figures: &[FigureData]) -> Vec<FindingCheck> {
             "the aggressor's drop rate rises monotonically with its offered load and is positive in overload on every platform",
             monotone && top_drop > 0.0 && !platforms.is_empty(),
             format!("smallest overload drop rate {top_drop:.3}"),
+        ));
+    }
+
+    // Beyond the paper: the staged middleware pipeline. Every request now
+    // pays explicit per-stage costs on top of the backend, so chain depth,
+    // cache health, and the platform tax interact in measurable ways.
+    if let Some(pipeline) = fig(ExperimentId::PipelineMemcached) {
+        let platforms = crate::grid::pipeline_platforms_of(pipeline);
+        let at = |platform: &str, metric: &str, label: &str| {
+            pipeline
+                .series_named(&format!("{platform} {metric}"))
+                .and_then(|s| s.mean_of(label))
+                .unwrap_or(0.0)
+        };
+
+        // pipeline-01: deeper chains charge a larger stage tax and a
+        // higher median on every platform — and the tax itself scales
+        // clearly super-linearly versus a single stage.
+        let mut depth_holds = !platforms.is_empty();
+        let mut min_tax_ratio = f64::MAX;
+        for platform in &platforms {
+            let p50_d1 = at(platform, crate::grid::PIPELINE_P50, "d1 h0.90");
+            let p50_d8 = at(platform, crate::grid::PIPELINE_P50, "d8 h0.90");
+            let tax_d1 = at(platform, crate::grid::PIPELINE_STAGE_TAX, "d1 h0.90");
+            let tax_d8 = at(platform, crate::grid::PIPELINE_STAGE_TAX, "d8 h0.90");
+            if !(p50_d8 > p50_d1 && tax_d8 > tax_d1) {
+                depth_holds = false;
+            }
+            min_tax_ratio = min_tax_ratio.min(tax_d8 / tax_d1.max(f64::MIN_POSITIVE));
+        }
+        out.push(check(
+            "pipeline-01",
+            "deeper middleware chains raise both the per-request stage tax and the median latency on every platform",
+            depth_holds && min_tax_ratio > 2.0,
+            format!("smallest d8/d1 stage-tax ratio {min_tax_ratio:.2}"),
+        ));
+
+        // pipeline-02: a cache-miss storm at the same depth blows the tail
+        // past the warm-cache operating point on every platform, because
+        // the capacity plan assumed the warm hit rate.
+        let mut storm_holds = !platforms.is_empty();
+        let mut min_storm_ratio = f64::MAX;
+        for platform in &platforms {
+            let warm = at(platform, crate::grid::PIPELINE_P99, "d4 h0.90");
+            let storm = at(platform, crate::grid::PIPELINE_P99, "d4 miss-storm");
+            let ratio = storm / warm.max(f64::MIN_POSITIVE);
+            if ratio <= 1.5 {
+                storm_holds = false;
+            }
+            min_storm_ratio = min_storm_ratio.min(ratio);
+        }
+        out.push(check(
+            "pipeline-02",
+            "a cache-miss storm inflates p99 well past the warm-cache point at the same chain depth on every platform",
+            storm_holds,
+            format!("smallest storm/warm p99 ratio {min_storm_ratio:.2}"),
+        ));
+
+        // pipeline-03: the platform tax compounds through the chain — the
+        // secure container pays a strictly larger absolute stage tax and
+        // tail than native at the deepest sweep point.
+        let native_p99 = at("native", crate::grid::PIPELINE_P99, "d8 h0.90");
+        let gvisor_p99 = at("gvisor", crate::grid::PIPELINE_P99, "d8 h0.90");
+        let native_tax = at("native", crate::grid::PIPELINE_STAGE_TAX, "d8 h0.90");
+        let gvisor_tax = at("gvisor", crate::grid::PIPELINE_STAGE_TAX, "d8 h0.90");
+        out.push(check(
+            "pipeline-03",
+            "the platform tax compounds through the chain: gVisor's deep-chain p99 and stage tax exceed native's",
+            gvisor_p99 > native_p99 && gvisor_tax > native_tax,
+            format!(
+                "d8 p99 gvisor {gvisor_p99:.0} us vs native {native_p99:.0} us; stage tax gvisor {gvisor_tax:.1} us vs native {native_tax:.1} us"
+            ),
         ));
     }
 

@@ -20,6 +20,7 @@ use simcore::stats::{Cdf, RunningStats};
 
 use hap::HapSuite;
 use workloads::loadgen::{LoadBackend, LoadPoint, LoadgenBenchmark};
+use workloads::pipeline::{PipelineBenchmark, PipelinePoint};
 use workloads::tenancy::{ColocationPoint, TenancyBenchmark};
 use workloads::{
     FfmpegBenchmark, FioBenchmark, IperfBenchmark, NetperfBenchmark, OltpBenchmark,
@@ -110,10 +111,10 @@ const BOOT_OSV: &[(PlatformId, StartupVariant, &str)] = &[
     ),
 ];
 
-/// The platform set of the open-loop load-curve and multi-tenant
-/// co-location experiments: one representative per family (baseline,
-/// container, hypervisor, microVM, secure container ×2), in figure-legend
-/// order.
+/// The platform set of the open-loop load-curve, multi-tenant
+/// co-location and middleware-pipeline experiments: one representative
+/// per family (baseline, container, hypervisor, microVM, secure
+/// container ×2), in figure-legend order.
 const LOAD_PLATFORMS: &[PlatformId] = &[
     PlatformId::Native,
     PlatformId::Docker,
@@ -146,9 +147,12 @@ pub fn entries(experiment: ExperimentId) -> Vec<Entry> {
         Fig13BootContainers => boot_entries(BOOT_CONTAINERS),
         Fig14BootHypervisors => boot_entries(BOOT_HYPERVISORS),
         Fig15BootOsv => boot_entries(BOOT_OSV),
-        LoadMemcached | LoadMysql | TenantIsolationMemcached | TenantIsolationMysql => {
-            LOAD_PLATFORMS.iter().map(|id| Entry::bar(*id)).collect()
-        }
+        LoadMemcached
+        | LoadMysql
+        | TenantIsolationMemcached
+        | TenantIsolationMysql
+        | PipelineMemcached
+        | PipelineMysql => LOAD_PLATFORMS.iter().map(|id| Entry::bar(*id)).collect(),
         _ => PlatformId::paper_set()
             .iter()
             .map(|id| Entry::bar(*id))
@@ -171,6 +175,7 @@ pub fn trials(experiment: ExperimentId, cfg: &RunConfig) -> usize {
         Fig18Hap => 1,
         LoadMemcached | LoadMysql => load_bench(experiment, cfg).runs,
         TenantIsolationMemcached | TenantIsolationMysql => tenant_bench(experiment, cfg).runs,
+        PipelineMemcached | PipelineMysql => pipeline_bench(experiment, cfg).runs,
         _ => cfg.runs,
     };
     // A zero-run/zero-startup config still produces one trial per cell so
@@ -215,6 +220,9 @@ pub enum CellOutput {
     /// aggressor offered-load fraction) of the tenant-isolation
     /// experiments.
     Tenant(Vec<ColocationPoint>),
+    /// One middleware-pipeline sweep (one [`PipelinePoint`] per
+    /// depth/hit-rate setting) of the pipeline experiments.
+    Pipeline(Vec<PipelinePoint>),
     /// The platform is excluded from this experiment.
     Skip,
 }
@@ -264,6 +272,18 @@ fn tenant_bench(experiment: ExperimentId, cfg: &RunConfig) -> TenancyBenchmark {
         TenancyBenchmark::quick(backend)
     } else {
         TenancyBenchmark::new(backend)
+    }
+}
+
+fn pipeline_bench(experiment: ExperimentId, cfg: &RunConfig) -> PipelineBenchmark {
+    let backend = match experiment {
+        ExperimentId::PipelineMysql => LoadBackend::Mysql,
+        _ => LoadBackend::Memcached,
+    };
+    if cfg.quick {
+        PipelineBenchmark::quick(backend)
+    } else {
+        PipelineBenchmark::new(backend)
     }
 }
 
@@ -383,6 +403,14 @@ pub fn run_cell(
                     .expect("paper platforms derate to valid tenant profiles"),
             )
         }
+        PipelineMemcached | PipelineMysql => {
+            let bench = pipeline_bench(experiment, cfg);
+            CellOutput::Pipeline(
+                bench
+                    .run_trial(&platform, &mut rng)
+                    .expect("paper platforms derate to valid pipeline chains"),
+            )
+        }
     }
 }
 
@@ -424,6 +452,7 @@ pub fn merge(experiment: ExperimentId, outputs: &[Vec<CellOutput>]) -> FigureDat
         Fig18Hap => merge_hap(experiment, outputs),
         LoadMemcached | LoadMysql => merge_load(experiment, outputs),
         TenantIsolationMemcached | TenantIsolationMysql => merge_tenant(experiment, outputs),
+        PipelineMemcached | PipelineMysql => merge_pipeline(experiment, outputs),
         // Fig. 11 reports the maximum over the runs, everything else the mean.
         Fig11Iperf => merge_bars(experiment, outputs, true),
         _ => merge_bars(experiment, outputs, false),
@@ -538,10 +567,89 @@ pub const TENANT_AGGRESSOR_ACHIEVED: &str = "aggressor achieved (req/s)";
 /// Aggressor drop rate (dropped / issued) under the weighted scheduler.
 pub const TENANT_AGGRESSOR_DROP_RATE: &str = "aggressor drop rate";
 
+/// The per-platform metric series of one middleware-pipeline figure, in
+/// series order: sojourn percentiles, the per-request middleware tax,
+/// and the short-circuit / cache-hit / drop fractions. Every series is
+/// labelled `"<platform> <metric>"`; [`crate::findings`] and
+/// [`crate::report`] look series up through these constants.
+pub const PIPELINE_METRICS: [&str; 6] = [
+    PIPELINE_P50,
+    PIPELINE_P99,
+    PIPELINE_STAGE_TAX,
+    PIPELINE_SHORT_CIRCUIT,
+    PIPELINE_CACHE_HIT,
+    PIPELINE_DROP_RATE,
+];
+
+/// Pipeline median sojourn time (queueing + chain + backend).
+pub const PIPELINE_P50: &str = "p50 (us)";
+/// Pipeline 99th-percentile sojourn time.
+pub const PIPELINE_P99: &str = "p99 (us)";
+/// Mean middleware cost charged per response (the per-stage latency tax
+/// summed over the entered stages).
+pub const PIPELINE_STAGE_TAX: &str = "stage tax (us)";
+/// Fraction of responses short-circuited by a middleware stage.
+pub const PIPELINE_SHORT_CIRCUIT: &str = "short-circuit fraction";
+/// Auth-cache hit fraction over the point's accesses.
+pub const PIPELINE_CACHE_HIT: &str = "cache hit fraction";
+/// Dropped fraction of all issued requests.
+pub const PIPELINE_DROP_RATE: &str = "drop fraction";
+
+fn pipeline_metric(point: &PipelinePoint, metric: &str) -> f64 {
+    match metric {
+        PIPELINE_P50 => point.p50_us,
+        PIPELINE_P99 => point.p99_us,
+        PIPELINE_STAGE_TAX => point.stage_tax_us,
+        PIPELINE_SHORT_CIRCUIT => point.short_circuit_fraction,
+        PIPELINE_CACHE_HIT => point.cache_hit_fraction,
+        PIPELINE_DROP_RATE => point.drop_fraction,
+        other => unreachable!("unknown pipeline metric {other}"),
+    }
+}
+
+fn merge_pipeline(experiment: ExperimentId, outputs: &[Vec<CellOutput>]) -> FigureData {
+    let mut fig = FigureData::new(experiment);
+    for (entry, trials) in entries(experiment).iter().zip(outputs) {
+        let sweeps: Vec<&[PipelinePoint]> = trials
+            .iter()
+            .map(|output| match output {
+                CellOutput::Pipeline(points) => points.as_slice(),
+                other => {
+                    unreachable!("{experiment:?} produced {other:?}, expected a pipeline sweep")
+                }
+            })
+            .collect();
+        let first = sweeps.first().expect("every entry runs at least one trial");
+        for metric in PIPELINE_METRICS {
+            let mut series = Series::new(&format!("{} {metric}", entry.label));
+            for (xi, sample) in first.iter().enumerate() {
+                let stats: RunningStats = sweeps
+                    .iter()
+                    .map(|points| pipeline_metric(&points[xi], metric))
+                    .collect();
+                series.points.push(DataPoint {
+                    x: sample.label.clone(),
+                    x_value: xi as f64,
+                    mean: stats.mean(),
+                    std_dev: stats.std_dev(),
+                });
+            }
+            fig.series.push(series);
+        }
+    }
+    fig
+}
+
 /// The platform labels of a merged load-curve figure, recovered (in
 /// canonical order) from its `"<platform> p50 (us)"` series labels.
 pub fn load_platforms_of(fig: &FigureData) -> Vec<String> {
     platforms_by_suffix(fig, LOAD_P50)
+}
+
+/// The platform labels of a merged pipeline figure, recovered (in
+/// canonical order) from its `"<platform> stage tax (us)"` series labels.
+pub fn pipeline_platforms_of(fig: &FigureData) -> Vec<String> {
+    platforms_by_suffix(fig, PIPELINE_STAGE_TAX)
 }
 
 /// The platform labels of a merged tenant-isolation figure, recovered (in
@@ -855,6 +963,42 @@ mod tests {
                 .unwrap_or_else(|| panic!("missing series for {} {metric}", entry.label));
             assert_eq!(series.points.len(), sweep_len);
         }
+    }
+
+    #[test]
+    fn pipeline_cells_produce_full_sweeps_and_merge_per_metric_series() {
+        let experiment = ExperimentId::PipelineMemcached;
+        let grid_entries = entries(experiment);
+        assert!(grid_entries.len() >= 3);
+        let entry = &grid_entries[0];
+        let outputs = [vec![run_cell(experiment, entry, 0, &cfg())]];
+        let sweep_len = match &outputs[0][0] {
+            CellOutput::Pipeline(points) => {
+                assert!(
+                    points.len() >= 8,
+                    "pipeline sweep needs the depth and hit-rate axes"
+                );
+                assert!(
+                    points.iter().any(|p| p.depth == 8),
+                    "the depth sweep must reach 8 stages"
+                );
+                assert!(
+                    points.iter().any(|p| p.planned_hit_rate > p.hit_rate + 0.5),
+                    "the sweep must include the cache-miss-storm point"
+                );
+                points.len()
+            }
+            other => panic!("expected a pipeline sweep, got {other:?}"),
+        };
+        let fig = merge(experiment, &outputs[..1]);
+        assert_eq!(fig.series.len(), PIPELINE_METRICS.len());
+        for metric in PIPELINE_METRICS {
+            let series = fig
+                .series_named(&format!("{} {metric}", entry.label))
+                .unwrap_or_else(|| panic!("missing series for {} {metric}", entry.label));
+            assert_eq!(series.points.len(), sweep_len);
+        }
+        assert_eq!(pipeline_platforms_of(&fig), vec![entry.label.to_string()]);
     }
 
     #[test]

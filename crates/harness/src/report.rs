@@ -142,6 +142,11 @@ pub fn full_grid_json(mode: &str, seed: u64, serial: &RunReport, parallel: &RunR
         0.0
     };
     let _ = writeln!(out, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(
+        out,
+        "  \"experiment_count\": {},",
+        crate::experiment::ExperimentId::all().len()
+    );
     let _ = writeln!(out, "  \"experiments\": [");
     for (i, timing) in serial.timings.iter().enumerate() {
         let parallel_timing = parallel
@@ -426,6 +431,88 @@ pub fn tenant_isolation_json(
     out
 }
 
+/// The figure-level payload of one middleware-pipeline experiment:
+/// per-platform sweep points (chain depth × cache hit rate) with sojourn
+/// percentiles, the per-request stage tax, and the short-circuit /
+/// cache-hit / drop fractions, reconstructed from the merged figure
+/// series.
+fn pipeline_experiment_json(out: &mut String, fig: &FigureData) {
+    let _ = writeln!(out, "    {{");
+    let _ = writeln!(out, "      \"slug\": \"{}\",", fig.experiment.slug());
+    let platforms = crate::grid::pipeline_platforms_of(fig);
+    let _ = writeln!(out, "      \"platforms\": [");
+    for (pi, platform) in platforms.iter().enumerate() {
+        let series = |metric: &str| fig.series_named(&format!("{platform} {metric}"));
+        let _ = writeln!(out, "        {{");
+        let _ = writeln!(out, "          \"label\": \"{}\",", json_escape(platform));
+        let _ = writeln!(out, "          \"points\": [");
+        let anchor = series(crate::grid::PIPELINE_P50).expect("p50 series exists by construction");
+        for (i, point) in anchor.points.iter().enumerate() {
+            // Panic (rather than emit a plausible 0.0) on a missing series
+            // or point: a malformed figure must fail the bench run loudly.
+            let metric_mean = |metric: &str| {
+                series(metric)
+                    .unwrap_or_else(|| panic!("{metric} series missing for {platform}"))
+                    .points[i]
+                    .mean
+            };
+            let _ = write!(
+                out,
+                "            {{\"setting\": \"{}\", \"p50_us\": {:.3}, \"p99_us\": {:.3}, \
+                 \"stage_tax_us\": {:.3}, \"short_circuit_fraction\": {:.6}, \
+                 \"cache_hit_fraction\": {:.6}, \"drop_fraction\": {:.6}}}",
+                json_escape(&point.x),
+                point.mean,
+                metric_mean(crate::grid::PIPELINE_P99),
+                metric_mean(crate::grid::PIPELINE_STAGE_TAX),
+                metric_mean(crate::grid::PIPELINE_SHORT_CIRCUIT),
+                metric_mean(crate::grid::PIPELINE_CACHE_HIT),
+                metric_mean(crate::grid::PIPELINE_DROP_RATE),
+            );
+            let _ = writeln!(
+                out,
+                "{}",
+                if i + 1 < anchor.points.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "          ]");
+        let _ = write!(out, "        }}");
+        let _ = writeln!(out, "{}", if pi + 1 < platforms.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "      ]");
+    let _ = write!(out, "    }}");
+}
+
+/// Renders the machine-readable middleware-pipeline bench report
+/// (`BENCH_pipeline.json`): the depth × cache-hit-rate sweeps of both
+/// backends, from a serial (1-worker) and an N-worker run of the same
+/// plan, plus whether the two produced identical figure data.
+pub fn pipeline_json(mode: &str, seed: u64, serial: &RunReport, parallel: &RunReport) -> String {
+    let pipeline_figs = |report: &RunReport| {
+        [
+            crate::experiment::ExperimentId::PipelineMemcached,
+            crate::experiment::ExperimentId::PipelineMysql,
+        ]
+        .iter()
+        .filter_map(|e| report.figure(*e).cloned())
+        .collect::<Vec<_>>()
+    };
+    let serial_figs = pipeline_figs(serial);
+    let parallel_figs = pipeline_figs(parallel);
+    let identical = serial_figs == parallel_figs;
+
+    let mut out = json_report_header("isolation-bench/pipeline/v1", mode, seed, serial, parallel);
+    let _ = writeln!(out, "  \"identical\": {identical},");
+    let _ = writeln!(out, "  \"experiments\": [");
+    for (i, fig) in serial_figs.iter().enumerate() {
+        pipeline_experiment_json(&mut out, fig);
+        let _ = writeln!(out, "{}", if i + 1 < serial_figs.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,6 +677,40 @@ mod tests {
         assert!(json.contains("\"victim_fifo_p99_us\""));
         assert!(json.contains("\"aggressor_drop_rate\""));
         assert_eq!(find_non_finite(&json), None, "emitted JSON must be finite");
+    }
+
+    #[test]
+    fn pipeline_json_has_both_experiments_and_is_finite() {
+        let cfg = RunConfig {
+            seed: 7,
+            runs: 1,
+            startups: 8,
+            quick: true,
+        };
+        let serial = Executor::new(RunPlan::new(cfg).with_shard("pipeline").with_workers(1)).run();
+        let parallel =
+            Executor::new(RunPlan::new(cfg).with_shard("pipeline").with_workers(2)).run();
+        let json = pipeline_json("quick", 7, &serial, &parallel);
+        assert!(json.contains("\"schema\": \"isolation-bench/pipeline/v1\""));
+        assert!(json.contains("\"slug\": \"pipeline_memcached\""));
+        assert!(json.contains("\"slug\": \"pipeline_mysql\""));
+        assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"label\": \"native\""));
+        assert!(json.contains("\"setting\": \"d1 h0.90\""));
+        assert!(json.contains("\"setting\": \"d4 miss-storm\""));
+        assert!(json.contains("\"stage_tax_us\""));
+        assert!(json.contains("\"short_circuit_fraction\""));
+        assert_eq!(find_non_finite(&json), None, "emitted JSON must be finite");
+    }
+
+    #[test]
+    fn full_grid_json_reports_the_experiment_count() {
+        let (serial, parallel) = tiny_reports();
+        let json = full_grid_json("quick", 7, &serial, &parallel);
+        assert!(json.contains(&format!(
+            "\"experiment_count\": {}",
+            ExperimentId::all().len()
+        )));
     }
 
     #[test]

@@ -24,7 +24,11 @@
 //! per-tenant bounded admission queues in front of the weighted
 //! deficit-round-robin service-slot scheduler in [`slots`] — to measure
 //! isolation *between* workloads (victim-vs-aggressor sweeps, SLO
-//! violations, isolation indices).
+//! violations, isolation indices). [`pipeline`] replaces the opaque
+//! per-request service time with a staged middleware chain — per-stage
+//! in/out costs, a warmable auth cache with hit/miss latencies, and
+//! short-circuit probabilities — composed on the same admission/slot
+//! core, sweeping chain depth and cache hit rate per platform.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -34,6 +38,7 @@ pub mod fio;
 pub mod iperf;
 pub mod loadgen;
 pub mod netperf;
+pub mod pipeline;
 pub mod slots;
 pub mod startup;
 pub mod stream;
@@ -48,6 +53,9 @@ pub use fio::FioBenchmark;
 pub use iperf::IperfBenchmark;
 pub use loadgen::{LoadBackend, LoadPoint, LoadgenBenchmark};
 pub use netperf::NetperfBenchmark;
+pub use pipeline::{
+    MiddlewareChain, PipelineBenchmark, PipelinePoint, PipelineSetting, Stage, Traversal,
+};
 pub use slots::{Admission, ClassConfig, ServiceProfile, SlotPolicy, SlotPool};
 pub use startup::StartupBenchmark;
 pub use stream::StreamBenchmark;

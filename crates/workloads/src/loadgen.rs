@@ -157,7 +157,7 @@ impl LoadgenBenchmark {
             offered_per_sec,
             arrival_rng,
             service_rng,
-            misc_rng.split("loadgen"),
+            misc_rng.split(MISC_STREAM),
         );
         // Kick off the batched Poisson arrival source.
         sim.schedule_at(Nanos::ZERO, |sim, st: &mut LoadSim| st.generate(sim));
@@ -257,7 +257,15 @@ struct Request {
 
 /// Arrivals are pre-sampled and enqueued in chunks of this size, bounding
 /// the scheduler's pending-event count regardless of the sweep size.
-const ARRIVAL_CHUNK: u64 = 512;
+/// Shared with [`crate::pipeline`], whose zero-stage chain must replay
+/// this module's event schedule bit for bit.
+pub(crate) const ARRIVAL_CHUNK: u64 = 512;
+
+/// Label of the per-point miscellaneous stream (connection attribution,
+/// sampled backend operations). [`crate::pipeline`] splits the same label
+/// so a zero-stage chain consumes the cell stream exactly like this
+/// module does — the bit-for-bit degenerate-chain contract.
+pub(crate) const MISC_STREAM: &str = "loadgen";
 
 /// The discrete-event state of one sweep point.
 struct LoadSim {

@@ -1,0 +1,1254 @@
+//! Staged middleware pipeline model (beyond the paper).
+//!
+//! Every other experiment charges a request one opaque service time, but
+//! production gateway traffic traverses an ordered middleware chain —
+//! authentication, session lookup, transforms, routing — where each stage
+//! taxes the request on the way **in**, may tax the response on the way
+//! **out**, may consult a cache (session store hit vs miss), and may
+//! short-circuit the request entirely (an auth rejection or redirect
+//! never reaches the backend). This module models exactly that: a
+//! [`MiddlewareChain`] of [`Stage`]s executed per request on the same
+//! [`crate::slots`] admission/slot core the open-loop [`crate::loadgen`]
+//! sweeps use, so stage costs compose with bounded admission, service
+//! slots and platform derating unchanged.
+//!
+//! The request lifecycle: a Poisson arrival is admitted (or dropped) by
+//! the bounded queue exactly as in `loadgen`; on dispatch the chain is
+//! traversed — every stage charges its in-phase cost, a cached stage
+//! charges its hit or miss latency against a warmable hit rate, and a
+//! stage may short-circuit, in which case the backend service time is
+//! skipped and only the out-phases of the stages already entered run on
+//! the response path. The slot is occupied for the full composed time,
+//! so middleware cost feeds back into queueing exactly like backend cost.
+//!
+//! Determinism contract: per-stage cost/cache/short-circuit draws come
+//! from per-stage streams that are consumed identically for **every**
+//! dispatched request regardless of upstream outcomes, and the
+//! arrival/service streams reuse the `loadgen` labels. Two consequences
+//! the test battery pins down: sweep points are coupled by common random
+//! numbers (monotone curves by coupling, not just in expectation), and a
+//! zero-stage chain replays the plain [`crate::loadgen`] path **bit for
+//! bit** — the degenerate-chain regression contract.
+
+use platforms::Platform;
+use simcore::error::SimError;
+use simcore::resource::CompletionTimer;
+use simcore::stats::{Cdf, RunningStats};
+use simcore::{Nanos, SimRng, Simulation};
+
+use crate::loadgen::{ARRIVAL_CHUNK, MISC_STREAM};
+use crate::slots::{backend_profile, Admission, BackendState, ClassConfig, SlotPolicy, SlotPool};
+pub use crate::slots::{LoadBackend, ServiceProfile};
+
+/// Label of the middleware-stage stream, split from the cell stream only
+/// when some sweep point has a non-empty chain — a zero-depth sweep must
+/// consume the cell stream exactly like [`crate::loadgen`] does.
+const STAGE_STREAM: &str = "stages";
+
+fn validated_us(what: &str, us: f64) -> Result<Nanos, SimError> {
+    if !us.is_finite() || us < 0.0 {
+        return Err(SimError::InvalidConfig(format!(
+            "{what} must be finite and non-negative, got {us}"
+        )));
+    }
+    Ok(Nanos::from_micros_f64(us))
+}
+
+fn validated_sigma(what: &str, sigma: f64) -> Result<f64, SimError> {
+    if !sigma.is_finite() || sigma < 0.0 {
+        return Err(SimError::InvalidConfig(format!(
+            "{what} must be finite and non-negative, got {sigma}"
+        )));
+    }
+    Ok(sigma)
+}
+
+fn validated_rate(what: &str, rate: f64) -> Result<f64, SimError> {
+    if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+        return Err(SimError::InvalidConfig(format!(
+            "{what} must be a probability in [0, 1], got {rate}"
+        )));
+    }
+    Ok(rate)
+}
+
+/// One phase cost: a mean latency plus the log-normal sigma of the
+/// per-request distribution around it (0 = deterministic, mean-preserving
+/// otherwise — the same shape [`ServiceProfile`] uses for backend time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct StageCost {
+    mean: Nanos,
+    sigma: f64,
+}
+
+impl StageCost {
+    fn try_from_us(what: &str, mean_us: f64, sigma: f64) -> Result<Self, SimError> {
+        Ok(StageCost {
+            mean: validated_us(&format!("{what} cost"), mean_us)?,
+            sigma: validated_sigma(&format!("{what} sigma"), sigma)?,
+        })
+    }
+
+    /// Samples one phase latency. The draw count depends only on the
+    /// configuration (zero for a deterministic cost, one normal pair
+    /// otherwise), never on outcomes — the stream-alignment contract.
+    fn sample(&self, rng: &mut SimRng) -> Nanos {
+        if self.sigma <= 0.0 || self.mean == Nanos::ZERO {
+            return self.mean;
+        }
+        let mean = self.mean.as_secs_f64();
+        // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) = mean.
+        let sampled = rng.log_normal(mean.ln() - self.sigma * self.sigma / 2.0, self.sigma);
+        Nanos::from_secs_f64(sampled)
+    }
+}
+
+/// A warmable stage cache (e.g. a session store): hits and misses charge
+/// different latencies, and the hit rate ramps linearly from cold (0) to
+/// the configured target over the first `warm_after` accesses.
+#[derive(Debug, Clone, PartialEq)]
+struct StageCache {
+    hit_cost: Nanos,
+    miss_cost: Nanos,
+    hit_rate: f64,
+    warm_after: u64,
+    accesses: u64,
+}
+
+impl StageCache {
+    fn effective_hit_rate(&self) -> f64 {
+        if self.warm_after == 0 {
+            return self.hit_rate;
+        }
+        self.hit_rate * (self.accesses as f64 / self.warm_after as f64).min(1.0)
+    }
+}
+
+/// One middleware stage: a mandatory in-phase cost, an optional out-phase
+/// (response path) cost, an optional cache consulted during the in-phase,
+/// and an optional short-circuit probability (auth rejection, redirect)
+/// that skips the backend and every downstream stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Stage name, for debugging and study output.
+    pub name: String,
+    in_cost: StageCost,
+    out_cost: Option<StageCost>,
+    short_circuit: f64,
+    cache: Option<StageCache>,
+}
+
+impl Stage {
+    /// A stage charging `in_us` microseconds (log-normal `sigma` around
+    /// that mean; 0 = deterministic) on the request path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a non-finite or negative
+    /// cost or sigma — mirroring [`ServiceProfile::try_new`], degenerate
+    /// stage models fail loudly instead of saturating silently.
+    pub fn try_new(name: &str, in_us: f64, sigma: f64) -> Result<Self, SimError> {
+        Ok(Stage {
+            name: name.to_string(),
+            in_cost: StageCost::try_from_us("stage in-phase", in_us, sigma)?,
+            out_cost: None,
+            short_circuit: 0.0,
+            cache: None,
+        })
+    }
+
+    /// Adds a response-path (out-phase) cost to the stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a non-finite or negative
+    /// cost or sigma.
+    pub fn with_out_phase(mut self, out_us: f64, sigma: f64) -> Result<Self, SimError> {
+        self.out_cost = Some(StageCost::try_from_us("stage out-phase", out_us, sigma)?);
+        Ok(self)
+    }
+
+    /// Adds a per-request short-circuit probability: with rate `rate` the
+    /// stage terminates the request (the backend and all downstream
+    /// stages are skipped; the response still pays the out-phases of the
+    /// stages already entered, this one included).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] unless `rate` is a probability
+    /// in `[0, 1]`.
+    pub fn with_short_circuit(mut self, rate: f64) -> Result<Self, SimError> {
+        self.short_circuit = validated_rate("stage short-circuit rate", rate)?;
+        Ok(self)
+    }
+
+    /// Adds a warmable cache to the stage's in-phase: an access hits with
+    /// the (warmup-ramped) `hit_rate` and charges `hit_us`, otherwise it
+    /// charges the `miss_us` penalty. `warm_after` is the access count
+    /// over which the hit rate ramps from cold to the target (0 =
+    /// pre-warmed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for non-finite/negative costs
+    /// or a `hit_rate` outside `[0, 1]`.
+    pub fn with_cache(
+        mut self,
+        hit_us: f64,
+        miss_us: f64,
+        hit_rate: f64,
+        warm_after: u64,
+    ) -> Result<Self, SimError> {
+        self.cache = Some(StageCache {
+            hit_cost: validated_us("cache hit cost", hit_us)?,
+            miss_cost: validated_us("cache miss cost", miss_us)?,
+            hit_rate: validated_rate("cache hit rate", hit_rate)?,
+            warm_after,
+            accesses: 0,
+        });
+        Ok(self)
+    }
+
+    /// Mean per-request cost of the stage (in + expected cache + out),
+    /// using the cache's warm target hit rate.
+    fn expected_cost_secs(&self) -> f64 {
+        let mut total = self.in_cost.mean.as_secs_f64();
+        if let Some(out) = &self.out_cost {
+            total += out.mean.as_secs_f64();
+        }
+        if let Some(cache) = &self.cache {
+            total += cache.hit_rate * cache.hit_cost.as_secs_f64()
+                + (1.0 - cache.hit_rate) * cache.miss_cost.as_secs_f64();
+        }
+        total
+    }
+}
+
+/// The outcome of traversing the chain for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Traversal {
+    /// Total middleware cost actually charged: in-phases and cache
+    /// accesses of every entered stage plus the out-phases of the entered
+    /// stages on the response path.
+    pub stage_cost: Nanos,
+    /// Number of stages the request entered.
+    pub stages_traversed: usize,
+    /// Index of the stage that short-circuited the request, if any.
+    pub short_circuit: Option<usize>,
+    /// Cache hits among the entered stages.
+    pub cache_hits: u32,
+    /// Cache misses among the entered stages.
+    pub cache_misses: u32,
+}
+
+/// An ordered chain of middleware stages, traversed in-phase first to
+/// last on the request path and out-phase on the response path.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MiddlewareChain {
+    stages: Vec<Stage>,
+}
+
+impl MiddlewareChain {
+    /// A chain of the given stages, traversed in order.
+    pub fn new(stages: Vec<Stage>) -> Self {
+        MiddlewareChain { stages }
+    }
+
+    /// The zero-stage chain: requests pass straight to the backend.
+    pub fn empty() -> Self {
+        MiddlewareChain::default()
+    }
+
+    /// Number of stages in the chain.
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the chain has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Mean per-request chain cost at the caches' warm target hit rates,
+    /// ignoring warmup and short-circuits — the planning figure the sweep
+    /// uses to normalize offered load to chain-inclusive capacity.
+    pub fn expected_cost(&self) -> Nanos {
+        Nanos::from_secs_f64(self.stages.iter().map(Stage::expected_cost_secs).sum())
+    }
+
+    /// Traverses the chain for one request, drawing from one stream per
+    /// stage (`stage_rngs[i]` belongs to stage `i`).
+    ///
+    /// Every stage consumes its full draw complement even downstream of a
+    /// short-circuit, so the per-stage streams stay aligned request by
+    /// request whatever the outcomes — the common-random-numbers coupling
+    /// the monotonicity tests rely on. Only entered stages charge costs,
+    /// advance their cache warmup, or count hits and misses.
+    pub fn traverse(&mut self, stage_rngs: &mut [SimRng]) -> Traversal {
+        debug_assert_eq!(
+            stage_rngs.len(),
+            self.stages.len(),
+            "one stage stream per stage"
+        );
+        let mut cut = None;
+        let mut cost = Nanos::ZERO;
+        let mut traversed = 0usize;
+        let (mut hits, mut misses) = (0u32, 0u32);
+        for (i, (stage, rng)) in self
+            .stages
+            .iter_mut()
+            .zip(stage_rngs.iter_mut())
+            .enumerate()
+        {
+            let entered = cut.is_none();
+            let in_cost = stage.in_cost.sample(rng);
+            let mut cache_cost = Nanos::ZERO;
+            if let Some(cache) = &mut stage.cache {
+                let draw = rng.uniform01();
+                if entered {
+                    let hit = draw < cache.effective_hit_rate();
+                    cache.accesses += 1;
+                    if hit {
+                        hits += 1;
+                        cache_cost = cache.hit_cost;
+                    } else {
+                        misses += 1;
+                        cache_cost = cache.miss_cost;
+                    }
+                }
+            }
+            let fired = stage.short_circuit > 0.0 && rng.chance(stage.short_circuit);
+            let out_cost = stage
+                .out_cost
+                .as_ref()
+                .map(|c| c.sample(rng))
+                .unwrap_or(Nanos::ZERO);
+            if entered {
+                traversed += 1;
+                cost += in_cost + cache_cost + out_cost;
+                if fired {
+                    cut = Some(i);
+                }
+            }
+        }
+        Traversal {
+            stage_cost: cost,
+            stages_traversed: traversed,
+            short_circuit: cut,
+            cache_hits: hits,
+            cache_misses: misses,
+        }
+    }
+}
+
+/// One point of the pipeline sweep: a chain depth, the auth cache's
+/// actual hit rate, and the hit rate the operator *planned* for when
+/// provisioning the offered load. The two differ only at the
+/// cache-miss-storm point, where traffic planned against a warm cache
+/// meets a cold one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineSetting {
+    /// Number of middleware stages in front of the backend.
+    pub depth: usize,
+    /// Actual auth-cache hit rate the chain runs with.
+    pub hit_rate: f64,
+    /// Hit rate the offered load was provisioned against.
+    pub planned_hit_rate: f64,
+}
+
+impl PipelineSetting {
+    /// A point whose offered load is provisioned against the actual hit
+    /// rate (the normal case).
+    pub fn new(depth: usize, hit_rate: f64) -> Self {
+        PipelineSetting {
+            depth,
+            hit_rate,
+            planned_hit_rate: hit_rate,
+        }
+    }
+
+    /// A cache-miss-storm point: the chain runs at `hit_rate` but the
+    /// offered load was provisioned for `planned_hit_rate`.
+    pub fn storm(depth: usize, hit_rate: f64, planned_hit_rate: f64) -> Self {
+        PipelineSetting {
+            depth,
+            hit_rate,
+            planned_hit_rate,
+        }
+    }
+
+    /// The categorical label of the point in figures and reports.
+    pub fn label(&self) -> String {
+        if (self.planned_hit_rate - self.hit_rate).abs() > 1e-9 {
+            format!("d{} miss-storm", self.depth)
+        } else {
+            format!("d{} h{:.2}", self.depth, self.hit_rate)
+        }
+    }
+}
+
+/// Auth-cache hit rate of the depth sweep and planning basis of the
+/// miss-storm point.
+pub const BASELINE_HIT_RATE: f64 = 0.9;
+
+/// Names of the non-auth middleware stages, in chain order.
+const STAGE_KINDS: [&str; 7] = [
+    "session",
+    "transform",
+    "cors",
+    "route",
+    "rate-limit",
+    "audit",
+    "compress",
+];
+
+/// Configuration of one middleware-pipeline sweep over chain depth and
+/// auth-cache hit rate.
+///
+/// Stage costs are expressed as fractions of the platform's derated mean
+/// backend service time, so the middleware tax scales with the platform
+/// exactly like the paper's syscall-path overheads do: a chain that costs
+/// 20% of a native request costs 20% of a (much larger) gVisor request.
+#[derive(Debug, Clone)]
+pub struct PipelineBenchmark {
+    /// Which backend terminates the chain.
+    pub backend: LoadBackend,
+    /// Open-loop client population (connection attribution only).
+    pub clients: usize,
+    /// Requests offered per sweep point.
+    pub requests_per_point: usize,
+    /// The depth/hit-rate sweep, one [`PipelineSetting`] per point.
+    pub sweep: Vec<PipelineSetting>,
+    /// Offered load as a fraction of the chain-inclusive saturation
+    /// capacity at the point's *planned* hit rate.
+    pub offered_fraction: f64,
+    /// Bounded admission queue depth in front of the service slots.
+    pub queue_capacity: usize,
+    /// Number of parallel service slots.
+    pub servers: usize,
+    /// Measurement repetitions (trials) per sweep point.
+    pub runs: usize,
+    /// Execute one real backend operation per this many admitted requests.
+    pub op_sample_every: u64,
+    /// In-phase cost of every stage, as a fraction of the backend mean.
+    pub stage_in_frac: f64,
+    /// Out-phase cost of every non-auth stage, as a fraction of the
+    /// backend mean (0 disables the out-phase).
+    pub stage_out_frac: f64,
+    /// Auth-cache hit latency as a fraction of the backend mean.
+    pub cache_hit_frac: f64,
+    /// Auth-cache miss penalty as a fraction of the backend mean.
+    pub cache_miss_frac: f64,
+    /// Short-circuit (rejection) probability of the auth stage.
+    pub auth_reject_rate: f64,
+    /// Accesses over which the auth cache warms from cold to its target
+    /// hit rate (0 = pre-warmed).
+    pub cache_warm_after: u64,
+    /// Log-normal sigma of per-request stage costs (0 = deterministic).
+    pub stage_sigma: f64,
+}
+
+impl PipelineBenchmark {
+    /// The full-scale configuration for a backend.
+    pub fn new(backend: LoadBackend) -> Self {
+        PipelineBenchmark {
+            backend,
+            clients: 10_000,
+            requests_per_point: 20_000,
+            sweep: PipelineSetting::default_sweep(),
+            offered_fraction: 0.7,
+            queue_capacity: 8_192,
+            servers: 16,
+            runs: 5,
+            op_sample_every: 4,
+            stage_in_frac: 0.12,
+            stage_out_frac: 0.05,
+            cache_hit_frac: 0.05,
+            cache_miss_frac: 1.2,
+            auth_reject_rate: 0.03,
+            cache_warm_after: 256,
+            stage_sigma: 0.2,
+        }
+    }
+
+    /// A scaled-down configuration for unit tests and quick runs.
+    pub fn quick(backend: LoadBackend) -> Self {
+        PipelineBenchmark {
+            clients: 256,
+            requests_per_point: 2_500,
+            runs: 3,
+            ..PipelineBenchmark::new(backend)
+        }
+    }
+
+    /// The platform's backend service profile under this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a degenerate profile — an
+    /// empty slot pool, or a platform derate that collapses the service
+    /// time to zero.
+    pub fn service_profile(&self, platform: &Platform) -> Result<ServiceProfile, SimError> {
+        backend_profile(self.backend, platform, self.servers)
+    }
+
+    /// Builds the middleware chain for one sweep point: an `auth` stage
+    /// with the warmable session cache and the rejection short-circuit,
+    /// followed by `depth - 1` transform-style stages with in- and
+    /// out-phase costs. Depth 0 yields the empty chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any configured cost
+    /// fraction, sigma or rate is degenerate (non-finite, negative, or a
+    /// rate outside `[0, 1]`).
+    pub fn chain_for(
+        &self,
+        profile: &ServiceProfile,
+        depth: usize,
+        hit_rate: f64,
+    ) -> Result<MiddlewareChain, SimError> {
+        let svc_us = profile.service_time.as_micros_f64();
+        let mut stages = Vec::with_capacity(depth);
+        for i in 0..depth {
+            let stage = if i == 0 {
+                Stage::try_new("auth", self.stage_in_frac * svc_us, self.stage_sigma)?
+                    .with_cache(
+                        self.cache_hit_frac * svc_us,
+                        self.cache_miss_frac * svc_us,
+                        hit_rate,
+                        self.cache_warm_after,
+                    )?
+                    .with_short_circuit(self.auth_reject_rate)?
+            } else {
+                let name = STAGE_KINDS[(i - 1) % STAGE_KINDS.len()];
+                let stage = Stage::try_new(name, self.stage_in_frac * svc_us, self.stage_sigma)?;
+                if self.stage_out_frac > 0.0 {
+                    stage.with_out_phase(self.stage_out_frac * svc_us, self.stage_sigma)?
+                } else {
+                    stage
+                }
+            };
+            stages.push(stage);
+        }
+        Ok(MiddlewareChain::new(stages))
+    }
+
+    /// Runs the whole depth/hit-rate sweep once and returns one
+    /// [`PipelinePoint`] per configured setting.
+    ///
+    /// This is the unit the parallel executor shards on. The arrival and
+    /// service streams are common random numbers across the sweep points
+    /// (the `loadgen` discipline), and the per-stage streams are derived
+    /// so that two depths share the streams of their common stage prefix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the degenerate-profile error of
+    /// [`PipelineBenchmark::service_profile`] and the degenerate-chain
+    /// error of [`PipelineBenchmark::chain_for`].
+    pub fn run_trial(
+        &self,
+        platform: &Platform,
+        rng: &mut SimRng,
+    ) -> Result<Vec<PipelinePoint>, SimError> {
+        let profile = self.service_profile(platform)?;
+        // Common random numbers: every sweep point replays the same
+        // unit-rate arrival gaps and the same backend service sequence.
+        let arrival = rng.split("arrivals");
+        let service = rng.split("service");
+        // The stage stream only exists when some point has a non-empty
+        // chain: splitting advances the parent stream, and a zero-depth
+        // sweep must consume the cell stream exactly like `loadgen`.
+        let stage_root = if self.sweep.iter().any(|s| s.depth > 0) {
+            Some(rng.split(STAGE_STREAM))
+        } else {
+            None
+        };
+        self.sweep
+            .iter()
+            .map(|setting| {
+                self.run_setting(
+                    &profile,
+                    setting,
+                    arrival.clone(),
+                    service.clone(),
+                    stage_root.clone(),
+                    rng,
+                )
+            })
+            .collect()
+    }
+
+    /// Runs one sweep point. `misc_rng` is the cell stream the
+    /// timing-irrelevant draws are split from, one split per point — the
+    /// same discipline as the `loadgen` sweep.
+    fn run_setting(
+        &self,
+        profile: &ServiceProfile,
+        setting: &PipelineSetting,
+        arrival_rng: SimRng,
+        service_rng: SimRng,
+        stage_root: Option<SimRng>,
+        misc_rng: &mut SimRng,
+    ) -> Result<PipelinePoint, SimError> {
+        let chain = self.chain_for(profile, setting.depth, setting.hit_rate)?;
+        let planned = self.chain_for(profile, setting.depth, setting.planned_hit_rate)?;
+        // Chain-inclusive capacity at the planned hit rate: the sweep
+        // holds utilization constant across depths, so the miss-storm
+        // point (planned warm, actually cold) lands above saturation.
+        let per_request = profile.service_time + planned.expected_cost();
+        let capacity_per_sec = profile.servers as f64 / per_request.as_secs_f64();
+        let offered_per_sec = capacity_per_sec * self.offered_fraction.max(0.0);
+        // One stream per stage, derived in stage order: depths d and d+1
+        // share the streams of stages 0..d, coupling the depth sweep.
+        let stage_rngs: Vec<SimRng> = match stage_root {
+            Some(mut root) => (0..chain.depth())
+                .map(|i| root.split(&format!("s{i}")))
+                .collect(),
+            None => Vec::new(),
+        };
+        let mut sim: Simulation<PipelineSim> = Simulation::new();
+        let mut state = PipelineSim::new(
+            self,
+            profile,
+            chain,
+            stage_rngs,
+            offered_per_sec,
+            arrival_rng,
+            service_rng,
+            misc_rng.split(MISC_STREAM),
+        );
+        // Kick off the batched Poisson arrival source.
+        sim.schedule_at(Nanos::ZERO, |sim, st: &mut PipelineSim| st.generate(sim));
+        // Probe the in-flight population at a fixed cadence across the
+        // expected arrival window, exactly like the loadgen sweep.
+        let probes = 64;
+        let window =
+            Nanos::from_secs_f64(self.requests_per_point as f64 / offered_per_sec.max(1.0));
+        let period = window / probes;
+        sim.schedule_periodic(period, period, probes, |_, st: &mut PipelineSim| {
+            st.in_flight_probe.record(st.pool.in_flight() as f64);
+        });
+        sim.run(&mut state);
+        Ok(state.into_point(setting, offered_per_sec, sim.now()))
+    }
+}
+
+impl PipelineSetting {
+    /// The default sweep: chain depth 1–8 at the baseline hit rate, an
+    /// auth-cache hit-rate sweep at depth 4, and the cache-miss-storm
+    /// point (cold cache, traffic provisioned for the warm one).
+    pub fn default_sweep() -> Vec<PipelineSetting> {
+        vec![
+            PipelineSetting::new(1, BASELINE_HIT_RATE),
+            PipelineSetting::new(2, BASELINE_HIT_RATE),
+            PipelineSetting::new(4, BASELINE_HIT_RATE),
+            PipelineSetting::new(6, BASELINE_HIT_RATE),
+            PipelineSetting::new(8, BASELINE_HIT_RATE),
+            PipelineSetting::new(4, 1.0),
+            PipelineSetting::new(4, 0.75),
+            PipelineSetting::new(4, 0.5),
+            PipelineSetting::storm(4, 0.0, BASELINE_HIT_RATE),
+        ]
+    }
+}
+
+/// One measured point of the pipeline sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelinePoint {
+    /// Categorical sweep label (e.g. `d4 h0.90`, `d4 miss-storm`).
+    pub label: String,
+    /// Chain depth of the point.
+    pub depth: usize,
+    /// Actual auth-cache hit rate.
+    pub hit_rate: f64,
+    /// Hit rate the offered load was provisioned against.
+    pub planned_hit_rate: f64,
+    /// Offered load in requests per second.
+    pub offered_per_sec: f64,
+    /// Backend-served (not short-circuited) throughput in requests/sec.
+    pub achieved_per_sec: f64,
+    /// Median sojourn time (queueing + chain + service) in microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile sojourn time in microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile sojourn time in microseconds.
+    pub p99_us: f64,
+    /// Mean sojourn time in microseconds.
+    pub mean_us: f64,
+    /// Mean middleware cost actually charged per response (the per-stage
+    /// latency tax summed over the entered stages), in microseconds.
+    pub stage_tax_us: f64,
+    /// Mean number of stages entered per response.
+    pub mean_depth: f64,
+    /// Fraction of responses that were short-circuited by a stage.
+    pub short_circuit_fraction: f64,
+    /// Auth-cache hit fraction over the point's accesses (warmup
+    /// included).
+    pub cache_hit_fraction: f64,
+    /// Requests served by the backend.
+    pub completed: u64,
+    /// Requests short-circuited by a middleware stage.
+    pub short_circuited: u64,
+    /// Requests dropped by the bounded admission queue.
+    pub dropped: u64,
+    /// Dropped fraction of all issued requests.
+    pub drop_fraction: f64,
+    /// Peak number of in-flight requests (in service + queued).
+    pub peak_in_flight: usize,
+    /// Time-averaged in-flight depth from fixed-cadence probes.
+    pub mean_in_flight: f64,
+    /// Minimum over all responses of sojourn minus charged middleware
+    /// cost, in microseconds — non-negative by construction (a request
+    /// can never respond faster than the stages it traversed), the floor
+    /// the latency-bound property test pins down.
+    pub min_slack_us: f64,
+}
+
+/// Per-connection accounting of the open-loop client population.
+#[derive(Debug, Default, Clone, Copy)]
+struct ConnState {
+    issued: u64,
+    completed: u64,
+    dropped: u64,
+}
+
+/// A request waiting in the admission queue or in service.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    arrived: Nanos,
+    conn: u32,
+    stage_cost: Nanos,
+    cut: bool,
+}
+
+/// The discrete-event state of one pipeline sweep point — the `loadgen`
+/// event loop with the middleware chain spliced into dispatch.
+struct PipelineSim {
+    arrival_rng: SimRng,
+    service_rng: SimRng,
+    misc_rng: SimRng,
+    stage_rngs: Vec<SimRng>,
+    profile: ServiceProfile,
+    chain: MiddlewareChain,
+    pool: SlotPool<Request>,
+    offered_per_sec: f64,
+    remaining_arrivals: u64,
+    conns: Vec<ConnState>,
+    latencies_us: Vec<f64>,
+    completed: u64,
+    short_circuited: u64,
+    dropped: u64,
+    peak_in_flight: usize,
+    backend: BackendState,
+    op_sample_every: u64,
+    admitted: u64,
+    in_flight_probe: RunningStats,
+    stage_cost_ns_sum: u128,
+    depth_sum: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    min_slack_ns: i128,
+    completions: CompletionTimer<Request>,
+    drain_buf: Vec<(Nanos, Request)>,
+    dispatch_buf: Vec<(usize, Nanos, Request)>,
+}
+
+impl PipelineSim {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        bench: &PipelineBenchmark,
+        profile: &ServiceProfile,
+        chain: MiddlewareChain,
+        stage_rngs: Vec<SimRng>,
+        offered_per_sec: f64,
+        arrival_rng: SimRng,
+        service_rng: SimRng,
+        misc_rng: SimRng,
+    ) -> Self {
+        let pool = SlotPool::new(
+            profile.servers,
+            SlotPolicy::FifoArrival,
+            vec![ClassConfig {
+                weight: 1,
+                queue_capacity: bench.queue_capacity,
+                mean_cost: profile.service_time + chain.expected_cost(),
+            }],
+        )
+        .expect("a validated service profile yields a valid single-class pool");
+        PipelineSim {
+            arrival_rng,
+            service_rng,
+            misc_rng,
+            stage_rngs,
+            profile: *profile,
+            chain,
+            pool,
+            offered_per_sec: offered_per_sec.max(1.0),
+            remaining_arrivals: bench.requests_per_point as u64,
+            conns: vec![ConnState::default(); bench.clients.max(1)],
+            latencies_us: Vec::with_capacity(bench.requests_per_point),
+            completed: 0,
+            short_circuited: 0,
+            dropped: 0,
+            peak_in_flight: 0,
+            backend: BackendState::build(bench.backend),
+            op_sample_every: bench.op_sample_every.max(1),
+            admitted: 0,
+            in_flight_probe: RunningStats::new(),
+            stage_cost_ns_sum: 0,
+            depth_sum: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            min_slack_ns: i128::MAX,
+            completions: CompletionTimer::new(),
+            drain_buf: Vec::new(),
+            dispatch_buf: Vec::new(),
+        }
+    }
+
+    /// Samples the next chunk of Poisson interarrival gaps and enqueues
+    /// one arrival event per gap; reschedules itself after the chunk's
+    /// last arrival while arrivals remain. Identical to the `loadgen`
+    /// source, chunk size included — the zero-stage chain must replay its
+    /// event schedule bit for bit.
+    fn generate(&mut self, sim: &mut Simulation<PipelineSim>) {
+        let n = self.remaining_arrivals.min(ARRIVAL_CHUNK);
+        if n == 0 {
+            return;
+        }
+        self.remaining_arrivals -= n;
+        let mut offset = Nanos::ZERO;
+        let mut batch = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            offset +=
+                Nanos::from_secs_f64(self.arrival_rng.exponential(1.0) / self.offered_per_sec);
+            batch.push((
+                offset,
+                |sim: &mut Simulation<PipelineSim>, st: &mut PipelineSim| st.arrive(sim),
+            ));
+        }
+        sim.schedule_batch(batch);
+        if self.remaining_arrivals > 0 {
+            sim.schedule_in(offset, |sim, st: &mut PipelineSim| st.generate(sim));
+        }
+    }
+
+    /// One open-loop arrival: attribute it to a connection, run the
+    /// sampled real-backend operation, then admit, enqueue or drop.
+    fn arrive(&mut self, sim: &mut Simulation<PipelineSim>) {
+        let conn = self.misc_rng.index(self.conns.len()) as u32;
+        self.conns[conn as usize].issued += 1;
+        let request = Request {
+            arrived: sim.now(),
+            conn,
+            stage_cost: Nanos::ZERO,
+            cut: false,
+        };
+        match self.pool.offer(0, request.arrived, request) {
+            Admission::Dispatched => {
+                self.admit();
+                self.schedule_completion(sim, request);
+            }
+            Admission::Queued => self.admit(),
+            Admission::Dropped => {
+                self.conns[conn as usize].dropped += 1;
+                self.dropped += 1;
+            }
+        }
+        self.peak_in_flight = self.peak_in_flight.max(self.pool.in_flight());
+    }
+
+    fn admit(&mut self) {
+        self.admitted += 1;
+        if self.admitted % self.op_sample_every == 0 {
+            self.backend.execute(&mut self.misc_rng);
+        }
+    }
+
+    /// Dispatch: traverse the chain, compose the slot occupancy (chain
+    /// cost plus backend service unless short-circuited), and register
+    /// the completion with the batched timer.
+    ///
+    /// The backend service time is sampled unconditionally — even for
+    /// requests a stage short-circuits — so the `service` stream stays
+    /// aligned with the `loadgen` path request for request.
+    fn schedule_completion(&mut self, sim: &mut Simulation<PipelineSim>, mut request: Request) {
+        let backend = self.profile.sample_service_time(&mut self.service_rng);
+        let t = self.chain.traverse(&mut self.stage_rngs);
+        self.stage_cost_ns_sum += u128::from(t.stage_cost.as_nanos());
+        self.depth_sum += t.stages_traversed as u64;
+        self.cache_hits += u64::from(t.cache_hits);
+        self.cache_misses += u64::from(t.cache_misses);
+        request.stage_cost = t.stage_cost;
+        request.cut = t.short_circuit.is_some();
+        let service = if request.cut {
+            t.stage_cost
+        } else {
+            t.stage_cost + backend
+        };
+        let service = service.max(Nanos::from_nanos(1));
+        if let Some(wake) = self.completions.schedule(sim.now() + service, request) {
+            sim.schedule_at(wake, |sim, st: &mut PipelineSim| st.drain_completions(sim));
+        }
+    }
+
+    /// One completion wake: drains every completion due in this wheel
+    /// slot, records sojourn times and the middleware-cost slack, folds
+    /// the batch into the pool, and dispatches the pulled queue heads.
+    fn drain_completions(&mut self, sim: &mut Simulation<PipelineSim>) {
+        let now = sim.now();
+        let mut due = std::mem::take(&mut self.drain_buf);
+        if let Some(wake) = self.completions.wake(now, &mut due) {
+            sim.schedule_at(wake, |sim, st: &mut PipelineSim| st.drain_completions(sim));
+        }
+        for &(at, request) in &due {
+            debug_assert_eq!(at, now, "completions drain exactly at their tick");
+            let sojourn = now - request.arrived;
+            self.latencies_us.push(sojourn.as_micros_f64());
+            let slack = i128::from(sojourn.as_nanos()) - i128::from(request.stage_cost.as_nanos());
+            self.min_slack_ns = self.min_slack_ns.min(slack);
+            self.conns[request.conn as usize].completed += 1;
+            if request.cut {
+                self.short_circuited += 1;
+            } else {
+                self.completed += 1;
+            }
+        }
+        let mut dispatched = std::mem::take(&mut self.dispatch_buf);
+        self.pool
+            .finish_batch(due.iter().map(|_| 0), &mut dispatched);
+        due.clear();
+        self.drain_buf = due;
+        for (_, _, next) in dispatched.drain(..) {
+            self.schedule_completion(sim, next);
+        }
+        self.dispatch_buf = dispatched;
+    }
+
+    fn into_point(
+        self,
+        setting: &PipelineSetting,
+        offered_per_sec: f64,
+        end: Nanos,
+    ) -> PipelinePoint {
+        let issued: u64 = self.conns.iter().map(|c| c.issued).sum();
+        let responded = self.completed + self.short_circuited;
+        debug_assert_eq!(issued, responded + self.dropped);
+        debug_assert_eq!(self.pool.counters(0).dropped, self.dropped);
+        let cdf = Cdf::from_samples(self.latencies_us)
+            .expect("a sweep point always completes at least one request");
+        let duration = end.as_secs_f64().max(f64::MIN_POSITIVE);
+        let denom = responded.max(1) as f64;
+        let accesses = (self.cache_hits + self.cache_misses).max(1) as f64;
+        PipelinePoint {
+            label: setting.label(),
+            depth: setting.depth,
+            hit_rate: setting.hit_rate,
+            planned_hit_rate: setting.planned_hit_rate,
+            offered_per_sec,
+            achieved_per_sec: self.completed as f64 / duration,
+            p50_us: cdf.percentile(50.0),
+            p95_us: cdf.percentile(95.0),
+            p99_us: cdf.percentile(99.0),
+            mean_us: cdf.mean(),
+            stage_tax_us: self.stage_cost_ns_sum as f64 / denom / 1e3,
+            mean_depth: self.depth_sum as f64 / denom,
+            short_circuit_fraction: self.short_circuited as f64 / denom,
+            cache_hit_fraction: self.cache_hits as f64 / accesses,
+            completed: self.completed,
+            short_circuited: self.short_circuited,
+            dropped: self.dropped,
+            drop_fraction: self.dropped as f64 / issued.max(1) as f64,
+            peak_in_flight: self.peak_in_flight,
+            mean_in_flight: self.in_flight_probe.mean(),
+            min_slack_us: if self.min_slack_ns == i128::MAX {
+                0.0
+            } else {
+                self.min_slack_ns as f64 / 1e3
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::LoadgenBenchmark;
+    use platforms::PlatformId;
+
+    fn tiny(backend: LoadBackend) -> PipelineBenchmark {
+        PipelineBenchmark {
+            clients: 64,
+            requests_per_point: 600,
+            runs: 1,
+            ..PipelineBenchmark::quick(backend)
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_trials_deterministic_per_seed() {
+        let bench = tiny(LoadBackend::Memcached);
+        let platform = PlatformId::Docker.build();
+        let a = bench
+            .run_trial(&platform, &mut SimRng::seed_from(91))
+            .unwrap();
+        assert_eq!(a.len(), bench.sweep.len());
+        for p in &a {
+            assert!(
+                p.p50_us <= p.p95_us && p.p95_us <= p.p99_us,
+                "percentiles out of order at {}: {p:?}",
+                p.label
+            );
+            assert!(p.p50_us > 0.0);
+            assert!(p.completed > 0);
+            assert!(p.min_slack_us >= 0.0, "{}: {p:?}", p.label);
+        }
+        let b = bench
+            .run_trial(&platform, &mut SimRng::seed_from(91))
+            .unwrap();
+        assert_eq!(a, b);
+        let c = bench
+            .run_trial(&platform, &mut SimRng::seed_from(92))
+            .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn deeper_chains_charge_a_larger_stage_tax_and_higher_latency() {
+        let mut bench = tiny(LoadBackend::Memcached);
+        bench.sweep = vec![
+            PipelineSetting::new(1, BASELINE_HIT_RATE),
+            PipelineSetting::new(4, BASELINE_HIT_RATE),
+            PipelineSetting::new(8, BASELINE_HIT_RATE),
+        ];
+        let points = bench
+            .run_trial(&PlatformId::Native.build(), &mut SimRng::seed_from(93))
+            .unwrap();
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].stage_tax_us > pair[0].stage_tax_us,
+                "stage tax must grow with depth: {pair:?}"
+            );
+            assert!(
+                pair[1].p50_us > pair[0].p50_us,
+                "p50 must grow with depth: {pair:?}"
+            );
+            assert!(pair[1].mean_depth > pair[0].mean_depth);
+        }
+    }
+
+    #[test]
+    fn requests_are_conserved_under_short_circuits_and_drops() {
+        let mut bench = tiny(LoadBackend::Memcached);
+        bench.auth_reject_rate = 0.3;
+        bench.queue_capacity = 4;
+        bench.offered_fraction = 2.0; // force drops at the bounded queue
+        bench.sweep = vec![PipelineSetting::new(3, 0.8)];
+        let p = &bench
+            .run_trial(&PlatformId::Qemu.build(), &mut SimRng::seed_from(94))
+            .unwrap()[0];
+        assert_eq!(
+            p.completed + p.short_circuited + p.dropped,
+            bench.requests_per_point as u64
+        );
+        assert!(p.short_circuited > 0, "30% rejection must short-circuit");
+        assert!(p.dropped > 0, "2x overload must hit the admission bound");
+        assert!(p.short_circuit_fraction > 0.2 && p.short_circuit_fraction < 0.4);
+    }
+
+    #[test]
+    fn a_cold_cache_warms_toward_its_target_hit_rate() {
+        let mut warm = tiny(LoadBackend::Memcached);
+        warm.cache_warm_after = 0;
+        warm.sweep = vec![PipelineSetting::new(2, 0.9)];
+        let mut cold = warm.clone();
+        cold.cache_warm_after = 5_000; // warms over ~8x the request count
+        let platform = PlatformId::Native.build();
+        let hot = warm
+            .run_trial(&platform, &mut SimRng::seed_from(95))
+            .unwrap()[0]
+            .cache_hit_fraction;
+        let ramp = cold
+            .run_trial(&platform, &mut SimRng::seed_from(95))
+            .unwrap()[0]
+            .cache_hit_fraction;
+        assert!(
+            (hot - 0.9).abs() < 0.05,
+            "pre-warmed cache must hit near its target, got {hot}"
+        );
+        assert!(
+            ramp < hot * 0.5,
+            "a slowly warming cache must hit far less, got {ramp} vs {hot}"
+        );
+    }
+
+    #[test]
+    fn a_full_hit_cache_equals_the_cacheless_constant_cost_chain() {
+        // Chain-level equivalence: a stage whose cache always hits is the
+        // same stage with the hit cost folded into its in-phase cost.
+        let cached = Stage::try_new("auth", 10.0, 0.0)
+            .unwrap()
+            .with_cache(5.0, 500.0, 1.0, 0)
+            .unwrap();
+        let folded = Stage::try_new("auth", 15.0, 0.0).unwrap();
+        let tail = Stage::try_new("transform", 12.0, 0.0)
+            .unwrap()
+            .with_out_phase(4.0, 0.0)
+            .unwrap();
+        let mut a = MiddlewareChain::new(vec![cached, tail.clone()]);
+        let mut b = MiddlewareChain::new(vec![folded, tail]);
+        let mut root = SimRng::seed_from(96);
+        let mut rngs_a: Vec<SimRng> = (0..2).map(|i| root.split(&format!("a{i}"))).collect();
+        let mut rngs_b: Vec<SimRng> = (0..2).map(|i| root.split(&format!("b{i}"))).collect();
+        for _ in 0..200 {
+            let ta = a.traverse(&mut rngs_a);
+            let tb = b.traverse(&mut rngs_b);
+            assert_eq!(ta.stage_cost, tb.stage_cost);
+            assert_eq!(ta.stages_traversed, tb.stages_traversed);
+        }
+    }
+
+    #[test]
+    fn zero_stage_chain_matches_the_plain_loadgen_path_bit_for_bit() {
+        // The degenerate-config regression contract: a depth-0 pipeline
+        // must replay the plain SlotPool load sweep exactly — identical
+        // streams, identical event schedule, identical measurements.
+        for backend in [LoadBackend::Memcached, LoadBackend::Mysql] {
+            let pipeline = PipelineBenchmark {
+                sweep: vec![PipelineSetting::new(0, BASELINE_HIT_RATE)],
+                offered_fraction: 0.8,
+                ..tiny(backend)
+            };
+            let loadgen = LoadgenBenchmark {
+                clients: 64,
+                requests_per_point: 600,
+                runs: 1,
+                load_points: vec![0.8],
+                ..LoadgenBenchmark::quick(backend)
+            };
+            for platform in [PlatformId::Native, PlatformId::GvisorPtrace] {
+                let platform = platform.build();
+                let p = &pipeline
+                    .run_trial(&platform, &mut SimRng::seed_from(97))
+                    .unwrap()[0];
+                let l = &loadgen
+                    .run_trial(&platform, &mut SimRng::seed_from(97))
+                    .unwrap()[0];
+                assert_eq!(p.offered_per_sec, l.offered_per_sec);
+                assert_eq!(p.achieved_per_sec, l.achieved_per_sec);
+                assert_eq!(p.p50_us, l.p50_us);
+                assert_eq!(p.p95_us, l.p95_us);
+                assert_eq!(p.p99_us, l.p99_us);
+                assert_eq!(p.mean_us, l.mean_us);
+                assert_eq!(p.completed, l.completed);
+                assert_eq!(p.dropped, l.dropped);
+                assert_eq!(p.peak_in_flight, l.peak_in_flight);
+                assert_eq!(p.mean_in_flight, l.mean_in_flight);
+                assert_eq!(p.stage_tax_us, 0.0);
+                assert_eq!(p.short_circuited, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_cost_single_stage_chain_matches_the_loadgen_timings_bit_for_bit() {
+        // A single stage with all-zero costs, no short-circuit and a
+        // free cache consumes no timing-relevant draws: every latency
+        // and throughput figure must equal the plain loadgen path's.
+        let pipeline = PipelineBenchmark {
+            sweep: vec![PipelineSetting::new(1, BASELINE_HIT_RATE)],
+            offered_fraction: 0.8,
+            stage_in_frac: 0.0,
+            stage_out_frac: 0.0,
+            cache_hit_frac: 0.0,
+            cache_miss_frac: 0.0,
+            auth_reject_rate: 0.0,
+            ..tiny(LoadBackend::Memcached)
+        };
+        let loadgen = LoadgenBenchmark {
+            clients: 64,
+            requests_per_point: 600,
+            runs: 1,
+            load_points: vec![0.8],
+            ..LoadgenBenchmark::quick(LoadBackend::Memcached)
+        };
+        let platform = PlatformId::Docker.build();
+        let p = &pipeline
+            .run_trial(&platform, &mut SimRng::seed_from(98))
+            .unwrap()[0];
+        let l = &loadgen
+            .run_trial(&platform, &mut SimRng::seed_from(98))
+            .unwrap()[0];
+        assert_eq!(p.offered_per_sec, l.offered_per_sec);
+        assert_eq!(p.achieved_per_sec, l.achieved_per_sec);
+        assert_eq!(p.p50_us, l.p50_us);
+        assert_eq!(p.p95_us, l.p95_us);
+        assert_eq!(p.p99_us, l.p99_us);
+        assert_eq!(p.mean_us, l.mean_us);
+        assert_eq!(p.completed, l.completed);
+        assert_eq!(p.dropped, l.dropped);
+        assert_eq!(p.peak_in_flight, l.peak_in_flight);
+        assert_eq!(p.mean_in_flight, l.mean_in_flight);
+        assert_eq!(p.mean_depth, 1.0, "every request enters the free stage");
+    }
+
+    #[test]
+    fn degenerate_stage_models_fail_loudly() {
+        assert!(Stage::try_new("auth", f64::NAN, 0.2).is_err());
+        assert!(Stage::try_new("auth", -1.0, 0.2).is_err());
+        assert!(Stage::try_new("auth", f64::INFINITY, 0.2).is_err());
+        assert!(Stage::try_new("auth", 10.0, -0.1).is_err());
+        assert!(Stage::try_new("auth", 10.0, f64::NAN).is_err());
+        let stage = || Stage::try_new("auth", 10.0, 0.2).unwrap();
+        assert!(stage().with_out_phase(f64::NEG_INFINITY, 0.0).is_err());
+        assert!(stage().with_out_phase(5.0, -1.0).is_err());
+        assert!(stage().with_short_circuit(1.5).is_err());
+        assert!(stage().with_short_circuit(-0.1).is_err());
+        assert!(stage().with_short_circuit(f64::NAN).is_err());
+        assert!(stage().with_cache(-5.0, 50.0, 0.9, 0).is_err());
+        assert!(stage().with_cache(5.0, f64::NAN, 0.9, 0).is_err());
+        assert!(stage().with_cache(5.0, 50.0, 1.1, 0).is_err());
+        // A degenerate benchmark configuration surfaces through run_trial.
+        let bench = PipelineBenchmark {
+            stage_in_frac: f64::NAN,
+            ..tiny(LoadBackend::Memcached)
+        };
+        assert!(bench
+            .run_trial(&PlatformId::Native.build(), &mut SimRng::seed_from(99))
+            .is_err());
+        let empty_pool = PipelineBenchmark {
+            servers: 0,
+            ..tiny(LoadBackend::Memcached)
+        };
+        assert!(empty_pool
+            .run_trial(&PlatformId::Native.build(), &mut SimRng::seed_from(99))
+            .is_err());
+    }
+
+    #[test]
+    fn the_miss_storm_overloads_the_planned_capacity() {
+        let mut bench = tiny(LoadBackend::Memcached);
+        bench.sweep = vec![
+            PipelineSetting::new(4, BASELINE_HIT_RATE),
+            PipelineSetting::storm(4, 0.0, BASELINE_HIT_RATE),
+        ];
+        let points = bench
+            .run_trial(&PlatformId::Native.build(), &mut SimRng::seed_from(100))
+            .unwrap();
+        let (warm, storm) = (&points[0], &points[1]);
+        assert_eq!(
+            warm.offered_per_sec, storm.offered_per_sec,
+            "the storm runs at the load planned for the warm cache"
+        );
+        assert!(
+            storm.p99_us > warm.p99_us * 1.5,
+            "a cold cache under warm-planned load must blow up the tail: \
+             {} vs {}",
+            storm.p99_us,
+            warm.p99_us
+        );
+        assert!(storm.cache_hit_fraction < 0.01);
+    }
+}

@@ -1,0 +1,76 @@
+//! Middleware pipeline study: every request crosses a staged chain —
+//! auth with a warmable cache and a reject short-circuit, then
+//! transform/route/... stages with in/out-phase costs — before reaching
+//! the backend, and the study prints how chain depth, cache health, and
+//! the per-platform tax compound into end-to-end latency, including the
+//! cache-miss storm the capacity plan never budgeted for.
+//!
+//! Run with: `cargo run --release --example pipeline_study`
+//!
+//! Flags:
+//! * `--paper` — full-scale configuration (default is quick)
+//! * `--workers N` — worker thread count (default: available parallelism)
+
+use isolation_bench::harness::cli::parse_count;
+use isolation_bench::harness::grid;
+use isolation_bench::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper_scale = args.iter().any(|a| a == "--paper");
+    let cfg = if paper_scale {
+        RunConfig::paper(2021)
+    } else {
+        RunConfig::quick(2021)
+    };
+
+    let mut plan = RunPlan::new(cfg).with_shard("pipeline");
+    if let Some(workers) = parse_count(&args, "--workers") {
+        plan = plan.with_workers(workers);
+    }
+    let executor = Executor::new(plan);
+    println!(
+        "Middleware pipeline study ({} mode, seed {}, {} workers)\n",
+        if paper_scale { "paper" } else { "quick" },
+        cfg.seed,
+        executor.plan().effective_workers(),
+    );
+
+    let run: RunReport = executor.run();
+    for figure in &run.figures {
+        println!("{}", report::to_markdown(figure));
+    }
+
+    // Pipeline summary: per platform, what the chain costs as it deepens,
+    // and what happens when the auth cache goes cold at the same depth.
+    for experiment in [ExperimentId::PipelineMemcached, ExperimentId::PipelineMysql] {
+        let Some(fig) = run.figure(experiment) else {
+            continue;
+        };
+        println!("### {} — depth and cache-health summary\n", fig.title);
+        for platform in grid::pipeline_platforms_of(fig) {
+            let at = |metric: &str, label: &str| {
+                fig.series_named(&format!("{platform} {metric}"))
+                    .and_then(|s| s.mean_of(label))
+                    .unwrap_or(0.0)
+            };
+            let p50_d1 = at(grid::PIPELINE_P50, "d1 h0.90").max(f64::MIN_POSITIVE);
+            let warm_p99 = at(grid::PIPELINE_P99, "d4 h0.90").max(f64::MIN_POSITIVE);
+            println!(
+                "- {platform}: p50 d1 {:.0} us -> d8 {:.0} us ({:.2}x, stage tax {:.0} us); \
+                 miss storm p99 {:.0} us ({:.1}x warm); short-circuit {:.1}%, cache hits {:.0}%",
+                p50_d1,
+                at(grid::PIPELINE_P50, "d8 h0.90"),
+                at(grid::PIPELINE_P50, "d8 h0.90") / p50_d1,
+                at(grid::PIPELINE_STAGE_TAX, "d8 h0.90"),
+                at(grid::PIPELINE_P99, "d4 miss-storm"),
+                at(grid::PIPELINE_P99, "d4 miss-storm") / warm_p99,
+                at(grid::PIPELINE_SHORT_CIRCUIT, "d8 h0.90") * 100.0,
+                at(grid::PIPELINE_CACHE_HIT, "d8 h0.90") * 100.0,
+            );
+        }
+        println!();
+    }
+
+    println!("{}", report::timing_table(&run));
+}

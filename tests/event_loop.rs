@@ -8,9 +8,9 @@ use isolation_bench::simcore::{EventQueue, ReferenceHeap, Simulation};
 
 #[test]
 fn full_grid_figures_are_byte_identical_for_1_2_and_8_workers_on_the_wheel() {
-    // Every one of the 19 grid experiments now runs its simulations on
-    // the timing wheel; the executor's determinism guarantee must be
-    // unchanged: any worker count renders the same figure bytes.
+    // Every grid experiment now runs its simulations on the timing
+    // wheel; the executor's determinism guarantee must be unchanged:
+    // any worker count renders the same figure bytes.
     let cfg = RunConfig::quick(2021);
     let serial = Executor::new(RunPlan::new(cfg).with_trials(1).with_workers(1)).run();
     assert_eq!(
@@ -18,7 +18,7 @@ fn full_grid_figures_are_byte_identical_for_1_2_and_8_workers_on_the_wheel() {
         ExperimentId::all().len(),
         "the full grid must cover every experiment"
     );
-    assert_eq!(serial.figures.len(), 19);
+    assert_eq!(serial.figures.len(), 21);
     let serial_csv: Vec<String> = serial.figures.iter().map(report::to_csv).collect();
     for workers in [2, 8] {
         let run = Executor::new(RunPlan::new(cfg).with_trials(1).with_workers(workers)).run();

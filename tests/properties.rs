@@ -4,10 +4,15 @@ use proptest::prelude::*;
 
 use isolation_bench::harness::{grid, ExperimentId};
 use isolation_bench::kvstore::{Store, StoreConfig};
+use isolation_bench::platforms::PlatformId;
 use isolation_bench::relstore::{Database, Row};
 use isolation_bench::simcore::stats::{Cdf, RunningStats};
 use isolation_bench::simcore::{rng, Bandwidth, EventQueue, Nanos, ReferenceHeap, SimRng};
+use isolation_bench::workloads::pipeline::BASELINE_HIT_RATE;
 use isolation_bench::workloads::slots::{ClassConfig, SlotPolicy, SlotPool};
+use isolation_bench::workloads::{
+    LoadBackend, MiddlewareChain, PipelineBenchmark, PipelineSetting, Stage,
+};
 
 proptest! {
     #[test]
@@ -256,5 +261,123 @@ proptest! {
                 prop_assert_eq!(row.unwrap().k, k);
             }
         }
+    }
+
+    #[test]
+    fn middleware_traversal_accounts_for_every_stage(
+        specs in prop::collection::vec(
+            ((0.0f64..200.0, 0.0f64..0.6, 0.0f64..1.0), (any::<bool>(), 0.0f64..50.0, 0.0f64..500.0)),
+            0..10,
+        ),
+        requests in 1usize..60,
+    ) {
+        // Chain-level bookkeeping under arbitrary stages: the traversal
+        // enters exactly the prefix up to and including the first
+        // short-circuit, cache hits and misses count only entered cached
+        // stages, and the charged cost is finite and non-negative.
+        let cached_flags: Vec<bool> = specs.iter().map(|s| s.1 .0).collect();
+        let stages: Vec<Stage> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &((in_us, sigma, sc), (cached, hit_us, miss_us)))| {
+                let stage = Stage::try_new(&format!("s{i}"), in_us, sigma)
+                    .unwrap()
+                    .with_short_circuit(sc)
+                    .unwrap()
+                    .with_out_phase(in_us / 2.0, sigma)
+                    .unwrap();
+                if cached {
+                    stage.with_cache(hit_us, miss_us, 0.5, 8).unwrap()
+                } else {
+                    stage
+                }
+            })
+            .collect();
+        let mut chain = MiddlewareChain::new(stages);
+        let mut root = SimRng::seed_from(11);
+        let mut rngs: Vec<SimRng> = (0..chain.depth()).map(|i| root.split(&format!("s{i}"))).collect();
+        for _ in 0..requests {
+            let t = chain.traverse(&mut rngs);
+            let expected_traversed = t.short_circuit.map(|i| i + 1).unwrap_or(chain.depth());
+            prop_assert_eq!(t.stages_traversed, expected_traversed);
+            if let Some(i) = t.short_circuit {
+                prop_assert!(specs[i].0 .2 > 0.0, "stage {} cannot fire at rate 0", i);
+            }
+            let cached_entered = cached_flags[..t.stages_traversed]
+                .iter()
+                .filter(|&&c| c)
+                .count();
+            prop_assert_eq!((t.cache_hits + t.cache_misses) as usize, cached_entered);
+            prop_assert!(t.stage_cost.as_nanos() < u64::MAX / 2);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn pipeline_conserves_requests_and_never_beats_its_stage_costs(
+        depth in 0usize..6,
+        offered in 0.2f64..2.2,
+        reject in 0.0f64..0.4,
+        hit_rate in 0.0f64..1.0,
+        stage_in_frac in 0.0f64..0.4,
+        stage_out_frac in 0.0f64..0.2,
+        cache_miss_frac in 0.0f64..2.0,
+        stage_sigma in 0.0f64..0.5,
+        queue_capacity in 1usize..64,
+    ) {
+        // End-to-end conservation under arbitrary chains and loads: every
+        // offered request is exactly one of completed, short-circuited or
+        // dropped; no response returns faster than the middleware cost it
+        // was charged; and the reported fractions are probabilities.
+        let bench = PipelineBenchmark {
+            clients: 32,
+            requests_per_point: 240,
+            runs: 1,
+            offered_fraction: offered,
+            queue_capacity,
+            auth_reject_rate: reject,
+            stage_in_frac,
+            stage_out_frac,
+            cache_miss_frac,
+            stage_sigma,
+            sweep: vec![PipelineSetting::new(depth, hit_rate)],
+            ..PipelineBenchmark::quick(LoadBackend::Memcached)
+        };
+        let platform = PlatformId::Native.build();
+        let point = &bench.run_trial(&platform, &mut SimRng::seed_from(12)).unwrap()[0];
+        prop_assert_eq!(
+            point.completed + point.short_circuited + point.dropped,
+            bench.requests_per_point as u64,
+            "requests leaked: {:?}", point
+        );
+        prop_assert!(point.min_slack_us >= 0.0, "a response beat its stage costs: {:?}", point);
+        for fraction in [
+            point.short_circuit_fraction,
+            point.cache_hit_fraction,
+            point.drop_fraction,
+        ] {
+            prop_assert!((0.0..=1.0).contains(&fraction), "{:?}", point);
+        }
+        if depth == 0 {
+            prop_assert_eq!(point.short_circuited, 0);
+            prop_assert_eq!(point.stage_tax_us, 0.0);
+        }
+        prop_assert!(point.p50_us.is_finite() && point.p99_us.is_finite());
+    }
+
+    #[test]
+    fn pipeline_trials_are_deterministic_per_seed(seed in 0u64..u64::MAX) {
+        let bench = PipelineBenchmark {
+            clients: 32,
+            requests_per_point: 160,
+            runs: 1,
+            sweep: vec![PipelineSetting::new(3, BASELINE_HIT_RATE)],
+            ..PipelineBenchmark::quick(LoadBackend::Memcached)
+        };
+        let platform = PlatformId::Docker.build();
+        let a = bench.run_trial(&platform, &mut SimRng::seed_from(seed)).unwrap();
+        let b = bench.run_trial(&platform, &mut SimRng::seed_from(seed)).unwrap();
+        prop_assert_eq!(a, b);
     }
 }
