@@ -4,18 +4,19 @@
 #
 #   ci/check_bench.sh [artifact.json ...]
 #
-# Every named artifact (default: all five) must exist and be non-empty
+# Every named artifact (default: all six) must exist and be non-empty
 # and contain no non-finite values (NaN/inf); the full-grid report must
-# additionally cover every experiment it declares, and the event-loop
+# additionally cover every experiment it declares, the event-loop
 # report must attest order equivalence between the wheel and the
-# reference heap.
+# reference heap, and the cluster report must attest that every
+# shard-core lane count reproduced the 1-core sweep bit-for-bit.
 set -euo pipefail
 
 # The experiment count is read from the artifact itself (the harness
 # emits "experiment_count" from ExperimentId::all()), so this script
 # never drifts from the grid; the floor only guards against an artifact
 # that under-declares its own coverage.
-MIN_SLUGS=21
+MIN_SLUGS=23
 status=0
 
 files=("$@")
@@ -25,6 +26,7 @@ if [ "${#files[@]}" -eq 0 ]; then
     BENCH_load_curves.json
     BENCH_tenant_isolation.json
     BENCH_pipeline.json
+    BENCH_cluster.json
     BENCH_event_loop.json
   )
 fi
@@ -61,6 +63,16 @@ for f in "${files[@]}"; do
     *event_loop*)
       if ! grep -q '"order_equivalent": true' "$f"; then
         echo "check_bench: $f does not attest wheel/heap order equivalence" >&2
+        status=1
+      fi
+      ;;
+    *cluster*)
+      if ! grep -q '"identical": true' "$f"; then
+        echo "check_bench: $f does not attest serial/parallel equality" >&2
+        status=1
+      fi
+      if grep -q '"identical": false' "$f"; then
+        echo "check_bench: $f reports a shard-core lane diverging from the 1-core sweep" >&2
         status=1
       fi
       ;;

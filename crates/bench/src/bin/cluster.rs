@@ -1,0 +1,228 @@
+//! Machine-readable sharded-cluster bench runner.
+//!
+//! Runs the two cluster experiments (`cluster_memcached`,
+//! `cluster_mysql`) twice — serially (1 worker) and with N workers —
+//! then replays the Memcached sweep with the shards multiplexed onto
+//! 1/2/4/8 event-core lanes to measure the shard-core scaling curve,
+//! attesting that every lane count reproduces the 1-core points
+//! bit-for-bit. Writes `BENCH_cluster.json` with the per-platform
+//! shard-count × skew × routing sweeps (cluster and hot-shard
+//! percentiles, load imbalance, achieved throughput, drop fractions)
+//! and the scaling curve. Exits non-zero if the serial and parallel
+//! runs disagree, if an experiment is missing, if any lane count
+//! diverges from the 1-core reference, if the emitted JSON contains a
+//! non-finite value (NaN/inf), or if the sweep violates the cluster's
+//! domain invariants: imbalance is a max/mean ratio (>= 1), the drop
+//! metric is a fraction, and p50 cannot exceed p99.
+//!
+//! Run with: `cargo run --release -p bench --bin cluster`
+//!
+//! Flags:
+//! * `--paper` — full-scale configuration (default is quick)
+//! * `--quick` — quick configuration (the default; accepted for symmetry)
+//! * `--workers N` — parallel worker count (default: available parallelism)
+//! * `--trials N` — override every experiment's trial count
+//! * `--out PATH` — output path (default `BENCH_cluster.json`)
+//! * `--baseline PATH` — compare the 8-lane scaling point against a perf
+//!   baseline (see `ci/perf_baseline.json`) and exit non-zero on regression
+
+use std::time::Instant;
+
+use harness::cli::{flag_value, run_serial_and_parallel};
+use harness::report::ShardCoreScaling;
+use harness::{grid, report, ExperimentId};
+use platforms::PlatformId;
+use simcore::SimRng;
+use workloads::cluster::{ClusterBenchmark, ClusterPoint};
+use workloads::LoadBackend;
+
+/// Lane counts of the shard-core scaling curve the acceptance criteria
+/// pin: the sweep must produce identical points at every one of them.
+const SCALING_CORES: [usize; 4] = [1, 2, 4, 8];
+
+/// One timed replay of the Memcached cluster sweep with the shards
+/// multiplexed onto `cores` event-core lanes. Every replay uses the
+/// same seed-derived streams, so the returned points must match the
+/// 1-core reference exactly — the curve measures pure lane overhead.
+fn scaling_run(cores: usize, quick: bool, seed: u64) -> (Vec<ClusterPoint>, ShardCoreScaling) {
+    let mut bench = if quick {
+        ClusterBenchmark::quick(LoadBackend::Memcached)
+    } else {
+        ClusterBenchmark::new(LoadBackend::Memcached)
+    };
+    bench.shard_cores = cores;
+    let platform = PlatformId::Native.build();
+    let mut rng = SimRng::seed_from(seed);
+    let start = Instant::now();
+    let points = bench
+        .run_trial(&platform, &mut rng)
+        .expect("the native cluster sweep configuration is valid");
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    let events: u64 = points.iter().map(|p| p.events).sum();
+    let scaling = ShardCoreScaling {
+        cores,
+        wall_ms: elapsed_secs * 1e3,
+        events_per_sec: events as f64 / elapsed_secs.max(f64::MIN_POSITIVE),
+        // The caller fills this in against the 1-core reference.
+        identical: true,
+    };
+    (points, scaling)
+}
+
+/// Extracts the number following `"key":` from a flat JSON object — the
+/// same hand-rolled JSON handling the rest of the workspace uses (the
+/// vendored stand-ins ship no JSON parser).
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let rest = &json[json.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `cluster` selects exactly the two sharded-cluster experiments.
+    let run = run_serial_and_parallel("cluster", &args, Some("cluster"), "BENCH_cluster.json");
+
+    let mut failures = Vec::new();
+
+    // Shard-core scaling curve: the Memcached sweep at 1/2/4/8 lanes,
+    // each attested bit-identical to the 1-core reference.
+    let quick = run.mode == "quick";
+    let (reference, first) = scaling_run(SCALING_CORES[0], quick, run.config.seed);
+    let mut scaling = vec![first];
+    for cores in &SCALING_CORES[1..] {
+        let (points, mut point) = scaling_run(*cores, quick, run.config.seed);
+        point.identical = points == reference;
+        if !point.identical {
+            failures.push(format!(
+                "{cores}-lane sweep diverged from the 1-lane reference points"
+            ));
+        }
+        scaling.push(point);
+    }
+
+    let json = report::cluster_json(
+        run.mode,
+        run.config.seed,
+        &run.serial,
+        &run.parallel,
+        &scaling,
+    );
+    std::fs::write(&run.out_path, &json)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", run.out_path));
+
+    for figure in &run.serial.figures {
+        println!("{}", report::to_markdown(figure));
+    }
+    println!("| shard cores | wall (ms) | events/sec | identical |");
+    println!("|---|---|---|---|");
+    for point in &scaling {
+        println!(
+            "| {} | {:.1} | {:.0} | {} |",
+            point.cores, point.wall_ms, point.events_per_sec, point.identical
+        );
+    }
+    println!(
+        "\nwall clock: serial {:.0} ms, {} workers {:.0} ms; report: {}",
+        run.serial.wall.as_secs_f64() * 1e3,
+        run.parallel_workers,
+        run.parallel.wall.as_secs_f64() * 1e3,
+        run.out_path,
+    );
+
+    for experiment in [ExperimentId::ClusterMemcached, ExperimentId::ClusterMysql] {
+        for (label, pass) in [("serial", &run.serial), ("parallel", &run.parallel)] {
+            let ok = pass.figure(experiment).is_some_and(|fig| {
+                !fig.series.is_empty() && fig.series.iter().all(|s| !s.points.is_empty())
+            });
+            if !ok {
+                failures.push(format!(
+                    "{} missing from the {label} run",
+                    experiment.slug()
+                ));
+            }
+        }
+        // Domain invariants: imbalance is a max/mean ratio, the drop
+        // metric is a probability, and percentiles are ordered.
+        if let Some(fig) = run.serial.figure(experiment) {
+            for platform in grid::platforms_of(fig, grid::CLUSTER_HOT_P99) {
+                let series = |metric: &str| {
+                    fig.series_named(&format!("{platform} {metric}"))
+                        .unwrap_or_else(|| panic!("{metric} series missing for {platform}"))
+                };
+                for point in &series(grid::CLUSTER_IMBALANCE).points {
+                    if point.mean < 1.0 {
+                        failures.push(format!(
+                            "{}/{platform}: imbalance at \"{}\" is {} (a max/mean ratio below 1)",
+                            experiment.slug(),
+                            point.x,
+                            point.mean,
+                        ));
+                    }
+                }
+                for point in &series(grid::CLUSTER_DROP_RATE).points {
+                    if !(0.0..=1.0).contains(&point.mean) {
+                        failures.push(format!(
+                            "{}/{platform}: drop fraction at \"{}\" is {} (outside [0, 1])",
+                            experiment.slug(),
+                            point.x,
+                            point.mean,
+                        ));
+                    }
+                }
+                let p99 = series(grid::CLUSTER_P99);
+                for point in &series(grid::CLUSTER_P50).points {
+                    let Some(p99_mean) = p99.mean_of(&point.x) else {
+                        continue;
+                    };
+                    if point.mean > p99_mean {
+                        failures.push(format!(
+                            "{}/{platform}: p50 at \"{}\" ({:.1} us) exceeds p99 ({:.1} us)",
+                            experiment.slug(),
+                            point.x,
+                            point.mean,
+                            p99_mean,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if run.serial.figures != run.parallel.figures {
+        failures.push(format!(
+            "serial and {}-worker figure data disagree",
+            run.parallel_workers
+        ));
+    }
+    if let Some(token) = report::find_non_finite(&json) {
+        failures.push(format!("emitted JSON contains non-finite value {token:?}"));
+    }
+    if let Some(path) = flag_value(&args, "--baseline") {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let key = format!("{}_cluster_min_events_per_sec", run.mode);
+        let min_eps =
+            json_number(&baseline, &key).unwrap_or_else(|| panic!("baseline {path} lacks {key}"));
+        let best = scaling
+            .iter()
+            .map(|p| p.events_per_sec)
+            .fold(0.0_f64, f64::max);
+        println!(
+            "baseline ({}): min {min_eps:.0} events/sec (best lane {best:.0})",
+            run.mode
+        );
+        if best < min_eps {
+            failures.push(format!(
+                "cluster throughput {best:.0} events/sec regressed below the baseline floor {min_eps:.0}"
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("cluster: FAILED: {}", failures.join("; "));
+        std::process::exit(1);
+    }
+}

@@ -60,7 +60,7 @@ fn main() {
         // than the shallowest at the median, and the fraction metrics are
         // probabilities.
         if let Some(fig) = run.serial.figure(experiment) {
-            for platform in grid::pipeline_platforms_of(fig) {
+            for platform in grid::platforms_of(fig, grid::PIPELINE_STAGE_TAX) {
                 let series = |metric: &str| {
                     fig.series_named(&format!("{platform} {metric}"))
                         .unwrap_or_else(|| panic!("{metric} series missing for {platform}"))

@@ -51,6 +51,12 @@ pub enum ExperimentId {
     PipelineMemcached,
     /// Beyond the paper: MySQL behind a staged middleware pipeline.
     PipelineMysql,
+    /// Beyond the paper: a Memcached sharded cluster — a routing tier
+    /// hashing Zipf-skewed keys over N per-shard event cores, swept over
+    /// shard count, skew and rebalancing policy.
+    ClusterMemcached,
+    /// Beyond the paper: a MySQL sharded cluster.
+    ClusterMysql,
 }
 
 impl ExperimentId {
@@ -79,6 +85,8 @@ impl ExperimentId {
             TenantIsolationMysql,
             PipelineMemcached,
             PipelineMysql,
+            ClusterMemcached,
+            ClusterMysql,
         ]
     }
 
@@ -111,6 +119,8 @@ impl ExperimentId {
                 "Pipeline: Memcached latency vs middleware depth and cache hit rate (us)"
             }
             PipelineMysql => "Pipeline: MySQL latency vs middleware depth and cache hit rate (us)",
+            ClusterMemcached => "Cluster: Memcached latency vs shard count under Zipf skew (us)",
+            ClusterMysql => "Cluster: MySQL latency vs shard count under Zipf skew (us)",
         }
     }
 
@@ -139,6 +149,8 @@ impl ExperimentId {
             TenantIsolationMysql => "tenant_isolation_mysql",
             PipelineMemcached => "pipeline_memcached",
             PipelineMysql => "pipeline_mysql",
+            ClusterMemcached => "cluster_memcached",
+            ClusterMysql => "cluster_mysql",
         }
     }
 }
@@ -239,7 +251,7 @@ mod tests {
         let slugs: std::collections::BTreeSet<_> =
             ExperimentId::all().iter().map(|e| e.slug()).collect();
         assert_eq!(slugs.len(), ExperimentId::all().len());
-        assert_eq!(ExperimentId::all().len(), 21);
+        assert_eq!(ExperimentId::all().len(), 23);
     }
 
     #[test]

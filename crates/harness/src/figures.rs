@@ -145,6 +145,19 @@ pub fn pipeline_mysql(cfg: &RunConfig) -> FigureData {
     run(ExperimentId::PipelineMysql, cfg)
 }
 
+/// Beyond the paper: a Memcached sharded cluster — per-platform
+/// cluster-wide sojourn percentiles, the hottest shard's tail, the
+/// steady-phase load imbalance, and achieved/drop behaviour over a
+/// shard-count, Zipf-skew and rebalancing-policy sweep.
+pub fn cluster_memcached(cfg: &RunConfig) -> FigureData {
+    run(ExperimentId::ClusterMemcached, cfg)
+}
+
+/// Beyond the paper: a MySQL sharded cluster.
+pub fn cluster_mysql(cfg: &RunConfig) -> FigureData {
+    run(ExperimentId::ClusterMysql, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

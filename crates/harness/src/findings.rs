@@ -32,7 +32,7 @@ fn check(id: &'static str, claim: &'static str, passed: bool, detail: String) ->
 }
 
 /// The experiments the finding checks read.
-const NEEDED: [ExperimentId; 13] = [
+const NEEDED: [ExperimentId; 14] = [
     ExperimentId::SysbenchPrime,
     ExperimentId::Fig05Ffmpeg,
     ExperimentId::Fig06MemLatency,
@@ -46,6 +46,7 @@ const NEEDED: [ExperimentId; 13] = [
     ExperimentId::LoadMysql,
     ExperimentId::TenantIsolationMemcached,
     ExperimentId::PipelineMemcached,
+    ExperimentId::ClusterMemcached,
 ];
 
 /// Runs all implemented finding checks using the given configuration,
@@ -288,7 +289,7 @@ pub fn check_findings_on(figures: &[FigureData]) -> Vec<FindingCheck> {
     if let Some(load) = fig(ExperimentId::LoadMemcached) {
         let mut knees = Vec::new();
         let mut all_at_the_end = true;
-        for platform in crate::grid::load_platforms_of(load) {
+        for platform in crate::grid::platforms_of(load, crate::grid::LOAD_P50) {
             let series = load
                 .series_named(&format!("{platform} {}", crate::grid::LOAD_P99))
                 .expect("p99 series exists for every load platform");
@@ -340,7 +341,7 @@ pub fn check_findings_on(figures: &[FigureData]) -> Vec<FindingCheck> {
     // victim shares the platform's weighted service slots with a bursty
     // aggressor swept into overload.
     if let Some(tenancy) = fig(ExperimentId::TenantIsolationMemcached) {
-        let platforms = crate::grid::tenant_platforms_of(tenancy);
+        let platforms = crate::grid::platforms_of(tenancy, crate::grid::TENANT_VICTIM_P99);
         let last = |platform: &str, metric: &str| {
             tenancy
                 .series_named(&format!("{platform} {metric}"))
@@ -417,7 +418,7 @@ pub fn check_findings_on(figures: &[FigureData]) -> Vec<FindingCheck> {
     // pays explicit per-stage costs on top of the backend, so chain depth,
     // cache health, and the platform tax interact in measurable ways.
     if let Some(pipeline) = fig(ExperimentId::PipelineMemcached) {
-        let platforms = crate::grid::pipeline_platforms_of(pipeline);
+        let platforms = crate::grid::platforms_of(pipeline, crate::grid::PIPELINE_STAGE_TAX);
         let at = |platform: &str, metric: &str, label: &str| {
             pipeline
                 .series_named(&format!("{platform} {metric}"))
@@ -482,6 +483,88 @@ pub fn check_findings_on(figures: &[FigureData]) -> Vec<FindingCheck> {
             format!(
                 "d8 p99 gvisor {gvisor_p99:.0} us vs native {native_p99:.0} us; stage tax gvisor {gvisor_tax:.1} us vs native {native_tax:.1} us"
             ),
+        ));
+    }
+
+    // Beyond the paper: the sharded cluster. A routing tier spreads
+    // Zipf-skewed keys over N per-shard event cores, so placement skew,
+    // fleet size, and resharding policy become measurable.
+    if let Some(cluster) = fig(ExperimentId::ClusterMemcached) {
+        let platforms = crate::grid::platforms_of(cluster, crate::grid::CLUSTER_HOT_P99);
+        let at = |platform: &str, metric: &str, label: &str| {
+            cluster
+                .series_named(&format!("{platform} {metric}"))
+                .and_then(|s| s.mean_of(label))
+                .unwrap_or(0.0)
+        };
+
+        // cluster-01: key skew concentrates the tail on the hot shard —
+        // at a fixed fleet size, raising the Zipf skew inflates both the
+        // steady-phase load imbalance and the hottest shard's p99 on
+        // every platform.
+        let mut skew_holds = !platforms.is_empty();
+        let mut min_imbalance_ratio = f64::MAX;
+        for platform in &platforms {
+            let balanced = at(platform, crate::grid::CLUSTER_IMBALANCE, "s16 z0.00");
+            let skewed = at(platform, crate::grid::CLUSTER_IMBALANCE, "s16 z0.99");
+            let hot_balanced = at(platform, crate::grid::CLUSTER_HOT_P99, "s16 z0.00");
+            let hot_skewed = at(platform, crate::grid::CLUSTER_HOT_P99, "s16 z0.99");
+            if !(skewed > balanced && hot_skewed > hot_balanced) {
+                skew_holds = false;
+            }
+            min_imbalance_ratio = min_imbalance_ratio.min(skewed / balanced.max(f64::MIN_POSITIVE));
+        }
+        out.push(check(
+            "cluster-01",
+            "Zipf key skew concentrates load: at 16 shards, strong skew inflates the steady imbalance and the hot shard's p99 on every platform",
+            skew_holds && min_imbalance_ratio > 1.3,
+            format!("smallest z0.99/z0.00 imbalance ratio {min_imbalance_ratio:.2}"),
+        ));
+
+        // cluster-02: scale-out flattens the median but not the hot
+        // tail — the cluster p50 falls 1→256 shards while the hottest
+        // shard's p99 keeps growing, because the hottest key still lands
+        // on exactly one shard whose load share does not shrink with N.
+        let mut scale_holds = !platforms.is_empty();
+        let mut min_hot_ratio = f64::MAX;
+        for platform in &platforms {
+            let p50_one = at(platform, crate::grid::CLUSTER_P50, "s1");
+            let p50_many = at(platform, crate::grid::CLUSTER_P50, "s256");
+            let hot_one = at(platform, crate::grid::CLUSTER_HOT_P99, "s1");
+            let hot_many = at(platform, crate::grid::CLUSTER_HOT_P99, "s256");
+            if !(p50_many < p50_one && hot_many > hot_one) {
+                scale_holds = false;
+            }
+            min_hot_ratio = min_hot_ratio.min(hot_many / hot_one.max(f64::MIN_POSITIVE));
+        }
+        out.push(check(
+            "cluster-02",
+            "scale-out flattens the median but not the hot tail: 1→256 shards lowers cluster p50 while the hot shard's p99 grows on every platform",
+            scale_holds && min_hot_ratio > 1.5,
+            format!("smallest s256/s1 hot-shard p99 ratio {min_hot_ratio:.2}"),
+        ));
+
+        // cluster-03: resharding during churn restores balance — the
+        // rebalanced point's steady-phase imbalance undercuts the stale
+        // pinned placement by a wide margin and stays near the hashed
+        // placement floor on every platform.
+        let mut rebalance_holds = !platforms.is_empty();
+        let mut max_rebal_ratio = 0.0f64;
+        for platform in &platforms {
+            let pinned = at(platform, crate::grid::CLUSTER_IMBALANCE, "s16 pinned");
+            let rebal = at(platform, crate::grid::CLUSTER_IMBALANCE, "s16 rebal");
+            let hashed = at(platform, crate::grid::CLUSTER_IMBALANCE, "s16");
+            let ratio = rebal / pinned.max(f64::MIN_POSITIVE);
+            if !(ratio < 0.75 && rebal < hashed * 1.5) {
+                rebalance_holds = false;
+            }
+            max_rebal_ratio = max_rebal_ratio.max(ratio);
+        }
+        out.push(check(
+            "cluster-03",
+            "resharding during tenant churn restores balance: the rebalanced steady imbalance undercuts the stale pinned placement and lands near the hashed floor on every platform",
+            rebalance_holds,
+            format!("largest rebal/pinned imbalance ratio {max_rebal_ratio:.2}"),
         ));
     }
 

@@ -14,11 +14,14 @@
 
 use memsim::bandwidth::CopyMethod;
 use platforms::subsystems::startup::StartupVariant;
-use platforms::PlatformId;
+use platforms::{Platform, PlatformId};
 use simcore::rng;
 use simcore::stats::{Cdf, RunningStats};
+use simcore::SimRng;
 
 use hap::HapSuite;
+use workloads::bench::WorkloadBenchmark;
+use workloads::cluster::{ClusterBenchmark, ClusterPoint};
 use workloads::loadgen::{LoadBackend, LoadPoint, LoadgenBenchmark};
 use workloads::pipeline::{PipelineBenchmark, PipelinePoint};
 use workloads::tenancy::{ColocationPoint, TenancyBenchmark};
@@ -112,9 +115,9 @@ const BOOT_OSV: &[(PlatformId, StartupVariant, &str)] = &[
 ];
 
 /// The platform set of the open-loop load-curve, multi-tenant
-/// co-location and middleware-pipeline experiments: one representative
-/// per family (baseline, container, hypervisor, microVM, secure
-/// container ×2), in figure-legend order.
+/// co-location, middleware-pipeline and sharded-cluster experiments: one
+/// representative per family (baseline, container, hypervisor, microVM,
+/// secure container ×2), in figure-legend order.
 const LOAD_PLATFORMS: &[PlatformId] = &[
     PlatformId::Native,
     PlatformId::Docker,
@@ -152,7 +155,9 @@ pub fn entries(experiment: ExperimentId) -> Vec<Entry> {
         | TenantIsolationMemcached
         | TenantIsolationMysql
         | PipelineMemcached
-        | PipelineMysql => LOAD_PLATFORMS.iter().map(|id| Entry::bar(*id)).collect(),
+        | PipelineMysql
+        | ClusterMemcached
+        | ClusterMysql => LOAD_PLATFORMS.iter().map(|id| Entry::bar(*id)).collect(),
         _ => PlatformId::paper_set()
             .iter()
             .map(|id| Entry::bar(*id))
@@ -176,6 +181,7 @@ pub fn trials(experiment: ExperimentId, cfg: &RunConfig) -> usize {
         LoadMemcached | LoadMysql => load_bench(experiment, cfg).runs,
         TenantIsolationMemcached | TenantIsolationMysql => tenant_bench(experiment, cfg).runs,
         PipelineMemcached | PipelineMysql => pipeline_bench(experiment, cfg).runs,
+        ClusterMemcached | ClusterMysql => cluster_bench(experiment, cfg).runs,
         _ => cfg.runs,
     };
     // A zero-run/zero-startup config still produces one trial per cell so
@@ -223,6 +229,9 @@ pub enum CellOutput {
     /// One middleware-pipeline sweep (one [`PipelinePoint`] per
     /// depth/hit-rate setting) of the pipeline experiments.
     Pipeline(Vec<PipelinePoint>),
+    /// One sharded-cluster sweep (one [`ClusterPoint`] per
+    /// shard-count/skew/routing setting) of the cluster experiments.
+    Cluster(Vec<ClusterPoint>),
     /// The platform is excluded from this experiment.
     Skip,
 }
@@ -285,6 +294,33 @@ fn pipeline_bench(experiment: ExperimentId, cfg: &RunConfig) -> PipelineBenchmar
     } else {
         PipelineBenchmark::new(backend)
     }
+}
+
+fn cluster_bench(experiment: ExperimentId, cfg: &RunConfig) -> ClusterBenchmark {
+    let backend = match experiment {
+        ExperimentId::ClusterMysql => LoadBackend::Mysql,
+        _ => LoadBackend::Memcached,
+    };
+    if cfg.quick {
+        ClusterBenchmark::quick(backend)
+    } else {
+        ClusterBenchmark::new(backend)
+    }
+}
+
+/// Runs one sweep-workload trial through the unified
+/// [`WorkloadBenchmark`] surface — the single dispatch point of the
+/// load-curve, tenancy, pipeline and cluster cells. A new sweep workload
+/// reaches the grid by implementing the trait and wrapping its points in
+/// a [`CellOutput`] variant here.
+fn run_sweep_trial<B: WorkloadBenchmark>(
+    bench: &B,
+    platform: &Platform,
+    rng: &mut SimRng,
+) -> Vec<B::Point> {
+    bench
+        .run_trial(platform, rng)
+        .expect("paper platforms derate to valid sweep configurations")
 }
 
 /// Runs one cell: one trial of one platform entry of one experiment.
@@ -387,30 +423,26 @@ pub fn run_cell(
                 weighted: profile.weighted_score,
             }
         }
-        LoadMemcached | LoadMysql => {
-            let bench = load_bench(experiment, cfg);
-            CellOutput::Load(
-                bench
-                    .run_trial(&platform, &mut rng)
-                    .expect("paper platforms derate to valid service profiles"),
-            )
-        }
-        TenantIsolationMemcached | TenantIsolationMysql => {
-            let bench = tenant_bench(experiment, cfg);
-            CellOutput::Tenant(
-                bench
-                    .run_trial(&platform, &mut rng)
-                    .expect("paper platforms derate to valid tenant profiles"),
-            )
-        }
-        PipelineMemcached | PipelineMysql => {
-            let bench = pipeline_bench(experiment, cfg);
-            CellOutput::Pipeline(
-                bench
-                    .run_trial(&platform, &mut rng)
-                    .expect("paper platforms derate to valid pipeline chains"),
-            )
-        }
+        LoadMemcached | LoadMysql => CellOutput::Load(run_sweep_trial(
+            &load_bench(experiment, cfg),
+            &platform,
+            &mut rng,
+        )),
+        TenantIsolationMemcached | TenantIsolationMysql => CellOutput::Tenant(run_sweep_trial(
+            &tenant_bench(experiment, cfg),
+            &platform,
+            &mut rng,
+        )),
+        PipelineMemcached | PipelineMysql => CellOutput::Pipeline(run_sweep_trial(
+            &pipeline_bench(experiment, cfg),
+            &platform,
+            &mut rng,
+        )),
+        ClusterMemcached | ClusterMysql => CellOutput::Cluster(run_sweep_trial(
+            &cluster_bench(experiment, cfg),
+            &platform,
+            &mut rng,
+        )),
     }
 }
 
@@ -453,6 +485,7 @@ pub fn merge(experiment: ExperimentId, outputs: &[Vec<CellOutput>]) -> FigureDat
         LoadMemcached | LoadMysql => merge_load(experiment, outputs),
         TenantIsolationMemcached | TenantIsolationMysql => merge_tenant(experiment, outputs),
         PipelineMemcached | PipelineMysql => merge_pipeline(experiment, outputs),
+        ClusterMemcached | ClusterMysql => merge_cluster(experiment, outputs),
         // Fig. 11 reports the maximum over the runs, everything else the mean.
         Fig11Iperf => merge_bars(experiment, outputs, true),
         _ => merge_bars(experiment, outputs, false),
@@ -640,25 +673,88 @@ fn merge_pipeline(experiment: ExperimentId, outputs: &[Vec<CellOutput>]) -> Figu
     fig
 }
 
-/// The platform labels of a merged load-curve figure, recovered (in
-/// canonical order) from its `"<platform> p50 (us)"` series labels.
-pub fn load_platforms_of(fig: &FigureData) -> Vec<String> {
-    platforms_by_suffix(fig, LOAD_P50)
+/// The per-platform metric series of one sharded-cluster figure, in
+/// series order: cluster-wide sojourn percentiles, the hottest shard's
+/// tail, the steady-phase load imbalance, and the achieved/drop
+/// behaviour. Every series is labelled `"<platform> <metric>"`;
+/// [`crate::findings`] and [`crate::report`] look series up through
+/// these constants.
+pub const CLUSTER_METRICS: [&str; 6] = [
+    CLUSTER_P50,
+    CLUSTER_P99,
+    CLUSTER_HOT_P99,
+    CLUSTER_IMBALANCE,
+    CLUSTER_ACHIEVED,
+    CLUSTER_DROP_RATE,
+];
+
+/// Cluster-wide median sojourn time across all shards.
+pub const CLUSTER_P50: &str = "p50 (us)";
+/// Cluster-wide 99th-percentile sojourn time across all shards.
+pub const CLUSTER_P99: &str = "p99 (us)";
+/// 99th-percentile sojourn time on the hottest shard (by arrivals).
+pub const CLUSTER_HOT_P99: &str = "hot shard p99 (us)";
+/// Steady-phase load imbalance: hottest shard arrivals over the
+/// per-shard mean (1.0 = perfectly balanced).
+pub const CLUSTER_IMBALANCE: &str = "imbalance";
+/// Completed cluster throughput.
+pub const CLUSTER_ACHIEVED: &str = "achieved (req/s)";
+/// Dropped fraction of all issued requests.
+pub const CLUSTER_DROP_RATE: &str = "drop fraction";
+
+fn cluster_metric(point: &ClusterPoint, metric: &str) -> f64 {
+    match metric {
+        CLUSTER_P50 => point.p50_us,
+        CLUSTER_P99 => point.p99_us,
+        CLUSTER_HOT_P99 => point.hot_p99_us,
+        CLUSTER_IMBALANCE => point.imbalance,
+        CLUSTER_ACHIEVED => point.achieved_per_sec,
+        CLUSTER_DROP_RATE => point.drop_fraction,
+        other => unreachable!("unknown cluster metric {other}"),
+    }
 }
 
-/// The platform labels of a merged pipeline figure, recovered (in
-/// canonical order) from its `"<platform> stage tax (us)"` series labels.
-pub fn pipeline_platforms_of(fig: &FigureData) -> Vec<String> {
-    platforms_by_suffix(fig, PIPELINE_STAGE_TAX)
+fn merge_cluster(experiment: ExperimentId, outputs: &[Vec<CellOutput>]) -> FigureData {
+    let mut fig = FigureData::new(experiment);
+    for (entry, trials) in entries(experiment).iter().zip(outputs) {
+        let sweeps: Vec<&[ClusterPoint]> = trials
+            .iter()
+            .map(|output| match output {
+                CellOutput::Cluster(points) => points.as_slice(),
+                other => {
+                    unreachable!("{experiment:?} produced {other:?}, expected a cluster sweep")
+                }
+            })
+            .collect();
+        let first = sweeps.first().expect("every entry runs at least one trial");
+        for metric in CLUSTER_METRICS {
+            let mut series = Series::new(&format!("{} {metric}", entry.label));
+            for (xi, sample) in first.iter().enumerate() {
+                let stats: RunningStats = sweeps
+                    .iter()
+                    .map(|points| cluster_metric(&points[xi], metric))
+                    .collect();
+                series.points.push(DataPoint {
+                    x: sample.label.clone(),
+                    x_value: xi as f64,
+                    mean: stats.mean(),
+                    std_dev: stats.std_dev(),
+                });
+            }
+            fig.series.push(series);
+        }
+    }
+    fig
 }
 
-/// The platform labels of a merged tenant-isolation figure, recovered (in
-/// canonical order) from its `"<platform> victim p99 (us)"` series labels.
-pub fn tenant_platforms_of(fig: &FigureData) -> Vec<String> {
-    platforms_by_suffix(fig, TENANT_VICTIM_P99)
-}
-
-fn platforms_by_suffix(fig: &FigureData, metric: &str) -> Vec<String> {
+/// The platform labels of a merged per-metric sweep figure (load,
+/// tenancy, pipeline or cluster), recovered in canonical entry order by
+/// stripping one of the figure's metric suffixes (e.g. [`LOAD_P50`],
+/// [`TENANT_VICTIM_P99`], [`PIPELINE_STAGE_TAX`], [`CLUSTER_P99`]) from
+/// its `"<platform> <metric>"` series labels. Any metric the figure
+/// carries recovers the same list; callers conventionally pass the
+/// figure family's first headline metric.
+pub fn platforms_of(fig: &FigureData, metric: &str) -> Vec<String> {
     let suffix = format!(" {metric}");
     fig.series
         .iter()
@@ -998,7 +1094,49 @@ mod tests {
                 .unwrap_or_else(|| panic!("missing series for {} {metric}", entry.label));
             assert_eq!(series.points.len(), sweep_len);
         }
-        assert_eq!(pipeline_platforms_of(&fig), vec![entry.label.to_string()]);
+        assert_eq!(
+            platforms_of(&fig, PIPELINE_STAGE_TAX),
+            vec![entry.label.to_string()]
+        );
+    }
+
+    #[test]
+    fn cluster_cells_produce_full_sweeps_and_merge_per_metric_series() {
+        let experiment = ExperimentId::ClusterMemcached;
+        let grid_entries = entries(experiment);
+        assert!(grid_entries.len() >= 3);
+        let entry = &grid_entries[0];
+        let outputs = [vec![run_cell(experiment, entry, 0, &cfg())]];
+        let sweep_len = match &outputs[0][0] {
+            CellOutput::Cluster(points) => {
+                assert!(
+                    points.len() >= 8,
+                    "cluster sweep needs the shard-count and skew axes"
+                );
+                assert!(
+                    points.iter().any(|p| p.shards == 256),
+                    "the shard sweep must reach 256 shards"
+                );
+                assert!(
+                    points.iter().any(|p| p.rebalanced),
+                    "the sweep must include the resharding point"
+                );
+                points.len()
+            }
+            other => panic!("expected a cluster sweep, got {other:?}"),
+        };
+        let fig = merge(experiment, &outputs[..1]);
+        assert_eq!(fig.series.len(), CLUSTER_METRICS.len());
+        for metric in CLUSTER_METRICS {
+            let series = fig
+                .series_named(&format!("{} {metric}", entry.label))
+                .unwrap_or_else(|| panic!("missing series for {} {metric}", entry.label));
+            assert_eq!(series.points.len(), sweep_len);
+        }
+        assert_eq!(
+            platforms_of(&fig, CLUSTER_HOT_P99),
+            vec![entry.label.to_string()]
+        );
     }
 
     #[test]

@@ -223,7 +223,7 @@ pub fn find_non_finite(json: &str) -> Option<&'static str> {
 /// departs from the near-flat region) is directly visible. The derived
 /// figure renders through [`to_markdown`]/[`to_csv`] like any other.
 pub fn hockey_stick(fig: &FigureData) -> FigureData {
-    let platforms = crate::grid::load_platforms_of(fig);
+    let platforms = crate::grid::platforms_of(fig, crate::grid::LOAD_P50);
     let mut out = FigureData::new(fig.experiment);
     out.title = format!("{} — p99 vs achieved throughput", fig.title);
     for platform in platforms {
@@ -253,7 +253,7 @@ pub fn hockey_stick(fig: &FigureData) -> FigureData {
 fn load_experiment_json(out: &mut String, fig: &FigureData) {
     let _ = writeln!(out, "    {{");
     let _ = writeln!(out, "      \"slug\": \"{}\",", fig.experiment.slug());
-    let platforms = crate::grid::load_platforms_of(fig);
+    let platforms = crate::grid::platforms_of(fig, crate::grid::LOAD_P50);
     let _ = writeln!(out, "      \"platforms\": [");
     for (pi, platform) in platforms.iter().enumerate() {
         let series = |metric: &str| fig.series_named(&format!("{platform} {metric}"));
@@ -332,7 +332,7 @@ pub fn load_curves_json(mode: &str, seed: u64, serial: &RunReport, parallel: &Ru
 fn tenant_experiment_json(out: &mut String, fig: &FigureData) {
     let _ = writeln!(out, "    {{");
     let _ = writeln!(out, "      \"slug\": \"{}\",", fig.experiment.slug());
-    let platforms = crate::grid::tenant_platforms_of(fig);
+    let platforms = crate::grid::platforms_of(fig, crate::grid::TENANT_VICTIM_P99);
     let _ = writeln!(out, "      \"platforms\": [");
     for (pi, platform) in platforms.iter().enumerate() {
         let series = |metric: &str| fig.series_named(&format!("{platform} {metric}"));
@@ -439,7 +439,7 @@ pub fn tenant_isolation_json(
 fn pipeline_experiment_json(out: &mut String, fig: &FigureData) {
     let _ = writeln!(out, "    {{");
     let _ = writeln!(out, "      \"slug\": \"{}\",", fig.experiment.slug());
-    let platforms = crate::grid::pipeline_platforms_of(fig);
+    let platforms = crate::grid::platforms_of(fig, crate::grid::PIPELINE_STAGE_TAX);
     let _ = writeln!(out, "      \"platforms\": [");
     for (pi, platform) in platforms.iter().enumerate() {
         let series = |metric: &str| fig.series_named(&format!("{platform} {metric}"));
@@ -506,6 +506,121 @@ pub fn pipeline_json(mode: &str, seed: u64, serial: &RunReport, parallel: &RunRe
     let _ = writeln!(out, "  \"experiments\": [");
     for (i, fig) in serial_figs.iter().enumerate() {
         pipeline_experiment_json(&mut out, fig);
+        let _ = writeln!(out, "{}", if i + 1 < serial_figs.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+/// The figure-level payload of one sharded-cluster experiment:
+/// per-platform sweep points (shard count × Zipf skew × routing policy)
+/// with cluster-wide sojourn percentiles, the hottest shard's tail, the
+/// steady-phase imbalance, and the achieved/drop behaviour,
+/// reconstructed from the merged figure series.
+fn cluster_experiment_json(out: &mut String, fig: &FigureData) {
+    let _ = writeln!(out, "    {{");
+    let _ = writeln!(out, "      \"slug\": \"{}\",", fig.experiment.slug());
+    let platforms = crate::grid::platforms_of(fig, crate::grid::CLUSTER_HOT_P99);
+    let _ = writeln!(out, "      \"platforms\": [");
+    for (pi, platform) in platforms.iter().enumerate() {
+        let series = |metric: &str| fig.series_named(&format!("{platform} {metric}"));
+        let _ = writeln!(out, "        {{");
+        let _ = writeln!(out, "          \"label\": \"{}\",", json_escape(platform));
+        let _ = writeln!(out, "          \"points\": [");
+        let anchor = series(crate::grid::CLUSTER_P50).expect("p50 series exists by construction");
+        for (i, point) in anchor.points.iter().enumerate() {
+            // Panic (rather than emit a plausible 0.0) on a missing series
+            // or point: a malformed figure must fail the bench run loudly.
+            let metric_mean = |metric: &str| {
+                series(metric)
+                    .unwrap_or_else(|| panic!("{metric} series missing for {platform}"))
+                    .points[i]
+                    .mean
+            };
+            let _ = write!(
+                out,
+                "            {{\"setting\": \"{}\", \"p50_us\": {:.3}, \"p99_us\": {:.3}, \
+                 \"hot_shard_p99_us\": {:.3}, \"imbalance\": {:.4}, \
+                 \"achieved_per_sec\": {:.3}, \"drop_fraction\": {:.6}}}",
+                json_escape(&point.x),
+                point.mean,
+                metric_mean(crate::grid::CLUSTER_P99),
+                metric_mean(crate::grid::CLUSTER_HOT_P99),
+                metric_mean(crate::grid::CLUSTER_IMBALANCE),
+                metric_mean(crate::grid::CLUSTER_ACHIEVED),
+                metric_mean(crate::grid::CLUSTER_DROP_RATE),
+            );
+            let _ = writeln!(
+                out,
+                "{}",
+                if i + 1 < anchor.points.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "          ]");
+        let _ = write!(out, "        }}");
+        let _ = writeln!(out, "{}", if pi + 1 < platforms.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "      ]");
+    let _ = write!(out, "    }}");
+}
+
+/// One point of the cluster bench's shard-core scaling curve: the same
+/// sweep replayed with the shards multiplexed onto a different number of
+/// event-core lanes, with its wall clock, event throughput, and whether
+/// its points matched the 1-core reference exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardCoreScaling {
+    /// Event-core lanes the shards were multiplexed onto.
+    pub cores: usize,
+    /// Wall clock of the sweep at this lane count, in milliseconds.
+    pub wall_ms: f64,
+    /// Simulation events processed per wall-clock second.
+    pub events_per_sec: f64,
+    /// Whether every sweep point matched the 1-core run bit-for-bit.
+    pub identical: bool,
+}
+
+/// Renders the machine-readable sharded-cluster bench report
+/// (`BENCH_cluster.json`): the shard-count × skew × routing sweeps of
+/// both backends, from a serial (1-worker) and an N-worker run of the
+/// same plan, whether the two produced identical figure data, and the
+/// shard-core scaling curve attesting lane-count invariance.
+pub fn cluster_json(
+    mode: &str,
+    seed: u64,
+    serial: &RunReport,
+    parallel: &RunReport,
+    scaling: &[ShardCoreScaling],
+) -> String {
+    let cluster_figs = |report: &RunReport| {
+        [
+            crate::experiment::ExperimentId::ClusterMemcached,
+            crate::experiment::ExperimentId::ClusterMysql,
+        ]
+        .iter()
+        .filter_map(|e| report.figure(*e).cloned())
+        .collect::<Vec<_>>()
+    };
+    let serial_figs = cluster_figs(serial);
+    let parallel_figs = cluster_figs(parallel);
+    let identical = serial_figs == parallel_figs;
+
+    let mut out = json_report_header("isolation-bench/cluster/v1", mode, seed, serial, parallel);
+    let _ = writeln!(out, "  \"identical\": {identical},");
+    let _ = writeln!(out, "  \"shard_core_scaling\": [");
+    for (i, point) in scaling.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"cores\": {}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.1}, \"identical\": {}}}",
+            point.cores, point.wall_ms, point.events_per_sec, point.identical,
+        );
+        let _ = writeln!(out, "{}", if i + 1 < scaling.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"experiments\": [");
+    for (i, fig) in serial_figs.iter().enumerate() {
+        cluster_experiment_json(&mut out, fig);
         let _ = writeln!(out, "{}", if i + 1 < serial_figs.len() { "," } else { "" });
     }
     let _ = writeln!(out, "  ]");
@@ -700,6 +815,45 @@ mod tests {
         assert!(json.contains("\"setting\": \"d4 miss-storm\""));
         assert!(json.contains("\"stage_tax_us\""));
         assert!(json.contains("\"short_circuit_fraction\""));
+        assert_eq!(find_non_finite(&json), None, "emitted JSON must be finite");
+    }
+
+    #[test]
+    fn cluster_json_has_both_experiments_and_is_finite() {
+        let cfg = RunConfig {
+            seed: 7,
+            runs: 1,
+            startups: 8,
+            quick: true,
+        };
+        let serial = Executor::new(RunPlan::new(cfg).with_shard("cluster").with_workers(1)).run();
+        let parallel = Executor::new(RunPlan::new(cfg).with_shard("cluster").with_workers(2)).run();
+        let scaling = [
+            ShardCoreScaling {
+                cores: 1,
+                wall_ms: 10.0,
+                events_per_sec: 1e6,
+                identical: true,
+            },
+            ShardCoreScaling {
+                cores: 4,
+                wall_ms: 9.5,
+                events_per_sec: 1.1e6,
+                identical: true,
+            },
+        ];
+        let json = cluster_json("quick", 7, &serial, &parallel, &scaling);
+        assert!(json.contains("\"schema\": \"isolation-bench/cluster/v1\""));
+        assert!(json.contains("\"shard_core_scaling\": ["));
+        assert!(json.contains("{\"cores\": 4, \"wall_ms\": 9.500, \"events_per_sec\": 1100000.0, \"identical\": true}"));
+        assert!(json.contains("\"slug\": \"cluster_memcached\""));
+        assert!(json.contains("\"slug\": \"cluster_mysql\""));
+        assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"label\": \"native\""));
+        assert!(json.contains("\"setting\": \"s256\""));
+        assert!(json.contains("\"setting\": \"s16 rebal\""));
+        assert!(json.contains("\"hot_shard_p99_us\""));
+        assert!(json.contains("\"imbalance\""));
         assert_eq!(find_non_finite(&json), None, "emitted JSON must be finite");
     }
 

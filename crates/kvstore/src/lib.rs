@@ -27,5 +27,5 @@ pub mod shard;
 pub mod store;
 
 pub use protocol::{Command, ParseError, Response};
-pub use shard::Shard;
+pub use shard::{Shard, ShardStats};
 pub use store::{Store, StoreConfig, StoreStats};

@@ -23,6 +23,19 @@ struct Entry {
     touched: u64,
 }
 
+/// A point-in-time snapshot of one shard's occupancy counters, taken in
+/// one call (and under the parent's one lock acquisition) instead of
+/// three separate getter reads.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Number of live entries.
+    pub len: usize,
+    /// Bytes of key+value data currently stored.
+    pub bytes: usize,
+    /// Number of entries evicted so far.
+    pub evictions: u64,
+}
+
 impl Shard {
     /// Creates a shard bounded to `max_bytes` of value data.
     pub fn new(max_bytes: usize) -> Self {
@@ -45,14 +58,13 @@ impl Shard {
         self.map.is_empty()
     }
 
-    /// Bytes of key+value data currently stored.
-    pub fn bytes(&self) -> usize {
-        self.bytes
-    }
-
-    /// Number of entries evicted so far.
-    pub fn evictions(&self) -> u64 {
-        self.evictions
+    /// Snapshot of the shard's occupancy counters.
+    pub fn stats(&self) -> ShardStats {
+        ShardStats {
+            len: self.map.len(),
+            bytes: self.bytes,
+            evictions: self.evictions,
+        }
     }
 
     /// Looks a key up, refreshing its LRU position.
@@ -139,11 +151,18 @@ mod tests {
     fn byte_accounting_tracks_replacements() {
         let mut s = Shard::new(1 << 20);
         s.set(b"key", vec![0u8; 100], 1);
-        assert_eq!(s.bytes(), 103);
+        assert_eq!(s.stats().bytes, 103);
         s.set(b"key", vec![0u8; 10], 2);
-        assert_eq!(s.bytes(), 13);
+        assert_eq!(s.stats().bytes, 13);
         s.delete(b"key");
-        assert_eq!(s.bytes(), 0);
+        assert_eq!(
+            s.stats(),
+            ShardStats {
+                len: 0,
+                bytes: 0,
+                evictions: 0
+            }
+        );
     }
 
     #[test]
@@ -153,9 +172,10 @@ mod tests {
             let key = format!("key-{i}");
             s.set(key.as_bytes(), vec![0u8; 50], u64::from(i));
         }
-        assert!(s.bytes() <= 1_000, "bytes {} exceed budget", s.bytes());
-        assert!(s.evictions() > 0);
-        assert!(s.len() < 100);
+        let stats = s.stats();
+        assert!(stats.bytes <= 1_000, "bytes {} exceed budget", stats.bytes);
+        assert!(stats.evictions > 0);
+        assert!(stats.len < 100);
     }
 
     #[test]

@@ -121,10 +121,10 @@ impl Store {
         let mut bytes = 0u64;
         let mut evictions = 0u64;
         for shard in &self.shards {
-            let s = shard.lock();
-            entries += s.len() as u64;
-            bytes += s.bytes() as u64;
-            evictions += s.evictions();
+            let s = shard.lock().stats();
+            entries += s.len as u64;
+            bytes += s.bytes as u64;
+            evictions += s.evictions;
         }
         StoreStats {
             gets: self.gets.load(Ordering::Relaxed),

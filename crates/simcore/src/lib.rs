@@ -48,7 +48,7 @@ pub mod time;
 
 pub use dist::Distribution;
 pub use error::SimError;
-pub use events::{EventQueue, ReferenceHeap, Simulation};
+pub use events::{EventQueue, ReferenceHeap, ShardedCores, Simulation};
 pub use resource::{Bandwidth, QueueModel, TokenBucket};
 pub use rng::SimRng;
 pub use stats::{Cdf, Histogram, RunningStats, Summary};

@@ -1,0 +1,1039 @@
+//! Sharded cluster scale-out: a routing tier over N per-shard event
+//! cores (beyond the paper).
+//!
+//! Every earlier subsystem models one node; the ROADMAP's north star is
+//! the fleet. This module puts a **routing tier** in front of N backend
+//! shards: arrivals draw Zipf-skewed keys (configurable skew `s` and
+//! hot-key fraction, the YCSB-style hotspot mix), the router maps each
+//! key to a shard, and every shard owns its **own** derated
+//! [`SlotPool`] + [`CompletionTimer`] pair whose events live on its own
+//! core lane of a [`simcore::ShardedCores`] group. Shards advance in
+//! bounded lock-step windows with a deterministic cross-core
+//! `(timestamp, seq)` merge, so the whole cluster simulation is a pure
+//! function of its seed — the same byte-identical guarantee the
+//! executor proves across worker counts, now *inside* one experiment:
+//! results are identical whether the shards share 1, 2, 4 or 8 event
+//! cores ([`ClusterBenchmark::shard_cores`]), which is what makes
+//! per-lane parallel execution a pure optimization later.
+//!
+//! The sweep tells three stories, one per finding:
+//!
+//! * **Skew concentrates the tail** — at a fixed shard count, raising
+//!   the Zipf skew piles the hot keys' traffic onto one shard, so the
+//!   hottest shard's load share (and its p99) grows while the cluster
+//!   median barely moves.
+//! * **Scale-out flattens the median, not the hot tail** — growing the
+//!   cluster 1→256 shards at utilization-constant load drains the
+//!   average shard, but the hottest key still lands on exactly one
+//!   shard whose load share does not shrink with N, so the hot shard's
+//!   p99 keeps growing while p50 falls.
+//! * **Rebalancing restores balance under churn** — a stale routing
+//!   policy that funnels the (rotating, tenant-churned) hot set onto
+//!   shard 0 builds a large steady imbalance; resharding to hashed
+//!   placement mid-run restores the steady-phase imbalance to the
+//!   hash-placement floor.
+//!
+//! Determinism contract: the arrival, service and key streams are split
+//! once per trial and cloned per sweep point (common random numbers, the
+//! `loadgen` discipline), the service stream is consumed in the merged
+//! event order (which is core-count invariant), and each arrival's key
+//! costs exactly two draws whatever the outcome, so sweep points stay
+//! coupled and figures are bit-identical for any executor worker count
+//! *and* any shard-core count.
+
+use kvstore::{Shard, ShardStats};
+use platforms::Platform;
+use simcore::error::SimError;
+use simcore::resource::CompletionTimer;
+use simcore::stats::{Cdf, RunningStats};
+use simcore::{Nanos, ShardedCores, SimRng};
+
+use crate::loadgen::ARRIVAL_CHUNK;
+use crate::slots::{backend_profile, Admission, ClassConfig, SlotPolicy, SlotPool};
+pub use crate::slots::{LoadBackend, ServiceProfile};
+
+/// Baseline Zipf skew of the shard-count sweep (the `s` in Zipf(s)).
+pub const BASELINE_THETA: f64 = 0.9;
+
+/// How the routing tier places keys on shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// FNV-hash every key over the shards — the balanced placement.
+    Hashed,
+    /// Funnel the *currently hot* key set onto shard 0 (a stale
+    /// range-partitioned placement), hash everything else — the
+    /// adversarial baseline the rebalance experiment starts from.
+    Pinned,
+    /// Start [`RoutePolicy::Pinned`], then reshard to
+    /// [`RoutePolicy::Hashed`] at the steady-phase boundary
+    /// ([`ClusterBenchmark::rebalance_after`]) — resharding during
+    /// tenant churn.
+    Rebalance,
+}
+
+/// One point of the cluster sweep: a shard count, a Zipf skew, a routing
+/// policy, and whether the hot key set churns (rotates) over the window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSetting {
+    /// Number of backend shards behind the router.
+    pub shards: usize,
+    /// Zipf skew `s` of the hot-set key draw, in `[0, 1)`.
+    pub zipf_theta: f64,
+    /// Key placement policy of the routing tier.
+    pub route: RoutePolicy,
+    /// Whether the hot set rotates over the window (tenant churn).
+    pub churn: bool,
+}
+
+impl ClusterSetting {
+    /// A hash-routed point with a static hot set.
+    pub fn hashed(shards: usize, zipf_theta: f64) -> Self {
+        ClusterSetting {
+            shards,
+            zipf_theta,
+            route: RoutePolicy::Hashed,
+            churn: false,
+        }
+    }
+
+    /// The adversarial hot-set-on-shard-0 point under tenant churn, at
+    /// the baseline skew.
+    pub fn pinned(shards: usize) -> Self {
+        ClusterSetting {
+            shards,
+            zipf_theta: BASELINE_THETA,
+            route: RoutePolicy::Pinned,
+            churn: true,
+        }
+    }
+
+    /// The resharding-during-churn point: pinned start, hashed after the
+    /// rebalance boundary, at the baseline skew.
+    pub fn rebalance(shards: usize) -> Self {
+        ClusterSetting {
+            shards,
+            zipf_theta: BASELINE_THETA,
+            route: RoutePolicy::Rebalance,
+            churn: true,
+        }
+    }
+
+    /// The categorical label of the point in figures and reports.
+    pub fn label(&self) -> String {
+        match self.route {
+            RoutePolicy::Pinned => format!("s{} pinned", self.shards),
+            RoutePolicy::Rebalance => format!("s{} rebal", self.shards),
+            RoutePolicy::Hashed if (self.zipf_theta - BASELINE_THETA).abs() > 1e-9 => {
+                format!("s{} z{:.2}", self.shards, self.zipf_theta)
+            }
+            RoutePolicy::Hashed => format!("s{}", self.shards),
+        }
+    }
+
+    /// The default sweep: shard count 1→256 at the baseline skew, a skew
+    /// sweep at 16 shards, and the pinned/rebalance churn pair.
+    pub fn default_sweep() -> Vec<ClusterSetting> {
+        vec![
+            ClusterSetting::hashed(1, BASELINE_THETA),
+            ClusterSetting::hashed(4, BASELINE_THETA),
+            ClusterSetting::hashed(16, BASELINE_THETA),
+            ClusterSetting::hashed(64, BASELINE_THETA),
+            ClusterSetting::hashed(256, BASELINE_THETA),
+            ClusterSetting::hashed(16, 0.0),
+            ClusterSetting::hashed(16, 0.5),
+            ClusterSetting::hashed(16, 0.99),
+            ClusterSetting::pinned(16),
+            ClusterSetting::rebalance(16),
+        ]
+    }
+}
+
+/// Configuration of one sharded-cluster sweep.
+///
+/// Offered load is **utilization-constant**: every point offers
+/// `offered_fraction` of the *whole cluster's* derated capacity
+/// (`shards x servers_per_shard` slots), so scaling out grows the
+/// offered rate with the fleet — the capacity-planning convention under
+/// which "does the hot shard keep up" is the interesting question.
+#[derive(Debug, Clone)]
+pub struct ClusterBenchmark {
+    /// Which backend the shards run.
+    pub backend: LoadBackend,
+    /// Requests offered per sweep point.
+    pub requests_per_point: usize,
+    /// The shard-count/skew/routing sweep, one point per setting.
+    pub sweep: Vec<ClusterSetting>,
+    /// Offered load as a fraction of the cluster's saturation capacity.
+    pub offered_fraction: f64,
+    /// Bounded admission queue depth in front of each shard's slots.
+    pub queue_capacity: usize,
+    /// Parallel service slots per shard.
+    pub servers_per_shard: usize,
+    /// Measurement repetitions (trials) per sweep point.
+    pub runs: usize,
+    /// Execute one real per-shard store operation per this many
+    /// dispatched requests (the [`kvstore::Shard`] cache model).
+    pub op_sample_every: u64,
+    /// Size of the key universe.
+    pub keys: usize,
+    /// Size of the hot key set the Zipf draw ranks over.
+    pub hot_keys: usize,
+    /// Fraction of requests drawn from the hot set (the hotspot mix).
+    pub hot_fraction: f64,
+    /// Event-core lanes the shards multiplex onto (the lock-step group
+    /// width). Results are identical for any value — the invariance the
+    /// acceptance tests pin at 1/2/4/8.
+    pub shard_cores: usize,
+    /// Width of one bounded lock-step window, in microseconds. Pure
+    /// batching granularity: results are identical for any width.
+    pub lockstep_window_us: u64,
+    /// Fraction of the arrival window after which the steady phase
+    /// begins (imbalance is measured there) and the
+    /// [`RoutePolicy::Rebalance`] policy reshards.
+    pub rebalance_after: f64,
+    /// Hot-set rotations per window when a point churns.
+    pub churn_epochs: u32,
+    /// Byte budget of each shard's store cache.
+    pub cache_bytes_per_shard: usize,
+    /// Value payload bytes of the sampled store operations.
+    pub value_bytes: usize,
+}
+
+impl ClusterBenchmark {
+    /// The full-scale configuration for a backend.
+    pub fn new(backend: LoadBackend) -> Self {
+        ClusterBenchmark {
+            backend,
+            requests_per_point: 20_000,
+            sweep: ClusterSetting::default_sweep(),
+            offered_fraction: 0.85,
+            queue_capacity: 8_192,
+            servers_per_shard: 4,
+            runs: 5,
+            op_sample_every: 4,
+            keys: 4_096,
+            hot_keys: 16,
+            hot_fraction: 0.3,
+            shard_cores: 4,
+            lockstep_window_us: 50,
+            rebalance_after: 0.5,
+            churn_epochs: 4,
+            cache_bytes_per_shard: 64 << 10,
+            value_bytes: 128,
+        }
+    }
+
+    /// A scaled-down configuration for unit tests and quick runs.
+    pub fn quick(backend: LoadBackend) -> Self {
+        ClusterBenchmark {
+            requests_per_point: 2_500,
+            runs: 3,
+            ..ClusterBenchmark::new(backend)
+        }
+    }
+
+    /// The per-shard service profile on `platform`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a degenerate profile — an
+    /// empty per-shard pool, or a platform derate that collapses the
+    /// service time to zero.
+    pub fn service_profile(&self, platform: &Platform) -> Result<ServiceProfile, SimError> {
+        backend_profile(self.backend, platform, self.servers_per_shard)
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        let check_rate = |what: &str, v: f64| {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(SimError::InvalidConfig(format!(
+                    "{what} must be a fraction in [0, 1], got {v}"
+                )));
+            }
+            Ok(())
+        };
+        check_rate("cluster hot-key fraction", self.hot_fraction)?;
+        check_rate("cluster rebalance boundary", self.rebalance_after)?;
+        if self.keys == 0 || self.hot_keys == 0 || self.hot_keys > self.keys {
+            return Err(SimError::InvalidConfig(format!(
+                "cluster key universe ({}) must contain the hot set ({})",
+                self.keys, self.hot_keys
+            )));
+        }
+        if self.requests_per_point == 0 {
+            return Err(SimError::InvalidConfig(
+                "cluster sweep needs at least one request per point".into(),
+            ));
+        }
+        for setting in &self.sweep {
+            if setting.shards == 0 {
+                return Err(SimError::InvalidConfig(
+                    "cluster points need at least one shard".into(),
+                ));
+            }
+            if !setting.zipf_theta.is_finite() || !(0.0..1.0).contains(&setting.zipf_theta) {
+                return Err(SimError::InvalidConfig(format!(
+                    "cluster Zipf skew must lie in [0, 1), got {}",
+                    setting.zipf_theta
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the whole cluster sweep once and returns one
+    /// [`ClusterPoint`] per configured setting.
+    ///
+    /// This is the unit the parallel executor shards on. The arrival,
+    /// service and key streams are common random numbers across the
+    /// sweep points, and every point replays its events through the
+    /// merged lock-step core group, so the result is independent of
+    /// [`ClusterBenchmark::shard_cores`] and
+    /// [`ClusterBenchmark::lockstep_window_us`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a degenerate service
+    /// profile, hotspot mix, Zipf skew or sweep point.
+    pub fn run_trial(
+        &self,
+        platform: &Platform,
+        rng: &mut SimRng,
+    ) -> Result<Vec<ClusterPoint>, SimError> {
+        self.validate()?;
+        let profile = self.service_profile(platform)?;
+        // Common random numbers: every sweep point replays the same
+        // unit-rate arrival gaps, backend service sequence and key walk.
+        let arrival = rng.split("arrivals");
+        let service = rng.split("service");
+        let keys = rng.split("keys");
+        self.sweep
+            .iter()
+            .map(|setting| {
+                self.run_setting(
+                    &profile,
+                    setting,
+                    arrival.clone(),
+                    service.clone(),
+                    keys.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Runs one sweep point through the lock-step core group.
+    fn run_setting(
+        &self,
+        profile: &ServiceProfile,
+        setting: &ClusterSetting,
+        arrival_rng: SimRng,
+        service_rng: SimRng,
+        key_rng: SimRng,
+    ) -> Result<ClusterPoint, SimError> {
+        let shards = setting.shards;
+        let capacity_per_shard = profile.servers as f64 / profile.service_time.as_secs_f64();
+        let offered_per_sec = (capacity_per_shard * shards as f64 * self.offered_fraction).max(1.0);
+        let mut sim = ClusterSim::new(self, profile, setting, offered_per_sec)?;
+        let lanes = self.shard_cores.max(1).min(shards);
+        let mut cores: ShardedCores<Ev> = ShardedCores::new(lanes);
+        let mut st = ClusterState {
+            arrival_rng,
+            service_rng,
+            key_rng,
+        };
+        // Kick off the batched arrival source and the in-flight probes.
+        cores.push(0, Nanos::ZERO, Ev::Generate);
+        let probes = 64u32;
+        let window_secs = self.requests_per_point as f64 / offered_per_sec;
+        let probe_period = Nanos::from_secs_f64(window_secs / f64::from(probes));
+        cores.push(0, probe_period, Ev::Probe { remaining: probes });
+        // The bounded lock-step drive: every core reaches the window
+        // boundary before any core enters the next window. The boundary
+        // jumps over empty windows, so the width is pure batching.
+        let window = Nanos::from_micros(self.lockstep_window_us.max(1));
+        let mut horizon = window;
+        loop {
+            while let Some((_lane, now, ev)) = cores.pop_within(horizon) {
+                sim.handle(now, ev, &mut cores, &mut st);
+            }
+            let Some(next) = cores.peek_time() else {
+                break;
+            };
+            let w = window.as_nanos();
+            horizon = Nanos::from_nanos(next.as_nanos().div_ceil(w).max(1) * w);
+        }
+        Ok(sim.into_point(setting, offered_per_sec, cores.frontier()))
+    }
+}
+
+/// One measured point of the cluster sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterPoint {
+    /// Categorical sweep label (e.g. `s16`, `s16 z0.99`, `s16 rebal`).
+    pub label: String,
+    /// Number of backend shards at the point.
+    pub shards: usize,
+    /// Zipf skew of the point's hot-set draw.
+    pub zipf_theta: f64,
+    /// Offered load in requests per second (cluster-wide).
+    pub offered_per_sec: f64,
+    /// Completed throughput in requests per second.
+    pub achieved_per_sec: f64,
+    /// Median cluster-wide sojourn time in microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile cluster-wide sojourn time in microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile cluster-wide sojourn time in microseconds.
+    pub p99_us: f64,
+    /// Mean cluster-wide sojourn time in microseconds.
+    pub mean_us: f64,
+    /// 99th-percentile sojourn time on the hottest shard (by arrivals).
+    pub hot_p99_us: f64,
+    /// The hottest shard's fraction of all arrivals.
+    pub hot_share: f64,
+    /// Steady-phase imbalance: the hottest shard's steady-phase arrival
+    /// count over the per-shard mean (1.0 = perfectly balanced). The
+    /// steady phase is the window past the rebalance boundary, so the
+    /// rebalance point reports its *post-reshard* placement quality.
+    pub imbalance: f64,
+    /// Requests dropped at shard admission queues over all issued.
+    pub drop_fraction: f64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests dropped by bounded shard queues.
+    pub dropped: u64,
+    /// Probe-sampled peak of cluster-wide in-flight requests.
+    pub peak_in_flight: usize,
+    /// Time-averaged cluster-wide in-flight depth from the probes.
+    pub mean_in_flight: f64,
+    /// Live entries across all shard caches at the end of the window.
+    pub store_entries: u64,
+    /// Bytes across all shard caches at the end of the window.
+    pub store_bytes: u64,
+    /// Evictions across all shard caches over the window.
+    pub store_evictions: u64,
+    /// Whether the routing tier resharded mid-window.
+    pub rebalanced: bool,
+    /// Events processed by the lock-step core group at this point.
+    pub events: u64,
+}
+
+/// A request waiting in a shard's admission queue or in service.
+#[derive(Debug, Clone, Copy)]
+struct Req {
+    arrived: Nanos,
+    key: u32,
+}
+
+/// Typed events of the cluster simulation — no boxed closures; the
+/// merged pop order alone drives the state machine, which is what makes
+/// the run core-count invariant.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Sample and push the next chunk of routed arrivals (router, lane 0).
+    Generate,
+    /// One arrival at `shard` for `key`.
+    Arrive { shard: u32, key: u32 },
+    /// Completion-timer wake on `shard`.
+    Drain { shard: u32 },
+    /// Fixed-cadence cluster in-flight probe (lane 0).
+    Probe { remaining: u32 },
+}
+
+/// The per-trial random streams, cloned per sweep point.
+struct ClusterState {
+    arrival_rng: SimRng,
+    service_rng: SimRng,
+    key_rng: SimRng,
+}
+
+/// One backend shard: its own bounded slot pool, completion timer and
+/// store cache.
+struct ShardNode {
+    pool: SlotPool<Req>,
+    completions: CompletionTimer<Req>,
+    cache: Shard,
+    arrivals: u64,
+    steady_arrivals: u64,
+    dispatched: u64,
+    latencies_us: Vec<f64>,
+}
+
+/// The discrete-event state of one cluster sweep point.
+struct ClusterSim<'a> {
+    bench: &'a ClusterBenchmark,
+    profile: ServiceProfile,
+    setting: ClusterSetting,
+    offered_per_sec: f64,
+    lanes: usize,
+    shards: Vec<ShardNode>,
+    /// Arrival index of the next generated request.
+    next_arrival: u64,
+    remaining_arrivals: u64,
+    /// First arrival index of the steady phase (and reshard boundary).
+    boundary: u64,
+    /// Arrivals per churn epoch (`u64::MAX` when the hot set is static).
+    epoch_len: u64,
+    latencies_us: Vec<f64>,
+    completed: u64,
+    dropped: u64,
+    events: u64,
+    in_flight_probe: RunningStats,
+    peak_in_flight: usize,
+    drain_buf: Vec<(Nanos, Req)>,
+    dispatch_buf: Vec<(usize, Nanos, Req)>,
+}
+
+/// FNV-1a over a key id — the router's placement hash.
+fn fnv(key: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl<'a> ClusterSim<'a> {
+    fn new(
+        bench: &'a ClusterBenchmark,
+        profile: &ServiceProfile,
+        setting: &ClusterSetting,
+        offered_per_sec: f64,
+    ) -> Result<Self, SimError> {
+        let shards = (0..setting.shards)
+            .map(|_| {
+                Ok(ShardNode {
+                    pool: SlotPool::new(
+                        profile.servers,
+                        SlotPolicy::FifoArrival,
+                        vec![ClassConfig {
+                            weight: 1,
+                            queue_capacity: bench.queue_capacity,
+                            mean_cost: profile.service_time,
+                        }],
+                    )?,
+                    completions: CompletionTimer::new(),
+                    cache: Shard::new(bench.cache_bytes_per_shard.max(1024)),
+                    arrivals: 0,
+                    steady_arrivals: 0,
+                    dispatched: 0,
+                    latencies_us: Vec::new(),
+                })
+            })
+            .collect::<Result<Vec<_>, SimError>>()?;
+        let requests = bench.requests_per_point as u64;
+        let epoch_len = if setting.churn {
+            (requests / u64::from(bench.churn_epochs.max(1))).max(1)
+        } else {
+            u64::MAX
+        };
+        Ok(ClusterSim {
+            bench,
+            profile: *profile,
+            setting: *setting,
+            offered_per_sec,
+            lanes: bench.shard_cores.max(1).min(setting.shards),
+            shards,
+            next_arrival: 0,
+            remaining_arrivals: requests,
+            boundary: (bench.rebalance_after * requests as f64) as u64,
+            epoch_len,
+            latencies_us: Vec::with_capacity(bench.requests_per_point),
+            completed: 0,
+            dropped: 0,
+            events: 0,
+            in_flight_probe: RunningStats::new(),
+            peak_in_flight: 0,
+            drain_buf: Vec::new(),
+            dispatch_buf: Vec::new(),
+        })
+    }
+
+    fn lane_of(&self, shard: usize) -> usize {
+        shard % self.lanes
+    }
+
+    /// Base key id of the hot set at arrival index `idx`: churn rotates
+    /// the hot range one hot-set width per epoch (tenant churn).
+    fn hot_base(&self, idx: u64) -> u64 {
+        if self.epoch_len == u64::MAX {
+            0
+        } else {
+            (idx / self.epoch_len) * self.bench.hot_keys as u64 % self.bench.keys as u64
+        }
+    }
+
+    fn is_hot(&self, key: u32, idx: u64) -> bool {
+        let base = self.hot_base(idx);
+        let offset = (u64::from(key) + self.bench.keys as u64 - base) % self.bench.keys as u64;
+        offset < self.bench.hot_keys as u64
+    }
+
+    /// The routing tier: maps an arrival's key to its shard under the
+    /// point's placement policy and phase.
+    fn route(&self, key: u32, idx: u64) -> usize {
+        let n = self.setting.shards as u64;
+        let hashed = (fnv(key) % n) as usize;
+        let resharded = self.setting.route == RoutePolicy::Rebalance && idx >= self.boundary;
+        match self.setting.route {
+            RoutePolicy::Hashed => hashed,
+            RoutePolicy::Pinned => {
+                if self.is_hot(key, idx) {
+                    0
+                } else {
+                    hashed
+                }
+            }
+            RoutePolicy::Rebalance => {
+                if !resharded && self.is_hot(key, idx) {
+                    0
+                } else {
+                    hashed
+                }
+            }
+        }
+    }
+
+    /// One key draw of the hotspot mix: two stream draws per arrival
+    /// whatever the outcome (hot-set membership, then rank or uniform),
+    /// keeping the key stream aligned across sweep points.
+    fn draw_key(&self, idx: u64, rng: &mut SimRng) -> u32 {
+        if rng.chance(self.bench.hot_fraction) {
+            let rank = rng.zipf(self.bench.hot_keys, self.setting.zipf_theta) as u64;
+            ((self.hot_base(idx) + rank) % self.bench.keys as u64) as u32
+        } else {
+            rng.index(self.bench.keys) as u32
+        }
+    }
+
+    fn handle(&mut self, now: Nanos, ev: Ev, cores: &mut ShardedCores<Ev>, st: &mut ClusterState) {
+        self.events += 1;
+        match ev {
+            Ev::Generate => self.generate(now, cores, st),
+            Ev::Arrive { shard, key } => self.arrive(now, shard as usize, key, cores, st),
+            Ev::Drain { shard } => self.drain(now, shard as usize, cores, st),
+            Ev::Probe { remaining } => self.probe(now, remaining, cores),
+        }
+    }
+
+    /// Samples the next chunk of Poisson interarrival gaps, draws and
+    /// routes each arrival's key, and pushes one `Arrive` per gap onto
+    /// the target shard's core lane; reschedules itself after the
+    /// chunk's last arrival while arrivals remain.
+    fn generate(&mut self, now: Nanos, cores: &mut ShardedCores<Ev>, st: &mut ClusterState) {
+        let n = self.remaining_arrivals.min(ARRIVAL_CHUNK);
+        if n == 0 {
+            return;
+        }
+        self.remaining_arrivals -= n;
+        let mut offset = Nanos::ZERO;
+        for _ in 0..n {
+            offset += Nanos::from_secs_f64(st.arrival_rng.exponential(1.0) / self.offered_per_sec);
+            let idx = self.next_arrival;
+            self.next_arrival += 1;
+            let key = self.draw_key(idx, &mut st.key_rng);
+            let shard = self.route(key, idx);
+            if idx >= self.boundary {
+                self.shards[shard].steady_arrivals += 1;
+            }
+            cores.push(
+                self.lane_of(shard),
+                now + offset,
+                Ev::Arrive {
+                    shard: shard as u32,
+                    key,
+                },
+            );
+        }
+        if self.remaining_arrivals > 0 {
+            cores.push(0, now + offset, Ev::Generate);
+        }
+    }
+
+    /// One routed arrival: admit, enqueue or drop at the shard's bounded
+    /// queue.
+    fn arrive(
+        &mut self,
+        now: Nanos,
+        shard: usize,
+        key: u32,
+        cores: &mut ShardedCores<Ev>,
+        st: &mut ClusterState,
+    ) {
+        self.shards[shard].arrivals += 1;
+        let req = Req { arrived: now, key };
+        match self.shards[shard].pool.offer(0, now, req) {
+            Admission::Dispatched => self.dispatch(now, shard, req, cores, st),
+            Admission::Queued => {}
+            Admission::Dropped => self.dropped += 1,
+        }
+    }
+
+    /// Dispatch on a shard: sample the backend service time (from the
+    /// shared stream, in merged event order), run the sampled store
+    /// operation against the shard's cache, and register the completion
+    /// with the shard's batched timer.
+    fn dispatch(
+        &mut self,
+        now: Nanos,
+        shard: usize,
+        req: Req,
+        cores: &mut ShardedCores<Ev>,
+        st: &mut ClusterState,
+    ) {
+        let service = self
+            .profile
+            .sample_service_time(&mut st.service_rng)
+            .max(Nanos::from_nanos(1));
+        let node = &mut self.shards[shard];
+        node.dispatched += 1;
+        if node.dispatched % self.bench.op_sample_every.max(1) == 0 {
+            // Alternate set/get against the shard's bounded LRU cache;
+            // the tick is the shard's own dispatch counter.
+            let key = format!("k{:08}", req.key);
+            if node.dispatched % (2 * self.bench.op_sample_every.max(1)) == 0 {
+                node.cache.get(key.as_bytes(), node.dispatched);
+            } else {
+                node.cache.set(
+                    key.as_bytes(),
+                    vec![0u8; self.bench.value_bytes],
+                    node.dispatched,
+                );
+            }
+        }
+        if let Some(wake) = node.completions.schedule(now + service, req) {
+            cores.push(
+                self.lane_of(shard),
+                wake,
+                Ev::Drain {
+                    shard: shard as u32,
+                },
+            );
+        }
+    }
+
+    /// One completion wake on a shard: drains every due completion,
+    /// records sojourn times (cluster-wide and per-shard), folds the
+    /// batch into the pool and dispatches the pulled queue heads.
+    fn drain(
+        &mut self,
+        now: Nanos,
+        shard: usize,
+        cores: &mut ShardedCores<Ev>,
+        st: &mut ClusterState,
+    ) {
+        let mut due = std::mem::take(&mut self.drain_buf);
+        if let Some(wake) = self.shards[shard].completions.wake(now, &mut due) {
+            cores.push(
+                self.lane_of(shard),
+                wake,
+                Ev::Drain {
+                    shard: shard as u32,
+                },
+            );
+        }
+        for &(at, req) in &due {
+            debug_assert_eq!(at, now, "completions drain exactly at their tick");
+            let sojourn_us = (now - req.arrived).as_micros_f64();
+            self.latencies_us.push(sojourn_us);
+            self.shards[shard].latencies_us.push(sojourn_us);
+            self.completed += 1;
+        }
+        let mut dispatched = std::mem::take(&mut self.dispatch_buf);
+        self.shards[shard]
+            .pool
+            .finish_batch(due.iter().map(|_| 0), &mut dispatched);
+        due.clear();
+        self.drain_buf = due;
+        for (_, _, next) in dispatched.drain(..) {
+            self.dispatch(now, shard, next, cores, st);
+        }
+        self.dispatch_buf = dispatched;
+    }
+
+    fn probe(&mut self, now: Nanos, remaining: u32, cores: &mut ShardedCores<Ev>) {
+        let in_flight: usize = self.shards.iter().map(|s| s.pool.in_flight()).sum();
+        self.in_flight_probe.record(in_flight as f64);
+        self.peak_in_flight = self.peak_in_flight.max(in_flight);
+        if remaining > 1 {
+            let window_secs = self.bench.requests_per_point as f64 / self.offered_per_sec;
+            let period = Nanos::from_secs_f64(window_secs / 64.0);
+            cores.push(
+                0,
+                now + period,
+                Ev::Probe {
+                    remaining: remaining - 1,
+                },
+            );
+        }
+    }
+
+    fn into_point(
+        self,
+        setting: &ClusterSetting,
+        offered_per_sec: f64,
+        end: Nanos,
+    ) -> ClusterPoint {
+        let issued = self.next_arrival;
+        debug_assert_eq!(issued, self.completed + self.dropped);
+        let cdf = Cdf::from_samples(self.latencies_us)
+            .expect("a sweep point always completes at least one request");
+        let duration = end.as_secs_f64().max(f64::MIN_POSITIVE);
+        // The hottest shard by total arrivals anchors the tail story;
+        // the steady-phase maximum anchors the placement-quality story.
+        let hot = self
+            .shards
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, s)| (s.arrivals, std::cmp::Reverse(*i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let hot_p99_us = Cdf::from_samples(self.shards[hot].latencies_us.clone())
+            .map(|c| c.percentile(99.0))
+            .unwrap_or(0.0);
+        let steady_total: u64 = self.shards.iter().map(|s| s.steady_arrivals).sum();
+        let steady_max = self
+            .shards
+            .iter()
+            .map(|s| s.steady_arrivals)
+            .max()
+            .unwrap_or(0);
+        let steady_mean = steady_total as f64 / self.shards.len() as f64;
+        let stats =
+            self.shards
+                .iter()
+                .map(|s| s.cache.stats())
+                .fold(ShardStats::default(), |acc, s| ShardStats {
+                    len: acc.len + s.len,
+                    bytes: acc.bytes + s.bytes,
+                    evictions: acc.evictions + s.evictions,
+                });
+        ClusterPoint {
+            label: setting.label(),
+            shards: setting.shards,
+            zipf_theta: setting.zipf_theta,
+            offered_per_sec,
+            achieved_per_sec: self.completed as f64 / duration,
+            p50_us: cdf.percentile(50.0),
+            p95_us: cdf.percentile(95.0),
+            p99_us: cdf.percentile(99.0),
+            mean_us: cdf.mean(),
+            hot_p99_us,
+            hot_share: self.shards[hot].arrivals as f64 / issued.max(1) as f64,
+            imbalance: if steady_mean > 0.0 {
+                steady_max as f64 / steady_mean
+            } else {
+                1.0
+            },
+            drop_fraction: self.dropped as f64 / issued.max(1) as f64,
+            completed: self.completed,
+            dropped: self.dropped,
+            peak_in_flight: self.peak_in_flight,
+            mean_in_flight: self.in_flight_probe.mean(),
+            store_entries: stats.len as u64,
+            store_bytes: stats.bytes as u64,
+            store_evictions: stats.evictions,
+            rebalanced: setting.route == RoutePolicy::Rebalance,
+            events: self.events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platforms::PlatformId;
+
+    fn tiny(backend: LoadBackend) -> ClusterBenchmark {
+        ClusterBenchmark {
+            requests_per_point: 800,
+            runs: 1,
+            ..ClusterBenchmark::quick(backend)
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_trials_deterministic_per_seed() {
+        let bench = tiny(LoadBackend::Memcached);
+        let platform = PlatformId::Docker.build();
+        let a = bench
+            .run_trial(&platform, &mut SimRng::seed_from(71))
+            .unwrap();
+        assert_eq!(a.len(), bench.sweep.len());
+        for p in &a {
+            assert!(
+                p.p50_us <= p.p95_us && p.p95_us <= p.p99_us,
+                "percentiles out of order at {}: {p:?}",
+                p.label
+            );
+            assert!(p.p50_us > 0.0);
+            assert!(p.completed > 0);
+            assert_eq!(
+                p.completed + p.dropped,
+                bench.requests_per_point as u64,
+                "{}",
+                p.label
+            );
+            assert!(p.imbalance >= 1.0 - 1e-9, "{}: {p:?}", p.label);
+            assert!((0.0..=1.0).contains(&p.hot_share));
+        }
+        let b = bench
+            .run_trial(&platform, &mut SimRng::seed_from(71))
+            .unwrap();
+        assert_eq!(a, b);
+        let c = bench
+            .run_trial(&platform, &mut SimRng::seed_from(72))
+            .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn results_are_identical_for_any_shard_core_count_and_window() {
+        // The tentpole invariance: the merged (timestamp, seq) order is
+        // a pure function of the push sequence, so neither the number of
+        // core lanes nor the lock-step window width may perturb any
+        // measurement.
+        let platform = PlatformId::Qemu.build();
+        let reference = ClusterBenchmark {
+            shard_cores: 1,
+            ..tiny(LoadBackend::Memcached)
+        };
+        let base = reference
+            .run_trial(&platform, &mut SimRng::seed_from(73))
+            .unwrap();
+        for shard_cores in [2usize, 4, 8] {
+            let bench = ClusterBenchmark {
+                shard_cores,
+                ..tiny(LoadBackend::Memcached)
+            };
+            let got = bench
+                .run_trial(&platform, &mut SimRng::seed_from(73))
+                .unwrap();
+            assert_eq!(base, got, "{shard_cores} shard cores diverged");
+        }
+        for window_us in [1u64, 10, 1_000, 100_000] {
+            let bench = ClusterBenchmark {
+                lockstep_window_us: window_us,
+                shard_cores: 1,
+                ..tiny(LoadBackend::Memcached)
+            };
+            let got = bench
+                .run_trial(&platform, &mut SimRng::seed_from(73))
+                .unwrap();
+            assert_eq!(base, got, "window {window_us} us diverged");
+        }
+    }
+
+    #[test]
+    fn hot_shard_share_grows_with_zipf_skew() {
+        let platform = PlatformId::Native.build();
+        let mut last = 0.0f64;
+        let mut shares = Vec::new();
+        for theta in [0.0, 0.5, 0.9, 0.99] {
+            let bench = ClusterBenchmark {
+                sweep: vec![ClusterSetting::hashed(16, theta)],
+                ..tiny(LoadBackend::Memcached)
+            };
+            let p = &bench
+                .run_trial(&platform, &mut SimRng::seed_from(74))
+                .unwrap()[0];
+            shares.push(p.hot_share);
+            assert!(
+                p.hot_share >= last - 0.02,
+                "hot share must not shrink with skew: {shares:?}"
+            );
+            last = last.max(p.hot_share);
+        }
+        assert!(
+            shares[3] > shares[0] * 1.5,
+            "strong skew must visibly concentrate load: {shares:?}"
+        );
+    }
+
+    #[test]
+    fn rebalancing_restores_the_steady_phase_balance() {
+        let platform = PlatformId::Native.build();
+        let bench = ClusterBenchmark {
+            sweep: vec![ClusterSetting::pinned(16), ClusterSetting::rebalance(16)],
+            ..tiny(LoadBackend::Memcached)
+        };
+        let points = bench
+            .run_trial(&platform, &mut SimRng::seed_from(75))
+            .unwrap();
+        let (pinned, rebal) = (&points[0], &points[1]);
+        assert!(rebal.rebalanced && !pinned.rebalanced);
+        assert!(
+            rebal.imbalance < pinned.imbalance * 0.75,
+            "resharding must shrink the steady imbalance: {} vs {}",
+            rebal.imbalance,
+            pinned.imbalance
+        );
+    }
+
+    #[test]
+    fn sampled_store_operations_populate_the_shard_caches() {
+        let platform = PlatformId::Native.build();
+        let bench = ClusterBenchmark {
+            sweep: vec![ClusterSetting::hashed(4, BASELINE_THETA)],
+            cache_bytes_per_shard: 2_048,
+            ..tiny(LoadBackend::Memcached)
+        };
+        let p = &bench
+            .run_trial(&platform, &mut SimRng::seed_from(76))
+            .unwrap()[0];
+        assert!(p.store_entries > 0, "sampled sets must land in the caches");
+        assert!(p.store_bytes > 0);
+        assert!(
+            p.store_evictions > 0,
+            "a tiny per-shard budget must evict: {p:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_configurations_fail_loudly() {
+        let platform = PlatformId::Native.build();
+        let mut rng = SimRng::seed_from(77);
+        let cases = [
+            ClusterBenchmark {
+                hot_fraction: 1.5,
+                ..tiny(LoadBackend::Memcached)
+            },
+            ClusterBenchmark {
+                rebalance_after: f64::NAN,
+                ..tiny(LoadBackend::Memcached)
+            },
+            ClusterBenchmark {
+                hot_keys: 0,
+                ..tiny(LoadBackend::Memcached)
+            },
+            ClusterBenchmark {
+                keys: 8,
+                hot_keys: 16,
+                ..tiny(LoadBackend::Memcached)
+            },
+            ClusterBenchmark {
+                requests_per_point: 0,
+                ..tiny(LoadBackend::Memcached)
+            },
+            ClusterBenchmark {
+                sweep: vec![ClusterSetting::hashed(0, 0.5)],
+                ..tiny(LoadBackend::Memcached)
+            },
+            ClusterBenchmark {
+                sweep: vec![ClusterSetting::hashed(4, 1.0)],
+                ..tiny(LoadBackend::Memcached)
+            },
+            ClusterBenchmark {
+                servers_per_shard: 0,
+                ..tiny(LoadBackend::Memcached)
+            },
+        ];
+        for bench in cases {
+            assert!(
+                bench.run_trial(&platform, &mut rng).is_err(),
+                "must reject {bench:?}"
+            );
+        }
+    }
+}

@@ -29,10 +29,18 @@
 //! in/out costs, a warmable auth cache with hit/miss latencies, and
 //! short-circuit probabilities — composed on the same admission/slot
 //! core, sweeping chain depth and cache hit rate per platform.
+//! [`cluster`] scales from the node to the fleet: a routing tier hashes
+//! Zipf-skewed keys over N backend shards, each with its own admission
+//! queue, slot pool and store cache on its own event-core lane, advancing
+//! in deterministic bounded lock-step — sweeping shard count, skew and
+//! rebalancing policy. All four sweep workloads implement the
+//! [`bench::WorkloadBenchmark`] trait, the grid's one dispatch surface.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bench;
+pub mod cluster;
 pub mod ffmpeg;
 pub mod fio;
 pub mod iperf;
@@ -48,6 +56,8 @@ pub mod tenancy;
 pub mod tinymembench;
 pub mod ycsb;
 
+pub use bench::WorkloadBenchmark;
+pub use cluster::{ClusterBenchmark, ClusterPoint, ClusterSetting, RoutePolicy};
 pub use ffmpeg::FfmpegBenchmark;
 pub use fio::FioBenchmark;
 pub use iperf::IperfBenchmark;

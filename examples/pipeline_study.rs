@@ -48,7 +48,7 @@ fn main() {
             continue;
         };
         println!("### {} — depth and cache-health summary\n", fig.title);
-        for platform in grid::pipeline_platforms_of(fig) {
+        for platform in grid::platforms_of(fig, grid::PIPELINE_STAGE_TAX) {
             let at = |metric: &str, label: &str| {
                 fig.series_named(&format!("{platform} {metric}"))
                     .and_then(|s| s.mean_of(label))

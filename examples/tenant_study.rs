@@ -55,7 +55,7 @@ fn main() {
             "### {} — victim p99 inflation at the top aggressor load\n",
             fig.title
         );
-        for platform in grid::tenant_platforms_of(fig) {
+        for platform in grid::platforms_of(fig, grid::TENANT_VICTIM_P99) {
             let last = |metric: &str| {
                 fig.series_named(&format!("{platform} {metric}"))
                     .and_then(|s| s.points.last())

@@ -18,7 +18,7 @@ fn full_grid_figures_are_byte_identical_for_1_2_and_8_workers_on_the_wheel() {
         ExperimentId::all().len(),
         "the full grid must cover every experiment"
     );
-    assert_eq!(serial.figures.len(), 21);
+    assert_eq!(serial.figures.len(), 23);
     let serial_csv: Vec<String> = serial.figures.iter().map(report::to_csv).collect();
     for workers in [2, 8] {
         let run = Executor::new(RunPlan::new(cfg).with_trials(1).with_workers(workers)).run();

@@ -35,7 +35,7 @@ fn pipeline_figures() -> &'static Vec<FigureData> {
 }
 
 fn platforms_of(fig: &FigureData) -> Vec<String> {
-    grid::pipeline_platforms_of(fig)
+    grid::platforms_of(fig, grid::PIPELINE_STAGE_TAX)
 }
 
 fn series<'f>(fig: &'f FigureData, platform: &str, metric: &str) -> &'f Series {

@@ -31,7 +31,7 @@ fn tenant_figures() -> &'static Vec<FigureData> {
 }
 
 fn platforms_of(fig: &FigureData) -> Vec<String> {
-    grid::tenant_platforms_of(fig)
+    grid::platforms_of(fig, grid::TENANT_VICTIM_P99)
 }
 
 fn series<'f>(fig: &'f FigureData, platform: &str, metric: &str) -> &'f Series {
