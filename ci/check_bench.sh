@@ -15,8 +15,21 @@ set -euo pipefail
 # The experiment count is read from the artifact itself (the harness
 # emits "experiment_count" from ExperimentId::all()), so this script
 # never drifts from the grid; the floor only guards against an artifact
-# that under-declares its own coverage.
-MIN_SLUGS=23
+# that under-declares its own coverage. The floor itself is derived from
+# the source of ExperimentId::slug() — one match arm per experiment —
+# instead of a literal, so it can never go stale either (simlint rule
+# D005 rejects a hardcoded count here).
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+EXPERIMENT_SRC="$ROOT/crates/harness/src/experiment.rs"
+if [ ! -f "$EXPERIMENT_SRC" ]; then
+  echo "check_bench: cannot derive the experiment floor ($EXPERIMENT_SRC missing)" >&2
+  exit 1
+fi
+MIN_SLUGS="$(grep -cE '=> "[a-z0-9_]+",$' "$EXPERIMENT_SRC")"
+if [ "$MIN_SLUGS" -lt 1 ]; then
+  echo "check_bench: derived an empty experiment floor from $EXPERIMENT_SRC" >&2
+  exit 1
+fi
 status=0
 
 files=("$@")
@@ -28,6 +41,7 @@ if [ "${#files[@]}" -eq 0 ]; then
     BENCH_pipeline.json
     BENCH_cluster.json
     BENCH_event_loop.json
+    SIMLINT.json
   )
 fi
 
@@ -79,6 +93,16 @@ for f in "${files[@]}"; do
     *pipeline*|*tenant_isolation*|*load_curves*)
       if ! grep -q '"identical": true' "$f"; then
         echo "check_bench: $f does not attest serial/parallel equality" >&2
+        status=1
+      fi
+      ;;
+    *SIMLINT*|*simlint*)
+      if ! grep -q '"schema": "isolation-bench/simlint/v1"' "$f"; then
+        echo "check_bench: $f is not a simlint report" >&2
+        status=1
+      fi
+      if ! grep -q '"clean": true' "$f"; then
+        echo "check_bench: $f reports unsuppressed determinism findings" >&2
         status=1
       fi
       ;;

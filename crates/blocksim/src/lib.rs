@@ -17,6 +17,10 @@
 //!   results are inflated unless the host cache is dropped before each run
 //!   (the caching pitfall of Section 3.3).
 
+// No unsafe anywhere in the simulation layers: the bit-identical replay
+// guarantee rests on defined behaviour only (simlint + workspace lints
+// audit the rest).
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -21,6 +21,10 @@
 //! assert!(epss.score("tcp_sendmsg") > 0.0);
 //! ```
 
+// No unsafe anywhere in the simulation layers: the bit-identical replay
+// guarantee rests on defined behaviour only (simlint + workspace lints
+// audit the rest).
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -12,6 +12,13 @@ pub struct Shard {
     /// skipped during eviction (the classic "second chance" shortcut used
     /// instead of a doubly linked list to keep the code simple).
     lru: VecDeque<Vec<u8>>,
+    /// How many times each key currently appears in `lru`. Keeping the
+    /// occurrence count here makes the second-chance membership question
+    /// ("does this key appear again later in the queue?") O(1) instead of
+    /// an O(n) scan of the queue per eviction candidate, which degraded
+    /// quadratically at cluster-scale key counts. Never iterated — only
+    /// point lookups — so hasher order cannot leak into behaviour.
+    lru_counts: HashMap<Vec<u8>, u32>,
     bytes: usize,
     max_bytes: usize,
     evictions: u64,
@@ -42,6 +49,7 @@ impl Shard {
         Shard {
             map: HashMap::new(),
             lru: VecDeque::new(),
+            lru_counts: HashMap::new(),
             bytes: 0,
             max_bytes,
             evictions: 0,
@@ -71,8 +79,15 @@ impl Shard {
     pub fn get(&mut self, key: &[u8], tick: u64) -> Option<Vec<u8>> {
         let entry = self.map.get_mut(key)?;
         entry.touched = tick;
+        let value = entry.value.clone();
+        self.push_lru(key);
+        Some(value)
+    }
+
+    /// Records an access in the LRU queue and its occurrence count.
+    fn push_lru(&mut self, key: &[u8]) {
         self.lru.push_back(key.to_vec());
-        Some(entry.value.clone())
+        *self.lru_counts.entry(key.to_vec()).or_insert(0) += 1;
     }
 
     /// Inserts or replaces a value; evicts least-recently-used entries if
@@ -94,7 +109,7 @@ impl Shard {
                 touched: tick,
             },
         );
-        self.lru.push_back(key.to_vec());
+        self.push_lru(key);
         self.evict_if_needed(tick);
         existed
     }
@@ -114,13 +129,26 @@ impl Shard {
             let Some(candidate) = self.lru.pop_front() else {
                 break;
             };
+            // Decrement the candidate's queue-occurrence count; what
+            // remains is exactly "does it appear again later in the
+            // queue", the second-chance question, now answered in O(1).
+            let remaining = match self.lru_counts.get_mut(&candidate) {
+                Some(count) => {
+                    *count -= 1;
+                    *count
+                }
+                None => 0,
+            };
+            if remaining == 0 {
+                self.lru_counts.remove(&candidate);
+            }
             if !self.map.contains_key(&candidate) {
                 // Key already deleted; drop the stale queue entry.
                 continue;
             }
             // If the key appears again later in the queue it was accessed
             // after this queue entry was pushed — give it a second chance.
-            if self.lru.iter().any(|k| k == &candidate) {
+            if remaining > 0 {
                 continue;
             }
             if let Some(old) = self.map.remove(&candidate) {
@@ -176,6 +204,137 @@ mod tests {
         assert!(stats.bytes <= 1_000, "bytes {} exceed budget", stats.bytes);
         assert!(stats.evictions > 0);
         assert!(stats.len < 100);
+    }
+
+    /// The pre-optimization eviction loop, kept verbatim as an oracle:
+    /// second chance decided by an O(n) scan of the queue.
+    fn evict_reference(
+        map: &mut HashMap<Vec<u8>, Entry>,
+        lru: &mut VecDeque<Vec<u8>>,
+        bytes: &mut usize,
+        max_bytes: usize,
+        evictions: &mut u64,
+    ) {
+        while *bytes > max_bytes {
+            let Some(candidate) = lru.pop_front() else {
+                break;
+            };
+            if !map.contains_key(&candidate) {
+                continue;
+            }
+            if lru.iter().any(|k| k == &candidate) {
+                continue;
+            }
+            if let Some(old) = map.remove(&candidate) {
+                *bytes -= candidate.len() + old.value.len();
+                *evictions += 1;
+            }
+        }
+    }
+
+    /// A shard driven through the old O(n)-membership eviction path.
+    #[derive(Default)]
+    struct ReferenceShard {
+        map: HashMap<Vec<u8>, Entry>,
+        lru: VecDeque<Vec<u8>>,
+        bytes: usize,
+        max_bytes: usize,
+        evictions: u64,
+    }
+
+    impl ReferenceShard {
+        fn get(&mut self, key: &[u8], tick: u64) -> Option<Vec<u8>> {
+            let entry = self.map.get_mut(key)?;
+            entry.touched = tick;
+            self.lru.push_back(key.to_vec());
+            Some(entry.value.clone())
+        }
+
+        fn set(&mut self, key: &[u8], value: Vec<u8>, tick: u64) {
+            let add = key.len() + value.len();
+            if let Some(old) = self.map.get(key) {
+                self.bytes -= key.len() + old.value.len();
+            }
+            self.bytes += add;
+            self.map.insert(
+                key.to_vec(),
+                Entry {
+                    value,
+                    touched: tick,
+                },
+            );
+            self.lru.push_back(key.to_vec());
+            evict_reference(
+                &mut self.map,
+                &mut self.lru,
+                &mut self.bytes,
+                self.max_bytes,
+                &mut self.evictions,
+            );
+        }
+
+        fn delete(&mut self, key: &[u8]) -> bool {
+            if let Some(old) = self.map.remove(key) {
+                self.bytes -= key.len() + old.value.len();
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn o1_second_chance_replays_the_reference_scan_exactly() {
+        // The O(1) occurrence-count second chance must make the same
+        // evict/skip decision as the old O(n) queue scan on every pop —
+        // including after delete + reinsert, where the queue still holds
+        // stale occurrences of a live key. Drive both through an
+        // identical deterministic op mix and compare observable state.
+        let mut fast = Shard::new(600);
+        let mut reference = ReferenceShard {
+            max_bytes: 600,
+            ..Default::default()
+        };
+        let mut state = 0x9e3779b97f4a7c15u64; // fixed-seed LCG, no ambient entropy
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for tick in 0..4_000u64 {
+            let r = next();
+            let key = format!("key-{}", r % 23);
+            match r % 10 {
+                0..=4 => {
+                    let value = vec![0u8; 20 + (r % 60) as usize];
+                    fast.set(key.as_bytes(), value.clone(), tick);
+                    reference.set(key.as_bytes(), value, tick);
+                }
+                5..=7 => {
+                    assert_eq!(
+                        fast.get(key.as_bytes(), tick),
+                        reference.get(key.as_bytes(), tick),
+                        "get({key}) diverged at tick {tick}"
+                    );
+                }
+                _ => {
+                    assert_eq!(
+                        fast.delete(key.as_bytes()),
+                        reference.delete(key.as_bytes()),
+                        "delete({key}) diverged at tick {tick}"
+                    );
+                }
+            }
+            assert_eq!(fast.stats().bytes, reference.bytes, "bytes at tick {tick}");
+            assert_eq!(
+                fast.stats().evictions,
+                reference.evictions,
+                "evictions at tick {tick}"
+            );
+            assert_eq!(fast.len(), reference.map.len(), "len at tick {tick}");
+        }
+        assert!(fast.stats().evictions > 0, "op mix never evicted");
     }
 
     #[test]

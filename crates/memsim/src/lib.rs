@@ -19,6 +19,10 @@
 //! * direct-mapping features (QEMU NVDIMM, KSM) that let Kata bypass the
 //!   virtualization penalty ([`features`]).
 
+// No unsafe anywhere in the simulation layers: the bit-identical replay
+// guarantee rests on defined behaviour only (simlint + workspace lints
+// audit the rest).
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -17,6 +17,10 @@
 //! * gVisor's user-space Netstack is an extreme outlier in both throughput
 //!   and 90th-percentile latency.
 
+// No unsafe anywhere in the simulation layers: the bit-identical replay
+// guarantee rests on defined behaviour only (simlint + workspace lints
+// audit the rest).
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

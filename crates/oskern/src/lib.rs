@@ -25,6 +25,10 @@
 //! * [`host`] — the description of the testbed machine (dual-socket AMD
 //!   EPYC2 7542, 256 GiB RAM, NVMe, fast NIC).
 
+// No unsafe anywhere in the simulation layers: the bit-identical replay
+// guarantee rests on defined behaviour only (simlint + workspace lints
+// audit the rest).
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -30,6 +30,10 @@
 //!         > gvisor.network().mean_throughput().gbit_per_sec());
 //! ```
 
+// No unsafe anywhere in the simulation layers: the bit-identical replay
+// guarantee rests on defined behaviour only (simlint + workspace lints
+// audit the rest).
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

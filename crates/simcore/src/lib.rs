@@ -35,6 +35,10 @@
 //! assert_eq!(latency.as_nanos(), 3_250);
 //! ```
 
+// No unsafe anywhere in the simulation layers: the bit-identical replay
+// guarantee rests on defined behaviour only (simlint + workspace lints
+// audit the rest).
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,0 +1,482 @@
+//! A minimal comment- and string-aware Rust lexer.
+//!
+//! The determinism rules only need a faithful *token* view of a source
+//! file: identifiers, integer literals and punctuation, with everything
+//! inside string literals, character literals and comments reliably kept
+//! out of the token stream (a `"Instant::now"` inside a test fixture or a
+//! doc comment must never fire a rule). Comments are captured separately
+//! because suppression directives (`// simlint::allow(...)`) live there.
+//!
+//! The lexer handles the full set of Rust literal shapes that matter for
+//! not mis-tokenizing real sources: line and (nested) block comments,
+//! plain/byte/raw/raw-byte strings with arbitrary `#` fences, character
+//! and byte-character literals with escapes, lifetimes vs. char literals,
+//! raw identifiers, and integer/float literals with `_` separators,
+//! radix prefixes and type suffixes. It does **not** attempt to parse —
+//! the rule engine works on token patterns.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers, without `r#`).
+    Ident,
+    /// An integer literal; `value` carries the decoded decimal value when
+    /// the literal is a plain base-10 integer that fits in a `u64`.
+    Int,
+    /// A float literal (never rule-relevant, kept for stream fidelity).
+    Float,
+    /// A single punctuation character, or the two-character path
+    /// separator `::` which the rules match on constantly.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokenKind,
+    /// The token text (for `Ident`/`Punct`: verbatim; for numbers: the
+    /// raw literal text).
+    pub text: String,
+    /// Decoded value for plain decimal integer literals.
+    pub value: Option<u64>,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block, doc or plain) with its starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//`/`/*` framing.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment, non-literal-string tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order (suppression directives live here).
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `source`, returning the token and comment streams.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        b: source.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.b.get(self.i + ahead).unwrap_or(&0)
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, value: Option<u64>, line: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            value,
+            line,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.i < self.b.len() {
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string_literal(),
+                b'\'' => self.quote(),
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                b':' if self.peek(1) == b':' => {
+                    let line = self.line;
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::Punct, "::".into(), None, line);
+                }
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(TokenKind::Punct, (c as char).to_string(), None, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.i + 2;
+        while self.i < self.b.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.i + 2;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut end = self.i;
+        while self.i < self.b.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                end = self.i;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        let end = end.max(start);
+        let text = String::from_utf8_lossy(&self.b[start..end]).into_owned();
+        self.out.comments.push(Comment { text, line });
+    }
+
+    /// A plain (or byte) string literal starting at the opening `"`.
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while self.i < self.b.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// A raw string body starting at the first `#` or `"` after `r`/`br`.
+    fn raw_string_literal(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != b'"' {
+            return; // not actually a raw string; caller already consumed `r`
+        }
+        self.bump();
+        // Scan for `"` followed by `hashes` hash marks.
+        while self.i < self.b.len() {
+            if self.peek(0) == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Either a lifetime (`'a`, not tokenized) or a char literal (`'x'`,
+    /// `'\n'`, `'"'`), which is skipped like a string.
+    fn quote(&mut self) {
+        self.bump(); // the opening '
+        if self.peek(0) == b'\\' {
+            // Escaped char literal: skip escape, then to the closing quote.
+            self.bump();
+            self.bump();
+            while self.i < self.b.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+            self.bump();
+            return;
+        }
+        if is_ident_start(self.peek(0)) {
+            // Could be 'a' (char) or 'a / 'static (lifetime): scan the
+            // ident run; a closing quote right after makes it a char.
+            let mut j = 1;
+            while is_ident_continue(self.peek(j)) {
+                j += 1;
+            }
+            let is_char = self.peek(j) == b'\'';
+            for _ in 0..j {
+                self.bump();
+            }
+            if is_char {
+                self.bump(); // closing quote
+            }
+            return;
+        }
+        // Some other single char ('%', '√', ...): skip to the closing quote.
+        while self.i < self.b.len() && self.peek(0) != b'\'' {
+            self.bump();
+        }
+        self.bump();
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        let mut decimal = true;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            decimal = false;
+            self.bump();
+            self.bump();
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        } else {
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        let mut float = false;
+        if decimal && self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            float = true;
+            self.bump();
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        if decimal && matches!(self.peek(0), b'e' | b'E') && {
+            let j = if matches!(self.peek(1), b'+' | b'-') {
+                2
+            } else {
+                1
+            };
+            self.peek(j).is_ascii_digit()
+        } {
+            float = true;
+            self.bump();
+            if matches!(self.peek(0), b'+' | b'-') {
+                self.bump();
+            }
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        // Type suffix (u64, f32, usize, ...).
+        let suffix_start = self.i;
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        let suffix = &self.b[suffix_start..self.i];
+        if float || suffix.first() == Some(&b'f') {
+            self.push(TokenKind::Float, text, None, line);
+            return;
+        }
+        let value = if decimal {
+            String::from_utf8_lossy(&self.b[start..suffix_start])
+                .replace('_', "")
+                .parse::<u64>()
+                .ok()
+        } else {
+            None
+        };
+        self.push(TokenKind::Int, text, value, line);
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        // String-literal prefixes must win over plain identifiers.
+        let (p0, p1, p2) = (self.peek(0), self.peek(1), self.peek(2));
+        match (p0, p1) {
+            // r"..." / r#"..."# — but r#ident is a raw identifier.
+            (b'r', b'"') => {
+                self.bump();
+                self.raw_string_literal();
+                return;
+            }
+            (b'r', b'#') if !is_ident_start(p2) => {
+                self.bump();
+                self.raw_string_literal();
+                return;
+            }
+            (b'r', b'#') => {
+                // Raw identifier r#type: emit the ident without the prefix.
+                self.bump();
+                self.bump();
+                let istart = self.i;
+                while is_ident_continue(self.peek(0)) {
+                    self.bump();
+                }
+                let text = String::from_utf8_lossy(&self.b[istart..self.i]).into_owned();
+                self.push(TokenKind::Ident, text, None, line);
+                return;
+            }
+            (b'b' | b'c', b'"') => {
+                self.bump();
+                self.string_literal();
+                return;
+            }
+            (b'b', b'\'') => {
+                self.bump();
+                self.quote();
+                return;
+            }
+            (b'b', b'r') if p2 == b'"' || p2 == b'#' => {
+                self.bump();
+                self.bump();
+                self.raw_string_literal();
+                return;
+            }
+            _ => {}
+        }
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.push(TokenKind::Ident, text, None, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn tokens_inside_strings_and_comments_do_not_surface() {
+        let src = r###"
+            // Instant::now in a line comment
+            /* HashMap.iter() in a /* nested */ block comment */
+            let a = "Instant::now()";
+            let b = r#"thread_rng " quote inside"#;
+            let c = b"SystemTime";
+            let d = 'x';
+            let e = '"';
+            fn real_token() {}
+        "###;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_token".to_string()));
+        for banned in ["Instant", "HashMap", "thread_rng", "SystemTime"] {
+            assert!(!ids.contains(&banned.to_string()), "{banned} leaked");
+        }
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_track_newlines() {
+        let src = "fn a() {}\nfn b() {}\n\nfn c() {}\n";
+        let toks = lex(src).tokens;
+        let line_of = |name: &str| {
+            toks.iter()
+                .find(|t| t.text == name)
+                .map(|t| t.line)
+                .unwrap()
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 2);
+        assert_eq!(line_of("c"), 4);
+    }
+
+    #[test]
+    fn multiline_strings_advance_the_line_counter() {
+        let src = "let s = \"one\ntwo\nthree\";\nfn after() {}\n";
+        let toks = lex(src).tokens;
+        let after = toks.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn integer_literals_decode_decimal_values() {
+        let toks = lex("let n = 23; let m = 1_000u64; let h = 0xff; let f = 2.5;").tokens;
+        let ints: Vec<(String, Option<u64>)> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Int)
+            .map(|t| (t.text.clone(), t.value))
+            .collect();
+        assert_eq!(ints[0], ("23".into(), Some(23)));
+        assert_eq!(ints[1], ("1_000u64".into(), Some(1000)));
+        assert_eq!(ints[2], ("0xff".into(), None));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Float));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // 'a in a generic position must not swallow `>` as string content.
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(ids.contains(&"str".to_string()));
+        assert!(ids.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_their_lines() {
+        let src = "// first\nfn x() {}\n// simlint::allow(D001, reason = \"t\")\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 3);
+        assert!(lexed.comments[1].text.contains("simlint::allow"));
+    }
+
+    #[test]
+    fn path_separator_is_one_token() {
+        let toks = lex("Instant::now()").tokens;
+        assert_eq!(toks[0].text, "Instant");
+        assert_eq!(toks[1].text, "::");
+        assert_eq!(toks[2].text, "now");
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_identifiers() {
+        let ids = idents("let r#type = 1; let r2 = r#\"raw Instant::now\"#;");
+        assert!(ids.contains(&"type".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+    }
+}

@@ -1,0 +1,91 @@
+//! The `simlint` CLI: scan the workspace, print findings, optionally
+//! emit the JSON artifact, and (with `--check`) gate on cleanliness.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::{report, Workspace};
+
+const USAGE: &str = "\
+simlint — determinism static analysis for the isolation-bench workspace
+
+USAGE:
+    cargo run -p simlint -- [OPTIONS]
+
+OPTIONS:
+    --check          exit non-zero if any unsuppressed finding remains
+    --json <PATH>    write the machine-readable report to PATH
+    --root <DIR>     workspace root to scan (default: auto-detected)
+    --quiet          suppress per-finding terminal output
+    --help           print this help
+";
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut quiet = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--quiet" => quiet = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return fail("--json requires a path"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return fail("--root requires a directory"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    let report = match Workspace::new(&root).scan() {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("scan of {} failed: {e}", root.display())),
+    };
+
+    if !quiet {
+        print!("{}", report::to_text(&report));
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report::to_json(&report)) {
+            return fail(&format!("writing {} failed: {e}", path.display()));
+        }
+    }
+    if check && !report.clean() {
+        eprintln!(
+            "simlint: --check failed with {} finding(s)",
+            report.findings.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Under `cargo run` the manifest dir is `crates/simlint`, so the
+/// workspace root is two levels up; otherwise fall back to the cwd.
+fn default_root() -> PathBuf {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(root) = p.parent().and_then(|p| p.parent()) {
+            if root.join("Cargo.toml").is_file() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("simlint: {msg}");
+    ExitCode::FAILURE
+}

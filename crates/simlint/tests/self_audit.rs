@@ -1,0 +1,53 @@
+//! The lint must hold on the workspace that ships it: scan the live tree
+//! and require zero unsuppressed findings. This is the same invariant the
+//! `lint-determinism` CI job gates on, kept runnable offline via
+//! `cargo test -p simlint`.
+
+use std::path::PathBuf;
+
+use simlint::Workspace;
+
+fn workspace_root() -> PathBuf {
+    // crates/simlint -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("simlint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn live_workspace_has_no_unsuppressed_findings() {
+    let root = workspace_root();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "derived workspace root {} has no Cargo.toml",
+        root.display()
+    );
+    let report = Workspace::new(&root).scan().expect("scan workspace");
+    assert!(
+        report.files_scanned > 50,
+        "scan saw only {} files — wrong root?",
+        report.files_scanned
+    );
+    assert!(
+        report.clean(),
+        "determinism findings in the live tree:\n{}",
+        simlint::report::to_text(&report)
+    );
+}
+
+#[test]
+fn every_live_suppression_carries_a_reason() {
+    let report = Workspace::new(workspace_root())
+        .scan()
+        .expect("scan workspace");
+    for s in &report.suppressed {
+        assert!(
+            !s.reason.trim().is_empty(),
+            "suppression without a reason at {}:{}",
+            s.finding.file,
+            s.finding.line
+        );
+    }
+}

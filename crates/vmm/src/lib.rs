@@ -17,6 +17,10 @@
 //!   hypervisor and OSv start-up figures (Figs. 14 and 15).
 //! * [`vsock`] — the vsock + ttRPC control plane used by Kata containers.
 
+// No unsafe anywhere in the simulation layers: the bit-identical replay
+// guarantee rests on defined behaviour only (simlint + workspace lints
+// audit the rest).
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -36,6 +36,10 @@
 //! rebalancing policy. All four sweep workloads implement the
 //! [`bench::WorkloadBenchmark`] trait, the grid's one dispatch surface.
 
+// No unsafe anywhere in the simulation layers: the bit-identical replay
+// guarantee rests on defined behaviour only (simlint + workspace lints
+// audit the rest).
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
