@@ -9,7 +9,10 @@
 # additionally cover every experiment it declares, the event-loop
 # report must attest order equivalence between the wheel and the
 # reference heap, and the cluster report must attest that every
-# shard-core lane count reproduced the 1-core sweep bit-for-bit.
+# shard-core lane count reproduced the 1-core sweep bit-for-bit. Trace
+# artifacts (named explicitly when a bench ran with --trace) must carry
+# the obs timeline schema (BENCH_trace*.json) or Chrome trace events
+# (TRACE_*.json).
 set -euo pipefail
 
 # The experiment count is read from the artifact itself (the harness
@@ -77,6 +80,22 @@ for f in "${files[@]}"; do
     *event_loop*)
       if ! grep -q '"order_equivalent": true' "$f"; then
         echo "check_bench: $f does not attest wheel/heap order equivalence" >&2
+        status=1
+      fi
+      ;;
+    *BENCH_trace*)
+      if ! grep -q '"schema": "isolation-bench/obs/v1"' "$f"; then
+        echo "check_bench: $f is not an obs timeline artifact" >&2
+        status=1
+      fi
+      if ! grep -q '"lanes"' "$f"; then
+        echo "check_bench: $f carries no per-lane bucket series" >&2
+        status=1
+      fi
+      ;;
+    *TRACE_*)
+      if ! grep -q '"traceEvents"' "$f"; then
+        echo "check_bench: $f is not a Chrome trace-event artifact" >&2
         status=1
       fi
       ;;

@@ -25,6 +25,9 @@
 //! * `--out PATH` — output path (default `BENCH_cluster.json`)
 //! * `--baseline PATH` — compare the 8-lane scaling point against a perf
 //!   baseline (see `ci/perf_baseline.json`) and exit non-zero on regression
+//! * `--trace` — additionally run one traced 16-shard rebalance point and
+//!   write `TRACE_cluster.json` (Chrome trace events) plus
+//!   `BENCH_trace.json` (the windowed-metrics timeline)
 
 use std::time::Instant;
 
@@ -133,6 +136,24 @@ fn main() {
         run.parallel.wall.as_secs_f64() * 1e3,
         run.out_path,
     );
+
+    if args.iter().any(|a| a == "--trace") {
+        let trace = harness::obs::traced_run("cluster", quick, run.config.seed)
+            .unwrap_or_else(|e| panic!("traced cluster run failed: {e:?}"));
+        std::fs::write("TRACE_cluster.json", &trace.chrome)
+            .unwrap_or_else(|e| panic!("cannot write TRACE_cluster.json: {e}"));
+        std::fs::write("BENCH_trace.json", &trace.timeline)
+            .unwrap_or_else(|e| panic!("cannot write BENCH_trace.json: {e}"));
+        if let Some(token) = report::find_non_finite(&trace.timeline) {
+            failures.push(format!(
+                "trace timeline contains non-finite value {token:?}"
+            ));
+        }
+        println!(
+            "trace: {} spans accepted; artifacts: TRACE_cluster.json, BENCH_trace.json",
+            trace.spans_accepted
+        );
+    }
 
     for experiment in [ExperimentId::ClusterMemcached, ExperimentId::ClusterMysql] {
         for (label, pass) in [("serial", &run.serial), ("parallel", &run.parallel)] {

@@ -21,7 +21,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run = run_serial_and_parallel("full_grid", &args, None, "BENCH_full_grid.json");
 
+    let serialize_start = std::time::Instant::now();
     let json = report::full_grid_json(run.mode, run.config.seed, &run.serial, &run.parallel);
+    let serialize_ms = serialize_start.elapsed().as_secs_f64() * 1e3;
     std::fs::write(&run.out_path, &json)
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", run.out_path));
 
@@ -46,6 +48,22 @@ fn main() {
             parallel_ms,
         );
     }
+    println!(
+        "\n| phase | serial (ms) | {} workers (ms) |",
+        run.parallel_workers
+    );
+    println!("|---|---|---|");
+    println!(
+        "| cell run | {:.1} | {:.1} |",
+        run.serial.total_cell_time().as_secs_f64() * 1e3,
+        run.parallel.total_cell_time().as_secs_f64() * 1e3,
+    );
+    println!(
+        "| merge | {:.2} | {:.2} |",
+        run.serial.merge.as_secs_f64() * 1e3,
+        run.parallel.merge.as_secs_f64() * 1e3,
+    );
+    println!("| serialize (shared) | {serialize_ms:.2} | {serialize_ms:.2} |");
     println!(
         "\nwall clock: serial {:.0} ms, {} workers {:.0} ms ({:.2}x); report: {}",
         run.serial.wall.as_secs_f64() * 1e3,

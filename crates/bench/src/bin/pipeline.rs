@@ -19,6 +19,9 @@
 //! * `--workers N` — parallel worker count (default: available parallelism)
 //! * `--trials N` — override every experiment's trial count
 //! * `--out PATH` — output path (default `BENCH_pipeline.json`)
+//! * `--trace` — additionally run one traced depth-4 sweep point and
+//!   write `TRACE_pipeline.json` (Chrome trace events) plus
+//!   `BENCH_trace.json` (the windowed-metrics timeline)
 
 use harness::cli::run_serial_and_parallel;
 use harness::{grid, report, ExperimentId};
@@ -44,6 +47,23 @@ fn main() {
     );
 
     let mut failures = Vec::new();
+    if args.iter().any(|a| a == "--trace") {
+        let trace = harness::obs::traced_run("pipeline", run.mode == "quick", run.config.seed)
+            .unwrap_or_else(|e| panic!("traced pipeline run failed: {e:?}"));
+        std::fs::write("TRACE_pipeline.json", &trace.chrome)
+            .unwrap_or_else(|e| panic!("cannot write TRACE_pipeline.json: {e}"));
+        std::fs::write("BENCH_trace.json", &trace.timeline)
+            .unwrap_or_else(|e| panic!("cannot write BENCH_trace.json: {e}"));
+        if let Some(token) = report::find_non_finite(&trace.timeline) {
+            failures.push(format!(
+                "trace timeline contains non-finite value {token:?}"
+            ));
+        }
+        println!(
+            "trace: {} spans accepted; artifacts: TRACE_pipeline.json, BENCH_trace.json",
+            trace.spans_accepted
+        );
+    }
     for experiment in [ExperimentId::PipelineMemcached, ExperimentId::PipelineMysql] {
         for (label, pass) in [("serial", &run.serial), ("parallel", &run.parallel)] {
             let ok = pass.figure(experiment).is_some_and(|fig| {

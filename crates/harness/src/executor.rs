@@ -118,6 +118,9 @@ pub struct RunReport {
     pub workers: usize,
     /// Elapsed wall-clock time of the whole run.
     pub wall: Duration,
+    /// Wall-clock time of the single-threaded canonical merge phase
+    /// (folding cell outputs into figures, after the workers joined).
+    pub merge: Duration,
 }
 
 impl RunReport {
@@ -208,6 +211,7 @@ impl Executor {
         });
 
         // Merge in canonical order (the queue was built in that order).
+        let merge_start = Instant::now();
         let mut results = results.into_inner().expect("workers joined").into_iter();
         let mut figures = Vec::with_capacity(experiments.len());
         let mut timings = Vec::with_capacity(experiments.len());
@@ -239,6 +243,7 @@ impl Executor {
             figures,
             timings,
             workers,
+            merge: merge_start.elapsed(),
             wall: start.elapsed(),
         }
     }
@@ -288,6 +293,10 @@ mod tests {
         assert_eq!(report.timings[0].cells, 20);
         assert!(report.figure(ExperimentId::Fig05Ffmpeg).is_some());
         assert!(report.total_cell_time() > Duration::ZERO);
+        assert!(
+            report.merge <= report.wall,
+            "the merge phase is part of the run's wall clock"
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod experiment;
 pub mod figures;
 pub mod findings;
 pub mod grid;
+pub mod obs;
 pub mod report;
 
 pub use config::RunConfig;

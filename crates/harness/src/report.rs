@@ -68,15 +68,18 @@ fn ms(d: std::time::Duration) -> f64 {
 /// markdown table.
 ///
 /// `cell time` is the time spent inside the experiment's cells summed
-/// across workers; the headline total is the run's elapsed wall clock.
+/// across workers; `merge` is the single-threaded canonical fold of cell
+/// outputs into figures; the headline total is the run's elapsed wall
+/// clock.
 pub fn timing_table(report: &RunReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "### Wall-clock summary ({} workers, {:.0} ms wall, {:.0} ms cell time)",
+        "### Wall-clock summary ({} workers, {:.0} ms wall, {:.0} ms cell time, {:.2} ms merge)",
         report.workers,
         ms(report.wall),
         ms(report.total_cell_time()),
+        ms(report.merge),
     );
     let _ = writeln!(out);
     let _ = writeln!(out, "| experiment | cells | cell time (ms) |");
@@ -136,6 +139,8 @@ fn json_report_header(
 /// without any serialization dependency so CI can parse and archive it.
 pub fn full_grid_json(mode: &str, seed: u64, serial: &RunReport, parallel: &RunReport) -> String {
     let mut out = json_report_header("isolation-bench/full-grid/v1", mode, seed, serial, parallel);
+    let _ = writeln!(out, "  \"serial_merge_ms\": {:.3},", ms(serial.merge));
+    let _ = writeln!(out, "  \"parallel_merge_ms\": {:.3},", ms(parallel.merge));
     let speedup = if parallel.wall.as_secs_f64() > 0.0 {
         serial.wall.as_secs_f64() / parallel.wall.as_secs_f64()
     } else {
@@ -678,6 +683,7 @@ mod tests {
         let (serial, _) = tiny_reports();
         let table = timing_table(&serial);
         assert!(table.contains("### Wall-clock summary (1 workers"));
+        assert!(table.contains("ms merge)"));
         assert!(table.contains("| fig08_stream | 20 |"));
     }
 
@@ -687,6 +693,8 @@ mod tests {
         let json = full_grid_json("quick", 7, &serial, &parallel);
         assert!(json.contains("\"schema\": \"isolation-bench/full-grid/v1\""));
         assert!(json.contains("\"seed\": 7"));
+        assert!(json.contains("\"serial_merge_ms\": "));
+        assert!(json.contains("\"parallel_merge_ms\": "));
         assert!(json.contains("\"slug\": \"fig08_stream\""));
         assert!(json.contains("\"cells\": 20"));
         assert!(json.contains("\"points\": 10"));

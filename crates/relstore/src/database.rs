@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use crate::table::{Row, Table};
+use crate::table::{Row, Table, TableStats};
 use crate::txn::Transaction;
 
 /// A database holding named tables.
@@ -43,6 +43,16 @@ impl Database {
     /// Begins a transaction.
     pub fn begin(&self) -> Transaction {
         Transaction::new()
+    }
+
+    /// Folds every table's [`TableStats`] snapshot into one
+    /// database-wide total, in canonical (name) order.
+    pub fn stats(&self) -> TableStats {
+        self.tables
+            .read()
+            .values()
+            .map(Table::stats)
+            .fold(TableStats::default(), TableStats::merged)
     }
 
     /// Creates `tables` sysbench-style tables with `rows_per_table` rows
@@ -95,6 +105,19 @@ mod tests {
         let b = db.table("shared").unwrap();
         a.insert(Row::new(1, 1, "x".into())).unwrap();
         assert_eq!(b.row_count(), 1);
+    }
+
+    #[test]
+    fn database_stats_fold_over_all_tables() {
+        let db = Database::new();
+        let tables = db.populate_sysbench(2, 50);
+        tables[0].delete(1).unwrap();
+        assert!(tables[1].locks().try_lock(9));
+        assert!(!tables[1].locks().try_lock(9));
+        let stats = db.stats();
+        assert_eq!(stats.rows, 99);
+        assert_eq!(stats.deletes, 1);
+        assert_eq!(stats.lock_waits, 1);
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub mod txn;
 pub use database::Database;
 pub use error::StoreError;
 pub use lock::LockManager;
-pub use table::{Row, Table};
+pub use table::{Row, Table, TableStats};
 pub use txn::Transaction;

@@ -41,6 +41,35 @@ struct TableInner {
     rows: RwLock<BTreeMap<u64, Row>>,
     k_index: RwLock<BTreeMap<u64, Vec<u64>>>,
     locks: LockManager,
+    /// Rows deleted over the table's lifetime — the relational analogue
+    /// of the kvstore shard's eviction counter.
+    deletes: parking_lot::Mutex<u64>,
+}
+
+/// A point-in-time snapshot of one table's occupancy counters, taken in
+/// one call — the relational analogue of the kvstore `ShardStats`
+/// snapshot (`rows`/`deletes` standing in for `len`/`evictions`), so
+/// harness reports can surface both engines' stores through one shape.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TableStats {
+    /// Number of live rows.
+    pub rows: usize,
+    /// Rows deleted over the table's lifetime (the eviction analogue).
+    pub deletes: u64,
+    /// Row-lock contention events observed by the lock manager.
+    pub lock_waits: u64,
+}
+
+impl TableStats {
+    /// Folds another snapshot into this one, component-wise.
+    #[must_use]
+    pub fn merged(self, other: TableStats) -> TableStats {
+        TableStats {
+            rows: self.rows + other.rows,
+            deletes: self.deletes + other.deletes,
+            lock_waits: self.lock_waits + other.lock_waits,
+        }
+    }
 }
 
 impl Table {
@@ -52,7 +81,17 @@ impl Table {
                 rows: RwLock::new(BTreeMap::new()),
                 k_index: RwLock::new(BTreeMap::new()),
                 locks: LockManager::new(),
+                deletes: parking_lot::Mutex::new(0),
             }),
+        }
+    }
+
+    /// Snapshot of the table's occupancy counters.
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            rows: self.inner.rows.read().len(),
+            deletes: *self.inner.deletes.lock(),
+            lock_waits: self.inner.locks.contention_events(),
         }
     }
 
@@ -126,6 +165,7 @@ impl Table {
     pub fn delete(&self, id: u64) -> Result<Row, StoreError> {
         let mut rows = self.inner.rows.write();
         let row = rows.remove(&id).ok_or(StoreError::RowNotFound(id))?;
+        *self.inner.deletes.lock() += 1;
         let mut index = self.inner.k_index.write();
         if let Some(ids) = index.get_mut(&row.k) {
             ids.retain(|x| *x != id);
@@ -214,6 +254,45 @@ mod tests {
         t.insert(Row::new(500, 1, String::new())).unwrap();
         assert_eq!(t.max_id(), Some(500));
         assert_eq!(Table::new("empty").max_id(), None);
+    }
+
+    #[test]
+    fn stats_track_rows_deletes_and_lock_waits() {
+        let t = populated();
+        assert_eq!(
+            t.stats(),
+            TableStats {
+                rows: 100,
+                deletes: 0,
+                lock_waits: 0
+            }
+        );
+        t.delete(1).unwrap();
+        t.delete(2).unwrap();
+        assert!(t.delete(2).is_err(), "failed deletes must not count");
+        assert!(t.locks().try_lock(3));
+        assert!(!t.locks().try_lock(3));
+        assert_eq!(
+            t.stats(),
+            TableStats {
+                rows: 98,
+                deletes: 2,
+                lock_waits: 1
+            }
+        );
+        let folded = t.stats().merged(TableStats {
+            rows: 2,
+            deletes: 1,
+            lock_waits: 4,
+        });
+        assert_eq!(
+            folded,
+            TableStats {
+                rows: 100,
+                deletes: 3,
+                lock_waits: 5
+            }
+        );
     }
 
     #[test]

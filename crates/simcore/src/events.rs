@@ -50,6 +50,42 @@ struct Entry<T> {
     value: T,
 }
 
+/// Lifetime operation counters of one event core — the timing wheel's
+/// own telemetry, surfaced by [`EventQueue::counters`],
+/// [`Simulation::counters`] and [`ShardedCores::counters`].
+///
+/// `pushes` and `pops` are invariant under resharding (they count the
+/// logical event traffic), while `slot_drains`, `cascades` and
+/// `spill_promotions` describe the wheel *topology* the traffic ran on
+/// and legitimately differ between a single core and a sharded group.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CoreCounters {
+    /// Entries scheduled into the core.
+    pub pushes: u64,
+    /// Entries drained out of the core.
+    pub pops: u64,
+    /// Whole-slot batch drains (one per level-0 clock advance).
+    pub slot_drains: u64,
+    /// Coarse-slot cascades into finer levels.
+    pub cascades: u64,
+    /// Entries promoted out of the overflow spill heap into the wheels.
+    pub spill_promotions: u64,
+}
+
+impl CoreCounters {
+    /// Component-wise sum of two counter snapshots (used to fold a
+    /// sharded group's per-core counters in lane order).
+    pub fn merged(self, other: CoreCounters) -> CoreCounters {
+        CoreCounters {
+            pushes: self.pushes + other.pushes,
+            pops: self.pops + other.pops,
+            slot_drains: self.slot_drains + other.slot_drains,
+            cascades: self.cascades + other.cascades,
+            spill_promotions: self.spill_promotions + other.spill_promotions,
+        }
+    }
+}
+
 /// An overflow entry; the spill heap is a min-heap on `(at, seq)`.
 struct Spill<T>(Entry<T>);
 
@@ -105,6 +141,7 @@ struct EventCore<T> {
     scratch: Vec<Entry<T>>,
     seq: u64,
     len: usize,
+    counters: CoreCounters,
 }
 
 impl<T> EventCore<T> {
@@ -119,11 +156,16 @@ impl<T> EventCore<T> {
             scratch: Vec::new(),
             seq: 0,
             len: 0,
+            counters: CoreCounters::default(),
         }
     }
 
     fn len(&self) -> usize {
         self.len
+    }
+
+    fn counters(&self) -> CoreCounters {
+        self.counters
     }
 
     fn frontier(&self) -> Nanos {
@@ -148,6 +190,7 @@ impl<T> EventCore<T> {
         let at = Nanos::from_nanos(at.as_nanos().max(self.cursor));
         self.insert(Entry { at, seq, value });
         self.len += 1;
+        self.counters.pushes += 1;
     }
 
     /// Routes an entry to its wheel slot or the overflow spill heap.
@@ -210,6 +253,7 @@ impl<T> EventCore<T> {
                 let entry = self.overflow.pop().expect("cached min implies an entry").0;
                 self.overflow_min = self.overflow.peek().map_or(u64::MAX, |s| s.0.at.as_nanos());
                 self.insert(entry);
+                self.counters.spill_promotions += 1;
             }
             let (level, idx) = match self.first_pending_slot() {
                 Some(found) => found,
@@ -234,6 +278,7 @@ impl<T> EventCore<T> {
                         .sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
                 }
                 debug_assert!(self.batch.iter().all(|e| e.at.as_nanos() == self.cursor));
+                self.counters.slot_drains += 1;
                 return true;
             }
             // Cascade: move to the slot's base tick and respread its
@@ -246,6 +291,7 @@ impl<T> EventCore<T> {
                 self.insert(entry);
             }
             self.scratch = scratch;
+            self.counters.cascades += 1;
         }
     }
 
@@ -254,6 +300,7 @@ impl<T> EventCore<T> {
             return None;
         }
         self.len -= 1;
+        self.counters.pops += 1;
         self.batch.pop()
     }
 
@@ -422,6 +469,27 @@ impl<T> ShardedCores<T> {
         }
         self.pop()
     }
+
+    /// Lifetime operation counters of one core lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_counters(&self, core: usize) -> CoreCounters {
+        self.cores[core].counters()
+    }
+
+    /// The group's counters, folded over the lanes in index order.
+    ///
+    /// `pushes`/`pops` are lane-count-invariant; the wheel-topology
+    /// counters (`slot_drains`, `cascades`, `spill_promotions`) are not —
+    /// see [`CoreCounters`].
+    pub fn counters(&self) -> CoreCounters {
+        self.cores
+            .iter()
+            .map(EventCore::counters)
+            .fold(CoreCounters::default(), CoreCounters::merged)
+    }
 }
 
 impl<T> std::fmt::Debug for ShardedCores<T> {
@@ -497,6 +565,11 @@ impl<T> EventQueue<T> {
     /// Whether the queue has no pending events.
     pub fn is_empty(&self) -> bool {
         self.core.len() == 0
+    }
+
+    /// Snapshot of the queue's lifetime operation counters.
+    pub fn counters(&self) -> CoreCounters {
+        self.core.counters()
     }
 }
 
@@ -775,6 +848,11 @@ impl<S> Simulation<S> {
     pub fn pending(&self) -> usize {
         self.core.len()
     }
+
+    /// Snapshot of the scheduler's lifetime operation counters.
+    pub fn counters(&self) -> CoreCounters {
+        self.core.counters()
+    }
 }
 
 impl<S> Default for Simulation<S> {
@@ -1007,6 +1085,47 @@ mod tests {
             Some((3, Nanos::from_micros(10), "next-window"))
         );
         assert!(group.is_empty());
+    }
+
+    #[test]
+    fn core_counters_track_the_wheel_operations() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.counters(), CoreCounters::default());
+        q.push(Nanos::from_nanos(1 << 52), "spill");
+        q.push(Nanos::from_micros(700), "cascade"); // level >= 1 from cursor 0
+        q.push(Nanos::from_nanos(3), "near");
+        let c = q.counters();
+        assert_eq!((c.pushes, c.pops), (3, 0));
+        while q.pop().is_some() {}
+        let c = q.counters();
+        assert_eq!((c.pushes, c.pops), (3, 3));
+        assert_eq!(c.slot_drains, 3, "one whole-slot drain per distinct tick");
+        assert!(c.cascades >= 1, "the 700us entry lands in a coarse slot");
+        assert_eq!(c.spill_promotions, 1, "the far entry promotes once");
+    }
+
+    #[test]
+    fn sharded_push_pop_counters_are_lane_count_invariant() {
+        // The logical-traffic counters must not depend on how the pushes
+        // were scattered over lanes; the topology counters may.
+        let drive = |cores: usize| {
+            let mut group = ShardedCores::new(cores);
+            for i in 0..500u64 {
+                group.push(
+                    (i % cores as u64) as usize,
+                    Nanos::from_nanos(i * 17 % 400),
+                    i,
+                );
+            }
+            while group.pop().is_some() {}
+            group.counters()
+        };
+        let one = drive(1);
+        for cores in [2, 4, 8] {
+            let many = drive(cores);
+            assert_eq!((many.pushes, many.pops), (one.pushes, one.pops));
+        }
+        assert_eq!((one.pushes, one.pops), (500, 500));
     }
 
     #[test]

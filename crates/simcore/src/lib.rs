@@ -18,6 +18,9 @@
 //!   heap retained as an ordering oracle.
 //! * [`resource`] — shared-resource models (token-bucket bandwidth,
 //!   M/M/1-style queueing latency) used by the device simulations.
+//! * [`obs`] — deterministic observability: seed-sampled per-request
+//!   trace spans, windowed virtual-time metrics and event-core counters,
+//!   exported as Chrome-trace and timeline JSON artifacts.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@
 pub mod dist;
 pub mod error;
 pub mod events;
+pub mod obs;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -52,7 +56,8 @@ pub mod time;
 
 pub use dist::Distribution;
 pub use error::SimError;
-pub use events::{EventQueue, ReferenceHeap, ShardedCores, Simulation};
+pub use events::{CoreCounters, EventQueue, ReferenceHeap, ShardedCores, Simulation};
+pub use obs::{ObsConfig, Recorder, Span, SpanKind};
 pub use resource::{Bandwidth, QueueModel, TokenBucket};
 pub use rng::SimRng;
 pub use stats::{Cdf, Histogram, RunningStats, Summary};

@@ -251,6 +251,12 @@ impl<T> CompletionTimer<T> {
         self.queue.len()
     }
 
+    /// Snapshot of the underlying timing wheel's operation counters —
+    /// the completion queue's share of the event-core telemetry.
+    pub fn counters(&self) -> crate::events::CoreCounters {
+        self.queue.counters()
+    }
+
     /// Whether no completions are pending.
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty()

@@ -26,6 +26,20 @@ fn fnv1a(label: &str) -> u64 {
     h
 }
 
+/// Mixes a seed and a salt into a uniformly distributed 64-bit value.
+///
+/// The mix is **stateless** — a pure function of its two arguments — so a
+/// per-item decision (e.g. "is request `i` trace-sampled?") can be made
+/// anywhere, in any order, without consuming a draw from any simulation
+/// stream. That is what keeps trace sampling from perturbing the common
+/// random numbers the sweeps are coupled by: sampling on or off, every
+/// arrival/service/key stream sees exactly the same draw sequence.
+pub fn mix(seed: u64, salt: u64) -> u64 {
+    let mut state = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let first = splitmix64(&mut state);
+    first ^ splitmix64(&mut state)
+}
+
 /// Derives the 64-bit seed of one `(experiment, platform, trial)` cell of
 /// the evaluation grid from the root seed.
 ///
@@ -292,6 +306,19 @@ mod tests {
         let xs: Vec<u64> = (0..8).map(|_| docker.next_u64()).collect();
         let ys: Vec<u64> = (0..8).map(|_| gvisor.next_u64()).collect();
         assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn mix_is_stateless_and_sensitive_to_both_arguments() {
+        assert_eq!(mix(7, 42), mix(7, 42));
+        assert_ne!(mix(7, 42), mix(8, 42));
+        assert_ne!(mix(7, 42), mix(7, 43));
+        // Sequential salts must look independent, not sequential: the
+        // low bit of the mix should flip roughly half the time.
+        let flips = (0..1_000u64)
+            .filter(|&i| (mix(11, i) ^ mix(11, i + 1)) & 1 == 1)
+            .count();
+        assert!((350..650).contains(&flips), "low-bit flips: {flips}");
     }
 
     #[test]

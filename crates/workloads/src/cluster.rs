@@ -44,6 +44,7 @@
 use kvstore::{Shard, ShardStats};
 use platforms::Platform;
 use simcore::error::SimError;
+use simcore::obs::{Recorder, SpanKind};
 use simcore::resource::CompletionTimer;
 use simcore::stats::{Cdf, RunningStats};
 use simcore::{Nanos, ShardedCores, SimRng};
@@ -266,17 +267,22 @@ impl ClusterBenchmark {
             ));
         }
         for setting in &self.sweep {
-            if setting.shards == 0 {
-                return Err(SimError::InvalidConfig(
-                    "cluster points need at least one shard".into(),
-                ));
-            }
-            if !setting.zipf_theta.is_finite() || !(0.0..1.0).contains(&setting.zipf_theta) {
-                return Err(SimError::InvalidConfig(format!(
-                    "cluster Zipf skew must lie in [0, 1), got {}",
-                    setting.zipf_theta
-                )));
-            }
+            Self::validate_setting(setting)?;
+        }
+        Ok(())
+    }
+
+    fn validate_setting(setting: &ClusterSetting) -> Result<(), SimError> {
+        if setting.shards == 0 {
+            return Err(SimError::InvalidConfig(
+                "cluster points need at least one shard".into(),
+            ));
+        }
+        if !setting.zipf_theta.is_finite() || !(0.0..1.0).contains(&setting.zipf_theta) {
+            return Err(SimError::InvalidConfig(format!(
+                "cluster Zipf skew must lie in [0, 1), got {}",
+                setting.zipf_theta
+            )));
         }
         Ok(())
     }
@@ -316,9 +322,44 @@ impl ClusterBenchmark {
                     arrival.clone(),
                     service.clone(),
                     keys.clone(),
+                    None,
                 )
+                .map(|(point, _)| point)
             })
             .collect()
+    }
+
+    /// Runs one sweep point with the span recorder attached and returns
+    /// the measured point together with the recorder, ready for export.
+    ///
+    /// The stream discipline matches [`ClusterBenchmark::run_trial`]
+    /// (the same three named splits taken in the same order), and the
+    /// recorder consumes no draws, so the traced point is equal to the
+    /// corresponding untraced sweep point. Event-core counters are *not*
+    /// attached to the timeline: the wheel-topology counters legitimately
+    /// differ per [`ClusterBenchmark::shard_cores`], while the traced
+    /// artifacts must stay byte-identical for any lane count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a degenerate service
+    /// profile, hotspot mix, Zipf skew or sweep point.
+    pub fn run_setting_traced(
+        &self,
+        platform: &Platform,
+        setting: &ClusterSetting,
+        rng: &mut SimRng,
+        recorder: Recorder,
+    ) -> Result<(ClusterPoint, Recorder), SimError> {
+        self.validate()?;
+        Self::validate_setting(setting)?;
+        let profile = self.service_profile(platform)?;
+        let arrival = rng.split("arrivals");
+        let service = rng.split("service");
+        let keys = rng.split("keys");
+        let (point, obs) =
+            self.run_setting(&profile, setting, arrival, service, keys, Some(recorder))?;
+        Ok((point, obs.expect("the traced run returns its recorder")))
     }
 
     /// Runs one sweep point through the lock-step core group.
@@ -329,11 +370,12 @@ impl ClusterBenchmark {
         arrival_rng: SimRng,
         service_rng: SimRng,
         key_rng: SimRng,
-    ) -> Result<ClusterPoint, SimError> {
+        obs: Option<Recorder>,
+    ) -> Result<(ClusterPoint, Option<Recorder>), SimError> {
         let shards = setting.shards;
         let capacity_per_shard = profile.servers as f64 / profile.service_time.as_secs_f64();
         let offered_per_sec = (capacity_per_shard * shards as f64 * self.offered_fraction).max(1.0);
-        let mut sim = ClusterSim::new(self, profile, setting, offered_per_sec)?;
+        let mut sim = ClusterSim::new(self, profile, setting, offered_per_sec, obs)?;
         let lanes = self.shard_cores.max(1).min(shards);
         let mut cores: ShardedCores<Ev> = ShardedCores::new(lanes);
         let mut st = ClusterState {
@@ -362,7 +404,11 @@ impl ClusterBenchmark {
             let w = window.as_nanos();
             horizon = Nanos::from_nanos(next.as_nanos().div_ceil(w).max(1) * w);
         }
-        Ok(sim.into_point(setting, offered_per_sec, cores.frontier()))
+        let obs = sim.obs.take();
+        Ok((
+            sim.into_point(setting, offered_per_sec, cores.frontier()),
+            obs,
+        ))
     }
 }
 
@@ -421,6 +467,10 @@ pub struct ClusterPoint {
 /// A request waiting in a shard's admission queue or in service.
 #[derive(Debug, Clone, Copy)]
 struct Req {
+    /// Cluster-wide arrival index — the stable trace-sampling identity,
+    /// assigned by the router in generation order (lane-count
+    /// invariant).
+    id: u64,
     arrived: Nanos,
     key: u32,
 }
@@ -432,8 +482,8 @@ struct Req {
 enum Ev {
     /// Sample and push the next chunk of routed arrivals (router, lane 0).
     Generate,
-    /// One arrival at `shard` for `key`.
-    Arrive { shard: u32, key: u32 },
+    /// One arrival at `shard` for `key`, the cluster's `id`-th overall.
+    Arrive { shard: u32, id: u64, key: u32 },
     /// Completion-timer wake on `shard`.
     Drain { shard: u32 },
     /// Fixed-cadence cluster in-flight probe (lane 0).
@@ -482,6 +532,10 @@ struct ClusterSim<'a> {
     peak_in_flight: usize,
     drain_buf: Vec<(Nanos, Req)>,
     dispatch_buf: Vec<(usize, Nanos, Req)>,
+    /// Observation-only trace recorder; `None` is the zero-cost path.
+    obs: Option<Recorder>,
+    /// Recorder lane per shard (`shard{i}`), empty when untraced.
+    obs_lanes: Vec<u32>,
 }
 
 /// FNV-1a over a key id — the router's placement hash.
@@ -500,7 +554,14 @@ impl<'a> ClusterSim<'a> {
         profile: &ServiceProfile,
         setting: &ClusterSetting,
         offered_per_sec: f64,
+        mut obs: Option<Recorder>,
     ) -> Result<Self, SimError> {
+        let obs_lanes = match obs.as_mut() {
+            Some(o) => (0..setting.shards)
+                .map(|i| o.lane(&format!("shard{i}")))
+                .collect(),
+            None => Vec::new(),
+        };
         let shards = (0..setting.shards)
             .map(|_| {
                 Ok(ShardNode {
@@ -547,6 +608,8 @@ impl<'a> ClusterSim<'a> {
             peak_in_flight: 0,
             drain_buf: Vec::new(),
             dispatch_buf: Vec::new(),
+            obs,
+            obs_lanes,
         })
     }
 
@@ -611,7 +674,7 @@ impl<'a> ClusterSim<'a> {
         self.events += 1;
         match ev {
             Ev::Generate => self.generate(now, cores, st),
-            Ev::Arrive { shard, key } => self.arrive(now, shard as usize, key, cores, st),
+            Ev::Arrive { shard, id, key } => self.arrive(now, shard as usize, id, key, cores, st),
             Ev::Drain { shard } => self.drain(now, shard as usize, cores, st),
             Ev::Probe { remaining } => self.probe(now, remaining, cores),
         }
@@ -637,11 +700,25 @@ impl<'a> ClusterSim<'a> {
             if idx >= self.boundary {
                 self.shards[shard].steady_arrivals += 1;
             }
+            // A hand-off is a hot key the stale placement pinned to
+            // shard 0 that the reshard redirected to its hashed home.
+            let handed_off = self.setting.route == RoutePolicy::Rebalance
+                && idx >= self.boundary
+                && shard != 0
+                && self.is_hot(key, idx);
+            if let Some(o) = self.obs.as_mut() {
+                let lane = self.obs_lanes[shard];
+                o.instant(SpanKind::Route, idx, lane, now + offset);
+                if handed_off {
+                    o.instant(SpanKind::HandOff, idx, lane, now + offset);
+                }
+            }
             cores.push(
                 self.lane_of(shard),
                 now + offset,
                 Ev::Arrive {
                     shard: shard as u32,
+                    id: idx,
                     key,
                 },
             );
@@ -657,16 +734,37 @@ impl<'a> ClusterSim<'a> {
         &mut self,
         now: Nanos,
         shard: usize,
+        id: u64,
         key: u32,
         cores: &mut ShardedCores<Ev>,
         st: &mut ClusterState,
     ) {
         self.shards[shard].arrivals += 1;
-        let req = Req { arrived: now, key };
+        let req = Req {
+            id,
+            arrived: now,
+            key,
+        };
+        if let Some(o) = self.obs.as_mut() {
+            o.count_arrival(self.obs_lanes[shard], now);
+        }
         match self.shards[shard].pool.offer(0, now, req) {
             Admission::Dispatched => self.dispatch(now, shard, req, cores, st),
             Admission::Queued => {}
-            Admission::Dropped => self.dropped += 1,
+            Admission::Dropped => {
+                self.dropped += 1;
+                if let Some(o) = self.obs.as_mut() {
+                    o.count_drop(self.obs_lanes[shard], now);
+                }
+            }
+        }
+        if let Some(o) = self.obs.as_mut() {
+            o.gauge(
+                self.obs_lanes[shard],
+                now,
+                self.shards[shard].pool.queued_total(),
+                self.shards[shard].pool.busy(),
+            );
         }
     }
 
@@ -693,7 +791,17 @@ impl<'a> ClusterSim<'a> {
             // the tick is the shard's own dispatch counter.
             let key = format!("k{:08}", req.key);
             if node.dispatched % (2 * self.bench.op_sample_every.max(1)) == 0 {
-                node.cache.get(key.as_bytes(), node.dispatched);
+                let hit = node.cache.get(key.as_bytes(), node.dispatched).is_some();
+                if let Some(o) = self.obs.as_mut() {
+                    let lane = self.obs_lanes[shard];
+                    o.count_cache(lane, now, hit);
+                    let kind = if hit {
+                        SpanKind::CacheHit
+                    } else {
+                        SpanKind::CacheMiss
+                    };
+                    o.instant(kind, req.id, lane, now);
+                }
             } else {
                 node.cache.set(
                     key.as_bytes(),
@@ -701,6 +809,11 @@ impl<'a> ClusterSim<'a> {
                     node.dispatched,
                 );
             }
+        }
+        if let Some(o) = self.obs.as_mut() {
+            let lane = self.obs_lanes[shard];
+            o.span(SpanKind::AdmissionWait, req.id, lane, req.arrived, now);
+            o.span(SpanKind::SlotService, req.id, lane, now, now + service);
         }
         if let Some(wake) = node.completions.schedule(now + service, req) {
             cores.push(
@@ -739,6 +852,9 @@ impl<'a> ClusterSim<'a> {
             self.latencies_us.push(sojourn_us);
             self.shards[shard].latencies_us.push(sojourn_us);
             self.completed += 1;
+            if let Some(o) = self.obs.as_mut() {
+                o.count_completion(self.obs_lanes[shard], now);
+            }
         }
         let mut dispatched = std::mem::take(&mut self.dispatch_buf);
         self.shards[shard]
@@ -923,6 +1039,55 @@ mod tests {
                 .unwrap();
             assert_eq!(base, got, "window {window_us} us diverged");
         }
+    }
+
+    #[test]
+    fn tracing_is_observation_only_and_byte_identical_across_lane_counts() {
+        use simcore::obs::ObsConfig;
+        // The recorder consumes no draws and the merged pop order is
+        // lane-count invariant, so the traced point equals the untraced
+        // one and both artifacts are byte-identical for any core count.
+        let platform = PlatformId::Qemu.build();
+        let setting = ClusterSetting::rebalance(16);
+        let plain = ClusterBenchmark {
+            sweep: vec![setting],
+            ..tiny(LoadBackend::Memcached)
+        }
+        .run_trial(&platform, &mut SimRng::seed_from(73))
+        .unwrap();
+        let mut artifacts: Vec<(String, String)> = Vec::new();
+        for shard_cores in [1usize, 2, 4, 8] {
+            let bench = ClusterBenchmark {
+                shard_cores,
+                sweep: vec![setting],
+                ..tiny(LoadBackend::Memcached)
+            };
+            let recorder = Recorder::try_new(ObsConfig::new(7, 0.25)).unwrap();
+            let (point, obs) = bench
+                .run_setting_traced(&platform, &setting, &mut SimRng::seed_from(73), recorder)
+                .unwrap();
+            assert_eq!(plain[0], point, "{shard_cores} lanes: tracing perturbed");
+            assert!(obs.spans_accepted() > 0);
+            artifacts.push((
+                obs.chrome_trace_json("cluster"),
+                obs.timeline_json("cluster", 73),
+            ));
+        }
+        for (i, a) in artifacts.iter().enumerate().skip(1) {
+            assert_eq!(artifacts[0].0, a.0, "chrome trace diverged at lane set {i}");
+            assert_eq!(artifacts[0].1, a.1, "timeline diverged at lane set {i}");
+        }
+        let (trace, timeline) = &artifacts[0];
+        assert!(trace.contains("\"route\""), "router instants missing");
+        assert!(
+            trace.contains("\"hand-off\""),
+            "resharded hot keys must record hand-offs"
+        );
+        assert!(timeline.contains("\"shard0\"") && timeline.contains("\"shard15\""));
+        assert!(
+            !timeline.contains("\"core\""),
+            "cluster timelines must not attach lane-dependent core counters"
+        );
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub use netperf::NetperfBenchmark;
 pub use pipeline::{
     MiddlewareChain, PipelineBenchmark, PipelinePoint, PipelineSetting, Stage, Traversal,
 };
-pub use slots::{Admission, ClassConfig, ServiceProfile, SlotPolicy, SlotPool};
+pub use slots::{Admission, ClassConfig, ServiceProfile, SlotPolicy, SlotPool, StoreSnapshot};
 pub use startup::StartupBenchmark;
 pub use stream::StreamBenchmark;
 pub use sysbench_cpu::SysbenchCpuBenchmark;

@@ -38,6 +38,7 @@
 
 use platforms::Platform;
 use simcore::error::SimError;
+use simcore::obs::{Recorder, SpanKind};
 use simcore::resource::CompletionTimer;
 use simcore::stats::{Cdf, RunningStats};
 use simcore::{Nanos, SimRng, Simulation};
@@ -129,7 +130,39 @@ impl LoadgenBenchmark {
         let profile = self.service_profile(platform)?;
         let arrival = rng.split("arrivals");
         let service = rng.split("service");
-        Ok(self.run_point_with_profile(&profile, fraction, arrival, service, rng))
+        Ok(self
+            .run_point_with_profile(&profile, fraction, arrival, service, rng, None)
+            .0)
+    }
+
+    /// Runs one sweep point with a trace [`Recorder`] attached and
+    /// returns it alongside the measurement, loaded with admission-wait
+    /// and slot-service spans for the sampled requests, the windowed
+    /// pool time-series, and the run's event-core counter profile.
+    ///
+    /// Tracing is observation only: the recorder consumes no random
+    /// draws (span sampling is the stateless [`simcore::rng::mix`] of
+    /// the recorder's seed and the arrival index), so the returned
+    /// [`LoadPoint`] is bit-identical to the untraced
+    /// [`LoadgenBenchmark::run_point`] of the same streams.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the degenerate-profile error of
+    /// [`LoadgenBenchmark::service_profile`].
+    pub fn run_point_traced(
+        &self,
+        platform: &Platform,
+        fraction: f64,
+        rng: &mut SimRng,
+        recorder: Recorder,
+    ) -> Result<(LoadPoint, Recorder), SimError> {
+        let profile = self.service_profile(platform)?;
+        let arrival = rng.split("arrivals");
+        let service = rng.split("service");
+        let (point, obs) =
+            self.run_point_with_profile(&profile, fraction, arrival, service, rng, Some(recorder));
+        Ok((point, obs.expect("the recorder threads through the run")))
     }
 
     /// Runs one sweep point against an already-computed service profile
@@ -148,7 +181,8 @@ impl LoadgenBenchmark {
         arrival_rng: SimRng,
         service_rng: SimRng,
         misc_rng: &mut SimRng,
-    ) -> LoadPoint {
+        obs: Option<Recorder>,
+    ) -> (LoadPoint, Option<Recorder>) {
         let offered_per_sec = profile.capacity_per_sec() * fraction.max(0.0);
         let mut sim: Simulation<LoadSim> = Simulation::new();
         let mut state = LoadSim::new(
@@ -158,6 +192,7 @@ impl LoadgenBenchmark {
             arrival_rng,
             service_rng,
             misc_rng.split(MISC_STREAM),
+            obs,
         );
         // Kick off the batched Poisson arrival source.
         sim.schedule_at(Nanos::ZERO, |sim, st: &mut LoadSim| st.generate(sim));
@@ -172,7 +207,13 @@ impl LoadgenBenchmark {
             st.in_flight_probe.record(st.pool.in_flight() as f64);
         });
         sim.run(&mut state);
-        state.into_point(fraction, offered_per_sec, sim.now())
+        if let Some(obs) = state.obs.as_mut() {
+            // The wheel profile of one sweep point: the simulation's own
+            // queue plus the batched completion timer's.
+            obs.set_core_counters(sim.counters().merged(state.completions.counters()));
+        }
+        let obs = state.obs.take();
+        (state.into_point(fraction, offered_per_sec, sim.now()), obs)
     }
 
     /// Runs the whole offered-load sweep once and returns one
@@ -206,7 +247,9 @@ impl LoadgenBenchmark {
                     arrival.clone(),
                     service.clone(),
                     rng,
+                    None,
                 )
+                .0
             })
             .collect())
     }
@@ -251,6 +294,8 @@ struct ConnState {
 /// A request waiting in the admission queue or in service.
 #[derive(Debug, Clone, Copy)]
 struct Request {
+    /// Deterministic arrival index, the identity trace sampling keys on.
+    id: u64,
     arrived: Nanos,
     conn: u32,
 }
@@ -291,6 +336,11 @@ struct LoadSim {
     completions: CompletionTimer<Request>,
     drain_buf: Vec<(Nanos, Request)>,
     dispatch_buf: Vec<(usize, Nanos, Request)>,
+    /// Arrival indices double as trace-sampling identities.
+    next_request: u64,
+    /// `None` is the zero-cost untraced path.
+    obs: Option<Recorder>,
+    obs_lane: u32,
 }
 
 impl LoadSim {
@@ -301,7 +351,9 @@ impl LoadSim {
         arrival_rng: SimRng,
         service_rng: SimRng,
         misc_rng: SimRng,
+        mut obs: Option<Recorder>,
     ) -> Self {
+        let obs_lane = obs.as_mut().map_or(0, |o| o.lane("pool"));
         let pool = SlotPool::new(
             profile.servers,
             SlotPolicy::FifoArrival,
@@ -332,6 +384,9 @@ impl LoadSim {
             completions: CompletionTimer::new(),
             drain_buf: Vec::new(),
             dispatch_buf: Vec::new(),
+            next_request: 0,
+            obs,
+            obs_lane,
         }
     }
 
@@ -369,9 +424,14 @@ impl LoadSim {
         let conn = self.misc_rng.index(self.conns.len()) as u32;
         self.conns[conn as usize].issued += 1;
         let request = Request {
+            id: self.next_request,
             arrived: sim.now(),
             conn,
         };
+        self.next_request += 1;
+        if let Some(obs) = self.obs.as_mut() {
+            obs.count_arrival(self.obs_lane, request.arrived);
+        }
         match self.pool.offer(0, request.arrived, request) {
             Admission::Dispatched => {
                 self.admit();
@@ -381,9 +441,20 @@ impl LoadSim {
             Admission::Dropped => {
                 self.conns[conn as usize].dropped += 1;
                 self.dropped += 1;
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.count_drop(self.obs_lane, request.arrived);
+                }
             }
         }
         self.peak_in_flight = self.peak_in_flight.max(self.pool.in_flight());
+        if let Some(obs) = self.obs.as_mut() {
+            obs.gauge(
+                self.obs_lane,
+                request.arrived,
+                self.pool.queued_total(),
+                self.pool.busy(),
+            );
+        }
     }
 
     fn admit(&mut self) {
@@ -398,7 +469,27 @@ impl LoadSim {
     /// when it became the earliest pending completion.
     fn schedule_completion(&mut self, sim: &mut Simulation<LoadSim>, request: Request) {
         let service = self.profile.sample_service_time(&mut self.service_rng);
-        if let Some(wake) = self.completions.schedule(sim.now() + service, request) {
+        let now = sim.now();
+        if let Some(obs) = self.obs.as_mut() {
+            // Dispatch is where both phases become known: the admission
+            // wait just ended (zero-length when the arrival went straight
+            // to a free slot) and the slot occupancy begins.
+            obs.span(
+                SpanKind::AdmissionWait,
+                request.id,
+                self.obs_lane,
+                request.arrived,
+                now,
+            );
+            obs.span(
+                SpanKind::SlotService,
+                request.id,
+                self.obs_lane,
+                now,
+                now + service,
+            );
+        }
+        if let Some(wake) = self.completions.schedule(now + service, request) {
             sim.schedule_at(wake, |sim, st: &mut LoadSim| st.drain_completions(sim));
         }
     }
@@ -419,6 +510,9 @@ impl LoadSim {
                 .push((now - request.arrived).as_micros_f64());
             self.conns[request.conn as usize].completed += 1;
             self.completed += 1;
+            if let Some(obs) = self.obs.as_mut() {
+                obs.count_completion(self.obs_lane, now);
+            }
         }
         let mut dispatched = std::mem::take(&mut self.dispatch_buf);
         self.pool
@@ -558,7 +652,15 @@ mod tests {
         let arrival = rng.split("arrivals");
         let service = rng.split("service");
         let mut sim: Simulation<LoadSim> = Simulation::new();
-        let mut state = LoadSim::new(&bench, &profile, offered, arrival, service, rng.split("m"));
+        let mut state = LoadSim::new(
+            &bench,
+            &profile,
+            offered,
+            arrival,
+            service,
+            rng.split("m"),
+            None,
+        );
         sim.schedule_at(Nanos::ZERO, |sim, st: &mut LoadSim| st.generate(sim));
         sim.run(&mut state);
         let issued: u64 = state.conns.iter().map(|c| c.issued).sum();
@@ -624,6 +726,28 @@ mod tests {
             .unwrap();
         assert!(sql.service_time > kv.service_time);
         assert!(sql.capacity_per_sec() < kv.capacity_per_sec());
+    }
+
+    #[test]
+    fn tracing_is_observation_only_and_rate_zero_records_no_spans() {
+        use simcore::obs::ObsConfig;
+        let bench = tiny(LoadBackend::Memcached);
+        let platform = PlatformId::Docker.build();
+        let plain = bench
+            .run_point(&platform, 0.8, &mut SimRng::seed_from(90))
+            .unwrap();
+        let recorder = Recorder::try_new(ObsConfig::new(7, 0.25)).unwrap();
+        let (traced, recorder) = bench
+            .run_point_traced(&platform, 0.8, &mut SimRng::seed_from(90), recorder)
+            .unwrap();
+        assert_eq!(plain, traced, "the recorder must not perturb the run");
+        assert!(recorder.spans_accepted() > 0);
+        assert!(recorder.timeline_json("load", 90).contains("\"core\""));
+        let zero = Recorder::try_new(ObsConfig::new(7, 0.0)).unwrap();
+        let (_, zero) = bench
+            .run_point_traced(&platform, 0.8, &mut SimRng::seed_from(90), zero)
+            .unwrap();
+        assert_eq!(zero.spans_accepted(), 0, "rate 0 records nothing");
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 use platforms::Platform;
 use simcore::error::SimError;
+use simcore::obs::{Recorder, SpanKind};
 use simcore::resource::CompletionTimer;
 use simcore::stats::{Cdf, RunningStats};
 use simcore::{Nanos, SimRng, Simulation};
@@ -241,6 +242,25 @@ pub struct Traversal {
     pub cache_misses: u32,
 }
 
+/// Per-stage detail handed to a [`MiddlewareChain::traverse_with`]
+/// observer for every stage the request entered, in chain order — the
+/// seam the trace recorder reconstructs per-stage spans from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageVisit {
+    /// Index of the stage in the chain.
+    pub stage: usize,
+    /// In-phase cost charged to the request.
+    pub in_cost: Nanos,
+    /// Cache access outcome (`Some(true)` = hit), if the stage has one.
+    pub cache_hit: Option<bool>,
+    /// Cache latency charged (hit or miss cost).
+    pub cache_cost: Nanos,
+    /// Whether this stage short-circuited the request.
+    pub short_circuited: bool,
+    /// Out-phase (response path) cost charged.
+    pub out_cost: Nanos,
+}
+
 /// An ordered chain of middleware stages, traversed in-phase first to
 /// last on the request path and out-phase on the response path.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -285,6 +305,21 @@ impl MiddlewareChain {
     /// the monotonicity tests rely on. Only entered stages charge costs,
     /// advance their cache warmup, or count hits and misses.
     pub fn traverse(&mut self, stage_rngs: &mut [SimRng]) -> Traversal {
+        self.traverse_with(stage_rngs, |_| {})
+    }
+
+    /// [`MiddlewareChain::traverse`] with an observer that receives one
+    /// [`StageVisit`] per *entered* stage, in chain order.
+    ///
+    /// The observer is called after the stage's draws, so it cannot
+    /// change the draw order: `traverse` itself delegates here with a
+    /// no-op observer, which is what makes the traced and untraced
+    /// paths provably identical.
+    pub fn traverse_with(
+        &mut self,
+        stage_rngs: &mut [SimRng],
+        mut visit: impl FnMut(StageVisit),
+    ) -> Traversal {
         debug_assert_eq!(
             stage_rngs.len(),
             self.stages.len(),
@@ -303,11 +338,13 @@ impl MiddlewareChain {
             let entered = cut.is_none();
             let in_cost = stage.in_cost.sample(rng);
             let mut cache_cost = Nanos::ZERO;
+            let mut cache_hit = None;
             if let Some(cache) = &mut stage.cache {
                 let draw = rng.uniform01();
                 if entered {
                     let hit = draw < cache.effective_hit_rate();
                     cache.accesses += 1;
+                    cache_hit = Some(hit);
                     if hit {
                         hits += 1;
                         cache_cost = cache.hit_cost;
@@ -329,6 +366,14 @@ impl MiddlewareChain {
                 if fired {
                     cut = Some(i);
                 }
+                visit(StageVisit {
+                    stage: i,
+                    in_cost,
+                    cache_hit,
+                    cache_cost,
+                    short_circuited: fired,
+                    out_cost,
+                });
             }
         }
         Traversal {
@@ -575,7 +620,9 @@ impl PipelineBenchmark {
                     service.clone(),
                     stage_root.clone(),
                     rng,
+                    None,
                 )
+                .map(|(point, _)| point)
             })
             .collect()
     }
@@ -583,6 +630,7 @@ impl PipelineBenchmark {
     /// Runs one sweep point. `misc_rng` is the cell stream the
     /// timing-irrelevant draws are split from, one split per point — the
     /// same discipline as the `loadgen` sweep.
+    #[allow(clippy::too_many_arguments)]
     fn run_setting(
         &self,
         profile: &ServiceProfile,
@@ -591,7 +639,8 @@ impl PipelineBenchmark {
         service_rng: SimRng,
         stage_root: Option<SimRng>,
         misc_rng: &mut SimRng,
-    ) -> Result<PipelinePoint, SimError> {
+        obs: Option<Recorder>,
+    ) -> Result<(PipelinePoint, Option<Recorder>), SimError> {
         let chain = self.chain_for(profile, setting.depth, setting.hit_rate)?;
         let planned = self.chain_for(profile, setting.depth, setting.planned_hit_rate)?;
         // Chain-inclusive capacity at the planned hit rate: the sweep
@@ -618,6 +667,7 @@ impl PipelineBenchmark {
             arrival_rng,
             service_rng,
             misc_rng.split(MISC_STREAM),
+            obs,
         );
         // Kick off the batched Poisson arrival source.
         sim.schedule_at(Nanos::ZERO, |sim, st: &mut PipelineSim| st.generate(sim));
@@ -631,7 +681,55 @@ impl PipelineBenchmark {
             st.in_flight_probe.record(st.pool.in_flight() as f64);
         });
         sim.run(&mut state);
-        Ok(state.into_point(setting, offered_per_sec, sim.now()))
+        if let Some(obs) = state.obs.as_mut() {
+            // The wheel profile of one sweep point: the simulation's own
+            // queue plus the batched completion timer's.
+            obs.set_core_counters(sim.counters().merged(state.completions.counters()));
+        }
+        let obs = state.obs.take();
+        Ok((state.into_point(setting, offered_per_sec, sim.now()), obs))
+    }
+
+    /// Runs one sweep setting with a trace [`Recorder`] attached and
+    /// returns it alongside the measurement, loaded with the admission
+    /// and per-stage span timeline of the sampled requests, the windowed
+    /// pool/stage time-series, and the event-core counter profile.
+    ///
+    /// Tracing is observation only — the recorder consumes no random
+    /// draws, so the returned [`PipelinePoint`] is bit-identical to the
+    /// same setting inside an untraced [`PipelineBenchmark::run_trial`]
+    /// of the same streams.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the degenerate-profile and degenerate-chain errors of
+    /// [`PipelineBenchmark::service_profile`] and
+    /// [`PipelineBenchmark::chain_for`].
+    pub fn run_setting_traced(
+        &self,
+        platform: &Platform,
+        setting: &PipelineSetting,
+        rng: &mut SimRng,
+        recorder: Recorder,
+    ) -> Result<(PipelinePoint, Recorder), SimError> {
+        let profile = self.service_profile(platform)?;
+        let arrival = rng.split("arrivals");
+        let service = rng.split("service");
+        let stage_root = if setting.depth > 0 {
+            Some(rng.split(STAGE_STREAM))
+        } else {
+            None
+        };
+        let (point, obs) = self.run_setting(
+            &profile,
+            setting,
+            arrival,
+            service,
+            stage_root,
+            rng,
+            Some(recorder),
+        )?;
+        Ok((point, obs.expect("the recorder threads through the run")))
     }
 }
 
@@ -717,6 +815,8 @@ struct ConnState {
 /// A request waiting in the admission queue or in service.
 #[derive(Debug, Clone, Copy)]
 struct Request {
+    /// Deterministic arrival index, the identity trace sampling keys on.
+    id: u64,
     arrived: Nanos,
     conn: u32,
     stage_cost: Nanos,
@@ -753,6 +853,13 @@ struct PipelineSim {
     completions: CompletionTimer<Request>,
     drain_buf: Vec<(Nanos, Request)>,
     dispatch_buf: Vec<(usize, Nanos, Request)>,
+    /// Arrival indices double as trace-sampling identities.
+    next_request: u64,
+    /// `None` is the zero-cost untraced path.
+    obs: Option<Recorder>,
+    obs_pool_lane: u32,
+    obs_stage_lanes: Vec<u32>,
+    visit_buf: Vec<StageVisit>,
 }
 
 impl PipelineSim {
@@ -766,7 +873,20 @@ impl PipelineSim {
         arrival_rng: SimRng,
         service_rng: SimRng,
         misc_rng: SimRng,
+        mut obs: Option<Recorder>,
     ) -> Self {
+        // Lane 0 is the admission/slot pool; each stage gets its own
+        // lane, indexed so repeated stage kinds stay distinguishable.
+        let obs_pool_lane = obs.as_mut().map_or(0, |o| o.lane("pool"));
+        let obs_stage_lanes = match obs.as_mut() {
+            Some(o) => chain
+                .stages
+                .iter()
+                .enumerate()
+                .map(|(i, s)| o.lane(&format!("s{i}:{}", s.name)))
+                .collect(),
+            None => Vec::new(),
+        };
         let pool = SlotPool::new(
             profile.servers,
             SlotPolicy::FifoArrival,
@@ -805,6 +925,11 @@ impl PipelineSim {
             completions: CompletionTimer::new(),
             drain_buf: Vec::new(),
             dispatch_buf: Vec::new(),
+            next_request: 0,
+            obs,
+            obs_pool_lane,
+            obs_stage_lanes,
+            visit_buf: Vec::new(),
         }
     }
 
@@ -841,11 +966,16 @@ impl PipelineSim {
         let conn = self.misc_rng.index(self.conns.len()) as u32;
         self.conns[conn as usize].issued += 1;
         let request = Request {
+            id: self.next_request,
             arrived: sim.now(),
             conn,
             stage_cost: Nanos::ZERO,
             cut: false,
         };
+        self.next_request += 1;
+        if let Some(obs) = self.obs.as_mut() {
+            obs.count_arrival(self.obs_pool_lane, request.arrived);
+        }
         match self.pool.offer(0, request.arrived, request) {
             Admission::Dispatched => {
                 self.admit();
@@ -855,9 +985,20 @@ impl PipelineSim {
             Admission::Dropped => {
                 self.conns[conn as usize].dropped += 1;
                 self.dropped += 1;
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.count_drop(self.obs_pool_lane, request.arrived);
+                }
             }
         }
         self.peak_in_flight = self.peak_in_flight.max(self.pool.in_flight());
+        if let Some(obs) = self.obs.as_mut() {
+            obs.gauge(
+                self.obs_pool_lane,
+                request.arrived,
+                self.pool.queued_total(),
+                self.pool.busy(),
+            );
+        }
     }
 
     fn admit(&mut self) {
@@ -876,7 +1017,21 @@ impl PipelineSim {
     /// aligned with the `loadgen` path request for request.
     fn schedule_completion(&mut self, sim: &mut Simulation<PipelineSim>, mut request: Request) {
         let backend = self.profile.sample_service_time(&mut self.service_rng);
-        let t = self.chain.traverse(&mut self.stage_rngs);
+        let t = match self.obs.is_some() {
+            // Traced run: collect the per-stage detail. `traverse`
+            // delegates to `traverse_with`, so the draw order is the
+            // same on both arms by construction.
+            true => {
+                let (chain, rngs, buf) =
+                    (&mut self.chain, &mut self.stage_rngs, &mut self.visit_buf);
+                buf.clear();
+                chain.traverse_with(rngs, |v| buf.push(v))
+            }
+            false => self.chain.traverse(&mut self.stage_rngs),
+        };
+        if self.obs.is_some() {
+            self.record_dispatch(sim.now(), &request, backend, t.short_circuit.is_some());
+        }
         self.stage_cost_ns_sum += u128::from(t.stage_cost.as_nanos());
         self.depth_sum += t.stages_traversed as u64;
         self.cache_hits += u64::from(t.cache_hits);
@@ -892,6 +1047,74 @@ impl PipelineSim {
         if let Some(wake) = self.completions.schedule(sim.now() + service, request) {
             sim.schedule_at(wake, |sim, st: &mut PipelineSim| st.drain_completions(sim));
         }
+    }
+
+    /// Folds one dispatch into the recorder: per-stage cache counts for
+    /// every request, and — for sampled requests — the span timeline the
+    /// slot occupancy decomposes into: admission wait, the in-phases in
+    /// chain order (cache access charged inside), the backend slot
+    /// service unless short-circuited, then the out-phases in reverse
+    /// order. The spans tile `[arrived, dispatch + service]` exactly.
+    fn record_dispatch(&mut self, now: Nanos, request: &Request, backend: Nanos, cut: bool) {
+        let visits = std::mem::take(&mut self.visit_buf);
+        if let Some(obs) = self.obs.as_mut() {
+            for v in &visits {
+                if let Some(hit) = v.cache_hit {
+                    obs.count_cache(self.obs_stage_lanes[v.stage], now, hit);
+                }
+            }
+            if obs.sampled(request.id) {
+                obs.span(
+                    SpanKind::AdmissionWait,
+                    request.id,
+                    self.obs_pool_lane,
+                    request.arrived,
+                    now,
+                );
+                let mut cursor = now;
+                for v in &visits {
+                    let lane = self.obs_stage_lanes[v.stage];
+                    let in_end = cursor + v.in_cost + v.cache_cost;
+                    obs.span(SpanKind::StageIn, request.id, lane, cursor, in_end);
+                    if let Some(hit) = v.cache_hit {
+                        let kind = if hit {
+                            SpanKind::CacheHit
+                        } else {
+                            SpanKind::CacheMiss
+                        };
+                        obs.instant(kind, request.id, lane, cursor + v.in_cost);
+                    }
+                    if v.short_circuited {
+                        obs.instant(SpanKind::ShortCircuit, request.id, lane, in_end);
+                    }
+                    cursor = in_end;
+                }
+                if !cut {
+                    obs.span(
+                        SpanKind::SlotService,
+                        request.id,
+                        self.obs_pool_lane,
+                        cursor,
+                        cursor + backend,
+                    );
+                    cursor += backend;
+                }
+                for v in visits.iter().rev() {
+                    if v.out_cost > Nanos::ZERO {
+                        let lane = self.obs_stage_lanes[v.stage];
+                        obs.span(
+                            SpanKind::StageOut,
+                            request.id,
+                            lane,
+                            cursor,
+                            cursor + v.out_cost,
+                        );
+                        cursor += v.out_cost;
+                    }
+                }
+            }
+        }
+        self.visit_buf = visits;
     }
 
     /// One completion wake: drains every completion due in this wheel
@@ -914,6 +1137,9 @@ impl PipelineSim {
                 self.short_circuited += 1;
             } else {
                 self.completed += 1;
+            }
+            if let Some(obs) = self.obs.as_mut() {
+                obs.count_completion(self.obs_pool_lane, now);
             }
         }
         let mut dispatched = std::mem::take(&mut self.dispatch_buf);
@@ -1192,6 +1418,36 @@ mod tests {
         assert_eq!(p.peak_in_flight, l.peak_in_flight);
         assert_eq!(p.mean_in_flight, l.mean_in_flight);
         assert_eq!(p.mean_depth, 1.0, "every request enters the free stage");
+    }
+
+    #[test]
+    fn tracing_is_observation_only_and_reconstructs_stage_spans() {
+        use simcore::obs::ObsConfig;
+        let mut bench = tiny(LoadBackend::Memcached);
+        bench.auth_reject_rate = 0.1;
+        let setting = PipelineSetting::new(3, 0.8);
+        bench.sweep = vec![setting];
+        let platform = PlatformId::Native.build();
+        let plain = &bench
+            .run_trial(&platform, &mut SimRng::seed_from(101))
+            .unwrap()[0];
+        let recorder = Recorder::try_new(ObsConfig::new(5, 1.0)).unwrap();
+        let (traced, recorder) = bench
+            .run_setting_traced(&platform, &setting, &mut SimRng::seed_from(101), recorder)
+            .unwrap();
+        assert_eq!(*plain, traced, "the recorder must not perturb the run");
+        let spans = recorder.spans();
+        let has = |k: SpanKind| spans.iter().any(|s| s.kind == k);
+        assert!(has(SpanKind::AdmissionWait) && has(SpanKind::SlotService));
+        assert!(has(SpanKind::StageIn) && has(SpanKind::StageOut));
+        assert!(has(SpanKind::CacheHit) && has(SpanKind::CacheMiss));
+        assert!(has(SpanKind::ShortCircuit), "10% rejection must appear");
+        // The stage lanes carry the cache series; the pool lane carries
+        // admission and service.
+        let timeline = recorder.timeline_json("pipeline", 101);
+        assert!(timeline.contains("\"lane\": \"pool\""));
+        assert!(timeline.contains("\"lane\": \"s0:auth\""));
+        assert!(timeline.contains("\"lane\": \"s1:session\""));
     }
 
     #[test]

@@ -498,7 +498,43 @@ pub(crate) enum BackendState {
     },
 }
 
+/// Unified store-occupancy snapshot over both sampled backends — the
+/// shard-level parity surface the tenancy points report: the kvstore
+/// backend maps its shard `entries`/`evictions` straight through, the
+/// relational backend maps live rows to `entries`, lifetime deletes to
+/// `evictions`, and additionally reports row-lock contention.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSnapshot {
+    /// Live store entries (kv) or table rows (sql).
+    pub entries: u64,
+    /// Evicted entries (kv) or deleted rows (sql) over the run.
+    pub evictions: u64,
+    /// Row-lock contention events (always zero for the kv backend).
+    pub lock_waits: u64,
+}
+
 impl BackendState {
+    pub(crate) fn store_stats(&self) -> StoreSnapshot {
+        match self {
+            BackendState::Kv { store, .. } => {
+                let s = store.stats();
+                StoreSnapshot {
+                    entries: s.entries,
+                    evictions: s.evictions,
+                    lock_waits: 0,
+                }
+            }
+            BackendState::Sql { db, .. } => {
+                let s = db.stats();
+                StoreSnapshot {
+                    entries: s.rows as u64,
+                    evictions: s.deletes,
+                    lock_waits: s.lock_waits,
+                }
+            }
+        }
+    }
+
     pub(crate) fn build(backend: LoadBackend) -> BackendState {
         match backend {
             LoadBackend::Memcached => {

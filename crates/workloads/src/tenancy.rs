@@ -34,13 +34,14 @@
 use platforms::Platform;
 use simcore::dist::Distribution;
 use simcore::error::SimError;
+use simcore::obs::{Recorder, SpanKind};
 use simcore::resource::CompletionTimer;
 use simcore::stats::Cdf;
 use simcore::{Nanos, SimRng, Simulation};
 
 use crate::slots::{
     backend_profile, Admission, BackendState, ClassConfig, LoadBackend, ServiceProfile, SlotPolicy,
-    SlotPool,
+    SlotPool, StoreSnapshot,
 };
 
 /// The arrival process of one tenant.
@@ -211,6 +212,14 @@ pub struct TenantPoint {
     pub slo_violation: f64,
     /// The absolute SLO threshold this platform/tenant pair resolved to.
     pub slo_us: f64,
+    /// Live entries (kv) or rows (sql) in the tenant's sampled backend
+    /// store at the end of the window — shard-level parity with
+    /// [`crate::ClusterPoint::store_entries`].
+    pub store_entries: u64,
+    /// Store evictions (kv) or row deletes (sql) over the window.
+    pub store_evictions: u64,
+    /// Row-lock contention events in the tenant's backend (sql only).
+    pub store_lock_waits: u64,
 }
 
 /// One point of the victim-vs-aggressor sweep.
@@ -338,7 +347,43 @@ impl TenancyBenchmark {
             .iter()
             .map(|t| TenantStreams::derive(t, rng))
             .collect::<Vec<_>>();
-        self.run_once(platform, tenants, policy, &streams, rng.split("misc"))
+        self.run_once(platform, tenants, policy, &streams, rng.split("misc"), None)
+            .map(|(points, _)| points)
+    }
+
+    /// [`TenancyBenchmark::run_colocated`] with a trace [`Recorder`]
+    /// attached: each tenant becomes a lane carrying its admission-wait
+    /// and slot-service spans and its windowed arrival/drop/queue-depth
+    /// series, and the run's event-core counter profile is attached.
+    ///
+    /// Tracing is observation only — the recorder consumes no random
+    /// draws, so the returned points are bit-identical to the untraced
+    /// [`TenancyBenchmark::run_colocated`] of the same streams.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TenancyBenchmark::run_colocated`].
+    pub fn run_colocated_traced(
+        &self,
+        platform: &Platform,
+        tenants: &[TenantSpec],
+        policy: SlotPolicy,
+        rng: &mut SimRng,
+        recorder: Recorder,
+    ) -> Result<(Vec<TenantPoint>, Recorder), SimError> {
+        let streams = tenants
+            .iter()
+            .map(|t| TenantStreams::derive(t, rng))
+            .collect::<Vec<_>>();
+        let (points, obs) = self.run_once(
+            platform,
+            tenants,
+            policy,
+            &streams,
+            rng.split("misc"),
+            Some(recorder),
+        )?;
+        Ok((points, obs.expect("the recorder threads through the run")))
     }
 
     /// Runs the whole victim-vs-aggressor sweep once: a solo victim
@@ -361,12 +406,13 @@ impl TenancyBenchmark {
         let mut misc = rng.split("misc");
 
         // Solo baseline: the victim's own streams, nobody else on the pool.
-        let solo = self.run_once(
+        let (solo, _) = self.run_once(
             platform,
             std::slice::from_ref(&self.victim),
             SlotPolicy::WeightedDrr,
             std::slice::from_ref(&victim_streams),
             misc.split("solo"),
+            None,
         )?;
         let solo_p99 = solo[0].p99_us;
 
@@ -376,19 +422,21 @@ impl TenancyBenchmark {
             aggressor.offered_fraction = fraction;
             let tenants = [self.victim.clone(), aggressor];
             let streams = [victim_streams.clone(), aggressor_streams.clone()];
-            let drr = self.run_once(
+            let (drr, _) = self.run_once(
                 platform,
                 &tenants,
                 SlotPolicy::WeightedDrr,
                 &streams,
                 misc.split("drr"),
+                None,
             )?;
-            let fifo = self.run_once(
+            let (fifo, _) = self.run_once(
                 platform,
                 &tenants,
                 SlotPolicy::FifoArrival,
                 &streams,
                 misc.split("fifo"),
+                None,
             )?;
             let [victim, aggressor] = <[TenantPoint; 2]>::try_from(drr)
                 .expect("a two-tenant run yields two tenant points");
@@ -418,7 +466,8 @@ impl TenancyBenchmark {
         policy: SlotPolicy,
         streams: &[TenantStreams],
         misc_rng: SimRng,
-    ) -> Result<Vec<TenantPoint>, SimError> {
+        mut obs: Option<Recorder>,
+    ) -> Result<(Vec<TenantPoint>, Option<Recorder>), SimError> {
         if tenants.is_empty() {
             return Err(SimError::InvalidConfig(
                 "a co-located run needs at least one tenant".into(),
@@ -476,6 +525,11 @@ impl TenancyBenchmark {
             })
             .collect::<Vec<_>>();
 
+        // One trace lane per tenant, registered in input order.
+        let obs_lanes = match obs.as_mut() {
+            Some(o) => tenants.iter().map(|t| o.lane(&t.name)).collect(),
+            None => Vec::new(),
+        };
         let mut sim: Simulation<TenantSim> = Simulation::new();
         let mut state = TenantSim {
             pool,
@@ -490,6 +544,9 @@ impl TenancyBenchmark {
             completions: CompletionTimer::new(),
             drain_buf: Vec::new(),
             dispatch_buf: Vec::new(),
+            next_request: 0,
+            obs,
+            obs_lanes,
         };
         for tenant in 0..tenants.len() {
             sim.schedule_at(Nanos::ZERO, move |sim, st: &mut TenantSim| {
@@ -497,12 +554,27 @@ impl TenancyBenchmark {
             });
         }
         sim.run(&mut state);
+        if let Some(obs) = state.obs.as_mut() {
+            // The wheel profile of the window: the simulation's own queue
+            // plus the batched completion timer's.
+            obs.set_core_counters(sim.counters().merged(state.completions.counters()));
+        }
+        let obs = state.obs.take();
         let end = sim.now();
-        Ok(state
-            .tenants
-            .into_iter()
-            .map(|t| t.into_point(end))
-            .collect())
+        let stores: Vec<StoreSnapshot> = state
+            .backends
+            .iter()
+            .map(BackendState::store_stats)
+            .collect();
+        Ok((
+            state
+                .tenants
+                .into_iter()
+                .zip(stores)
+                .map(|(t, store)| t.into_point(end, store))
+                .collect(),
+            obs,
+        ))
     }
 }
 
@@ -534,6 +606,9 @@ struct ConnState {
 /// A request in the admission queue or in service.
 #[derive(Debug, Clone, Copy)]
 struct Req {
+    /// Deterministic arrival index (across all tenants, in handler
+    /// order), the identity trace sampling keys on.
+    id: u64,
     arrived: Nanos,
     tenant: u32,
     conn: u32,
@@ -561,7 +636,7 @@ struct TenantRt {
 }
 
 impl TenantRt {
-    fn into_point(self, end: Nanos) -> TenantPoint {
+    fn into_point(self, end: Nanos, store: StoreSnapshot) -> TenantPoint {
         let duration = end.as_secs_f64().max(f64::MIN_POSITIVE);
         let slo_us = self.profile.service_time.as_micros_f64() * self.spec.slo_service_multiple;
         let issued: u64 = self.conns.iter().map(|c| c.issued).sum();
@@ -595,6 +670,9 @@ impl TenantRt {
             },
             slo_violation: violation,
             slo_us,
+            store_entries: store.entries,
+            store_evictions: store.evictions,
+            store_lock_waits: store.lock_waits,
         }
     }
 }
@@ -612,6 +690,12 @@ struct TenantSim {
     completions: CompletionTimer<Req>,
     drain_buf: Vec<(Nanos, Req)>,
     dispatch_buf: Vec<(usize, Nanos, Req)>,
+    /// Arrival indices double as trace-sampling identities.
+    next_request: u64,
+    /// `None` is the zero-cost untraced path.
+    obs: Option<Recorder>,
+    /// One lane per tenant, in tenant order.
+    obs_lanes: Vec<u32>,
 }
 
 impl TenantSim {
@@ -643,10 +727,15 @@ impl TenantSim {
         t.issued += 1;
         t.conns[conn as usize].issued += 1;
         let req = Req {
+            id: self.next_request,
             arrived: now,
             tenant: tenant as u32,
             conn,
         };
+        self.next_request += 1;
+        if let Some(obs) = self.obs.as_mut() {
+            obs.count_arrival(self.obs_lanes[tenant], now);
+        }
         match self.pool.offer(tenant, now, req) {
             Admission::Dispatched => {
                 self.admit(tenant);
@@ -657,7 +746,18 @@ impl TenantSim {
                 let t = &mut self.tenants[tenant];
                 t.dropped += 1;
                 t.conns[conn as usize].dropped += 1;
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.count_drop(self.obs_lanes[tenant], now);
+                }
             }
+        }
+        if let Some(obs) = self.obs.as_mut() {
+            obs.gauge(
+                self.obs_lanes[tenant],
+                now,
+                self.pool.queued(tenant),
+                self.pool.busy(),
+            );
         }
     }
 
@@ -667,7 +767,13 @@ impl TenantSim {
     fn start_service(&mut self, sim: &mut Simulation<TenantSim>, req: Req) {
         let t = &mut self.tenants[req.tenant as usize];
         let service = t.profile.sample_service_time(&mut t.service_rng);
-        if let Some(wake) = self.completions.schedule(sim.now() + service, req) {
+        let now = sim.now();
+        if let Some(obs) = self.obs.as_mut() {
+            let lane = self.obs_lanes[req.tenant as usize];
+            obs.span(SpanKind::AdmissionWait, req.id, lane, req.arrived, now);
+            obs.span(SpanKind::SlotService, req.id, lane, now, now + service);
+        }
+        if let Some(wake) = self.completions.schedule(now + service, req) {
             sim.schedule_at(wake, |sim, st: &mut TenantSim| st.drain_completions(sim));
         }
     }
@@ -695,6 +801,9 @@ impl TenantSim {
             t.latencies_us.push((now - req.arrived).as_micros_f64());
             t.completed += 1;
             t.conns[req.conn as usize].completed += 1;
+            if let Some(obs) = self.obs.as_mut() {
+                obs.count_completion(self.obs_lanes[req.tenant as usize], now);
+            }
         }
         let mut dispatched = std::mem::take(&mut self.dispatch_buf);
         self.pool.finish_batch(
@@ -760,6 +869,28 @@ mod tests {
                 assert!(tenant.p50_us <= tenant.p95_us && tenant.p95_us <= tenant.p99_us);
                 assert!((0.0..=1.0).contains(&tenant.drop_rate));
                 assert!((0.0..=1.0).contains(&tenant.slo_violation));
+                assert!(
+                    tenant.store_entries > 0,
+                    "the sampled kv backend is pre-populated"
+                );
+                assert_eq!(tenant.store_lock_waits, 0, "kv backends take no row locks");
+            }
+        }
+    }
+
+    #[test]
+    fn sql_tenants_surface_row_lock_contention_stats() {
+        let bench = TenancyBenchmark {
+            op_sample_every: 1,
+            ..tiny(LoadBackend::Mysql)
+        };
+        let platform = PlatformId::Native.build();
+        let points = bench
+            .run_trial(&platform, &mut SimRng::seed_from(35))
+            .unwrap();
+        for point in &points {
+            for tenant in [&point.victim, &point.aggressor] {
+                assert!(tenant.store_entries > 0, "sysbench tables hold rows");
             }
         }
     }
@@ -905,6 +1036,37 @@ mod tests {
                 &mut SimRng::seed_from(41)
             )
             .is_err());
+    }
+
+    #[test]
+    fn tracing_is_observation_only_with_one_lane_per_tenant() {
+        use simcore::obs::ObsConfig;
+        let bench = tiny(LoadBackend::Memcached);
+        let platform = PlatformId::Docker.build();
+        let tenants = [bench.victim.clone(), bench.aggressor.clone()];
+        let plain = bench
+            .run_colocated(
+                &platform,
+                &tenants,
+                SlotPolicy::WeightedDrr,
+                &mut SimRng::seed_from(43),
+            )
+            .unwrap();
+        let recorder = Recorder::try_new(ObsConfig::new(9, 0.5)).unwrap();
+        let (traced, recorder) = bench
+            .run_colocated_traced(
+                &platform,
+                &tenants,
+                SlotPolicy::WeightedDrr,
+                &mut SimRng::seed_from(43),
+                recorder,
+            )
+            .unwrap();
+        assert_eq!(plain, traced, "the recorder must not perturb the run");
+        assert!(recorder.spans_accepted() > 0);
+        let timeline = recorder.timeline_json("tenant", 43);
+        assert!(timeline.contains("\"lane\": \"victim\""));
+        assert!(timeline.contains("\"lane\": \"aggressor\""));
     }
 
     #[test]
