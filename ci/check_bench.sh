@@ -4,15 +4,19 @@
 #
 #   ci/check_bench.sh [artifact.json ...]
 #
-# Every named artifact (default: all six) must exist and be non-empty
-# and contain no non-finite values (NaN/inf); the full-grid report must
-# additionally cover every experiment it declares, the event-loop
-# report must attest order equivalence between the wheel and the
-# reference heap, and the cluster report must attest that every
-# shard-core lane count reproduced the 1-core sweep bit-for-bit. Trace
-# artifacts (named explicitly when a bench ran with --trace) must carry
-# the obs timeline schema (BENCH_trace*.json) or Chrome trace events
-# (TRACE_*.json).
+# Every named artifact (default: the committed set) must exist and be
+# non-empty and contain no non-finite values (NaN/inf); the full-grid
+# report must additionally cover every experiment it declares, the
+# event-loop report must attest order equivalence between the wheel and
+# the reference heap, and the cluster reports must attest that every
+# shard-core lane count reproduced the 1-core sweep bit-for-bit. The
+# failover report must additionally attest its three acceptance
+# invariants (R=1 replays plain routing, scatter p99 monotone in K,
+# kill spike subsides) and record the deterministic mid-window kill.
+# Trace artifacts (named explicitly when a bench ran with --trace) must
+# carry the obs timeline schema (BENCH_trace*.json) — with a drop-free
+# steady phase and monotone, non-negative bucket counters — or Chrome
+# trace events (TRACE_*.json).
 set -euo pipefail
 
 # The experiment count is read from the artifact itself (the harness
@@ -43,6 +47,7 @@ if [ "${#files[@]}" -eq 0 ]; then
     BENCH_tenant_isolation.json
     BENCH_pipeline.json
     BENCH_cluster.json
+    BENCH_cluster_failover.json
     BENCH_event_loop.json
     SIMLINT.json
   )
@@ -92,10 +97,78 @@ for f in "${files[@]}"; do
         echo "check_bench: $f carries no per-lane bucket series" >&2
         status=1
       fi
+      # Every traced point runs below saturation, so the windowed
+      # timeline must show a drop-free steady phase.
+      if grep -oE '"drops": *[0-9]+' "$f" | grep -qv '"drops": 0$'; then
+        echo "check_bench: $f records drops in the traced steady phase" >&2
+        status=1
+      fi
+      # Counters are event tallies: never negative, each lane's bucket
+      # series strictly advancing in time, and (when the event-core
+      # counter block is present) pops bounded by pushes.
+      if grep -qE '": *-[0-9]' "$f"; then
+        echo "check_bench: $f carries a negative counter" >&2
+        status=1
+      fi
+      if ! awk '
+        /"lane":/ { prev = -1 }
+        {
+          line = $0
+          while (match(line, /"start_us": *[0-9.]+/)) {
+            v = substr(line, RSTART + 12, RLENGTH - 12) + 0
+            if (v <= prev) exit 1
+            prev = v
+            line = substr(line, RSTART + RLENGTH)
+          }
+        }
+      ' "$f"; then
+        echo "check_bench: $f bucket series is not monotone in start_us" >&2
+        status=1
+      fi
+      pushes="$(sed -n 's/.*"pushes": *\([0-9]*\).*/\1/p' "$f" | head -n1)"
+      pops="$(sed -n 's/.*"pops": *\([0-9]*\).*/\1/p' "$f" | head -n1)"
+      if [ -n "$pushes" ] && [ -n "$pops" ] && [ "$pops" -gt "$pushes" ]; then
+        echo "check_bench: $f pops ($pops) exceed pushes ($pushes)" >&2
+        status=1
+      fi
       ;;
     *TRACE_*)
       if ! grep -q '"traceEvents"' "$f"; then
         echo "check_bench: $f is not a Chrome trace-event artifact" >&2
+        status=1
+      fi
+      ;;
+    *cluster_failover*)
+      if ! grep -q '"schema": "isolation-bench/cluster-failover/v1"' "$f"; then
+        echo "check_bench: $f is not a cluster-failover report" >&2
+        status=1
+      fi
+      if ! grep -q '"identical": true' "$f"; then
+        echo "check_bench: $f does not attest serial/parallel equality" >&2
+        status=1
+      fi
+      if grep -q '"identical": false' "$f"; then
+        echo "check_bench: $f reports a shard-core lane diverging from the 1-core sweep" >&2
+        status=1
+      fi
+      # The bench bin recomputes each acceptance invariant and attests
+      # it in the report; a false here means the run should already
+      # have exited non-zero.
+      for attest in r1_matches_plain scatter_p99_monotone spike_subsides; do
+        if ! grep -q "\"$attest\": true" "$f"; then
+          echo "check_bench: $f does not attest $attest" >&2
+          status=1
+        fi
+      done
+      # The deterministic mid-window kill must actually fire (a
+      # positive fail instant somewhere) while the fault-free settings
+      # keep the -1 sentinel.
+      if ! grep -qE '"fail_at_us": *[0-9]*[1-9]' "$f"; then
+        echo "check_bench: $f records no mid-window shard kill" >&2
+        status=1
+      fi
+      if ! grep -q '"fail_at_us": -1' "$f"; then
+        echo "check_bench: $f lost the fault-free -1 sentinel" >&2
         status=1
       fi
       ;;

@@ -14,6 +14,9 @@
 //! * `--workers N` — parallel worker count (default: available parallelism)
 //! * `--trials N` — override every experiment's trial count
 //! * `--out PATH` — output path (default `BENCH_load_curves.json`)
+//! * `--trace` — additionally run one traced 0.8-fraction sweep point and
+//!   write `TRACE_loadgen.json` (Chrome trace events) plus
+//!   `BENCH_trace_loadgen.json` (the windowed-metrics timeline)
 
 use harness::cli::run_serial_and_parallel;
 use harness::{report, ExperimentId};
@@ -45,6 +48,19 @@ fn main() {
     );
 
     let mut failures = Vec::new();
+    if args.iter().any(|a| a == "--trace") {
+        let trace =
+            harness::obs::emit_trace_artifacts("loadgen", run.mode == "quick", run.config.seed);
+        if let Some(token) = trace.non_finite {
+            failures.push(format!(
+                "trace timeline contains non-finite value {token:?}"
+            ));
+        }
+        println!(
+            "trace: {} spans accepted; artifacts: {}, {}",
+            trace.spans_accepted, trace.chrome_path, trace.timeline_path
+        );
+    }
     for experiment in [ExperimentId::LoadMemcached, ExperimentId::LoadMysql] {
         for (label, pass) in [("serial", &run.serial), ("parallel", &run.parallel)] {
             let ok = pass.figure(experiment).is_some_and(|fig| {

@@ -21,7 +21,7 @@
 //! * `--out PATH` — output path (default `BENCH_pipeline.json`)
 //! * `--trace` — additionally run one traced depth-4 sweep point and
 //!   write `TRACE_pipeline.json` (Chrome trace events) plus
-//!   `BENCH_trace.json` (the windowed-metrics timeline)
+//!   `BENCH_trace_pipeline.json` (the windowed-metrics timeline)
 
 use harness::cli::run_serial_and_parallel;
 use harness::{grid, report, ExperimentId};
@@ -48,20 +48,16 @@ fn main() {
 
     let mut failures = Vec::new();
     if args.iter().any(|a| a == "--trace") {
-        let trace = harness::obs::traced_run("pipeline", run.mode == "quick", run.config.seed)
-            .unwrap_or_else(|e| panic!("traced pipeline run failed: {e:?}"));
-        std::fs::write("TRACE_pipeline.json", &trace.chrome)
-            .unwrap_or_else(|e| panic!("cannot write TRACE_pipeline.json: {e}"));
-        std::fs::write("BENCH_trace.json", &trace.timeline)
-            .unwrap_or_else(|e| panic!("cannot write BENCH_trace.json: {e}"));
-        if let Some(token) = report::find_non_finite(&trace.timeline) {
+        let trace =
+            harness::obs::emit_trace_artifacts("pipeline", run.mode == "quick", run.config.seed);
+        if let Some(token) = trace.non_finite {
             failures.push(format!(
                 "trace timeline contains non-finite value {token:?}"
             ));
         }
         println!(
-            "trace: {} spans accepted; artifacts: TRACE_pipeline.json, BENCH_trace.json",
-            trace.spans_accepted
+            "trace: {} spans accepted; artifacts: {}, {}",
+            trace.spans_accepted, trace.chrome_path, trace.timeline_path
         );
     }
     for experiment in [ExperimentId::PipelineMemcached, ExperimentId::PipelineMysql] {

@@ -19,6 +19,9 @@
 //! * `--workers N` — parallel worker count (default: available parallelism)
 //! * `--trials N` — override every experiment's trial count
 //! * `--out PATH` — output path (default `BENCH_tenant_isolation.json`)
+//! * `--trace` — additionally run one traced victim/aggressor co-location
+//!   point and write `TRACE_tenancy.json` (Chrome trace events) plus
+//!   `BENCH_trace_tenancy.json` (the windowed-metrics timeline)
 
 use harness::cli::run_serial_and_parallel;
 use harness::{grid, report, ExperimentId};
@@ -49,6 +52,19 @@ fn main() {
     );
 
     let mut failures = Vec::new();
+    if args.iter().any(|a| a == "--trace") {
+        let trace =
+            harness::obs::emit_trace_artifacts("tenancy", run.mode == "quick", run.config.seed);
+        if let Some(token) = trace.non_finite {
+            failures.push(format!(
+                "trace timeline contains non-finite value {token:?}"
+            ));
+        }
+        println!(
+            "trace: {} spans accepted; artifacts: {}, {}",
+            trace.spans_accepted, trace.chrome_path, trace.timeline_path
+        );
+    }
     for experiment in [
         ExperimentId::TenantIsolationMemcached,
         ExperimentId::TenantIsolationMysql,

@@ -57,6 +57,12 @@ pub enum ExperimentId {
     ClusterMemcached,
     /// Beyond the paper: a MySQL sharded cluster.
     ClusterMysql,
+    /// Beyond the paper: the Memcached cluster's replication round —
+    /// R-way quorum replication, scatter-gather fan-out and a
+    /// mid-window shard kill/recover with sloppy-quorum failover.
+    ClusterFailoverMemcached,
+    /// Beyond the paper: the MySQL replication/failover cluster.
+    ClusterFailoverMysql,
 }
 
 impl ExperimentId {
@@ -87,6 +93,8 @@ impl ExperimentId {
             PipelineMysql,
             ClusterMemcached,
             ClusterMysql,
+            ClusterFailoverMemcached,
+            ClusterFailoverMysql,
         ]
     }
 
@@ -121,6 +129,12 @@ impl ExperimentId {
             PipelineMysql => "Pipeline: MySQL latency vs middleware depth and cache hit rate (us)",
             ClusterMemcached => "Cluster: Memcached latency vs shard count under Zipf skew (us)",
             ClusterMysql => "Cluster: MySQL latency vs shard count under Zipf skew (us)",
+            ClusterFailoverMemcached => {
+                "Failover: Memcached quorum replication, scatter-gather and shard-kill (us)"
+            }
+            ClusterFailoverMysql => {
+                "Failover: MySQL quorum replication, scatter-gather and shard-kill (us)"
+            }
         }
     }
 
@@ -151,6 +165,8 @@ impl ExperimentId {
             PipelineMysql => "pipeline_mysql",
             ClusterMemcached => "cluster_memcached",
             ClusterMysql => "cluster_mysql",
+            ClusterFailoverMemcached => "cluster_failover_memcached",
+            ClusterFailoverMysql => "cluster_failover_mysql",
         }
     }
 }
@@ -251,7 +267,7 @@ mod tests {
         let slugs: std::collections::BTreeSet<_> =
             ExperimentId::all().iter().map(|e| e.slug()).collect();
         assert_eq!(slugs.len(), ExperimentId::all().len());
-        assert_eq!(ExperimentId::all().len(), 23);
+        assert_eq!(ExperimentId::all().len(), 25);
     }
 
     #[test]

@@ -158,6 +158,19 @@ pub fn cluster_mysql(cfg: &RunConfig) -> FigureData {
     run(ExperimentId::ClusterMysql, cfg)
 }
 
+/// Beyond the paper: the Memcached replication/failover cluster —
+/// per-platform sojourn percentiles, the scatter-gather tail,
+/// sloppy-quorum hand-offs and failure-phase drop rates over an
+/// R/W-quorum, fan-out and kill/recover sweep.
+pub fn cluster_failover_memcached(cfg: &RunConfig) -> FigureData {
+    run(ExperimentId::ClusterFailoverMemcached, cfg)
+}
+
+/// Beyond the paper: the MySQL replication/failover cluster.
+pub fn cluster_failover_mysql(cfg: &RunConfig) -> FigureData {
+    run(ExperimentId::ClusterFailoverMysql, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

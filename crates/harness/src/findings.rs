@@ -32,7 +32,7 @@ fn check(id: &'static str, claim: &'static str, passed: bool, detail: String) ->
 }
 
 /// The experiments the finding checks read.
-const NEEDED: [ExperimentId; 14] = [
+const NEEDED: [ExperimentId; 15] = [
     ExperimentId::SysbenchPrime,
     ExperimentId::Fig05Ffmpeg,
     ExperimentId::Fig06MemLatency,
@@ -47,6 +47,7 @@ const NEEDED: [ExperimentId; 14] = [
     ExperimentId::TenantIsolationMemcached,
     ExperimentId::PipelineMemcached,
     ExperimentId::ClusterMemcached,
+    ExperimentId::ClusterFailoverMemcached,
 ];
 
 /// Runs all implemented finding checks using the given configuration,
@@ -565,6 +566,108 @@ pub fn check_findings_on(figures: &[FigureData]) -> Vec<FindingCheck> {
             "resharding during tenant churn restores balance: the rebalanced steady imbalance undercuts the stale pinned placement and lands near the hashed floor on every platform",
             rebalance_holds,
             format!("largest rebal/pinned imbalance ratio {max_rebal_ratio:.2}"),
+        ));
+    }
+
+    // Beyond the paper: replication, failover and scatter-gather. The
+    // quorum discipline (sojourn = max over the touched replicas) and a
+    // seed-injected mid-window shard kill make tail-at-scale and
+    // availability-under-failure measurable.
+    if let Some(failover) = fig(ExperimentId::ClusterFailoverMemcached) {
+        let platforms = crate::grid::platforms_of(failover, crate::grid::FAILOVER_SCATTER_P99);
+        let at = |platform: &str, metric: &str, label: &str| {
+            failover
+                .series_named(&format!("{platform} {metric}"))
+                .and_then(|s| s.mean_of(label))
+                .unwrap_or(0.0)
+        };
+
+        // failover-01: the quorum max inflates the sojourn
+        // distribution — a read-all shape at R=3 (W=1, reads wait for
+        // all three replicas) lifts the cluster median past both
+        // single-shard routing (R=1) and the narrow-read shape (W=R,
+        // reads touch one replica) on every platform, even though
+        // spreading each key over its replica set simultaneously
+        // smooths the Zipf hot shard.
+        let mut quorum_holds = !platforms.is_empty();
+        let mut min_quorum_ratio = f64::MAX;
+        for platform in &platforms {
+            let single = at(platform, crate::grid::CLUSTER_P50, "r1");
+            let read_all = at(platform, crate::grid::CLUSTER_P50, "r3 w1");
+            let read_one = at(platform, crate::grid::CLUSTER_P50, "r3 w3");
+            if !(read_one > single && read_all > read_one) {
+                quorum_holds = false;
+            }
+            min_quorum_ratio = min_quorum_ratio.min(read_all / single.max(f64::MIN_POSITIVE));
+        }
+        out.push(check(
+            "failover-01",
+            "the quorum max inflates sojourn: R=3 read-all lifts the cluster median over both single-shard routing and the narrow-read quorum shape on every platform",
+            quorum_holds && min_quorum_ratio > 1.1,
+            format!("smallest read-all/single median ratio {min_quorum_ratio:.2}"),
+        ));
+
+        // failover-02: a mid-window shard kill spikes the drop rate
+        // inside the failure window, the spike grows with the replica
+        // exposure (read-all at R=3 touches the dead shard more often
+        // than at R=2), the sloppy quorum hands traffic off around the
+        // corpse, and after recovery the drop rate returns to the
+        // pre-failure band on every platform.
+        let mut spike_holds = !platforms.is_empty();
+        let mut min_spike = f64::MAX;
+        let mut max_residual = 0.0f64;
+        for platform in &platforms {
+            let pre = at(platform, crate::grid::FAILOVER_PRE_DROP, "r2 failrec");
+            let window = at(platform, crate::grid::FAILOVER_WINDOW_DROP, "r2 failrec");
+            let post = at(platform, crate::grid::FAILOVER_POST_DROP, "r2 failrec");
+            let window_r3 = at(platform, crate::grid::FAILOVER_WINDOW_DROP, "r3 failrec");
+            let handoffs = at(platform, crate::grid::FAILOVER_HANDOFFS, "r2 failrec");
+            if !(window > pre && window_r3 > window && handoffs > 0.0) {
+                spike_holds = false;
+            }
+            min_spike = min_spike.min(window - pre);
+            max_residual = max_residual.max(post - pre);
+        }
+        out.push(check(
+            "failover-02",
+            "a mid-window shard kill spikes the failure-window drop rate, the spike grows with replica exposure (R=3 over R=2), and recovery returns drops to the pre-failure band on every platform",
+            spike_holds && max_residual < 0.02,
+            format!(
+                "smallest window-pre spike {min_spike:.3}, largest post-pre residual {max_residual:.3}"
+            ),
+        ));
+
+        // failover-03: scatter-gather pays max-of-K — even with the
+        // per-shard query partitioned so total work is constant in the
+        // fan-out, waiting for the slowest of K sub-queries lifts the
+        // cluster median on every platform, and the scatter class's
+        // p99 (averaged over platforms to tame small-sample tail
+        // noise) grows monotonically K=1 → 4 → 16.
+        let mut scatter_holds = !platforms.is_empty();
+        let mut min_median_lift = f64::MAX;
+        let (mut p99_k1, mut p99_k4, mut p99_k16) = (0.0f64, 0.0f64, 0.0f64);
+        for platform in &platforms {
+            let median_k1 = at(platform, crate::grid::CLUSTER_P50, "r3 w1");
+            let median_k16 = at(platform, crate::grid::CLUSTER_P50, "r3 k16");
+            if median_k16 <= median_k1 {
+                scatter_holds = false;
+            }
+            min_median_lift = min_median_lift.min(median_k16 / median_k1.max(f64::MIN_POSITIVE));
+            p99_k1 += at(platform, crate::grid::FAILOVER_SCATTER_P99, "r3 w1");
+            p99_k4 += at(platform, crate::grid::FAILOVER_SCATTER_P99, "r3 k4");
+            p99_k16 += at(platform, crate::grid::FAILOVER_SCATTER_P99, "r3 k16");
+        }
+        let p99_monotone = p99_k1 > 0.0 && p99_k1 <= p99_k4 && p99_k4 <= p99_k16;
+        out.push(check(
+            "failover-03",
+            "scatter-gather pays max-of-K: fanning out lifts the cluster median on every platform and the platform-averaged scatter p99 grows monotonically in K",
+            scatter_holds && p99_monotone && min_median_lift > 1.1,
+            format!(
+                "smallest k16/k1 median lift {min_median_lift:.2}, platform-mean scatter p99 {:.0}/{:.0}/{:.0} us at K=1/4/16",
+                p99_k1 / platforms.len().max(1) as f64,
+                p99_k4 / platforms.len().max(1) as f64,
+                p99_k16 / platforms.len().max(1) as f64
+            ),
         ));
     }
 

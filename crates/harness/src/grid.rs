@@ -157,7 +157,9 @@ pub fn entries(experiment: ExperimentId) -> Vec<Entry> {
         | PipelineMemcached
         | PipelineMysql
         | ClusterMemcached
-        | ClusterMysql => LOAD_PLATFORMS.iter().map(|id| Entry::bar(*id)).collect(),
+        | ClusterMysql
+        | ClusterFailoverMemcached
+        | ClusterFailoverMysql => LOAD_PLATFORMS.iter().map(|id| Entry::bar(*id)).collect(),
         _ => PlatformId::paper_set()
             .iter()
             .map(|id| Entry::bar(*id))
@@ -182,6 +184,7 @@ pub fn trials(experiment: ExperimentId, cfg: &RunConfig) -> usize {
         TenantIsolationMemcached | TenantIsolationMysql => tenant_bench(experiment, cfg).runs,
         PipelineMemcached | PipelineMysql => pipeline_bench(experiment, cfg).runs,
         ClusterMemcached | ClusterMysql => cluster_bench(experiment, cfg).runs,
+        ClusterFailoverMemcached | ClusterFailoverMysql => failover_bench(experiment, cfg).runs,
         _ => cfg.runs,
     };
     // A zero-run/zero-startup config still produces one trial per cell so
@@ -305,6 +308,18 @@ fn cluster_bench(experiment: ExperimentId, cfg: &RunConfig) -> ClusterBenchmark 
         ClusterBenchmark::quick(backend)
     } else {
         ClusterBenchmark::new(backend)
+    }
+}
+
+fn failover_bench(experiment: ExperimentId, cfg: &RunConfig) -> ClusterBenchmark {
+    let backend = match experiment {
+        ExperimentId::ClusterFailoverMysql => LoadBackend::Mysql,
+        _ => LoadBackend::Memcached,
+    };
+    if cfg.quick {
+        ClusterBenchmark::failover_quick(backend)
+    } else {
+        ClusterBenchmark::failover(backend)
     }
 }
 
@@ -443,6 +458,11 @@ pub fn run_cell(
             &platform,
             &mut rng,
         )),
+        ClusterFailoverMemcached | ClusterFailoverMysql => CellOutput::Cluster(run_sweep_trial(
+            &failover_bench(experiment, cfg),
+            &platform,
+            &mut rng,
+        )),
     }
 }
 
@@ -486,6 +506,7 @@ pub fn merge(experiment: ExperimentId, outputs: &[Vec<CellOutput>]) -> FigureDat
         TenantIsolationMemcached | TenantIsolationMysql => merge_tenant(experiment, outputs),
         PipelineMemcached | PipelineMysql => merge_pipeline(experiment, outputs),
         ClusterMemcached | ClusterMysql => merge_cluster(experiment, outputs),
+        ClusterFailoverMemcached | ClusterFailoverMysql => merge_failover(experiment, outputs),
         // Fig. 11 reports the maximum over the runs, everything else the mean.
         Fig11Iperf => merge_bars(experiment, outputs, true),
         _ => merge_bars(experiment, outputs, false),
@@ -714,7 +735,68 @@ fn cluster_metric(point: &ClusterPoint, metric: &str) -> f64 {
     }
 }
 
+/// The per-platform metric series of one replication/failover figure, in
+/// series order: cluster-wide sojourn percentiles, the scatter-gather
+/// tail, the drop behaviour, the sloppy-quorum hand-off count and the
+/// failure-phase drop rates. Every series is labelled
+/// `"<platform> <metric>"`; [`crate::findings`] and [`crate::report`]
+/// look series up through these constants.
+pub const FAILOVER_METRICS: [&str; 9] = [
+    CLUSTER_P50,
+    CLUSTER_P99,
+    FAILOVER_SCATTER_P99,
+    CLUSTER_DROP_RATE,
+    FAILOVER_HANDOFFS,
+    FAILOVER_FAIL_AT,
+    FAILOVER_PRE_DROP,
+    FAILOVER_WINDOW_DROP,
+    FAILOVER_POST_DROP,
+];
+
+/// 99th-percentile sojourn of the scatter-gather class (max over its K
+/// partial queries).
+pub const FAILOVER_SCATTER_P99: &str = "scatter p99 (us)";
+/// Sub-requests the sloppy quorum handed off around a dead shard.
+pub const FAILOVER_HANDOFFS: &str = "hand-offs";
+/// Virtual-time instant of the shard kill (µs into the window); `-1` for
+/// settings with no fault injected.
+pub const FAILOVER_FAIL_AT: &str = "fail at (us)";
+/// Drop rate over requests resolved before the failure instant.
+pub const FAILOVER_PRE_DROP: &str = "pre-fail drop rate";
+/// Drop rate over requests resolved inside the failure window.
+pub const FAILOVER_WINDOW_DROP: &str = "fail-window drop rate";
+/// Drop rate over requests resolved after the recovery instant.
+pub const FAILOVER_POST_DROP: &str = "post-recover drop rate";
+
+fn failover_metric(point: &ClusterPoint, metric: &str) -> f64 {
+    match metric {
+        CLUSTER_P50 => point.p50_us,
+        CLUSTER_P99 => point.p99_us,
+        FAILOVER_SCATTER_P99 => point.scatter_p99_us,
+        CLUSTER_DROP_RATE => point.drop_fraction,
+        FAILOVER_HANDOFFS => point.failover_handoffs as f64,
+        FAILOVER_FAIL_AT => point.fail_at_us,
+        FAILOVER_PRE_DROP => point.pre_fail_drop_rate,
+        FAILOVER_WINDOW_DROP => point.fail_window_drop_rate,
+        FAILOVER_POST_DROP => point.post_recover_drop_rate,
+        other => unreachable!("unknown failover metric {other}"),
+    }
+}
+
 fn merge_cluster(experiment: ExperimentId, outputs: &[Vec<CellOutput>]) -> FigureData {
+    merge_cluster_family(experiment, outputs, &CLUSTER_METRICS, cluster_metric)
+}
+
+fn merge_failover(experiment: ExperimentId, outputs: &[Vec<CellOutput>]) -> FigureData {
+    merge_cluster_family(experiment, outputs, &FAILOVER_METRICS, failover_metric)
+}
+
+fn merge_cluster_family(
+    experiment: ExperimentId,
+    outputs: &[Vec<CellOutput>],
+    metrics: &[&str],
+    metric_of: fn(&ClusterPoint, &str) -> f64,
+) -> FigureData {
     let mut fig = FigureData::new(experiment);
     for (entry, trials) in entries(experiment).iter().zip(outputs) {
         let sweeps: Vec<&[ClusterPoint]> = trials
@@ -727,12 +809,12 @@ fn merge_cluster(experiment: ExperimentId, outputs: &[Vec<CellOutput>]) -> Figur
             })
             .collect();
         let first = sweeps.first().expect("every entry runs at least one trial");
-        for metric in CLUSTER_METRICS {
+        for metric in metrics {
             let mut series = Series::new(&format!("{} {metric}", entry.label));
             for (xi, sample) in first.iter().enumerate() {
                 let stats: RunningStats = sweeps
                     .iter()
-                    .map(|points| cluster_metric(&points[xi], metric))
+                    .map(|points| metric_of(&points[xi], metric))
                     .collect();
                 series.points.push(DataPoint {
                     x: sample.label.clone(),
@@ -1135,6 +1217,47 @@ mod tests {
         }
         assert_eq!(
             platforms_of(&fig, CLUSTER_HOT_P99),
+            vec![entry.label.to_string()]
+        );
+    }
+
+    #[test]
+    fn failover_cells_produce_full_sweeps_and_merge_per_metric_series() {
+        let experiment = ExperimentId::ClusterFailoverMemcached;
+        let grid_entries = entries(experiment);
+        assert!(grid_entries.len() >= 3);
+        let entry = &grid_entries[0];
+        let outputs = [vec![run_cell(experiment, entry, 0, &cfg())]];
+        let sweep_len = match &outputs[0][0] {
+            CellOutput::Cluster(points) => {
+                assert!(
+                    points.iter().any(|p| p.replicas == 3),
+                    "the sweep must reach R=3 replication"
+                );
+                assert!(
+                    points.iter().any(|p| p.fanout == 16),
+                    "the scatter axis must reach K=16"
+                );
+                assert!(
+                    points
+                        .iter()
+                        .any(|p| p.failed_shard >= 0 && p.recover_at_us > 0.0),
+                    "the sweep must include a kill-then-recover point"
+                );
+                points.len()
+            }
+            other => panic!("expected a cluster sweep, got {other:?}"),
+        };
+        let fig = merge(experiment, &outputs[..1]);
+        assert_eq!(fig.series.len(), FAILOVER_METRICS.len());
+        for metric in FAILOVER_METRICS {
+            let series = fig
+                .series_named(&format!("{} {metric}", entry.label))
+                .unwrap_or_else(|| panic!("missing series for {} {metric}", entry.label));
+            assert_eq!(series.points.len(), sweep_len);
+        }
+        assert_eq!(
+            platforms_of(&fig, FAILOVER_SCATTER_P99),
             vec![entry.label.to_string()]
         );
     }

@@ -15,8 +15,10 @@ use simcore::error::SimError;
 use simcore::obs::{ObsConfig, Recorder};
 use simcore::rng;
 use workloads::cluster::{ClusterBenchmark, ClusterSetting};
+use workloads::loadgen::LoadgenBenchmark;
 use workloads::pipeline::{PipelineBenchmark, PipelineSetting, BASELINE_HIT_RATE};
-use workloads::LoadBackend;
+use workloads::tenancy::TenancyBenchmark;
+use workloads::{LoadBackend, SlotPolicy};
 
 /// Span sample rate of the bench binaries' traced runs: high enough
 /// that every span kind shows up in a quick sweep, low enough that the
@@ -49,15 +51,18 @@ pub fn recorder_for(target: &str, seed: u64) -> Result<Recorder, SimError> {
     ))
 }
 
-/// Runs one traced quick-or-full sweep point of `target` (`"pipeline"`
-/// or `"cluster"`) on the Docker platform model and exports both
-/// artifacts.
+/// Runs one traced quick-or-full sweep point of `target` (`"pipeline"`,
+/// `"cluster"`, `"tenancy"` or `"loadgen"`) on the Docker platform model
+/// and exports both artifacts.
 ///
 /// The pipeline target traces the depth-4 baseline chain (admission
 /// wait, per-stage in/out phases, cache hits and misses, short-circuits,
 /// slot service); the cluster target traces the 16-shard
 /// rebalance-under-churn point (per-shard routing, hand-offs at the
-/// reshard boundary, admission and service). Cluster timelines carry no
+/// reshard boundary, admission and service); the tenancy target traces
+/// the victim/bursty-aggressor co-location under DRR at an 0.8
+/// aggressor fraction (one lane per tenant); the loadgen target traces
+/// the open-loop sweep's 0.8-fraction point. Cluster timelines carry no
 /// event-core counter block: those counters are wheel-topology-local and
 /// would break byte-identity across core-lane counts.
 ///
@@ -92,9 +97,36 @@ pub fn traced_run(target: &str, quick: bool, seed: u64) -> Result<TraceArtifacts
                 bench.run_setting_traced(&platform, &setting, &mut run_rng, recorder)?;
             recorder
         }
+        "tenancy" => {
+            let bench = if quick {
+                TenancyBenchmark::quick(LoadBackend::Memcached)
+            } else {
+                TenancyBenchmark::new(LoadBackend::Memcached)
+            };
+            let mut aggressor = bench.aggressor.clone();
+            aggressor.offered_fraction = 0.8;
+            let tenants = [bench.victim.clone(), aggressor];
+            let (_, recorder) = bench.run_colocated_traced(
+                &platform,
+                &tenants,
+                SlotPolicy::WeightedDrr,
+                &mut run_rng,
+                recorder,
+            )?;
+            recorder
+        }
+        "loadgen" => {
+            let bench = if quick {
+                LoadgenBenchmark::quick(LoadBackend::Memcached)
+            } else {
+                LoadgenBenchmark::new(LoadBackend::Memcached)
+            };
+            let (_, recorder) = bench.run_point_traced(&platform, 0.8, &mut run_rng, recorder)?;
+            recorder
+        }
         other => {
             return Err(SimError::InvalidConfig(format!(
-                "no traced run for target {other:?} (expected \"pipeline\" or \"cluster\")"
+                "no traced run for target {other:?} (expected \"pipeline\", \"cluster\", \"tenancy\" or \"loadgen\")"
             )))
         }
     };
@@ -105,13 +137,53 @@ pub fn traced_run(target: &str, quick: bool, seed: u64) -> Result<TraceArtifacts
     })
 }
 
+/// The written-to-disk outcome of one bench binary's `--trace` pass.
+#[derive(Debug, Clone)]
+pub struct TraceEmit {
+    /// Path of the Chrome trace-event artifact (`TRACE_<target>.json`).
+    pub chrome_path: String,
+    /// Path of the timeline artifact (`BENCH_trace_<target>.json`).
+    pub timeline_path: String,
+    /// Spans accepted by the recorder, overwritten ones included.
+    pub spans_accepted: u64,
+    /// A non-finite token found in the timeline, if any — the caller
+    /// turns this into a bench failure.
+    pub non_finite: Option<&'static str>,
+}
+
+/// The shared `--trace` pass of the bench binaries: runs the traced
+/// sweep point of `target` and writes `TRACE_<target>.json` (Chrome
+/// trace events) and `BENCH_trace_<target>.json` (the windowed-metrics
+/// timeline) into the working directory.
+///
+/// # Panics
+///
+/// Panics if the traced run fails or either artifact cannot be written —
+/// a bench binary asked to trace must not silently skip it.
+pub fn emit_trace_artifacts(target: &str, quick: bool, seed: u64) -> TraceEmit {
+    let trace = traced_run(target, quick, seed)
+        .unwrap_or_else(|e| panic!("traced {target} run failed: {e:?}"));
+    let chrome_path = format!("TRACE_{target}.json");
+    let timeline_path = format!("BENCH_trace_{target}.json");
+    std::fs::write(&chrome_path, &trace.chrome)
+        .unwrap_or_else(|e| panic!("cannot write {chrome_path}: {e}"));
+    std::fs::write(&timeline_path, &trace.timeline)
+        .unwrap_or_else(|e| panic!("cannot write {timeline_path}: {e}"));
+    TraceEmit {
+        chrome_path,
+        timeline_path,
+        spans_accepted: trace.spans_accepted,
+        non_finite: crate::report::find_non_finite(&trace.timeline),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn traced_runs_are_reproducible_and_cover_both_targets() {
-        for target in ["pipeline", "cluster"] {
+    fn traced_runs_are_reproducible_and_cover_every_target() {
+        for target in ["pipeline", "cluster", "tenancy", "loadgen"] {
             let a = traced_run(target, true, 2021).unwrap();
             let b = traced_run(target, true, 2021).unwrap();
             assert_eq!(a.chrome, b.chrome, "{target}");

@@ -633,6 +633,142 @@ pub fn cluster_json(
     out
 }
 
+/// The figure-level payload of one replication/failover experiment:
+/// per-platform sweep points (replication factor × write quorum ×
+/// scatter fan-out × fault scenario) with sojourn percentiles, the
+/// scatter-gather tail, sloppy-quorum hand-offs, the failure instant and
+/// the failure-phase drop rates, reconstructed from the merged figure
+/// series.
+fn failover_experiment_json(out: &mut String, fig: &FigureData) {
+    let _ = writeln!(out, "    {{");
+    let _ = writeln!(out, "      \"slug\": \"{}\",", fig.experiment.slug());
+    let platforms = crate::grid::platforms_of(fig, crate::grid::FAILOVER_SCATTER_P99);
+    let _ = writeln!(out, "      \"platforms\": [");
+    for (pi, platform) in platforms.iter().enumerate() {
+        let series = |metric: &str| fig.series_named(&format!("{platform} {metric}"));
+        let _ = writeln!(out, "        {{");
+        let _ = writeln!(out, "          \"label\": \"{}\",", json_escape(platform));
+        let _ = writeln!(out, "          \"points\": [");
+        let anchor = series(crate::grid::CLUSTER_P50).expect("p50 series exists by construction");
+        for (i, point) in anchor.points.iter().enumerate() {
+            // Panic (rather than emit a plausible 0.0) on a missing series
+            // or point: a malformed figure must fail the bench run loudly.
+            let metric_mean = |metric: &str| {
+                series(metric)
+                    .unwrap_or_else(|| panic!("{metric} series missing for {platform}"))
+                    .points[i]
+                    .mean
+            };
+            let _ = write!(
+                out,
+                "            {{\"setting\": \"{}\", \"p50_us\": {:.3}, \"p99_us\": {:.3}, \
+                 \"scatter_p99_us\": {:.3}, \"drop_fraction\": {:.6}, \"handoffs\": {:.3}, \
+                 \"fail_at_us\": {:.3}, \"pre_fail_drop_rate\": {:.6}, \
+                 \"fail_window_drop_rate\": {:.6}, \"post_recover_drop_rate\": {:.6}}}",
+                json_escape(&point.x),
+                point.mean,
+                metric_mean(crate::grid::CLUSTER_P99),
+                metric_mean(crate::grid::FAILOVER_SCATTER_P99),
+                metric_mean(crate::grid::CLUSTER_DROP_RATE),
+                metric_mean(crate::grid::FAILOVER_HANDOFFS),
+                metric_mean(crate::grid::FAILOVER_FAIL_AT),
+                metric_mean(crate::grid::FAILOVER_PRE_DROP),
+                metric_mean(crate::grid::FAILOVER_WINDOW_DROP),
+                metric_mean(crate::grid::FAILOVER_POST_DROP),
+            );
+            let _ = writeln!(
+                out,
+                "{}",
+                if i + 1 < anchor.points.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "          ]");
+        let _ = write!(out, "        }}");
+        let _ = writeln!(out, "{}", if pi + 1 < platforms.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "      ]");
+    let _ = write!(out, "    }}");
+}
+
+/// The determinism and physics attestations the failover bench computes
+/// before emitting `BENCH_cluster_failover.json`; each one also gates the
+/// binary's exit status, so a `false` here can only appear in a report
+/// from a run that failed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailoverAttestation {
+    /// The R=1 quorum sweep replayed PR 7's plain single-shard routing
+    /// bit-for-bit.
+    pub r1_matches_plain: bool,
+    /// The platform-averaged scatter p99 was monotone non-decreasing in
+    /// the fan-out K on every backend.
+    pub scatter_p99_monotone: bool,
+    /// Every kill-then-recover point's post-recovery drop rate returned
+    /// to within the pre-failure band.
+    pub spike_subsides: bool,
+}
+
+/// Renders the machine-readable replication/failover bench report
+/// (`BENCH_cluster_failover.json`): the R/W-quorum × fan-out ×
+/// fault-scenario sweeps of both backends, from a serial (1-worker) and
+/// an N-worker run of the same plan, whether the two produced identical
+/// figure data, the shard-core scaling curve attesting lane-count
+/// invariance, and the failover attestations.
+pub fn cluster_failover_json(
+    mode: &str,
+    seed: u64,
+    serial: &RunReport,
+    parallel: &RunReport,
+    scaling: &[ShardCoreScaling],
+    attest: &FailoverAttestation,
+) -> String {
+    let failover_figs = |report: &RunReport| {
+        [
+            crate::experiment::ExperimentId::ClusterFailoverMemcached,
+            crate::experiment::ExperimentId::ClusterFailoverMysql,
+        ]
+        .iter()
+        .filter_map(|e| report.figure(*e).cloned())
+        .collect::<Vec<_>>()
+    };
+    let serial_figs = failover_figs(serial);
+    let parallel_figs = failover_figs(parallel);
+    let identical = serial_figs == parallel_figs;
+
+    let mut out = json_report_header(
+        "isolation-bench/cluster-failover/v1",
+        mode,
+        seed,
+        serial,
+        parallel,
+    );
+    let _ = writeln!(out, "  \"identical\": {identical},");
+    let _ = writeln!(out, "  \"r1_matches_plain\": {},", attest.r1_matches_plain);
+    let _ = writeln!(
+        out,
+        "  \"scatter_p99_monotone\": {},",
+        attest.scatter_p99_monotone
+    );
+    let _ = writeln!(out, "  \"spike_subsides\": {},", attest.spike_subsides);
+    let _ = writeln!(out, "  \"shard_core_scaling\": [");
+    for (i, point) in scaling.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"cores\": {}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.1}, \"identical\": {}}}",
+            point.cores, point.wall_ms, point.events_per_sec, point.identical,
+        );
+        let _ = writeln!(out, "{}", if i + 1 < scaling.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"experiments\": [");
+    for (i, fig) in serial_figs.iter().enumerate() {
+        failover_experiment_json(&mut out, fig);
+        let _ = writeln!(out, "{}", if i + 1 < serial_figs.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -834,8 +970,9 @@ mod tests {
             startups: 8,
             quick: true,
         };
-        let serial = Executor::new(RunPlan::new(cfg).with_shard("cluster").with_workers(1)).run();
-        let parallel = Executor::new(RunPlan::new(cfg).with_shard("cluster").with_workers(2)).run();
+        let serial = Executor::new(RunPlan::new(cfg).with_shard("cluster_m").with_workers(1)).run();
+        let parallel =
+            Executor::new(RunPlan::new(cfg).with_shard("cluster_m").with_workers(2)).run();
         let scaling = [
             ShardCoreScaling {
                 cores: 1,
@@ -862,6 +999,63 @@ mod tests {
         assert!(json.contains("\"setting\": \"s16 rebal\""));
         assert!(json.contains("\"hot_shard_p99_us\""));
         assert!(json.contains("\"imbalance\""));
+        assert_eq!(find_non_finite(&json), None, "emitted JSON must be finite");
+    }
+
+    #[test]
+    fn cluster_failover_json_has_both_experiments_and_is_finite() {
+        let cfg = RunConfig {
+            seed: 7,
+            runs: 1,
+            startups: 8,
+            quick: true,
+        };
+        let serial = Executor::new(
+            RunPlan::new(cfg)
+                .with_shard("cluster_failover")
+                .with_workers(1),
+        )
+        .run();
+        let parallel = Executor::new(
+            RunPlan::new(cfg)
+                .with_shard("cluster_failover")
+                .with_workers(2),
+        )
+        .run();
+        let scaling = [ShardCoreScaling {
+            cores: 8,
+            wall_ms: 12.25,
+            events_per_sec: 2e6,
+            identical: true,
+        }];
+        let attest = FailoverAttestation {
+            r1_matches_plain: true,
+            scatter_p99_monotone: true,
+            spike_subsides: true,
+        };
+        let json = cluster_failover_json("quick", 7, &serial, &parallel, &scaling, &attest);
+        assert!(json.contains("\"schema\": \"isolation-bench/cluster-failover/v1\""));
+        assert!(json.contains("\"slug\": \"cluster_failover_memcached\""));
+        assert!(json.contains("\"slug\": \"cluster_failover_mysql\""));
+        assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"r1_matches_plain\": true"));
+        assert!(json.contains("\"scatter_p99_monotone\": true"));
+        assert!(json.contains("\"spike_subsides\": true"));
+        assert!(json.contains(
+            "{\"cores\": 8, \"wall_ms\": 12.250, \"events_per_sec\": 2000000.0, \"identical\": true}"
+        ));
+        assert!(json.contains("\"label\": \"native\""));
+        assert!(json.contains("\"setting\": \"r1\""));
+        assert!(json.contains("\"setting\": \"r3 k16\""));
+        assert!(json.contains("\"setting\": \"r2 failrec\""));
+        assert!(json.contains("\"scatter_p99_us\""));
+        assert!(json.contains("\"handoffs\""));
+        assert!(json.contains("\"fail_at_us\""));
+        assert!(json.contains("\"post_recover_drop_rate\""));
+        // Fault settings carry a real failure instant; fault-free ones the
+        // -1 sentinel.
+        assert!(json.contains("\"fail_at_us\": -1.000"));
+        assert!(!json.contains("\"fail_at_us\": 0.000"));
         assert_eq!(find_non_finite(&json), None, "emitted JSON must be finite");
     }
 

@@ -279,6 +279,26 @@ impl<T> CompletionTimer<T> {
         None
     }
 
+    /// Consumes the timer and returns **every** pending completion in
+    /// `(timestamp, seq)` order, regardless of due time — the node-death
+    /// path: a failed service pool abandons its in-flight work at once
+    /// and the caller resolves each item as failed.
+    ///
+    /// The caller typically replaces the timer with a fresh one
+    /// (`std::mem::take`). Wake-ups armed by the consumed timer that are
+    /// still scheduled with the simulation fire against the replacement,
+    /// where they drain nothing and arm nothing (the fresh timer starts
+    /// unarmed and a stale firing at `now` earlier than the new armed
+    /// time is recognised by [`CompletionTimer::wake`]'s stale check), so
+    /// abandoning the old wake-ups is safe.
+    pub fn into_pending(mut self) -> Vec<(Nanos, T)> {
+        let mut pending = Vec::with_capacity(self.queue.len());
+        while let Some((at, item)) = self.queue.pop() {
+            pending.push((at, item));
+        }
+        pending
+    }
+
     /// Handles one wake-up firing at virtual time `now`: drains every
     /// completion due at or before `now` into `due` (in `(timestamp,
     /// seq)` order — one whole wheel slot per distinct tick) and returns
@@ -433,6 +453,29 @@ mod tests {
         due.clear();
         assert_eq!(timer.wake(late, &mut due), None);
         assert!(due.is_empty());
+    }
+
+    #[test]
+    fn into_pending_surrenders_everything_and_a_fresh_timer_ignores_stale_wakes() {
+        let mut timer: CompletionTimer<u8> = CompletionTimer::new();
+        let (a, b) = (Nanos::from_micros(5), Nanos::from_micros(9));
+        assert_eq!(timer.schedule(b, 2), Some(b));
+        assert_eq!(timer.schedule(a, 1), Some(a));
+        // The node dies: every pending completion is surrendered in
+        // (timestamp, seq) order, due or not.
+        let old = std::mem::take(&mut timer);
+        assert_eq!(old.into_pending(), vec![(a, 1), (b, 2)]);
+        // The wakes armed before the death still fire against the
+        // replacement; both are no-ops.
+        let mut due = Vec::new();
+        assert_eq!(timer.wake(a, &mut due), None);
+        assert_eq!(timer.wake(b, &mut due), None);
+        assert!(due.is_empty());
+        // The replacement arms and drains normally afterwards.
+        let c = Nanos::from_micros(12);
+        assert_eq!(timer.schedule(c, 3), Some(c));
+        assert_eq!(timer.wake(c, &mut due), None);
+        assert_eq!(due, vec![(c, 3)]);
     }
 
     #[test]

@@ -33,13 +33,38 @@
 //!   placement mid-run restores the steady-phase imbalance to the
 //!   hash-placement floor.
 //!
+//! **Round two — replication, failover and scatter-gather.** A second
+//! family of sweep points (the *quorum* settings,
+//! [`ClusterSetting::failover_sweep`]) layers redundancy on the same
+//! routing tier: each key's replica set is the R successive shards
+//! walking the FNV ring from its home, writes touch the first W alive
+//! replicas and reads the first `R_q = R + 1 - W` (a Dynamo-style sloppy
+//! quorum that transparently re-resolves past dead shards), and a
+//! scatter-gather class fans one request across K shards. A multi-shard
+//! request's sojourn is the **max** over its sub-requests — the
+//! tail-at-scale amplifier: one slow (or re-routed) replica inflates the
+//! whole request. Fault injection is seed-derived and virtual-time
+//! exact: a shard dies at a mid-window instant (its in-service and
+//! queued work is abandoned and resolved as failed — the redistribution
+//! drop spike), its keys re-route to surviving replicas (emitted as
+//! [`SpanKind::HandOff`] instants), and an optional recovery instant
+//! brings it back cold. Offered load is derated by the expected
+//! sub-requests per request so quorum points stay
+//! utilization-comparable with the plain ones.
+//!
 //! Determinism contract: the arrival, service and key streams are split
 //! once per trial and cloned per sweep point (common random numbers, the
 //! `loadgen` discipline), the service stream is consumed in the merged
 //! event order (which is core-count invariant), and each arrival's key
 //! costs exactly two draws whatever the outcome, so sweep points stay
 //! coupled and figures are bit-identical for any executor worker count
-//! *and* any shard-core count.
+//! *and* any shard-core count. The quorum settings extend the contract
+//! without disturbing it: the request-class and fault streams are two
+//! *additional* named splits taken after the original three (split
+//! derivation is label-keyed, so the legacy streams are unchanged), a
+//! quorum arrival costs exactly one class draw on top of the two key
+//! draws whatever its class, and a setting with `R = W = K = 1` and no
+//! fault replays the plain single-shard routing bit for bit.
 
 use kvstore::{Shard, ShardStats};
 use platforms::Platform;
@@ -72,8 +97,23 @@ pub enum RoutePolicy {
     Rebalance,
 }
 
+/// The seed-derived shard-failure scenario of one quorum sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// No shard dies.
+    None,
+    /// One seed-chosen shard dies at a seed-jittered mid-window instant
+    /// and never comes back.
+    Fail,
+    /// The shard dies mid-window and recovers (cold) a quarter-window
+    /// later.
+    FailRecover,
+}
+
 /// One point of the cluster sweep: a shard count, a Zipf skew, a routing
-/// policy, and whether the hot key set churns (rotates) over the window.
+/// policy, and whether the hot key set churns (rotates) over the window
+/// — plus, for the quorum family, a replication factor, a quorum shape,
+/// a scatter fan-out and a fault scenario.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterSetting {
     /// Number of backend shards behind the router.
@@ -84,43 +124,113 @@ pub struct ClusterSetting {
     pub route: RoutePolicy,
     /// Whether the hot set rotates over the window (tenant churn).
     pub churn: bool,
+    /// Whether the point belongs to the quorum (replication/failover)
+    /// family. Plain points must keep the quorum fields at their
+    /// identities (`replicas == write_quorum == fanout == 1`, no fault).
+    pub quorum: bool,
+    /// Replication factor R: each key's replica set is the R successive
+    /// shards on the FNV ring from its home.
+    pub replicas: usize,
+    /// Write quorum W in `1..=R`; reads touch `R_q = R + 1 - W`
+    /// replicas, so `W = 1` is the read-all tail amplifier and `W = R`
+    /// degrades reads to one replica.
+    pub write_quorum: usize,
+    /// Scatter-gather fan-out K: a scatter request touches the K alive
+    /// shards from an arrival-derived uniform anchor (no key affinity),
+    /// sojourn = max of the K.
+    pub fanout: usize,
+    /// The shard-failure scenario of the point.
+    pub fault: FaultPlan,
 }
 
 impl ClusterSetting {
-    /// A hash-routed point with a static hot set.
-    pub fn hashed(shards: usize, zipf_theta: f64) -> Self {
+    /// The quorum-field identities of the plain (single-shard-routing)
+    /// family.
+    fn plain(shards: usize, zipf_theta: f64, route: RoutePolicy, churn: bool) -> Self {
         ClusterSetting {
             shards,
             zipf_theta,
-            route: RoutePolicy::Hashed,
-            churn: false,
+            route,
+            churn,
+            quorum: false,
+            replicas: 1,
+            write_quorum: 1,
+            fanout: 1,
+            fault: FaultPlan::None,
         }
+    }
+
+    /// A hash-routed point with a static hot set.
+    pub fn hashed(shards: usize, zipf_theta: f64) -> Self {
+        Self::plain(shards, zipf_theta, RoutePolicy::Hashed, false)
     }
 
     /// The adversarial hot-set-on-shard-0 point under tenant churn, at
     /// the baseline skew.
     pub fn pinned(shards: usize) -> Self {
-        ClusterSetting {
-            shards,
-            zipf_theta: BASELINE_THETA,
-            route: RoutePolicy::Pinned,
-            churn: true,
-        }
+        Self::plain(shards, BASELINE_THETA, RoutePolicy::Pinned, true)
     }
 
     /// The resharding-during-churn point: pinned start, hashed after the
     /// rebalance boundary, at the baseline skew.
     pub fn rebalance(shards: usize) -> Self {
+        Self::plain(shards, BASELINE_THETA, RoutePolicy::Rebalance, true)
+    }
+
+    /// A quorum point: R-way replication with write quorum W (reads
+    /// touch `R + 1 - W`), hash routing at the baseline skew, no fault.
+    pub fn replicated(shards: usize, replicas: usize, write_quorum: usize) -> Self {
         ClusterSetting {
-            shards,
-            zipf_theta: BASELINE_THETA,
-            route: RoutePolicy::Rebalance,
-            churn: true,
+            quorum: true,
+            replicas,
+            write_quorum,
+            ..Self::plain(shards, BASELINE_THETA, RoutePolicy::Hashed, false)
         }
+    }
+
+    /// A scatter-gather point: R-way replication with `W = 1` and the
+    /// scatter class fanning across `fanout` shards.
+    pub fn scatter(shards: usize, replicas: usize, fanout: usize) -> Self {
+        ClusterSetting {
+            fanout,
+            ..Self::replicated(shards, replicas, 1)
+        }
+    }
+
+    /// A failover point: R-way replication with `W = 1`, one shard
+    /// dying mid-window — and recovering when `recover` is set.
+    pub fn failing(shards: usize, replicas: usize, recover: bool) -> Self {
+        ClusterSetting {
+            fault: if recover {
+                FaultPlan::FailRecover
+            } else {
+                FaultPlan::Fail
+            },
+            ..Self::replicated(shards, replicas, 1)
+        }
+    }
+
+    /// Whether the point takes the plain single-shard routing path
+    /// (byte-for-byte the pre-replication cluster).
+    pub fn is_plain(&self) -> bool {
+        !self.quorum
     }
 
     /// The categorical label of the point in figures and reports.
     pub fn label(&self) -> String {
+        if self.quorum {
+            return match self.fault {
+                FaultPlan::Fail => format!("r{} fail", self.replicas),
+                FaultPlan::FailRecover => format!("r{} failrec", self.replicas),
+                FaultPlan::None if self.fanout > 1 => {
+                    format!("r{} k{}", self.replicas, self.fanout)
+                }
+                FaultPlan::None if self.replicas > 1 => {
+                    format!("r{} w{}", self.replicas, self.write_quorum)
+                }
+                FaultPlan::None => "r1".to_string(),
+            };
+        }
         match self.route {
             RoutePolicy::Pinned => format!("s{} pinned", self.shards),
             RoutePolicy::Rebalance => format!("s{} rebal", self.shards),
@@ -145,6 +255,25 @@ impl ClusterSetting {
             ClusterSetting::hashed(16, 0.99),
             ClusterSetting::pinned(16),
             ClusterSetting::rebalance(16),
+        ]
+    }
+
+    /// The replication/failover sweep at 16 shards: replication factor
+    /// R=1/2/3, quorum shape W=1 vs W=R, scatter fan-out K=4/16 (every
+    /// quorum point's scatter class is its own K=1 baseline when
+    /// `fanout == 1`), and the fail / fail-then-recover scenarios.
+    pub fn failover_sweep() -> Vec<ClusterSetting> {
+        vec![
+            ClusterSetting::replicated(16, 1, 1),
+            ClusterSetting::replicated(16, 2, 1),
+            ClusterSetting::replicated(16, 2, 2),
+            ClusterSetting::replicated(16, 3, 1),
+            ClusterSetting::replicated(16, 3, 3),
+            ClusterSetting::scatter(16, 3, 4),
+            ClusterSetting::scatter(16, 3, 16),
+            ClusterSetting::failing(16, 2, false),
+            ClusterSetting::failing(16, 2, true),
+            ClusterSetting::failing(16, 3, true),
         ]
     }
 }
@@ -198,6 +327,14 @@ pub struct ClusterBenchmark {
     pub cache_bytes_per_shard: usize,
     /// Value payload bytes of the sampled store operations.
     pub value_bytes: usize,
+    /// Fraction of quorum-point requests in the scatter-gather class
+    /// (fanning across the setting's `fanout` shards). Plain points
+    /// ignore it.
+    pub scatter_fraction: f64,
+    /// Fraction of the remaining (non-scatter) quorum-point requests
+    /// that are writes (touching W replicas); the rest are reads
+    /// (touching `R + 1 - W`). Plain points ignore it.
+    pub write_fraction: f64,
 }
 
 impl ClusterBenchmark {
@@ -221,6 +358,8 @@ impl ClusterBenchmark {
             churn_epochs: 4,
             cache_bytes_per_shard: 64 << 10,
             value_bytes: 128,
+            scatter_fraction: 0.2,
+            write_fraction: 0.3,
         }
     }
 
@@ -230,6 +369,23 @@ impl ClusterBenchmark {
             requests_per_point: 2_500,
             runs: 3,
             ..ClusterBenchmark::new(backend)
+        }
+    }
+
+    /// The full-scale replication/failover configuration for a backend:
+    /// the quorum sweep over the same request budget and shard fabric.
+    pub fn failover(backend: LoadBackend) -> Self {
+        ClusterBenchmark {
+            sweep: ClusterSetting::failover_sweep(),
+            ..ClusterBenchmark::new(backend)
+        }
+    }
+
+    /// The scaled-down replication/failover configuration.
+    pub fn failover_quick(backend: LoadBackend) -> Self {
+        ClusterBenchmark {
+            sweep: ClusterSetting::failover_sweep(),
+            ..ClusterBenchmark::quick(backend)
         }
     }
 
@@ -255,6 +411,8 @@ impl ClusterBenchmark {
         };
         check_rate("cluster hot-key fraction", self.hot_fraction)?;
         check_rate("cluster rebalance boundary", self.rebalance_after)?;
+        check_rate("cluster scatter fraction", self.scatter_fraction)?;
+        check_rate("cluster write fraction", self.write_fraction)?;
         if self.keys == 0 || self.hot_keys == 0 || self.hot_keys > self.keys {
             return Err(SimError::InvalidConfig(format!(
                 "cluster key universe ({}) must contain the hot set ({})",
@@ -284,6 +442,44 @@ impl ClusterBenchmark {
                 setting.zipf_theta
             )));
         }
+        if setting.quorum {
+            if setting.route != RoutePolicy::Hashed {
+                return Err(SimError::InvalidConfig(
+                    "quorum points require hashed routing (the ring the replica walk uses)".into(),
+                ));
+            }
+            if setting.replicas == 0 || setting.replicas > setting.shards {
+                return Err(SimError::InvalidConfig(format!(
+                    "replication factor {} must lie in 1..={} shards",
+                    setting.replicas, setting.shards
+                )));
+            }
+            if setting.write_quorum == 0 || setting.write_quorum > setting.replicas {
+                return Err(SimError::InvalidConfig(format!(
+                    "write quorum {} must lie in 1..={} replicas",
+                    setting.write_quorum, setting.replicas
+                )));
+            }
+            if setting.fanout == 0 || setting.fanout > setting.shards {
+                return Err(SimError::InvalidConfig(format!(
+                    "scatter fan-out {} must lie in 1..={} shards",
+                    setting.fanout, setting.shards
+                )));
+            }
+            if setting.fault != FaultPlan::None && setting.shards < 2 {
+                return Err(SimError::InvalidConfig(
+                    "a fault plan needs at least two shards (one must survive)".into(),
+                ));
+            }
+        } else if setting.replicas != 1
+            || setting.write_quorum != 1
+            || setting.fanout != 1
+            || setting.fault != FaultPlan::None
+        {
+            return Err(SimError::InvalidConfig(
+                "plain points must keep the quorum fields at their identities".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -309,22 +505,27 @@ impl ClusterBenchmark {
         self.validate()?;
         let profile = self.service_profile(platform)?;
         // Common random numbers: every sweep point replays the same
-        // unit-rate arrival gaps, backend service sequence and key walk.
+        // unit-rate arrival gaps, backend service sequence, key walk,
+        // request-class walk and fault draws. The class and fault splits
+        // came later; taking them *after* the original three keeps the
+        // legacy streams bit-identical (split derivation is label-keyed
+        // but advances the parent generator).
         let arrival = rng.split("arrivals");
         let service = rng.split("service");
         let keys = rng.split("keys");
+        let classes = rng.split("classes");
+        let faults = rng.split("faults");
         self.sweep
             .iter()
             .map(|setting| {
-                self.run_setting(
-                    &profile,
-                    setting,
-                    arrival.clone(),
-                    service.clone(),
-                    keys.clone(),
-                    None,
-                )
-                .map(|(point, _)| point)
+                let streams = ClusterState {
+                    arrival_rng: arrival.clone(),
+                    service_rng: service.clone(),
+                    key_rng: keys.clone(),
+                    class_rng: classes.clone(),
+                };
+                self.run_setting(&profile, setting, streams, faults.clone(), None)
+                    .map(|(point, _)| point)
             })
             .collect()
     }
@@ -354,12 +555,33 @@ impl ClusterBenchmark {
         self.validate()?;
         Self::validate_setting(setting)?;
         let profile = self.service_profile(platform)?;
-        let arrival = rng.split("arrivals");
-        let service = rng.split("service");
-        let keys = rng.split("keys");
-        let (point, obs) =
-            self.run_setting(&profile, setting, arrival, service, keys, Some(recorder))?;
+        let streams = ClusterState {
+            arrival_rng: rng.split("arrivals"),
+            service_rng: rng.split("service"),
+            key_rng: rng.split("keys"),
+            class_rng: rng.split("classes"),
+        };
+        let faults = rng.split("faults");
+        let (point, obs) = self.run_setting(&profile, setting, streams, faults, Some(recorder))?;
         Ok((point, obs.expect("the traced run returns its recorder")))
+    }
+
+    /// The expected backend work units per request at a setting — the
+    /// derate that keeps quorum points utilization-comparable with plain
+    /// ones (exactly `1.0` for a plain point, so its offered rate is
+    /// untouched). Replica subs each do a full operation; a scatter's K
+    /// partial queries each do a `1/K` partition slice, so its work is
+    /// one unit whatever the fan-out — which keeps the per-shard load
+    /// *composition* identical across a fan-out sweep and leaves the
+    /// max-of-K statistic unconfounded by utilization shifts.
+    fn expected_work(&self, setting: &ClusterSetting) -> f64 {
+        if setting.is_plain() {
+            return 1.0;
+        }
+        let read_quorum = (setting.replicas + 1 - setting.write_quorum) as f64;
+        let sf = self.scatter_fraction;
+        let wf = self.write_fraction;
+        sf + (1.0 - sf) * (wf * setting.write_quorum as f64 + (1.0 - wf) * read_quorum)
     }
 
     /// Runs one sweep point through the lock-step core group.
@@ -367,28 +589,53 @@ impl ClusterBenchmark {
         &self,
         profile: &ServiceProfile,
         setting: &ClusterSetting,
-        arrival_rng: SimRng,
-        service_rng: SimRng,
-        key_rng: SimRng,
+        mut st: ClusterState,
+        mut fault_rng: SimRng,
         obs: Option<Recorder>,
     ) -> Result<(ClusterPoint, Option<Recorder>), SimError> {
         let shards = setting.shards;
         let capacity_per_shard = profile.servers as f64 / profile.service_time.as_secs_f64();
-        let offered_per_sec = (capacity_per_shard * shards as f64 * self.offered_fraction).max(1.0);
+        let offered_per_sec = (capacity_per_shard * shards as f64 * self.offered_fraction
+            / self.expected_work(setting))
+        .max(1.0);
         let mut sim = ClusterSim::new(self, profile, setting, offered_per_sec, obs)?;
         let lanes = self.shard_cores.max(1).min(shards);
         let mut cores: ShardedCores<Ev> = ShardedCores::new(lanes);
-        let mut st = ClusterState {
-            arrival_rng,
-            service_rng,
-            key_rng,
-        };
         // Kick off the batched arrival source and the in-flight probes.
         cores.push(0, Nanos::ZERO, Ev::Generate);
         let probes = 64u32;
         let window_secs = self.requests_per_point as f64 / offered_per_sec;
         let probe_period = Nanos::from_secs_f64(window_secs / f64::from(probes));
         cores.push(0, probe_period, Ev::Probe { remaining: probes });
+        // Seed-derived fault injection: the victim shard and the jitter
+        // of the failure instant come from the per-trial fault stream
+        // (cloned per point), and the instants are pure virtual times —
+        // bit-identical for any lane count.
+        if setting.fault != FaultPlan::None {
+            let victim = fault_rng.index(shards);
+            let jitter = fault_rng.uniform01();
+            let fail_at = Nanos::from_secs_f64(window_secs * (0.35 + 0.2 * jitter));
+            sim.failed_shard = Some(victim);
+            sim.fail_at = fail_at;
+            cores.push(
+                sim.lane_of(victim),
+                fail_at,
+                Ev::Fail {
+                    shard: victim as u32,
+                },
+            );
+            if setting.fault == FaultPlan::FailRecover {
+                let recover_at = fail_at + Nanos::from_secs_f64(0.25 * window_secs);
+                sim.recover_at = recover_at;
+                cores.push(
+                    sim.lane_of(victim),
+                    recover_at,
+                    Ev::Recover {
+                        shard: victim as u32,
+                    },
+                );
+            }
+        }
         // The bounded lock-step drive: every core reaches the window
         // boundary before any core enters the next window. The boundary
         // jumps over empty windows, so the width is pure batching.
@@ -462,6 +709,33 @@ pub struct ClusterPoint {
     pub rebalanced: bool,
     /// Events processed by the lock-step core group at this point.
     pub events: u64,
+    /// Replication factor R of the point (1 for plain points).
+    pub replicas: usize,
+    /// Write quorum W of the point (1 for plain points).
+    pub write_quorum: usize,
+    /// Scatter fan-out K of the point (1 for plain points).
+    pub fanout: usize,
+    /// 99th-percentile sojourn of the scatter-gather class, in
+    /// microseconds (0.0 when the point has no scatter requests).
+    pub scatter_p99_us: f64,
+    /// Sub-requests the sloppy quorum re-routed around a dead shard.
+    pub failover_handoffs: u64,
+    /// The shard the fault plan killed (-1 when no shard died).
+    pub failed_shard: i64,
+    /// Virtual time of the failure instant in microseconds (-1.0 when
+    /// the point has no fault).
+    pub fail_at_us: f64,
+    /// Virtual time of the recovery instant in microseconds (-1.0 when
+    /// the shard never recovers).
+    pub recover_at_us: f64,
+    /// Drop rate over requests resolved before the failure instant.
+    pub pre_fail_drop_rate: f64,
+    /// Drop rate over requests resolved between failure and recovery —
+    /// the redistribution spike.
+    pub fail_window_drop_rate: f64,
+    /// Drop rate over requests resolved after the recovery instant; the
+    /// subsided-spike gate asserts it returns to the pre-failure band.
+    pub post_recover_drop_rate: f64,
 }
 
 /// A request waiting in a shard's admission queue or in service.
@@ -488,6 +762,35 @@ enum Ev {
     Drain { shard: u32 },
     /// Fixed-cadence cluster in-flight probe (lane 0).
     Probe { remaining: u32 },
+    /// The fault plan kills `shard`: its in-service and queued work is
+    /// abandoned (resolved as failed) and the routing tier re-resolves
+    /// its keys to surviving replicas.
+    Fail { shard: u32 },
+    /// The killed shard comes back cold (empty pool, empty cache).
+    Recover { shard: u32 },
+}
+
+/// The request class a quorum arrival draws (plain arrivals have none).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqClass {
+    /// Touches `R + 1 - W` replicas.
+    Read,
+    /// Touches W replicas.
+    Write,
+    /// Fans across K shards.
+    Scatter,
+}
+
+/// Parent bookkeeping of one quorum request: the request completes when
+/// its last sub-request resolves (sojourn = max over the quorum, since
+/// the merged event order is non-decreasing in time), and it fails if
+/// *any* sub-request failed.
+#[derive(Debug, Clone, Copy)]
+struct Parent {
+    remaining: u32,
+    failed: bool,
+    arrived: Nanos,
+    class: ReqClass,
 }
 
 /// The per-trial random streams, cloned per sweep point.
@@ -495,6 +798,7 @@ struct ClusterState {
     arrival_rng: SimRng,
     service_rng: SimRng,
     key_rng: SimRng,
+    class_rng: SimRng,
 }
 
 /// One backend shard: its own bounded slot pool, completion timer and
@@ -536,7 +840,33 @@ struct ClusterSim<'a> {
     obs: Option<Recorder>,
     /// Recorder lane per shard (`shard{i}`), empty when untraced.
     obs_lanes: Vec<u32>,
+    /// Liveness per shard; only a fault plan ever clears an entry.
+    alive: Vec<bool>,
+    /// Parent bookkeeping per arrival index (quorum points only; plain
+    /// points never allocate it).
+    parents: Vec<Parent>,
+    /// Reusable sub-request target buffer of the quorum walk.
+    target_buf: Vec<u32>,
+    /// Sojourns of completed scatter-class requests, in microseconds.
+    scatter_latencies_us: Vec<f64>,
+    /// Sub-requests the sloppy quorum re-routed around a dead shard.
+    failover_handoffs: u64,
+    /// The fault plan's victim, once drawn.
+    failed_shard: Option<usize>,
+    /// Failure instant (`Nanos::MAX` when the point has no fault).
+    fail_at: Nanos,
+    /// Recovery instant (`Nanos::MAX` when the shard never recovers).
+    recover_at: Nanos,
+    /// Requests resolved per phase (pre-fail / fail window / post-recover).
+    issued_by_phase: [u64; 3],
+    /// Requests dropped per phase.
+    dropped_by_phase: [u64; 3],
 }
+
+/// "Not scheduled" sentinel of the fault instants: later than any
+/// reachable virtual time, so every request resolves in the pre-fail
+/// phase when the point has no fault.
+const NEVER: Nanos = Nanos::from_nanos(u64::MAX);
 
 /// FNV-1a over a key id — the router's placement hash.
 fn fnv(key: u32) -> u64 {
@@ -610,6 +940,20 @@ impl<'a> ClusterSim<'a> {
             dispatch_buf: Vec::new(),
             obs,
             obs_lanes,
+            alive: vec![true; setting.shards],
+            parents: if setting.is_plain() {
+                Vec::new()
+            } else {
+                Vec::with_capacity(bench.requests_per_point)
+            },
+            target_buf: Vec::new(),
+            scatter_latencies_us: Vec::new(),
+            failover_handoffs: 0,
+            failed_shard: None,
+            fail_at: NEVER,
+            recover_at: NEVER,
+            issued_by_phase: [0; 3],
+            dropped_by_phase: [0; 3],
         })
     }
 
@@ -677,7 +1021,110 @@ impl<'a> ClusterSim<'a> {
             Ev::Arrive { shard, id, key } => self.arrive(now, shard as usize, id, key, cores, st),
             Ev::Drain { shard } => self.drain(now, shard as usize, cores, st),
             Ev::Probe { remaining } => self.probe(now, remaining, cores),
+            Ev::Fail { shard } => self.fail_shard(now, shard as usize),
+            Ev::Recover { shard } => self.recover_shard(shard as usize),
         }
+    }
+
+    /// The failure-phase of a resolution instant: pre-fail, fail window,
+    /// or post-recover. Points without a fault resolve everything in the
+    /// pre-fail phase.
+    fn phase_of(&self, resolved: Nanos) -> usize {
+        if resolved < self.fail_at {
+            0
+        } else if resolved < self.recover_at {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Final request-level accounting, shared by both routing families:
+    /// classify the resolution instant into a failure phase, then count
+    /// the request as dropped (`None`) or record its sojourn.
+    fn finish_request(&mut self, now: Nanos, outcome: Option<(Nanos, ReqClass)>) {
+        let phase = self.phase_of(now);
+        self.issued_by_phase[phase] += 1;
+        match outcome {
+            None => {
+                self.dropped += 1;
+                self.dropped_by_phase[phase] += 1;
+            }
+            Some((arrived, class)) => {
+                let sojourn_us = (now - arrived).as_micros_f64();
+                self.latencies_us.push(sojourn_us);
+                if class == ReqClass::Scatter {
+                    self.scatter_latencies_us.push(sojourn_us);
+                }
+                self.completed += 1;
+            }
+        }
+    }
+
+    /// Resolves one sub-request. On the plain path a "sub-request" is
+    /// the request itself (and only failures arrive here — completions
+    /// resolve in [`ClusterSim::drain`]); on the quorum path the parent
+    /// completes when its **last** sub resolves (sojourn = max over the
+    /// quorum, since the merged event order is non-decreasing in time)
+    /// and fails if *any* sub failed.
+    fn resolve_sub(&mut self, now: Nanos, id: u64, ok: bool) {
+        if self.setting.is_plain() {
+            debug_assert!(!ok, "plain completions resolve in drain()");
+            self.finish_request(now, None);
+            return;
+        }
+        let p = &mut self.parents[id as usize];
+        debug_assert!(p.remaining > 0, "a sub-request resolves exactly once");
+        p.remaining -= 1;
+        p.failed |= !ok;
+        if p.remaining == 0 {
+            let (failed, arrived, class) = (p.failed, p.arrived, p.class);
+            self.finish_request(now, (!failed).then_some((arrived, class)));
+        }
+    }
+
+    /// The fault plan kills a shard: liveness clears so the router walks
+    /// past it, the pool and completion timer are replaced by fresh ones
+    /// and every in-service and queued sub-request they held resolves as
+    /// failed — the redistribution drop spike — and the cache restarts
+    /// cold. Wake-ups armed by the old timer fire against the fresh one,
+    /// where they are recognised as stale and drain nothing.
+    fn fail_shard(&mut self, now: Nanos, shard: usize) {
+        debug_assert!(self.alive[shard], "the fault plan kills a live shard");
+        self.alive[shard] = false;
+        let node = &mut self.shards[shard];
+        let pending = std::mem::take(&mut node.completions).into_pending();
+        let fresh = SlotPool::new(
+            self.profile.servers,
+            SlotPolicy::FifoArrival,
+            vec![ClassConfig {
+                weight: 1,
+                queue_capacity: self.bench.queue_capacity,
+                mean_cost: self.profile.service_time,
+            }],
+        )
+        .expect("the startup pool construction validated these parameters");
+        let queued = std::mem::replace(&mut node.pool, fresh).into_queued();
+        node.cache = Shard::new(self.bench.cache_bytes_per_shard.max(1024));
+        for (_, req) in pending {
+            if let Some(o) = self.obs.as_mut() {
+                o.count_drop(self.obs_lanes[shard], now);
+            }
+            self.resolve_sub(now, req.id, false);
+        }
+        for (_, _, req) in queued {
+            if let Some(o) = self.obs.as_mut() {
+                o.count_drop(self.obs_lanes[shard], now);
+            }
+            self.resolve_sub(now, req.id, false);
+        }
+    }
+
+    /// The killed shard comes back cold: liveness only — its pool,
+    /// timer and cache were already replaced at the kill.
+    fn recover_shard(&mut self, shard: usize) {
+        debug_assert!(!self.alive[shard], "recovery follows a kill");
+        self.alive[shard] = true;
     }
 
     /// Samples the next chunk of Poisson interarrival gaps, draws and
@@ -691,11 +1138,16 @@ impl<'a> ClusterSim<'a> {
         }
         self.remaining_arrivals -= n;
         let mut offset = Nanos::ZERO;
+        let quorum = !self.setting.is_plain();
         for _ in 0..n {
             offset += Nanos::from_secs_f64(st.arrival_rng.exponential(1.0) / self.offered_per_sec);
             let idx = self.next_arrival;
             self.next_arrival += 1;
             let key = self.draw_key(idx, &mut st.key_rng);
+            if quorum {
+                self.generate_quorum(now + offset, idx, key, cores, st);
+                continue;
+            }
             let shard = self.route(key, idx);
             if idx >= self.boundary {
                 self.shards[shard].steady_arrivals += 1;
@@ -728,8 +1180,97 @@ impl<'a> ClusterSim<'a> {
         }
     }
 
+    /// Routes one quorum arrival: draw its request class (exactly one
+    /// class-stream draw per arrival), walk the FNV ring from the key's
+    /// home shard taking the first Q *alive* shards, and push one
+    /// sub-arrival per target. A sub landing off its all-alive placement
+    /// is a failover hand-off (sloppy quorum).
+    fn generate_quorum(
+        &mut self,
+        at: Nanos,
+        idx: u64,
+        key: u32,
+        cores: &mut ShardedCores<Ev>,
+        st: &mut ClusterState,
+    ) {
+        let u = st.class_rng.uniform01();
+        let sf = self.bench.scatter_fraction;
+        let class = if u < sf {
+            ReqClass::Scatter
+        } else if u < sf + (1.0 - sf) * self.bench.write_fraction {
+            ReqClass::Write
+        } else {
+            ReqClass::Read
+        };
+        let want = match class {
+            ReqClass::Scatter => self.setting.fanout,
+            ReqClass::Write => self.setting.write_quorum,
+            ReqClass::Read => self.setting.replicas + 1 - self.setting.write_quorum,
+        };
+        let n = self.setting.shards;
+        let home = match class {
+            // A scatter query has no key affinity: its K-shard slice
+            // starts at an arrival-derived uniform anchor (a search
+            // fan-out over rotating partitions). Key-homed slices would
+            // pile the hot keys' ring neighbourhoods onto the same few
+            // shards and confound the max-of-K tail with placement skew.
+            ReqClass::Scatter => (fnv(idx as u32) % n as u64) as usize,
+            ReqClass::Read | ReqClass::Write => (fnv(key) % n as u64) as usize,
+        };
+        let mut targets = std::mem::take(&mut self.target_buf);
+        targets.clear();
+        for j in 0..n {
+            if targets.len() == want {
+                break;
+            }
+            let s = (home + j) % n;
+            if self.alive[s] {
+                targets.push(s as u32);
+            }
+        }
+        debug_assert_eq!(self.parents.len() as u64, idx);
+        self.parents.push(Parent {
+            remaining: targets.len() as u32,
+            failed: targets.is_empty(),
+            arrived: at,
+            class,
+        });
+        if targets.is_empty() {
+            // Every shard is dead: the router fails the request outright.
+            self.finish_request(at, None);
+        }
+        for (j, &target) in targets.iter().enumerate() {
+            let shard = target as usize;
+            if idx >= self.boundary {
+                self.shards[shard].steady_arrivals += 1;
+            }
+            let handed_off = shard != (home + j) % n;
+            if handed_off {
+                self.failover_handoffs += 1;
+            }
+            if let Some(o) = self.obs.as_mut() {
+                let lane = self.obs_lanes[shard];
+                o.instant(SpanKind::Route, idx, lane, at);
+                if handed_off {
+                    o.instant(SpanKind::HandOff, idx, lane, at);
+                }
+            }
+            cores.push(
+                self.lane_of(shard),
+                at,
+                Ev::Arrive {
+                    shard: target,
+                    id: idx,
+                    key,
+                },
+            );
+        }
+        self.target_buf = targets;
+    }
+
     /// One routed arrival: admit, enqueue or drop at the shard's bounded
-    /// queue.
+    /// queue. A sub-arrival at a dead shard (routed before the kill)
+    /// resolves as failed, like a client whose server vanished mid-call.
     fn arrive(
         &mut self,
         now: Nanos,
@@ -748,14 +1289,21 @@ impl<'a> ClusterSim<'a> {
         if let Some(o) = self.obs.as_mut() {
             o.count_arrival(self.obs_lanes[shard], now);
         }
+        if !self.alive[shard] {
+            if let Some(o) = self.obs.as_mut() {
+                o.count_drop(self.obs_lanes[shard], now);
+            }
+            self.resolve_sub(now, id, false);
+            return;
+        }
         match self.shards[shard].pool.offer(0, now, req) {
             Admission::Dispatched => self.dispatch(now, shard, req, cores, st),
             Admission::Queued => {}
             Admission::Dropped => {
-                self.dropped += 1;
                 if let Some(o) = self.obs.as_mut() {
                     o.count_drop(self.obs_lanes[shard], now);
                 }
+                self.resolve_sub(now, id, false);
             }
         }
         if let Some(o) = self.obs.as_mut() {
@@ -780,10 +1328,17 @@ impl<'a> ClusterSim<'a> {
         cores: &mut ShardedCores<Ev>,
         st: &mut ClusterState,
     ) {
-        let service = self
+        let mut service = self
             .profile
             .sample_service_time(&mut st.service_rng)
             .max(Nanos::from_nanos(1));
+        // A scatter sub is one of K partial queries over one partition:
+        // it costs a 1/K slice of the sampled operation (the sample is
+        // drawn either way, keeping the service stream aligned).
+        if !self.setting.is_plain() && self.parents[req.id as usize].class == ReqClass::Scatter {
+            let slice = service.as_nanos() / self.setting.fanout as u64;
+            service = Nanos::from_nanos(slice.max(1));
+        }
         let node = &mut self.shards[shard];
         node.dispatched += 1;
         if node.dispatched % self.bench.op_sample_every.max(1) == 0 {
@@ -849,11 +1404,14 @@ impl<'a> ClusterSim<'a> {
         for &(at, req) in &due {
             debug_assert_eq!(at, now, "completions drain exactly at their tick");
             let sojourn_us = (now - req.arrived).as_micros_f64();
-            self.latencies_us.push(sojourn_us);
             self.shards[shard].latencies_us.push(sojourn_us);
-            self.completed += 1;
             if let Some(o) = self.obs.as_mut() {
                 o.count_completion(self.obs_lanes[shard], now);
+            }
+            if self.setting.is_plain() {
+                self.finish_request(now, Some((req.arrived, ReqClass::Read)));
+            } else {
+                self.resolve_sub(now, req.id, true);
             }
         }
         let mut dispatched = std::mem::take(&mut self.dispatch_buf);
@@ -893,6 +1451,20 @@ impl<'a> ClusterSim<'a> {
     ) -> ClusterPoint {
         let issued = self.next_arrival;
         debug_assert_eq!(issued, self.completed + self.dropped);
+        debug_assert_eq!(issued, self.issued_by_phase.iter().sum::<u64>());
+        let phase_rate = |phase: usize| {
+            if self.issued_by_phase[phase] == 0 {
+                0.0
+            } else {
+                self.dropped_by_phase[phase] as f64 / self.issued_by_phase[phase] as f64
+            }
+        };
+        let pre_fail_drop_rate = phase_rate(0);
+        let fail_window_drop_rate = phase_rate(1);
+        let post_recover_drop_rate = phase_rate(2);
+        let scatter_p99_us = Cdf::from_samples(self.scatter_latencies_us.clone())
+            .map(|c| c.percentile(99.0))
+            .unwrap_or(0.0);
         let cdf = Cdf::from_samples(self.latencies_us)
             .expect("a sweep point always completes at least one request");
         let duration = end.as_secs_f64().max(f64::MIN_POSITIVE);
@@ -952,6 +1524,25 @@ impl<'a> ClusterSim<'a> {
             store_evictions: stats.evictions,
             rebalanced: setting.route == RoutePolicy::Rebalance,
             events: self.events,
+            replicas: setting.replicas,
+            write_quorum: setting.write_quorum,
+            fanout: setting.fanout,
+            scatter_p99_us,
+            failover_handoffs: self.failover_handoffs,
+            failed_shard: self.failed_shard.map_or(-1, |s| s as i64),
+            fail_at_us: if self.fail_at == NEVER {
+                -1.0
+            } else {
+                self.fail_at.as_micros_f64()
+            },
+            recover_at_us: if self.recover_at == NEVER {
+                -1.0
+            } else {
+                self.recover_at.as_micros_f64()
+            },
+            pre_fail_drop_rate,
+            fail_window_drop_rate,
+            post_recover_drop_rate,
         }
     }
 }
@@ -1193,6 +1784,44 @@ mod tests {
                 servers_per_shard: 0,
                 ..tiny(LoadBackend::Memcached)
             },
+            ClusterBenchmark {
+                scatter_fraction: -0.1,
+                ..tiny(LoadBackend::Memcached)
+            },
+            ClusterBenchmark {
+                write_fraction: 1.5,
+                ..tiny(LoadBackend::Memcached)
+            },
+            ClusterBenchmark {
+                sweep: vec![ClusterSetting::replicated(4, 8, 1)],
+                ..tiny(LoadBackend::Memcached)
+            },
+            ClusterBenchmark {
+                sweep: vec![ClusterSetting::replicated(4, 2, 3)],
+                ..tiny(LoadBackend::Memcached)
+            },
+            ClusterBenchmark {
+                sweep: vec![ClusterSetting::scatter(4, 2, 8)],
+                ..tiny(LoadBackend::Memcached)
+            },
+            ClusterBenchmark {
+                sweep: vec![ClusterSetting::failing(1, 1, true)],
+                ..tiny(LoadBackend::Memcached)
+            },
+            ClusterBenchmark {
+                sweep: vec![ClusterSetting {
+                    route: RoutePolicy::Pinned,
+                    ..ClusterSetting::replicated(4, 2, 1)
+                }],
+                ..tiny(LoadBackend::Memcached)
+            },
+            ClusterBenchmark {
+                sweep: vec![ClusterSetting {
+                    replicas: 2,
+                    ..ClusterSetting::hashed(4, BASELINE_THETA)
+                }],
+                ..tiny(LoadBackend::Memcached)
+            },
         ];
         for bench in cases {
             assert!(
@@ -1200,5 +1829,176 @@ mod tests {
                 "must reject {bench:?}"
             );
         }
+    }
+
+    #[test]
+    fn quorum_at_r1_replays_plain_routing_bit_for_bit() {
+        // R = W = K = 1 makes every class touch exactly the key's FNV
+        // home — the PR 7 single-shard routing. With the scatter class
+        // switched off (so no scatter percentile accrues), the quorum
+        // point must equal the plain point in every field but the label,
+        // across seeds and platforms.
+        for (seed, platform) in [
+            (101, PlatformId::Native),
+            (102, PlatformId::Docker),
+            (103, PlatformId::Qemu),
+            (104, PlatformId::Firecracker),
+            (105, PlatformId::Native),
+        ] {
+            let platform = platform.build();
+            let plain = ClusterBenchmark {
+                scatter_fraction: 0.0,
+                sweep: vec![ClusterSetting::hashed(16, BASELINE_THETA)],
+                ..tiny(LoadBackend::Memcached)
+            }
+            .run_trial(&platform, &mut SimRng::seed_from(seed))
+            .unwrap();
+            let quorum = ClusterBenchmark {
+                scatter_fraction: 0.0,
+                sweep: vec![ClusterSetting::replicated(16, 1, 1)],
+                ..tiny(LoadBackend::Memcached)
+            }
+            .run_trial(&platform, &mut SimRng::seed_from(seed))
+            .unwrap();
+            let mut relabelled = quorum[0].clone();
+            assert_eq!(relabelled.label, "r1");
+            relabelled.label = plain[0].label.clone();
+            assert_eq!(
+                plain[0], relabelled,
+                "seed {seed}: R=1 quorum diverged from plain routing"
+            );
+        }
+    }
+
+    #[test]
+    fn failover_sweep_conserves_requests_and_stays_lane_invariant() {
+        let platform = PlatformId::Qemu.build();
+        let reference = ClusterBenchmark {
+            shard_cores: 1,
+            sweep: ClusterSetting::failover_sweep(),
+            ..tiny(LoadBackend::Memcached)
+        };
+        let base = reference
+            .run_trial(&platform, &mut SimRng::seed_from(78))
+            .unwrap();
+        for p in &base {
+            // Conservation across the failure boundary: every issued
+            // request resolves exactly once, as a completion or a drop.
+            assert_eq!(
+                p.completed + p.dropped,
+                reference.requests_per_point as u64,
+                "{}",
+                p.label
+            );
+            assert!(p.p50_us <= p.p95_us && p.p95_us <= p.p99_us, "{}", p.label);
+        }
+        for shard_cores in [2usize, 4, 8] {
+            let bench = ClusterBenchmark {
+                shard_cores,
+                ..reference.clone()
+            };
+            let got = bench
+                .run_trial(&platform, &mut SimRng::seed_from(78))
+                .unwrap();
+            assert_eq!(base, got, "{shard_cores} shard cores diverged");
+        }
+        for window_us in [1u64, 1_000, 100_000] {
+            let bench = ClusterBenchmark {
+                lockstep_window_us: window_us,
+                shard_cores: 1,
+                ..reference.clone()
+            };
+            let got = bench
+                .run_trial(&platform, &mut SimRng::seed_from(78))
+                .unwrap();
+            assert_eq!(base, got, "window {window_us} us diverged");
+        }
+    }
+
+    #[test]
+    fn kill_then_recover_spikes_drops_then_subsides() {
+        let platform = PlatformId::Native.build();
+        let bench = ClusterBenchmark {
+            requests_per_point: 6_000,
+            runs: 1,
+            sweep: vec![
+                ClusterSetting::failing(16, 2, false),
+                ClusterSetting::failing(16, 2, true),
+            ],
+            ..ClusterBenchmark::quick(LoadBackend::Memcached)
+        };
+        let points = bench
+            .run_trial(&platform, &mut SimRng::seed_from(79))
+            .unwrap();
+        let (fail, failrec) = (&points[0], &points[1]);
+        for p in [fail, failrec] {
+            assert!((0..16).contains(&p.failed_shard), "{}: {p:?}", p.label);
+            assert!(p.fail_at_us > 0.0, "{}: {p:?}", p.label);
+            assert!(
+                p.fail_window_drop_rate > p.pre_fail_drop_rate,
+                "{}: the kill must spike the drop rate: {p:?}",
+                p.label
+            );
+            assert!(
+                p.failover_handoffs > 0,
+                "{}: the ring walk must hand off around the dead shard",
+                p.label
+            );
+        }
+        assert_eq!(fail.recover_at_us, -1.0);
+        assert!(failrec.recover_at_us > failrec.fail_at_us);
+        assert!(
+            failrec.post_recover_drop_rate <= failrec.pre_fail_drop_rate + 0.02,
+            "the spike must subside after recovery: {failrec:?}"
+        );
+    }
+
+    #[test]
+    fn scatter_p99_grows_with_fanout_and_quorum_widens_the_tail() {
+        let platform = PlatformId::Native.build();
+        let bench = ClusterBenchmark {
+            requests_per_point: 6_000,
+            runs: 1,
+            sweep: vec![
+                ClusterSetting::replicated(16, 3, 1),
+                ClusterSetting::scatter(16, 3, 4),
+                ClusterSetting::scatter(16, 3, 16),
+            ],
+            ..ClusterBenchmark::quick(LoadBackend::Memcached)
+        };
+        let points = bench
+            .run_trial(&platform, &mut SimRng::seed_from(80))
+            .unwrap();
+        let p99s: Vec<f64> = points.iter().map(|p| p.scatter_p99_us).collect();
+        assert!(p99s[0] > 0.0, "the K=1 baseline records scatter sojourns");
+        assert!(
+            p99s[0] <= p99s[1] && p99s[1] <= p99s[2],
+            "scatter p99 must be monotone in the fan-out: {p99s:?}"
+        );
+    }
+
+    #[test]
+    fn traced_failover_point_matches_untraced_and_emits_handoffs() {
+        use simcore::obs::ObsConfig;
+        let platform = PlatformId::Qemu.build();
+        let setting = ClusterSetting::failing(16, 2, true);
+        let bench = ClusterBenchmark {
+            sweep: vec![setting],
+            ..tiny(LoadBackend::Memcached)
+        };
+        let untraced = bench
+            .run_trial(&platform, &mut SimRng::seed_from(81))
+            .unwrap();
+        let recorder = Recorder::try_new(ObsConfig::new(9, 0.25)).unwrap();
+        let (point, obs) = bench
+            .run_setting_traced(&platform, &setting, &mut SimRng::seed_from(81), recorder)
+            .unwrap();
+        assert_eq!(untraced[0], point, "tracing perturbed the failover point");
+        let trace = obs.chrome_trace_json("cluster_failover");
+        assert!(trace.contains("\"route\""), "router instants missing");
+        assert!(
+            trace.contains("\"hand-off\""),
+            "failover re-routes must record hand-off instants"
+        );
     }
 }

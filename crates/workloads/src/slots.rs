@@ -333,6 +333,29 @@ impl<T> SlotPool<T> {
         self.classes[class].counters
     }
 
+    /// Consumes the pool and returns every queued request as `(class,
+    /// arrival time, request)` — classes in index order, FIFO within a
+    /// class — the node-death path: a failed node abandons its admission
+    /// queues at once and the caller resolves each waiter as failed.
+    ///
+    /// In-service requests are *not* represented here (the pool never
+    /// holds them); the caller surrenders those from its completion
+    /// timer (see `simcore::resource::CompletionTimer::into_pending`).
+    /// The caller typically replaces the pool with a freshly built one,
+    /// whose zeroed counters mark the node's restart.
+    pub fn into_queued(self) -> Vec<(usize, Nanos, T)> {
+        self.classes
+            .into_iter()
+            .enumerate()
+            .flat_map(|(class, state)| {
+                state
+                    .queue
+                    .into_iter()
+                    .map(move |(arrived, item)| (class, arrived, item))
+            })
+            .collect()
+    }
+
     /// Offers one request of `class` (arrived at `arrived`) to the pool:
     /// dispatch into a free slot, else queue, else drop.
     pub fn offer(&mut self, class: usize, arrived: Nanos, item: T) -> Admission {
@@ -770,6 +793,33 @@ mod tests {
                 sequential.counters(class).dispatched
             );
         }
+    }
+
+    #[test]
+    fn into_queued_surrenders_waiters_in_class_then_fifo_order() {
+        let mut pool: SlotPool<&str> = SlotPool::new(
+            1,
+            SlotPolicy::FifoArrival,
+            vec![cfg(1, 8, 100), cfg(1, 8, 100)],
+        )
+        .unwrap();
+        assert_eq!(
+            pool.offer(0, Nanos::from_nanos(1), "a"),
+            Admission::Dispatched
+        );
+        pool.offer(1, Nanos::from_nanos(2), "b");
+        pool.offer(0, Nanos::from_nanos(3), "c");
+        pool.offer(1, Nanos::from_nanos(4), "d");
+        // The node dies: only the queued waiters spill (the in-service
+        // request "a" lives in the caller's completion timer).
+        assert_eq!(
+            pool.into_queued(),
+            vec![
+                (0, Nanos::from_nanos(3), "c"),
+                (1, Nanos::from_nanos(2), "b"),
+                (1, Nanos::from_nanos(4), "d"),
+            ]
+        );
     }
 
     #[test]

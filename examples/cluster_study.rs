@@ -25,7 +25,8 @@ fn main() {
         RunConfig::quick(2021)
     };
 
-    let mut plan = RunPlan::new(cfg).with_shard("cluster");
+    // `cluster_m` keeps the failover experiments out of the plain study.
+    let mut plan = RunPlan::new(cfg).with_shard("cluster_m");
     if let Some(workers) = parse_count(&args, "--workers") {
         plan = plan.with_workers(workers);
     }

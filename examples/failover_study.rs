@@ -1,0 +1,91 @@
+//! Replicated-cluster failover study: the routing tier from the
+//! sharded-cluster sweep grows R-way replication with quorum reads and
+//! writes, scatter-gather fan-out across K partitions, and a
+//! deterministic mid-window shard kill, and the study prints what each
+//! costs — reading the full replica set inflates the median over a
+//! single-replica read (even though spreading each key over its replica
+//! set smooths the Zipf hot shard), scatter-gather pays the max of K
+//! sub-queries in its tail, and a mid-window kill spikes the drop rate
+//! until hand-offs re-route the dead shard's keys and recovery returns
+//! drops to the pre-failure band.
+//!
+//! Run with: `cargo run --release --example failover_study`
+//!
+//! Flags:
+//! * `--paper` — full-scale configuration (default is quick)
+//! * `--workers N` — worker thread count (default: available parallelism)
+
+use isolation_bench::harness::cli::parse_count;
+use isolation_bench::harness::grid;
+use isolation_bench::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper_scale = args.iter().any(|a| a == "--paper");
+    let cfg = if paper_scale {
+        RunConfig::paper(2021)
+    } else {
+        RunConfig::quick(2021)
+    };
+
+    let mut plan = RunPlan::new(cfg).with_shard("cluster_failover");
+    if let Some(workers) = parse_count(&args, "--workers") {
+        plan = plan.with_workers(workers);
+    }
+    let executor = Executor::new(plan);
+    println!(
+        "Replicated-cluster failover study ({} mode, seed {}, {} workers)\n",
+        if paper_scale { "paper" } else { "quick" },
+        cfg.seed,
+        executor.plan().effective_workers(),
+    );
+
+    let run: RunReport = executor.run();
+    for figure in &run.figures {
+        println!("{}", report::to_markdown(figure));
+    }
+
+    // Failover summary: per platform, what quorum width costs at the
+    // median, how scatter-gather's tail grows with fan-out, and how the
+    // drop rate moves through a kill-then-recover window.
+    for experiment in [
+        ExperimentId::ClusterFailoverMemcached,
+        ExperimentId::ClusterFailoverMysql,
+    ] {
+        let Some(fig) = run.figure(experiment) else {
+            continue;
+        };
+        println!("### {} — replication and failover summary\n", fig.title);
+        for platform in grid::platforms_of(fig, grid::FAILOVER_SCATTER_P99) {
+            let at = |metric: &str, label: &str| {
+                fig.series_named(&format!("{platform} {metric}"))
+                    .and_then(|s| s.mean_of(label))
+                    .unwrap_or(0.0)
+            };
+            let r1 = at(grid::CLUSTER_P50, "r1").max(f64::MIN_POSITIVE);
+            let k1 = at(grid::FAILOVER_SCATTER_P99, "r3 w1").max(f64::MIN_POSITIVE);
+            println!(
+                "- {platform}: p50 r1 {:.0} us -> r3 read-one {:.0} us -> r3 read-all {:.0} us \
+                 ({:.2}x); scatter p99 k1 {:.0} us -> k4 {:.0} us -> k16 {:.0} us ({:.2}x); \
+                 r2 kill at {:.0} us: drop {:.4} -> {:.4} in-window -> {:.4} after recovery \
+                 ({:.0} hand-offs)",
+                r1,
+                at(grid::CLUSTER_P50, "r3 w3"),
+                at(grid::CLUSTER_P50, "r3 w1"),
+                at(grid::CLUSTER_P50, "r3 w1") / r1,
+                k1,
+                at(grid::FAILOVER_SCATTER_P99, "r3 k4"),
+                at(grid::FAILOVER_SCATTER_P99, "r3 k16"),
+                at(grid::FAILOVER_SCATTER_P99, "r3 k16") / k1,
+                at(grid::FAILOVER_FAIL_AT, "r2 failrec"),
+                at(grid::FAILOVER_PRE_DROP, "r2 failrec"),
+                at(grid::FAILOVER_WINDOW_DROP, "r2 failrec"),
+                at(grid::FAILOVER_POST_DROP, "r2 failrec"),
+                at(grid::FAILOVER_HANDOFFS, "r2 failrec"),
+            );
+        }
+        println!();
+    }
+
+    println!("{}", report::timing_table(&run));
+}

@@ -49,7 +49,7 @@ fn cluster_figures_are_bit_identical_for_1_2_and_8_workers() {
     for workers in [1, 2, 8] {
         let run = Executor::new(
             RunPlan::new(cfg())
-                .with_shard("cluster")
+                .with_shard("cluster_m")
                 .with_workers(workers),
         )
         .run();
